@@ -1,0 +1,112 @@
+// Ablation: wave length 5 vs 4 under adversarial schedules (§2.2 challenge 2).
+//
+// The paper parameterizes Mahi-Mahi either with a 5-round wave (maximum
+// direct-commit probability under a continuously active asynchronous
+// adversary) or a 4-round wave (lower latency under the more moderate
+// random-network adversary). This bench runs both — plus Cordial Miners as
+// the uncertified-DAG baseline — through the WAN simulator under
+// increasingly hostile schedules and reports the latency/commit-mix shape:
+//
+//   * fair       — plain WAN, no interference (Figure 3 conditions);
+//   * burst      — periodic windows where every message gains up to 800ms
+//                  (continuously active asynchronous adversary, bounded);
+//   * partition  — repeated 2-second splits of the committee;
+//   * targeted   — a fixed victim's blocks always arrive ~900ms late.
+//
+// Expected shape: MM-4 wins latency in the fair schedule (claim C5); under
+// sustained burst asynchrony the gap narrows or reverses as MM-4 falls back
+// to indirect decisions more often (its single boost round forms the common
+// core with lower probability, Lemma 16 vs Lemma 13); Cordial Miners trails
+// throughout (one leader per 5 rounds; no direct skip).
+#include <cstdio>
+#include <memory>
+
+#include "sim/harness.h"
+
+using namespace mahimahi;
+using namespace mahimahi::sim;
+
+namespace {
+
+enum class Attack { kFair, kBurst, kPartition, kTargeted };
+
+const char* to_string(Attack attack) {
+  switch (attack) {
+    case Attack::kFair: return "fair";
+    case Attack::kBurst: return "burst";
+    case Attack::kPartition: return "partition";
+    case Attack::kTargeted: return "targeted";
+  }
+  return "?";
+}
+
+std::shared_ptr<Adversary> make_adversary(Attack attack, std::uint32_t n) {
+  switch (attack) {
+    case Attack::kFair:
+      return nullptr;
+    case Attack::kBurst:
+      // 1.2s hostile window every 3s, up to 800ms extra per message.
+      return std::make_shared<BurstDelayAdversary>(seconds(3), millis(1200),
+                                                   millis(800));
+    case Attack::kPartition:
+      // One mid-run split lasting 2s (the heal drains the backlog).
+      return std::make_shared<PartitionAdversary>(n / 2, seconds(8), seconds(10));
+    case Attack::kTargeted:
+      return std::make_shared<TargetedDelayAdversary>(std::set<ValidatorId>{0},
+                                                      millis(900));
+  }
+  return nullptr;
+}
+
+void run_row(Protocol protocol, Attack attack) {
+  SimConfig config;
+  config.protocol = protocol;
+  config.n = 10;
+  config.wan = true;
+  config.load_tps = 10'000;
+  config.duration = seconds(25);
+  config.warmup = seconds(5);
+  config.seed = 3;
+  config.adversary = make_adversary(attack, config.n);
+
+  const SimResult result = run_simulation(config);
+  const auto& stats = result.commit_stats;
+  const double direct_share =
+      stats.committed_slots() + stats.skipped_slots() == 0
+          ? 0.0
+          : static_cast<double>(stats.direct_commits) /
+                static_cast<double>(stats.committed_slots() + stats.skipped_slots());
+  std::printf("%-15s %-10s %9.0f %8.3f %8.3f %8.3f %9.2f %7llu %7llu\n",
+              sim::to_string(protocol).c_str(), to_string(attack),
+              result.committed_tps, result.avg_latency_s, result.p50_latency_s,
+              result.p95_latency_s, direct_share,
+              static_cast<unsigned long long>(stats.indirect_commits),
+              static_cast<unsigned long long>(stats.skipped_slots()));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Wave-length ablation under adversarial schedules ===\n");
+  std::printf("WAN, 10 validators, 10k tx/s offered, 512B txs, 20s window\n\n");
+  std::printf("%-15s %-10s %9s %8s %8s %8s %9s %7s %7s\n", "protocol", "attack",
+              "tps", "avg_s", "p50_s", "p95_s", "direct%", "indir", "skips");
+
+  for (const Attack attack :
+       {Attack::kFair, Attack::kBurst, Attack::kPartition, Attack::kTargeted}) {
+    for (const Protocol protocol :
+         {Protocol::kMahiMahi5, Protocol::kMahiMahi4, Protocol::kCordialMiners}) {
+      run_row(protocol, attack);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading the shape: MM-4 leads latency on the fair schedule (C5); the\n"
+      "burst adversary erodes MM-4's direct-commit share faster than MM-5's\n"
+      "(Lemma 16's l/(3f+1) vs Lemma 13's 1-C(f,l)/C(3f+1,l)); Cordial Miners\n"
+      "pays its one-leader-per-wave latency everywhere; the targeted victim\n"
+      "is absorbed by direct skips without stalling either variant.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Appendix C: direct-commit probability analysis (Lemmas 13, 16, 18).
+//
+// Compares the paper's closed-form bounds with Monte-Carlo measurements over
+// DAGs generated under three message schedules:
+//
+//   * random     — the random network model of §2.3: each validator
+//                  references a uniformly random 2f+1 subset. Lemma 18:
+//                  direct commits with probability -> 1.
+//   * blind      — a model-compliant asynchronous adversary: it controls
+//                  which blocks every validator references each round
+//                  (suppressing a rotating set of f authors) but cannot
+//                  predict the common coin. The measured rate must dominate
+//                  the worst-case bound p* (Lemmas 13/16).
+//   * prescient  — an OUT-OF-MODEL adversary that reads the coin before it
+//                  opens and suppresses the elected leaders. This is the
+//                  attack that after-the-fact election (§2.3) prevents;
+//                  with one leader slot it collapses direct commits to 0,
+//                  quantifying why retrospective election is load-bearing.
+//
+// Closed forms come from src/analysis (shared with tests):
+//   w=5, async:   p* = 1 - C(f,l)/C(3f+1,l)   (Lemma 13; certainty if l > f)
+//   w=4, async:   p* = l/(3f+1)               (Lemma 16; certainty if l = 3f+1)
+//   w=4, random:  ~1 with high probability     (Lemma 18)
+#include <cstdio>
+#include <set>
+
+#include "analysis/commit_probability.h"
+#include "core/committer.h"
+#include "sim/dag_builder.h"
+
+using namespace mahimahi;
+
+namespace {
+
+enum class Schedule { kRandom, kBlind, kPrescient };
+
+const char* to_string(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::kRandom: return "random";
+    case Schedule::kBlind: return "blind";
+    case Schedule::kPrescient: return "prescient";
+  }
+  return "?";
+}
+
+struct Measurement {
+  double round_rate;  // fraction of rounds with >= 1 directly committed slot
+  double slot_rate;   // fraction of slots directly committed
+};
+
+Measurement measure(std::uint32_t n, std::uint32_t wave_length, std::uint32_t leaders,
+                    Schedule schedule, std::uint64_t seed, Round rounds = 120) {
+  const std::uint32_t f = (n - 1) / 3;
+  DagBuilder builder(n, /*committee seed=*/11);
+  Rng rng(seed);
+  CommitterOptions options;
+  options.wave_length = wave_length;
+  options.leaders_per_round = leaders;
+
+  for (Round r = 1; r <= rounds; ++r) {
+    std::vector<ValidatorId> suppressed;
+    switch (schedule) {
+      case Schedule::kRandom:
+        break;
+      case Schedule::kBlind:
+        for (std::uint32_t i = 0; i < f; ++i) {
+          suppressed.push_back(static_cast<ValidatorId>((r + i) % n));
+        }
+        break;
+      case Schedule::kPrescient:
+        if (r >= 2) {
+          for (std::uint32_t offset = 0; offset < leaders; ++offset) {
+            suppressed.push_back(builder.leader_of({r - 1, offset}, options));
+          }
+        }
+        break;
+    }
+    if (suppressed.empty()) {
+      builder.add_random_network_round(r, rng);
+    } else {
+      builder.add_adversarial_round(r, suppressed);
+    }
+  }
+
+  Committer committer(builder.dag(), builder.committee(), options);
+  committer.try_commit();
+
+  std::set<Round> rounds_decided, rounds_direct;
+  std::uint64_t slots_decided = 0, slots_direct = 0;
+  for (const auto& decision : committer.decided_sequence()) {
+    rounds_decided.insert(decision.slot.round);
+    ++slots_decided;
+    if (decision.kind == SlotDecision::Kind::kCommit &&
+        decision.via == SlotDecision::Via::kDirect) {
+      rounds_direct.insert(decision.slot.round);
+      ++slots_direct;
+    }
+  }
+  Measurement m{};
+  m.round_rate = rounds_decided.empty()
+                     ? 0
+                     : static_cast<double>(rounds_direct.size()) / rounds_decided.size();
+  m.slot_rate = slots_decided == 0 ? 0 : static_cast<double>(slots_direct) / slots_decided;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Appendix C: direct-commit probability, bound vs measured ===\n");
+  std::printf("%-3s %-3s %-7s %-12s %12s %14s %14s\n", "w", "f", "leaders", "schedule",
+              "bound p*", "measured/rnd", "measured/slot");
+
+  for (const std::uint32_t wave_length : {5u, 4u}) {
+    for (const std::uint32_t f : {1u, 3u}) {
+      const std::uint32_t n = 3 * f + 1;
+      for (const std::uint32_t leaders : {1u, 2u, 3u}) {
+        for (const Schedule schedule :
+             {Schedule::kRandom, Schedule::kBlind, Schedule::kPrescient}) {
+          Measurement total{};
+          constexpr int kTrials = 5;
+          for (int trial = 0; trial < kTrials; ++trial) {
+            const Measurement m =
+                measure(n, wave_length, leaders, schedule, 100 + trial);
+            total.round_rate += m.round_rate / kTrials;
+            total.slot_rate += m.slot_rate / kTrials;
+          }
+          std::printf("%-3u %-3u %-7u %-12s %12.3f %14.3f %14.3f\n", wave_length, f,
+                      leaders, to_string(schedule),
+                      analysis::direct_commit_probability(wave_length, f, leaders),
+                      total.round_rate, total.slot_rate);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+  std::printf(
+      "\nReading the table: under `random` the rate approaches 1 (Lemma 18);\n"
+      "under `blind` (a model-compliant asynchronous adversary) the measured\n"
+      "per-round rate dominates the worst-case bound p* (Lemmas 13/16);\n"
+      "`prescient` cheats by reading the coin before it opens — the attack\n"
+      "after-the-fact election prevents — and collapses single-leader direct\n"
+      "commits to zero, which quantifies why retrospective election matters.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 4: throughput-latency with 3 crash faults, 10 validators.
+//
+// Paper reference: all systems reach ~35-40k tx/s; latency Tusk ~7s, Cordial
+// Miners ~1.7s, Mahi-Mahi-5 0.95s, Mahi-Mahi-4 0.85s. Mahi-Mahi's direct
+// skip rule bypasses dead leaders ~2 rounds earlier than Cordial Miners'
+// anchor-based resolution (claim C3).
+#include <cstdio>
+#include <vector>
+
+#include "sim/harness.h"
+
+using namespace mahimahi;
+using namespace mahimahi::sim;
+
+int main() {
+  std::printf("=== Figure 4: 10 validators, 3 crash faults ===\n");
+  std::printf("%-16s %9s | %9s %8s %8s %12s %12s\n", "protocol", "load", "tx/s",
+              "avg", "p95", "direct-skip", "indir-skip");
+
+  for (const Protocol protocol : {Protocol::kTusk, Protocol::kCordialMiners,
+                                  Protocol::kMahiMahi5, Protocol::kMahiMahi4}) {
+    for (const double load : {5'000.0, 15'000.0, 25'000.0, 35'000.0, 45'000.0}) {
+      SimConfig config;
+      config.protocol = protocol;
+      config.n = 10;
+      config.crashed = 3;
+      config.leaders_per_round = 2;
+      config.wan = true;
+      config.load_tps = load;
+      config.duration = seconds(20);
+      config.warmup = seconds(5);
+      config.seed = 42;
+      const SimResult result = run_simulation(config);
+      std::printf("%-16s %9.0f | %9.0f %7.3fs %7.3fs %12llu %12llu\n",
+                  to_string(protocol).c_str(), load, result.committed_tps,
+                  result.avg_latency_s, result.p95_latency_s,
+                  static_cast<unsigned long long>(result.commit_stats.direct_skips),
+                  static_cast<unsigned long long>(result.commit_stats.indirect_skips));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

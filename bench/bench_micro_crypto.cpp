@@ -1,0 +1,129 @@
+// Microbenchmarks: cryptographic substrate (google-benchmark).
+//
+// The paper argues uncertified DAGs save certificate-verification CPU; these
+// numbers quantify this implementation's primitive costs (§4 discussion).
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.h"
+#include "crypto/blake2b.h"
+#include "crypto/coin.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace {
+
+using namespace mahimahi;
+using namespace mahimahi::crypto;
+
+Bytes make_input(std::size_t size) {
+  Bytes data(size);
+  for (std::size_t i = 0; i < size; ++i) data[i] = static_cast<std::uint8_t>(i * 31);
+  return data;
+}
+
+void BM_Blake2b256(benchmark::State& state) {
+  const Bytes input = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Blake2b::hash256({input.data(), input.size()}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Blake2b256)->Arg(64)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes input = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash({input.data(), input.size()}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(512)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  const Bytes input = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::hash({input.data(), input.size()}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(512)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = make_input(32);
+  const Bytes input = make_input(512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hmac_sha256({key.data(), key.size()}, {input.data(), input.size()}));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_Crc32(benchmark::State& state) {
+  const Bytes input = make_input(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32({input.data(), input.size()}));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(4096);
+
+void BM_Ed25519Keygen(benchmark::State& state) {
+  std::array<std::uint8_t, 32> seed{};
+  std::uint8_t counter = 0;
+  for (auto _ : state) {
+    seed[0] = ++counter;
+    benchmark::DoNotOptimize(ed25519_keypair_from_seed(seed));
+  }
+}
+BENCHMARK(BM_Ed25519Keygen);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  std::array<std::uint8_t, 32> seed{};
+  const auto keypair = ed25519_keypair_from_seed(seed);
+  const Bytes message = make_input(32);  // blocks sign their 32-byte digest
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ed25519_sign(keypair.private_key, {message.data(), message.size()}));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  std::array<std::uint8_t, 32> seed{};
+  const auto keypair = ed25519_keypair_from_seed(seed);
+  const Bytes message = make_input(32);
+  const auto signature =
+      ed25519_sign(keypair.private_key, {message.data(), message.size()});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ed25519_verify(keypair.public_key, {message.data(), message.size()}, signature));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_CoinShare(benchmark::State& state) {
+  const ThresholdCoin coin(50, 16, Blake2b::hash256(as_bytes_view("bench")));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coin.share(3, ++round));
+  }
+}
+BENCHMARK(BM_CoinShare);
+
+void BM_CoinCombine(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t f = (n - 1) / 3;
+  const ThresholdCoin coin(n, f, Blake2b::hash256(as_bytes_view("bench")));
+  std::vector<std::pair<std::uint32_t, CoinShare>> shares;
+  for (std::uint32_t a = 0; a < 2 * f + 1; ++a) shares.emplace_back(a, coin.share(a, 9));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coin.combine(9, shares));
+  }
+}
+BENCHMARK(BM_CoinCombine)->Arg(10)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

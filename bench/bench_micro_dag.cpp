@@ -1,0 +1,163 @@
+// Microbenchmarks: DAG operations, serialization, decision rules, WAL.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/committer.h"
+#include "sim/dag_builder.h"
+#include "types/validation.h"
+#include "wal/wal.h"
+
+namespace {
+
+using namespace mahimahi;
+
+void BM_BlockCreateAndSign(benchmark::State& state) {
+  auto setup = Committee::make_test(4);
+  std::vector<BlockRef> refs;
+  for (ValidatorId v = 0; v < 4; ++v) {
+    refs.push_back(Block::genesis(v, setup.committee.coin()).ref());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block::make(0, 1, refs, {},
+                                         setup.committee.coin().share(0, 1),
+                                         setup.keypairs[0].private_key));
+  }
+}
+BENCHMARK(BM_BlockCreateAndSign);
+
+void BM_BlockSerialize(benchmark::State& state) {
+  DagBuilder builder(10);
+  builder.build_fully_connected(2);
+  const BlockPtr block = builder.dag().slot(2, 0).front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block->serialize());
+  }
+}
+BENCHMARK(BM_BlockSerialize);
+
+void BM_BlockDeserialize(benchmark::State& state) {
+  DagBuilder builder(10);
+  builder.build_fully_connected(2);
+  const Bytes wire = builder.dag().slot(2, 0).front()->serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Block::deserialize({wire.data(), wire.size()}));
+  }
+}
+BENCHMARK(BM_BlockDeserialize);
+
+void BM_BlockValidate(benchmark::State& state) {
+  DagBuilder builder(10);
+  builder.build_fully_connected(2);
+  const BlockPtr block = builder.dag().slot(2, 0).front();
+  ValidationOptions options;
+  options.verify_signature = state.range(0) != 0;
+  options.verify_coin_share = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_block(*block, builder.committee(), options));
+  }
+}
+BENCHMARK(BM_BlockValidate)->Arg(0)->Arg(1);  // structural only vs full crypto
+
+void BM_DagInsertRound(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    DagBuilder builder(n);
+    builder.build_fully_connected(3);
+    std::vector<BlockPtr> blocks;
+    {
+      DagBuilder source(n);
+      source.build_fully_connected(4);
+      blocks = source.dag().blocks_at(4);
+    }
+    state.ResumeTiming();
+    // Not measurable this way (different committees); measure via add_block:
+    benchmark::DoNotOptimize(builder.add_full_round(4));
+  }
+}
+BENCHMARK(BM_DagInsertRound)->Arg(10)->Arg(50);
+
+void BM_CommitterDecideWave(benchmark::State& state) {
+  // Cost of the full decision pipeline over a freshly completed wave.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  DagBuilder builder(n);
+  builder.build_fully_connected(40);
+  for (auto _ : state) {
+    Committer committer(builder.dag(), builder.committee(), mahi_mahi_5(2));
+    benchmark::DoNotOptimize(committer.try_commit());
+  }
+  state.SetLabel("full decision pass over 40 rounds");
+}
+BENCHMARK(BM_CommitterDecideWave)->Arg(10)->Arg(50);
+
+void BM_CommitterIncremental(benchmark::State& state) {
+  // Steady-state incremental cost: one try_commit after one new round.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  DagBuilder builder(n);
+  builder.build_fully_connected(30);
+  Committer committer(builder.dag(), builder.committee(), mahi_mahi_5(2));
+  committer.try_commit();
+  Round next = 31;
+  for (auto _ : state) {
+    state.PauseTiming();
+    builder.add_full_round(next++);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(committer.try_commit());
+  }
+}
+BENCHMARK(BM_CommitterIncremental)->Arg(10)->Arg(50);
+
+void BM_IsLink(benchmark::State& state) {
+  DagBuilder builder(10);
+  builder.build_fully_connected(20);
+  const Dag& dag = builder.dag();
+  const BlockPtr top = dag.slot(20, 0).front();
+  const BlockRef deep = dag.slot(1, 5).front()->ref();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag.is_link(deep, *top));
+  }
+}
+BENCHMARK(BM_IsLink);
+
+void BM_WalAppend(benchmark::State& state) {
+  DagBuilder builder(10);
+  builder.build_fully_connected(1);
+  const BlockPtr block = builder.dag().slot(1, 0).front();
+  const auto path = std::filesystem::temp_directory_path() / "mahi_bench.wal";
+  std::filesystem::remove(path);
+  {
+    FileWal wal(path.string());
+    for (auto _ : state) {
+      wal.append_block(*block, false);
+    }
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_WalReplay(benchmark::State& state) {
+  DagBuilder builder(10);
+  builder.build_fully_connected(1);
+  const BlockPtr block = builder.dag().slot(1, 0).front();
+  const auto path = std::filesystem::temp_directory_path() / "mahi_bench_replay.wal";
+  std::filesystem::remove(path);
+  {
+    FileWal wal(path.string());
+    for (int i = 0; i < 1000; ++i) wal.append_block(*block, false);
+  }
+  for (auto _ : state) {
+    int count = 0;
+    FileWal::Visitor visitor;
+    visitor.on_block = [&](BlockPtr, bool) { ++count; };
+    benchmark::DoNotOptimize(FileWal::replay(path.string(), visitor, false));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetLabel("1000-block log");
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WalReplay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

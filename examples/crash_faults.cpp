@@ -1,0 +1,44 @@
+// Crash faults: the direct skip rule in action (claim C3).
+//
+// Runs 10 validators with 3 crashed (the maximum for n = 10) and compares
+// Mahi-Mahi-5 with Cordial Miners. Mahi-Mahi skips a crashed leader's slot
+// as soon as 2f+1 vote-round blocks demonstrably cannot vote for it; Cordial
+// Miners has no direct skip and must wait for a later wave's committed
+// leader, adding rounds of head-of-line latency (§5.3, Figure 4).
+//
+// Build & run:  ./build/examples/crash_faults
+#include <cstdio>
+
+#include "sim/harness.h"
+
+using namespace mahimahi;
+using namespace mahimahi::sim;
+
+int main() {
+  std::printf("10 validators, 3 crashed, 5k tx/s\n");
+  std::printf("%-16s %9s %9s %9s %14s %14s\n", "protocol", "tx/s", "avg lat", "p95",
+              "direct skips", "indirect skips");
+
+  for (const Protocol protocol : {Protocol::kMahiMahi5, Protocol::kMahiMahi4,
+                                  Protocol::kCordialMiners}) {
+    SimConfig config;
+    config.protocol = protocol;
+    config.n = 10;
+    config.crashed = 3;
+    config.wan = true;
+    config.load_tps = 5'000;
+    config.duration = seconds(20);
+    config.warmup = seconds(5);
+    const SimResult result = run_simulation(config);
+    std::printf("%-16s %9.0f %8.3fs %8.3fs %14llu %14llu\n", to_string(protocol).c_str(),
+                result.committed_tps, result.avg_latency_s, result.p95_latency_s,
+                static_cast<unsigned long long>(result.commit_stats.direct_skips),
+                static_cast<unsigned long long>(result.commit_stats.indirect_skips));
+  }
+
+  std::printf(
+      "\nMahi-Mahi resolves dead slots with DIRECT skips; Cordial Miners can "
+      "only skip\nINDIRECTLY via a later committed anchor — the mechanism "
+      "behind its higher latency\nunder faults (paper Fig. 4: 1.7s vs 0.95s).\n");
+  return 0;
+}

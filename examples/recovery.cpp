@@ -1,0 +1,71 @@
+// Crash recovery: a validator dies mid-run and rejoins from its WAL (§4).
+//
+// Ten geo-replicated validators process 10k tx/s. At t=8s validator 4
+// crashes, losing all in-memory state; at t=12s it restarts, replays its
+// write-ahead log to rebuild its DAG and proposer round, pulls what it
+// missed through the synchronizer, and resumes committing. The run shows:
+//
+//   * the cluster never stops committing (n=10 tolerates f=3);
+//   * the WAL replay count and the absence of equivocations — the log
+//     restored the proposer round, so the rejoining validator never
+//     double-proposes a round it had already used;
+//   * agreement holds across the outage (checked via recorded sequences).
+//
+// Build & run:  ./build/examples/recovery
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/harness.h"
+
+using namespace mahimahi;
+using namespace mahimahi::sim;
+
+int main() {
+  const auto wal_dir = std::filesystem::temp_directory_path() / "mahi_recovery_example";
+  std::filesystem::remove_all(wal_dir);
+  std::filesystem::create_directories(wal_dir);
+
+  SimConfig config;
+  config.protocol = Protocol::kMahiMahi5;
+  config.n = 10;
+  config.wan = true;
+  config.load_tps = 10'000;
+  config.duration = seconds(25);
+  config.warmup = seconds(3);
+  config.record_sequences = true;
+  config.wal_dir = wal_dir.string();
+  config.restarts.push_back({.id = 4, .crash_at = seconds(8), .restart_at = seconds(12)});
+
+  std::printf("10 validators (WAN), 10k tx/s; validator 4 crashes at 8s, "
+              "restarts from its WAL at 12s\n\n");
+  const SimResult result = run_simulation(config);
+
+  std::printf("committed            %10.0f tx/s\n", result.committed_tps);
+  std::printf("avg / p95 latency    %10.3f / %.3f s\n", result.avg_latency_s,
+              result.p95_latency_s);
+  std::printf("WAL blocks replayed  %10llu\n",
+              static_cast<unsigned long long>(result.wal_replayed_blocks));
+  std::printf("equivocation cells   %10llu  (0 = recovery restored the proposer round)\n",
+              static_cast<unsigned long long>(result.equivocation_cells));
+
+  // Agreement across the restart: every pair of delivered sequences is
+  // prefix-consistent, including validator 4's rebuilt one.
+  bool consistent = true;
+  for (std::size_t i = 0; i < result.sequences.size() && consistent; ++i) {
+    for (std::size_t j = i + 1; j < result.sequences.size() && consistent; ++j) {
+      const auto& a = result.sequences[i];
+      const auto& b = result.sequences[j];
+      for (std::size_t k = 0; k < std::min(a.size(), b.size()); ++k) {
+        if (a[k] != b[k]) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("agreement            %10s\n", consistent ? "ok" : "VIOLATED");
+  std::printf("\nWAL files: %s (one per validator; the restarted validator replayed\n"
+              "its own log and re-fetched the outage gap through the synchronizer)\n",
+              wal_dir.string().c_str());
+  return consistent ? 0 : 1;
+}

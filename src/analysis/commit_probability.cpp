@@ -1,0 +1,67 @@
+#include "analysis/commit_probability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mahimahi::analysis {
+
+double binomial_coefficient(double n, double k) {
+  if (k < 0 || k > n) return 0;
+  // Multiplicative form keeps intermediate values near the final magnitude.
+  double result = 1;
+  for (int i = 0; i < static_cast<int>(k); ++i) {
+    result *= (n - i) / (k - i);
+  }
+  return result;
+}
+
+double hypergeometric_zero_probability(std::uint32_t population,
+                                       std::uint32_t successes,
+                                       std::uint32_t draws) {
+  if (draws > population) return 0;
+  if (successes >= population) return draws == 0 ? 1 : 0;
+  const double misses = population - successes;
+  if (draws > misses) return 0;  // forced to draw a success
+  return binomial_coefficient(misses, draws) /
+         binomial_coefficient(population, draws);
+}
+
+double direct_commit_probability_w5(std::uint32_t f, std::uint32_t leaders) {
+  const std::uint32_t n = 3 * f + 1;
+  if (leaders > f) return 1.0;
+  // 2f+1 of the n blocks are committable (Lemma 12); failure = all l slot
+  // draws land in the f-element remainder.
+  return 1.0 - hypergeometric_zero_probability(n, 2 * f + 1, leaders);
+}
+
+double direct_commit_probability_w4(std::uint32_t f, std::uint32_t leaders) {
+  const std::uint32_t n = 3 * f + 1;
+  if (leaders >= n) return 1.0;
+  return static_cast<double>(leaders) / static_cast<double>(n);
+}
+
+double direct_commit_probability(std::uint32_t wave_length, std::uint32_t f,
+                                 std::uint32_t leaders) {
+  if (wave_length >= 5) return direct_commit_probability_w5(f, leaders);
+  if (wave_length == 4) return direct_commit_probability_w4(f, leaders);
+  return 0.0;  // w == 3: no common-core guarantee (Appendix C note)
+}
+
+double random_model_unreachable_bound(std::uint32_t f) {
+  const double n = 3.0 * f + 1;
+  const double p = (2.0 * f + 1) / n;
+  const double bound = n * n * std::pow(1.0 - p, 2.0 * f + 1);
+  return std::min(bound, 1.0);
+}
+
+double undecided_tail_probability(double p_star, std::uint32_t waves) {
+  return std::pow(1.0 - std::clamp(p_star, 0.0, 1.0), waves);
+}
+
+double expected_waves_to_direct_commit(double p_star) {
+  if (p_star <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / std::min(p_star, 1.0);
+}
+
+}  // namespace mahimahi::analysis

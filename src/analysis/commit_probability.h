@@ -1,0 +1,70 @@
+// Closed-form latency/commit-probability analysis (Appendix C).
+//
+// The paper's liveness argument is quantitative: each wave directly commits
+// at least one leader slot with probability p*, where p* depends on the
+// wave length, the fault budget f, and the number of leader slots l
+// (Lemmas 13 and 16). This module implements those closed forms — plus the
+// random-network reachability bound of Lemma 17 and the geometric
+// undecided-tail bound behind Lemma 14 — so tests and benches can check the
+// Monte-Carlo simulators against the paper's analytical claims.
+//
+// All probabilities are exact up to double rounding; committee sizes are
+// far below where C(3f+1, l) overflows a double's mantissa for the l <= 3f+1
+// range used here.
+#pragma once
+
+#include <cstdint>
+
+namespace mahimahi::analysis {
+
+// C(n, k) as a double; 0 when k < 0 or k > n.
+double binomial_coefficient(double n, double k);
+
+// Probability that a hypergeometric draw — `draws` from a population of
+// `population` items of which `successes` are marked — contains zero marked
+// items: C(population - successes, draws) / C(population, draws).
+double hypergeometric_zero_probability(std::uint32_t population,
+                                       std::uint32_t successes,
+                                       std::uint32_t draws);
+
+// Lemma 13 (wave length >= 5, asynchronous model): at least 2f+1 of the
+// 3f+1 round-r blocks can be directly committed, and the coin draws
+// `leaders` slots uniformly. p* = 1 - C(f, l)/C(3f+1, l); certainty when
+// l > f.
+double direct_commit_probability_w5(std::uint32_t f, std::uint32_t leaders);
+
+// Lemma 16 (wave length 4, asynchronous model): only one block is
+// guaranteed committable, so p* = l / (3f+1); certainty when l = 3f+1.
+double direct_commit_probability_w4(std::uint32_t f, std::uint32_t leaders);
+
+// Dispatch on wave length: w >= 5 uses Lemma 13, w == 4 uses Lemma 16.
+// w == 3 returns 0 (safe but not live under asynchrony, Appendix C note).
+double direct_commit_probability(std::uint32_t wave_length, std::uint32_t f,
+                                 std::uint32_t leaders);
+
+// Lemma 17 (wave length 4, random network model): Markov bound on the
+// probability that some round-r block is unreachable from some round-(r+2)
+// block, E = (3f+1)^2 * (1 - p)^(2f+1) with p = (2f+1)/(3f+1). Approaches 0
+// exponentially in f; values above 1 are vacuous (clamped).
+double random_model_unreachable_bound(std::uint32_t f);
+
+// Lemma 14 / 19 tail: probability that a slot is still undecided after
+// `waves` further waves, at most (1 - p*)^waves for per-wave direct-commit
+// probability p_star.
+double undecided_tail_probability(double p_star, std::uint32_t waves);
+
+// Expected number of waves until some slot directly commits (geometric with
+// success probability p_star); infinity when p_star == 0.
+double expected_waves_to_direct_commit(double p_star);
+
+// Message delays on the commit critical path (§1, §6): the paper's
+// comparative latency table. Mahi-Mahi commits in `wave_length` delays;
+// the baselines pay broadcast rounds.
+constexpr std::uint32_t kTuskMessageDelays = 9;        // 3 certified rounds x 3
+constexpr std::uint32_t kDagRiderMessageDelays = 12;   // 4 certified rounds x 3
+constexpr std::uint32_t kCordialMinersMessageDelays = 5;
+constexpr std::uint32_t mahi_mahi_message_delays(std::uint32_t wave_length) {
+  return wave_length;
+}
+
+}  // namespace mahimahi::analysis

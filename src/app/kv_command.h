@@ -1,0 +1,79 @@
+// Commands of the replicated key-value state machine (app/kv_store.h).
+//
+// Mahi-Mahi solves Byzantine Atomic Broadcast, whose purpose is State
+// Machine Replication (§2.1): every validator applies the same commands in
+// the same (total) order and therefore reaches the same state. This header
+// defines the command wire format carried inside TxBatch payloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "serde/serde.h"
+
+namespace mahimahi::app {
+
+struct KvCommand {
+  enum class Op : std::uint8_t { kPut = 0, kDelete = 1, kNoop = 2 };
+
+  Op op = Op::kNoop;
+  std::string key;
+  std::string value;  // empty for kDelete / kNoop
+
+  bool operator==(const KvCommand&) const = default;
+
+  static KvCommand put(std::string key, std::string value) {
+    return {Op::kPut, std::move(key), std::move(value)};
+  }
+  static KvCommand del(std::string key) { return {Op::kDelete, std::move(key), {}}; }
+
+  void serialize(serde::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(op));
+    w.bytes(as_bytes_view(key));
+    w.bytes(as_bytes_view(value));
+  }
+
+  static KvCommand deserialize(serde::Reader& r) {
+    KvCommand cmd;
+    const std::uint8_t op = r.u8();
+    if (op > static_cast<std::uint8_t>(Op::kNoop)) {
+      throw serde::SerdeError("KvCommand: unknown op");
+    }
+    cmd.op = static_cast<Op>(op);
+    const Bytes key = r.bytes();
+    const Bytes value = r.bytes();
+    cmd.key.assign(key.begin(), key.end());
+    cmd.value.assign(value.begin(), value.end());
+    return cmd;
+  }
+};
+
+// A batch payload is a command list, domain-tagged so the state machine can
+// tell application batches apart from opaque benchmark filler.
+inline constexpr std::uint32_t kKvPayloadMagic = 0x4b564d31;  // "KVM1"
+
+inline Bytes encode_kv_payload(const std::vector<KvCommand>& commands) {
+  serde::Writer w;
+  w.u32(kKvPayloadMagic);
+  w.varint(commands.size());
+  for (const auto& cmd : commands) cmd.serialize(w);
+  return std::move(w).take();
+}
+
+// Returns an empty vector for payloads that are not KV command lists
+// (benchmark filler); throws SerdeError on corrupt KV payloads.
+inline std::vector<KvCommand> decode_kv_payload(BytesView payload) {
+  if (payload.size() < 4) return {};
+  serde::Reader r(payload);
+  if (r.u32() != kKvPayloadMagic) return {};
+  const std::uint64_t count = r.varint();
+  std::vector<KvCommand> commands;
+  commands.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) commands.push_back(KvCommand::deserialize(r));
+  r.expect_done();
+  return commands;
+}
+
+}  // namespace mahimahi::app

@@ -1,0 +1,42 @@
+#include "app/kv_store.h"
+
+#include "crypto/blake2b.h"
+#include "serde/serde.h"
+
+namespace mahimahi::app {
+
+bool KvStore::apply(const KvCommand& command) {
+  switch (command.op) {
+    case KvCommand::Op::kPut:
+      entries_[command.key] = command.value;
+      ++version_;
+      return true;
+    case KvCommand::Op::kDelete:
+      if (entries_.erase(command.key) == 0) return false;
+      ++version_;
+      return true;
+    case KvCommand::Op::kNoop:
+      return false;
+  }
+  return false;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+Digest KvStore::state_digest() const {
+  // std::map iterates in key order, so the encoding is deterministic.
+  serde::Writer w;
+  w.u64(version_);
+  w.varint(entries_.size());
+  for (const auto& [key, value] : entries_) {
+    w.bytes(as_bytes_view(key));
+    w.bytes(as_bytes_view(value));
+  }
+  return crypto::Blake2b::hash256({w.data().data(), w.data().size()});
+}
+
+}  // namespace mahimahi::app

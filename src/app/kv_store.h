@@ -1,0 +1,42 @@
+// Deterministic key-value state machine.
+//
+// Pure and replayable: the state after applying a command sequence is a
+// function of that sequence alone. `state_digest()` folds the full contents
+// into one hash, which is how the tests and examples check that validators
+// executing the same committed sequence reach identical states (the whole
+// point of Byzantine Atomic Broadcast, §2.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "app/kv_command.h"
+#include "crypto/digest.h"
+
+namespace mahimahi::app {
+
+class KvStore {
+ public:
+  // Applies one command; returns true if the state changed (a Put of the
+  // same value still counts as a change to `version`).
+  bool apply(const KvCommand& command);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::size_t size() const { return entries_.size(); }
+  // Number of state-changing commands applied (Noop and no-op Deletes are
+  // not counted).
+  std::uint64_t version() const { return version_; }
+
+  // Deterministic digest of (sorted) contents and version.
+  Digest state_digest() const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace mahimahi::app

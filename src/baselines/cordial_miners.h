@@ -1,0 +1,36 @@
+// Cordial Miners (Keidar et al., DISC '23) — the uncertified-DAG baseline.
+//
+// Cordial Miners shares Mahi-Mahi's substrate (uncertified DAG, best-effort
+// block dissemination, retrospective coin election) but commits at most one
+// leader block every wave_length rounds and has no direct skip rule: a
+// missing leader is only resolved once a later wave's leader commits, via the
+// recursive rule — roughly two rounds later than Mahi-Mahi's direct skip
+// (§5.3). It is exactly the Mahi-Mahi committer restricted to:
+//
+//   * non-overlapping waves (wave_stride = wave_length),
+//   * a single leader slot per wave,
+//   * direct skip disabled.
+//
+// The paper's own Cordial Miners implementation is built the same way, on
+// the same system components (§4).
+#pragma once
+
+#include <memory>
+
+#include "core/committer.h"
+#include "core/options.h"
+
+namespace mahimahi {
+
+// ValidatorConfig-ready options (see cordial_miners_shape in core/options.h).
+inline CommitterOptions cordial_miners_options(std::uint32_t wave_length = 5) {
+  return cordial_miners_shape(wave_length);
+}
+
+inline auto cordial_miners_committer_factory(std::uint32_t wave_length = 5) {
+  return [wave_length](const Dag& dag, const Committee& committee) {
+    return std::make_unique<Committer>(dag, committee, cordial_miners_shape(wave_length));
+  };
+}
+
+}  // namespace mahimahi

@@ -1,0 +1,57 @@
+// Benchmark metrics: weighted latency distribution and throughput window.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace mahimahi {
+
+// Collects (latency, weight) samples; weight = transactions represented by
+// the sample (a committed TxBatch contributes its count).
+class LatencyRecorder {
+ public:
+  void record(TimeMicros latency, std::uint64_t weight) {
+    if (weight == 0) return;
+    samples_.push_back({latency, weight});
+    total_weight_ += weight;
+    weighted_sum_ += static_cast<double>(latency) * static_cast<double>(weight);
+  }
+
+  std::uint64_t count() const { return total_weight_; }
+  bool empty() const { return samples_.empty(); }
+
+  double mean_seconds() const {
+    return total_weight_ == 0 ? 0.0 : weighted_sum_ / total_weight_ / kMicrosPerSecond;
+  }
+
+  // Weighted percentile, p in [0, 100].
+  double percentile_seconds(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<Sample> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Sample& a, const Sample& b) { return a.latency < b.latency; });
+    const double target = total_weight_ * p / 100.0;
+    std::uint64_t cumulative = 0;
+    for (const auto& sample : sorted) {
+      cumulative += sample.weight;
+      if (static_cast<double>(cumulative) >= target) {
+        return to_seconds(sample.latency);
+      }
+    }
+    return to_seconds(sorted.back().latency);
+  }
+
+ private:
+  struct Sample {
+    TimeMicros latency;
+    std::uint64_t weight;
+  };
+  std::vector<Sample> samples_;
+  std::uint64_t total_weight_ = 0;
+  double weighted_sum_ = 0.0;
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,35 @@
+// Basic byte-buffer aliases and small helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mahimahi {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+// View over the raw bytes of a string literal / std::string, for hashing and
+// test fixtures.
+inline BytesView as_bytes_view(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// Constant-time equality for fixed-size secrets (signatures, MACs). Not
+// data-independent at the length level: lengths are public here.
+inline bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace mahimahi

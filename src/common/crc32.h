@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial) used to frame write-ahead-log records.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace mahimahi {
+
+std::uint32_t crc32(BytesView data);
+
+// Incremental form: feed chunks, starting from crc32_init().
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, BytesView data);
+std::uint32_t crc32_finish(std::uint32_t state);
+
+}  // namespace mahimahi

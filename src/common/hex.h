@@ -1,0 +1,16 @@
+// Hex encoding/decoding for digests, keys and debug output.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace mahimahi {
+
+std::string to_hex(BytesView data);
+
+// Returns std::nullopt on odd length or non-hex characters.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace mahimahi

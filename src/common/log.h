@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// The library is quiet by default (kWarn); tests and examples raise the level
+// explicitly. Logging goes to stderr so example/bench stdout stays parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mahimahi {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}  // namespace detail
+
+// Usage: MM_LOG(kInfo) << "committed " << n << " blocks";
+#define MM_LOG(level_suffix)                                             \
+  for (bool mm_log_once = ::mahimahi::log_level() <= ::mahimahi::LogLevel::level_suffix; \
+       mm_log_once; mm_log_once = false)                                 \
+  ::mahimahi::detail::LogStream(::mahimahi::LogLevel::level_suffix)
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mahimahi

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for simulation and tests.
+//
+// Every stochastic component in the simulator (latency jitter, Poisson
+// arrivals, adversarial schedulers) draws from an explicitly seeded Rng so
+// that runs are exactly reproducible. Not cryptographic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mahimahi {
+
+// SplitMix64: used to expand a single seed into stream seeds.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// xoshiro256++ generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform_double();
+
+  // Exponentially distributed with the given mean (> 0). Used for Poisson
+  // inter-arrival times in the open-loop load generator.
+  double exponential(double mean);
+
+  // Normal(0,1) via Box-Muller; used for latency jitter.
+  double gaussian();
+
+  // Poisson-distributed count with the given mean; Knuth's product method
+  // for small means, normal approximation for large ones. Used by the
+  // open-loop load generator.
+  std::uint64_t poisson(double mean);
+
+  // Derive an independent child generator; convenient for giving each
+  // simulated component its own stream.
+  Rng fork();
+
+  // UniformRandomBitGenerator interface so the Rng works with <algorithm>
+  // shuffles.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,63 @@
+// Slot decisions and commit outputs (§3.1, §3.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/block.h"
+#include "types/ids.h"
+
+namespace mahimahi {
+
+// State of a leader slot: undecided until classified commit or skip (§3.1).
+struct SlotDecision {
+  enum class Kind { kUndecided, kCommit, kSkip };
+  // How the decision was reached; kept for stats and the ablation benches.
+  enum class Via { kNone, kDirect, kIndirect };
+
+  SlotId slot;
+  ValidatorId leader = 0;   // meaningful once the coin opened
+  Kind kind = Kind::kUndecided;
+  Via via = Via::kNone;
+  BlockPtr block;           // the committed block, when kind == kCommit
+  // Final decisions never change as the DAG grows; non-final ones are
+  // re-evaluated on the next pass.
+  bool final_decision = false;
+
+  static SlotDecision undecided(SlotId slot) {
+    SlotDecision d;
+    d.slot = slot;
+    return d;
+  }
+
+  std::string to_string() const;
+};
+
+// A committed leader slot together with the newly delivered portion of its
+// causal history, in deterministic causal order (leader block last).
+struct CommittedSubDag {
+  SlotId slot;
+  BlockPtr leader;
+  std::vector<BlockPtr> blocks;  // includes `leader` as the last element
+
+  std::uint64_t transaction_count() const {
+    std::uint64_t total = 0;
+    for (const auto& b : blocks) total += b->transaction_count();
+    return total;
+  }
+};
+
+struct CommitStats {
+  std::uint64_t direct_commits = 0;
+  std::uint64_t indirect_commits = 0;
+  std::uint64_t direct_skips = 0;
+  std::uint64_t indirect_skips = 0;
+  std::uint64_t delivered_blocks = 0;
+  std::uint64_t delivered_transactions = 0;
+
+  std::uint64_t committed_slots() const { return direct_commits + indirect_commits; }
+  std::uint64_t skipped_slots() const { return direct_skips + indirect_skips; }
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,46 @@
+#include "core/linearize.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mahimahi {
+
+CommittedSubDag linearize_sub_dag(const Dag& dag, SlotId slot, BlockPtr leader,
+                                  DeliveredMap& delivered, CommitStats& stats,
+                                  Round min_round) {
+  CommittedSubDag sub_dag;
+  sub_dag.slot = slot;
+  sub_dag.leader = leader;
+
+  std::vector<BlockPtr> frontier{leader};
+  std::unordered_set<Digest, DigestHasher> seen{leader->digest()};
+  while (!frontier.empty()) {
+    const BlockPtr current = frontier.back();
+    frontier.pop_back();
+    sub_dag.blocks.push_back(current);
+    for (const auto& parent : current->parents()) {
+      // The GC cut: references below min_round are deterministically
+      // excluded, whether or not the local DAG still holds them.
+      if (parent.round < min_round) continue;
+      if (seen.contains(parent.digest) || delivered.contains(parent.digest)) continue;
+      seen.insert(parent.digest);
+      if (const BlockPtr block = dag.get(parent.digest)) frontier.push_back(block);
+    }
+  }
+
+  std::sort(sub_dag.blocks.begin(), sub_dag.blocks.end(),
+            [](const BlockPtr& a, const BlockPtr& b) {
+              if (a->round() != b->round()) return a->round() < b->round();
+              if (a->author() != b->author()) return a->author() < b->author();
+              return a->digest() < b->digest();
+            });
+
+  for (const BlockPtr& block : sub_dag.blocks) {
+    delivered.emplace(block->digest(), block->round());
+    ++stats.delivered_blocks;
+    stats.delivered_transactions += block->transaction_count();
+  }
+  return sub_dag;
+}
+
+}  // namespace mahimahi

@@ -1,0 +1,27 @@
+// Shared sub-DAG linearization (Algorithm 3, LinearizeSubDags).
+#pragma once
+
+#include <unordered_map>
+
+#include "core/decision.h"
+#include "dag/dag.h"
+
+namespace mahimahi {
+
+// Digests already delivered, with the block round retained so garbage
+// collection can drop entries that fall below the GC cut.
+using DeliveredMap = std::unordered_map<Digest, Round, DigestHasher>;
+
+// Collects the not-yet-delivered causal history of `leader` (inclusive),
+// orders it deterministically and causally — by (round, author, digest);
+// parents always precede children because parent rounds are strictly lower —
+// marks it delivered, and updates the stats counters.
+//
+// `min_round` is the deterministic GC cut (CommitterOptions::gc_depth):
+// blocks with round < min_round are excluded from delivery and not
+// traversed. 0 delivers the full history.
+CommittedSubDag linearize_sub_dag(const Dag& dag, SlotId slot, BlockPtr leader,
+                                  DeliveredMap& delivered, CommitStats& stats,
+                                  Round min_round = 0);
+
+}  // namespace mahimahi

@@ -1,0 +1,60 @@
+#include "core/vote_index.h"
+
+#include <unordered_set>
+
+namespace mahimahi {
+
+std::optional<Digest> VoteIndex::resolve(const Block& from, ValidatorId author,
+                                         Round round) {
+  // Algorithm 3, VotedBlock: the target round must be strictly below the
+  // traversal root; otherwise nothing can be found.
+  if (round >= from.round()) return std::nullopt;
+
+  const Key key{from.digest(), round, author};
+  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+  std::optional<Digest> result;
+  for (const auto& parent : from.parents()) {
+    if (parent.round < round) continue;  // cannot contain the target
+    if (parent.round == round && parent.author == author) {
+      result = parent.digest;
+      break;
+    }
+    const BlockPtr parent_block = dag_.get(parent.digest);
+    if (parent_block == nullptr) continue;  // pruned history; treated as absent
+    const auto sub = resolve(*parent_block, author, round);
+    if (sub.has_value()) {
+      result = sub;
+      break;
+    }
+  }
+
+  memo_.emplace(key, result);
+  return result;
+}
+
+BlockPtr VoteIndex::voted_block(const Block& from, ValidatorId author, Round round) {
+  const auto digest = resolve(from, author, round);
+  return digest.has_value() ? dag_.get(*digest) : nullptr;
+}
+
+bool VoteIndex::is_cert(const Block& cert, const Block& leader, Round vote_round,
+                        std::uint32_t quorum) {
+  std::unordered_set<ValidatorId> voting_authors;
+  for (const auto& parent : cert.parents()) {
+    if (parent.round != vote_round) continue;
+    if (voting_authors.contains(parent.author)) continue;
+    const BlockPtr vote = dag_.get(parent.digest);
+    if (vote == nullptr) continue;
+    if (is_vote(*vote, leader)) voting_authors.insert(parent.author);
+  }
+  return voting_authors.size() >= quorum;
+}
+
+void VoteIndex::prune_below(Round round) {
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    it = it->first.round < round ? memo_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace mahimahi

@@ -1,0 +1,65 @@
+// Vote interpretation over the uncertified DAG (Algorithm 3).
+//
+// A block `v` votes for leader block `b` at (author, round) if `b` is the
+// FIRST block authored by (author, round) encountered in the ordered
+// depth-first traversal of v's causal references (Observation 1: this makes
+// "vote" single-valued per voter even under equivocation). The traversal is
+// a pure function of block content, so results are memoized per
+// (block, author, round).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "dag/dag.h"
+
+namespace mahimahi {
+
+class VoteIndex {
+ public:
+  explicit VoteIndex(const Dag& dag) : dag_(dag) {}
+
+  // The first (author, round) block encountered in the ordered DFS from
+  // `from` (exclusive of `from` itself). nullptr if none is reachable.
+  // Precondition: round < from.round() for a meaningful result.
+  BlockPtr voted_block(const Block& from, ValidatorId author, Round round);
+
+  // Algorithm 3 IsVote: does `vote` vote for `leader`?
+  bool is_vote(const Block& vote, const Block& leader) {
+    const BlockPtr target = voted_block(vote, leader.author(), leader.round());
+    return target != nullptr && target->digest() == leader.digest();
+  }
+
+  // Algorithm 3 IsCert: `cert` carries >= 2f+1 distinct-author vote-round
+  // parents that vote for `leader`. Quorums count distinct authors (not raw
+  // blocks), which is what the Appendix C quorum-intersection arguments rely
+  // on under equivocation.
+  bool is_cert(const Block& cert, const Block& leader, Round vote_round,
+               std::uint32_t quorum);
+
+  // Drops memoized entries for traversal roots below `round` (DAG pruning).
+  void prune_below(Round round);
+
+ private:
+  struct Key {
+    Digest from;
+    Round round;
+    ValidatorId author;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = DigestHasher{}(k.from);
+      h ^= (k.round * 0x9e3779b97f4a7c15ULL) + (h << 6) + (h >> 2);
+      h ^= (static_cast<std::size_t>(k.author) * 0xc2b2ae3d27d4eb4fULL) + (h << 6);
+      return h;
+    }
+  };
+
+  std::optional<Digest> resolve(const Block& from, ValidatorId author, Round round);
+
+  const Dag& dag_;
+  std::unordered_map<Key, std::optional<Digest>, KeyHasher> memo_;
+};
+
+}  // namespace mahimahi

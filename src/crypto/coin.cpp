@@ -1,0 +1,70 @@
+#include "crypto/coin.h"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "crypto/blake2b.h"
+
+namespace mahimahi::crypto {
+
+namespace {
+
+Bytes round_message(std::uint64_t round) {
+  Bytes msg(8);
+  std::memcpy(msg.data(), &round, 8);  // little-endian host
+  return msg;
+}
+
+}  // namespace
+
+ThresholdCoin::ThresholdCoin(std::uint32_t n, std::uint32_t f, const Digest& epoch_seed)
+    : n_(n), f_(f), epoch_seed_(epoch_seed) {}
+
+Digest ThresholdCoin::share_key(std::uint32_t author) const {
+  Bytes input(epoch_seed_.bytes.begin(), epoch_seed_.bytes.end());
+  input.push_back('s');
+  input.push_back('k');
+  input.insert(input.end(), reinterpret_cast<const std::uint8_t*>(&author),
+               reinterpret_cast<const std::uint8_t*>(&author) + 4);
+  return Blake2b::hash256({input.data(), input.size()});
+}
+
+CoinShare ThresholdCoin::share(std::uint32_t author, std::uint64_t round) const {
+  const Digest key = share_key(author);
+  const Bytes msg = round_message(round);
+  return Blake2b::mac256(key.view(), {msg.data(), msg.size()});
+}
+
+bool ThresholdCoin::verify_share(std::uint32_t author, std::uint64_t round,
+                                 const CoinShare& share_in) const {
+  if (author >= n_) return false;
+  const CoinShare expected = share(author, round);
+  return ct_equal(expected.view(), share_in.view());
+}
+
+std::optional<std::uint64_t> ThresholdCoin::combine(
+    std::uint64_t round,
+    std::span<const std::pair<std::uint32_t, CoinShare>> shares) const {
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& [author, share_value] : shares) {
+    if (seen.contains(author)) continue;
+    if (!verify_share(author, round, share_value)) continue;
+    seen.insert(author);
+  }
+  if (seen.size() < threshold()) return std::nullopt;
+  return value(round);
+}
+
+std::uint64_t ThresholdCoin::value(std::uint64_t round) const {
+  Bytes input(epoch_seed_.bytes.begin(), epoch_seed_.bytes.end());
+  input.push_back('c');
+  input.push_back('v');
+  input.insert(input.end(), reinterpret_cast<const std::uint8_t*>(&round),
+               reinterpret_cast<const std::uint8_t*>(&round) + 8);
+  const Digest d = Blake2b::hash256({input.data(), input.size()});
+  std::uint64_t v;
+  std::memcpy(&v, d.bytes.data(), 8);
+  return v;
+}
+
+}  // namespace mahimahi::crypto

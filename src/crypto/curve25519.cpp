@@ -1,0 +1,471 @@
+#include "crypto/curve25519.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mahimahi::crypto::curve {
+
+namespace {
+
+constexpr FieldElement kP = {{0xffffffffffffffedULL, 0xffffffffffffffffULL,
+                              0xffffffffffffffffULL, 0x7fffffffffffffffULL}};
+constexpr FieldElement kZero = {};
+constexpr FieldElement kOne = {{1, 0, 0, 0}};
+
+bool fe_gte(const FieldElement& a, const FieldElement& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.v[i] != b.v[i]) return a.v[i] > b.v[i];
+  }
+  return true;
+}
+
+// a - b, assuming a >= b; returns borrow-free difference.
+FieldElement raw_sub(const FieldElement& a, const FieldElement& b) {
+  FieldElement out;
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(a.v[i]) - b.v[i] - borrow;
+    out.v[i] = static_cast<std::uint64_t>(cur);
+    borrow = (cur >> 64) & 1;  // 1 if the subtraction wrapped
+  }
+  return out;
+}
+
+// a + b as a 257-bit value: returns low 256 bits, carry out-param.
+FieldElement raw_add(const FieldElement& a, const FieldElement& b,
+                     std::uint64_t& carry_out) {
+  FieldElement out;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(a.v[i]) + b.v[i] + carry;
+    out.v[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  carry_out = static_cast<std::uint64_t>(carry);
+  return out;
+}
+
+FieldElement fe_canonicalize(FieldElement a, std::uint64_t carry) {
+  // Value is a + carry * 2^256 with carry <= 1; 2^256 ≡ 38 (mod p).
+  while (carry != 0) {
+    const FieldElement c38 = {{carry * 38, 0, 0, 0}};
+    a = raw_add(a, c38, carry);
+  }
+  while (fe_gte(a, kP)) a = raw_sub(a, kP);
+  return a;
+}
+
+// Curve constants, computed once from their definitions.
+struct CurveConstants {
+  FieldElement d;        // -121665/121666
+  FieldElement two_d;    // 2d
+  FieldElement sqrt_m1;  // sqrt(-1) = 2^((p-1)/4)
+};
+
+const CurveConstants& constants() {
+  static const CurveConstants c = [] {
+    CurveConstants out;
+    const FieldElement n121665 = {{121665, 0, 0, 0}};
+    const FieldElement n121666 = {{121666, 0, 0, 0}};
+    out.d = fe_mul(fe_neg(n121665), fe_invert(n121666));
+    out.two_d = fe_add(out.d, out.d);
+    // (p - 1) / 4 = 2^253 - 5.
+    static constexpr std::uint64_t kExp[4] = {0xfffffffffffffffbULL, 0xffffffffffffffffULL,
+                                              0xffffffffffffffffULL, 0x1fffffffffffffffULL};
+    const FieldElement two = {{2, 0, 0, 0}};
+    out.sqrt_m1 = fe_pow(two, kExp);
+    return out;
+  }();
+  return c;
+}
+
+// L, little-endian limbs.
+constexpr std::uint64_t kL[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0ULL,
+                                 0x1000000000000000ULL};
+
+bool sc_gte_l(const Scalar& a) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.v[i] != kL[i]) return a.v[i] > kL[i];
+  }
+  return true;
+}
+
+Scalar sc_sub_l(const Scalar& a) {
+  Scalar out;
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(a.v[i]) - kL[i] - borrow;
+    out.v[i] = static_cast<std::uint64_t>(cur);
+    borrow = (cur >> 64) & 1;
+  }
+  return out;
+}
+
+// Reduce a 512-bit little-endian value mod L by binary long division.
+Scalar sc_reduce512(const std::uint64_t x[8]) {
+  Scalar r;
+  for (int bit = 511; bit >= 0; --bit) {
+    // r = (r << 1) | x_bit   (r stays < 2L < 2^254, so no overflow)
+    std::uint64_t carry = (x[bit / 64] >> (bit % 64)) & 1;
+    for (int i = 0; i < 4; ++i) {
+      const std::uint64_t top = r.v[i] >> 63;
+      r.v[i] = (r.v[i] << 1) | carry;
+      carry = top;
+    }
+    if (sc_gte_l(r)) r = sc_sub_l(r);
+  }
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Field
+// ---------------------------------------------------------------------------
+
+FieldElement fe_zero() { return kZero; }
+FieldElement fe_one() { return kOne; }
+
+bool fe_eq(const FieldElement& a, const FieldElement& b) {
+  return std::memcmp(a.v, b.v, sizeof(a.v)) == 0;
+}
+
+bool fe_is_zero(const FieldElement& a) { return fe_eq(a, kZero); }
+
+bool fe_is_odd(const FieldElement& a) { return (a.v[0] & 1) != 0; }
+
+FieldElement fe_add(const FieldElement& a, const FieldElement& b) {
+  std::uint64_t carry;
+  FieldElement out = raw_add(a, b, carry);
+  return fe_canonicalize(out, carry);
+}
+
+FieldElement fe_sub(const FieldElement& a, const FieldElement& b) {
+  if (fe_gte(a, b)) return raw_sub(a, b);
+  // a - b + p. Inputs are canonical, so a + p < 2^256 (no carry) and the
+  // result lands in (0, p) directly.
+  std::uint64_t carry;
+  const FieldElement sum = raw_add(a, kP, carry);
+  return raw_sub(sum, b);
+}
+
+FieldElement fe_mul(const FieldElement& a, const FieldElement& b) {
+  // Schoolbook 4x4 -> 8 limbs.
+  std::uint64_t z[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(a.v[i]) * b.v[j] + z[i + j] + carry;
+      z[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    z[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+
+  // Fold hi * 2^256 ≡ hi * 38.
+  std::uint64_t r[5] = {z[0], z[1], z[2], z[3], 0};
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(z[4 + i]) * 38 + r[i] + carry;
+    r[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  r[4] = static_cast<std::uint64_t>(carry);
+
+  // Second fold: r[4] <= 38.
+  FieldElement out = {{r[0], r[1], r[2], r[3]}};
+  std::uint64_t c2;
+  const FieldElement fold = {{r[4] * 38, 0, 0, 0}};
+  out = raw_add(out, fold, c2);
+  return fe_canonicalize(out, c2);
+}
+
+FieldElement fe_sq(const FieldElement& a) { return fe_mul(a, a); }
+
+FieldElement fe_pow(const FieldElement& a, const std::uint64_t e[4]) {
+  FieldElement result = kOne;
+  bool started = false;
+  for (int limb = 3; limb >= 0; --limb) {
+    for (int bit = 63; bit >= 0; --bit) {
+      if (started) result = fe_sq(result);
+      if ((e[limb] >> bit) & 1) {
+        result = fe_mul(result, a);
+        started = true;
+      }
+    }
+  }
+  return result;
+}
+
+FieldElement fe_invert(const FieldElement& a) {
+  // p - 2 = 2^255 - 21.
+  static constexpr std::uint64_t kExp[4] = {0xffffffffffffffebULL, 0xffffffffffffffffULL,
+                                            0xffffffffffffffffULL, 0x7fffffffffffffffULL};
+  return fe_pow(a, kExp);
+}
+
+FieldElement fe_neg(const FieldElement& a) { return fe_sub(kZero, a); }
+
+FieldElement fe_from_bytes(const std::uint8_t bytes[32]) {
+  FieldElement out;
+  std::memcpy(out.v, bytes, 32);  // little-endian host
+  return out;
+}
+
+void fe_to_bytes(std::uint8_t out[32], const FieldElement& a) {
+  std::memcpy(out, a.v, 32);
+}
+
+// ---------------------------------------------------------------------------
+// Group
+// ---------------------------------------------------------------------------
+
+GroupElement ge_identity() { return GroupElement{kZero, kOne, kOne, kZero}; }
+
+bool ge_is_identity(const GroupElement& p) {
+  // x/z == 0 and y/z == 1  ⟺  x == 0 and y == z.
+  return fe_is_zero(p.x) && fe_eq(p.y, p.z);
+}
+
+bool ge_eq(const GroupElement& p, const GroupElement& q) {
+  return fe_eq(fe_mul(p.x, q.z), fe_mul(q.x, p.z)) &&
+         fe_eq(fe_mul(p.y, q.z), fe_mul(q.y, p.z));
+}
+
+// Complete addition (add-2008-hwcd-3 shape, a = -1).
+GroupElement ge_add(const GroupElement& p, const GroupElement& q) {
+  const FieldElement a = fe_mul(fe_sub(p.y, p.x), fe_sub(q.y, q.x));
+  const FieldElement b = fe_mul(fe_add(p.y, p.x), fe_add(q.y, q.x));
+  const FieldElement c = fe_mul(fe_mul(p.t, constants().two_d), q.t);
+  const FieldElement d = fe_mul(fe_add(p.z, p.z), q.z);
+  const FieldElement e = fe_sub(b, a);
+  const FieldElement f = fe_sub(d, c);
+  const FieldElement g = fe_add(d, c);
+  const FieldElement h = fe_add(b, a);
+  GroupElement out;
+  out.x = fe_mul(e, f);
+  out.y = fe_mul(g, h);
+  out.t = fe_mul(e, h);
+  out.z = fe_mul(f, g);
+  return out;
+}
+
+GroupElement ge_sub(const GroupElement& p, const GroupElement& q) {
+  return ge_add(p, ge_neg(q));
+}
+
+GroupElement ge_neg(const GroupElement& p) {
+  return GroupElement{fe_neg(p.x), p.y, p.z, fe_neg(p.t)};
+}
+
+GroupElement ge_scalar_mult(const std::uint8_t scalar_le[32], const GroupElement& p) {
+  GroupElement result = ge_identity();
+  bool started = false;
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (started) result = ge_add(result, result);
+      if ((scalar_le[byte] >> bit) & 1) {
+        result = ge_add(result, p);
+        started = true;
+      }
+    }
+  }
+  return result;
+}
+
+void ge_compress(std::uint8_t out[32], const GroupElement& p) {
+  const FieldElement z_inv = fe_invert(p.z);
+  const FieldElement x = fe_mul(p.x, z_inv);
+  const FieldElement y = fe_mul(p.y, z_inv);
+  fe_to_bytes(out, y);
+  if (fe_is_odd(x)) out[31] |= 0x80;
+}
+
+CompressedPoint ge_compressed(const GroupElement& p) {
+  CompressedPoint out;
+  ge_compress(out.data(), p);
+  return out;
+}
+
+std::optional<GroupElement> ge_decompress(const std::uint8_t in[32]) {
+  std::uint8_t y_bytes[32];
+  std::memcpy(y_bytes, in, 32);
+  const bool sign = (y_bytes[31] & 0x80) != 0;
+  y_bytes[31] &= 0x7f;
+
+  const FieldElement y = fe_from_bytes(y_bytes);
+  if (fe_gte(y, kP)) return std::nullopt;  // non-canonical y
+
+  // x^2 = (y^2 - 1) / (d y^2 + 1)
+  const FieldElement y2 = fe_sq(y);
+  const FieldElement u = fe_sub(y2, kOne);
+  const FieldElement v = fe_add(fe_mul(constants().d, y2), kOne);
+
+  // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8).
+  const FieldElement v3 = fe_mul(fe_sq(v), v);
+  const FieldElement v7 = fe_mul(fe_sq(v3), v);
+  static constexpr std::uint64_t kExp[4] = {0xfffffffffffffffdULL, 0xffffffffffffffffULL,
+                                            0xffffffffffffffffULL, 0x0fffffffffffffffULL};
+  FieldElement x = fe_mul(fe_mul(u, v3), fe_pow(fe_mul(u, v7), kExp));
+
+  const FieldElement vx2 = fe_mul(v, fe_sq(x));
+  if (fe_eq(vx2, u)) {
+    // x is a root.
+  } else if (fe_eq(vx2, fe_neg(u))) {
+    x = fe_mul(x, constants().sqrt_m1);
+  } else {
+    return std::nullopt;  // not a curve point
+  }
+
+  if (fe_is_zero(x) && sign) return std::nullopt;  // -0 is not a valid encoding
+  if (fe_is_odd(x) != sign) x = fe_neg(x);
+
+  GroupElement out;
+  out.x = x;
+  out.y = y;
+  out.z = kOne;
+  out.t = fe_mul(x, y);
+  return out;
+}
+
+const GroupElement& ge_base() {
+  static const GroupElement b = [] {
+    // y = 4/5, sign bit 0.
+    const FieldElement four = {{4, 0, 0, 0}};
+    const FieldElement five = {{5, 0, 0, 0}};
+    const FieldElement y = fe_mul(four, fe_invert(five));
+    std::uint8_t enc[32];
+    fe_to_bytes(enc, y);
+    const auto decoded = ge_decompress(enc);
+    if (!decoded) std::abort();  // unreachable: 4/5 is a valid y coordinate
+    return *decoded;
+  }();
+  return b;
+}
+
+GroupElement ge_mul_cofactor(const GroupElement& p) {
+  GroupElement r = ge_add(p, p);
+  r = ge_add(r, r);
+  return ge_add(r, r);
+}
+
+// ---------------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------------
+
+bool Scalar::operator==(const Scalar& other) const {
+  return std::memcmp(v, other.v, sizeof(v)) == 0;
+}
+
+Scalar sc_zero() { return Scalar{}; }
+Scalar sc_one() { return Scalar{{1, 0, 0, 0}}; }
+
+Scalar sc_from_u64(std::uint64_t x) { return Scalar{{x, 0, 0, 0}}; }
+
+bool sc_is_zero(const Scalar& a) { return a == Scalar{}; }
+
+Scalar sc_add(const Scalar& a, const Scalar& b) {
+  Scalar out;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(a.v[i]) + b.v[i] + carry;
+    out.v[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  // Inputs are < L < 2^253, so the sum is < 2^254: no carry out, and at most
+  // one subtraction of L is needed.
+  if (sc_gte_l(out)) out = sc_sub_l(out);
+  return out;
+}
+
+Scalar sc_sub(const Scalar& a, const Scalar& b) { return sc_add(a, sc_neg(b)); }
+
+Scalar sc_neg(const Scalar& a) {
+  if (sc_is_zero(a)) return a;
+  Scalar l = {{kL[0], kL[1], kL[2], kL[3]}};
+  unsigned __int128 borrow = 0;
+  Scalar out;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(l.v[i]) - a.v[i] - borrow;
+    out.v[i] = static_cast<std::uint64_t>(cur);
+    borrow = (cur >> 64) & 1;
+  }
+  return out;
+}
+
+Scalar sc_mul(const Scalar& a, const Scalar& b) { return sc_mul_add(a, b, Scalar{}); }
+
+Scalar sc_mul_add(const Scalar& a, const Scalar& b, const Scalar& c) {
+  // a*b + c as a 512-bit value, then reduce.
+  std::uint64_t z[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(a.v[i]) * b.v[j] + z[i + j] + carry;
+      z[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    z[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(z[i]) + c.v[i] + carry;
+    z[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  for (int i = 4; i < 8 && carry != 0; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(z[i]) + carry;
+    z[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  return sc_reduce512(z);
+}
+
+Scalar sc_invert(const Scalar& a) {
+  // Fermat: a^(L-2). L - 2 differs from L only in the low limb.
+  static constexpr std::uint64_t kExp[4] = {0x5812631a5cf5d3ebULL, 0x14def9dea2f79cd6ULL,
+                                            0ULL, 0x1000000000000000ULL};
+  Scalar result = sc_one();
+  bool started = false;
+  for (int limb = 3; limb >= 0; --limb) {
+    for (int bit = 63; bit >= 0; --bit) {
+      if (started) result = sc_mul(result, result);
+      if ((kExp[limb] >> bit) & 1) {
+        result = sc_mul(result, a);
+        started = true;
+      }
+    }
+  }
+  return result;
+}
+
+Scalar sc_from_bytes64(const std::uint8_t bytes[64]) {
+  std::uint64_t x[8];
+  std::memcpy(x, bytes, 64);
+  return sc_reduce512(x);
+}
+
+Scalar sc_from_bytes32(const std::uint8_t bytes[32]) {
+  std::uint64_t x[8] = {};
+  std::memcpy(x, bytes, 32);
+  return sc_reduce512(x);
+}
+
+std::optional<Scalar> sc_from_bytes32_strict(const std::uint8_t bytes[32]) {
+  Scalar s;
+  std::memcpy(s.v, bytes, 32);
+  if (sc_gte_l(s)) return std::nullopt;
+  return s;
+}
+
+void sc_to_bytes(std::uint8_t out[32], const Scalar& s) { std::memcpy(out, s.v, 32); }
+
+GroupElement ge_scalar_mult(const Scalar& s, const GroupElement& p) {
+  std::uint8_t bytes[32];
+  sc_to_bytes(bytes, s);
+  return ge_scalar_mult(bytes, p);
+}
+
+}  // namespace mahimahi::crypto::curve

@@ -1,0 +1,115 @@
+// Curve25519 arithmetic shared by Ed25519 signatures (crypto/ed25519.h) and
+// the threshold VRF coin (crypto/threshold_vrf.h).
+//
+// Three layers, each a value type with free functions:
+//   * FieldElement — GF(2^255 - 19), four 64-bit little-endian limbs, kept
+//     canonical (< p) between operations;
+//   * GroupElement — the twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2 in
+//     extended coordinates (X : Y : Z : T) with the complete addition law;
+//   * Scalar — integers mod the prime group order L = 2^252 + δ.
+//
+// The implementation favours auditability over speed and is NOT constant
+// time; it authenticates blocks and coin shares in a research/simulation
+// system, not secrets on a production boundary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace mahimahi::crypto::curve {
+
+// ---------------------------------------------------------------------------
+// Field GF(2^255 - 19)
+// ---------------------------------------------------------------------------
+
+struct FieldElement {
+  std::uint64_t v[4] = {0, 0, 0, 0};
+};
+
+FieldElement fe_zero();
+FieldElement fe_one();
+bool fe_eq(const FieldElement& a, const FieldElement& b);
+bool fe_is_zero(const FieldElement& a);
+bool fe_is_odd(const FieldElement& a);
+FieldElement fe_add(const FieldElement& a, const FieldElement& b);
+FieldElement fe_sub(const FieldElement& a, const FieldElement& b);
+FieldElement fe_mul(const FieldElement& a, const FieldElement& b);
+FieldElement fe_sq(const FieldElement& a);
+FieldElement fe_neg(const FieldElement& a);
+// a^e for a 256-bit little-endian limb exponent.
+FieldElement fe_pow(const FieldElement& a, const std::uint64_t e[4]);
+FieldElement fe_invert(const FieldElement& a);
+// Little-endian decode; the caller is responsible for canonicality checks
+// where they matter (ge_decompress performs them).
+FieldElement fe_from_bytes(const std::uint8_t bytes[32]);
+void fe_to_bytes(std::uint8_t out[32], const FieldElement& a);
+
+// ---------------------------------------------------------------------------
+// Group: extended twisted Edwards coordinates, x = X/Z, y = Y/Z, T = XY/Z.
+// ---------------------------------------------------------------------------
+
+struct GroupElement {
+  FieldElement x, y, z, t;
+};
+
+// Compressed encoding: 32 bytes, y with the sign of x in the top bit.
+using CompressedPoint = std::array<std::uint8_t, 32>;
+
+GroupElement ge_identity();
+bool ge_is_identity(const GroupElement& p);
+// Projective equality: x1 z2 == x2 z1 and y1 z2 == y2 z1.
+bool ge_eq(const GroupElement& p, const GroupElement& q);
+// Complete addition law (valid for all inputs including doubling).
+GroupElement ge_add(const GroupElement& p, const GroupElement& q);
+GroupElement ge_sub(const GroupElement& p, const GroupElement& q);
+GroupElement ge_neg(const GroupElement& p);
+// MSB-first double-and-add; scalar is 32 little-endian bytes. Not constant
+// time (see file comment).
+GroupElement ge_scalar_mult(const std::uint8_t scalar_le[32], const GroupElement& p);
+void ge_compress(std::uint8_t out[32], const GroupElement& p);
+CompressedPoint ge_compressed(const GroupElement& p);
+// Rejects non-canonical y and non-curve points; accepts any valid point,
+// including small-order ones (callers clear the cofactor where needed).
+std::optional<GroupElement> ge_decompress(const std::uint8_t in[32]);
+// The Ed25519 base point B (y = 4/5, even x), order L.
+const GroupElement& ge_base();
+// [8] p — clears the cofactor, landing in the order-L subgroup.
+GroupElement ge_mul_cofactor(const GroupElement& p);
+
+// ---------------------------------------------------------------------------
+// Scalars mod L = 2^252 + 27742317777372353535851937790883648493 (prime).
+// ---------------------------------------------------------------------------
+
+struct Scalar {
+  std::uint64_t v[4] = {0, 0, 0, 0};
+
+  bool operator==(const Scalar& other) const;
+};
+
+Scalar sc_zero();
+Scalar sc_one();
+Scalar sc_from_u64(std::uint64_t x);
+bool sc_is_zero(const Scalar& a);
+Scalar sc_add(const Scalar& a, const Scalar& b);
+Scalar sc_sub(const Scalar& a, const Scalar& b);
+Scalar sc_neg(const Scalar& a);
+Scalar sc_mul(const Scalar& a, const Scalar& b);
+// a * b + c mod L.
+Scalar sc_mul_add(const Scalar& a, const Scalar& b, const Scalar& c);
+// Multiplicative inverse via Fermat (L is prime). Precondition: a != 0
+// (returns 0 for 0, which no caller should rely on).
+Scalar sc_invert(const Scalar& a);
+// Reduce 64 little-endian bytes mod L (the RFC 8032 wide reduction).
+Scalar sc_from_bytes64(const std::uint8_t bytes[64]);
+// Reduce 32 little-endian bytes mod L.
+Scalar sc_from_bytes32(const std::uint8_t bytes[32]);
+// Strict decode: nullopt when the encoding is >= L (non-canonical).
+std::optional<Scalar> sc_from_bytes32_strict(const std::uint8_t bytes[32]);
+void sc_to_bytes(std::uint8_t out[32], const Scalar& s);
+// [s] p for a Scalar (convenience over the raw-bytes overload).
+GroupElement ge_scalar_mult(const Scalar& s, const GroupElement& p);
+
+}  // namespace mahimahi::crypto::curve

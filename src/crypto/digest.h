@@ -1,0 +1,42 @@
+// 32-byte digest type used throughout the library (block ids, WAL hashes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/hex.h"
+
+namespace mahimahi {
+
+struct Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  auto operator<=>(const Digest&) const = default;
+
+  BytesView view() const { return {bytes.data(), bytes.size()}; }
+  std::string hex() const { return to_hex(view()); }
+  // First 4 bytes as hex; handy for logs.
+  std::string short_hex() const { return to_hex({bytes.data(), 4}); }
+
+  static Digest from_bytes(BytesView data) {
+    Digest d;
+    std::memcpy(d.bytes.data(), data.data(),
+                data.size() < 32 ? data.size() : 32);
+    return d;
+  }
+};
+
+struct DigestHasher {
+  std::size_t operator()(const Digest& d) const {
+    // Digests are uniform; the first 8 bytes are a fine hash.
+    std::uint64_t h;
+    std::memcpy(&h, d.bytes.data(), sizeof(h));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,49 @@
+// Chaum-Pedersen proofs of discrete-log equality (DLEQ).
+//
+// A DLEQ proof convinces a verifier that two group elements P = [x]G and
+// S = [x]H share the same (secret) discrete log x, without revealing x. The
+// threshold VRF coin (crypto/threshold_vrf.h) attaches one to every coin
+// share: the share σ_i = [sk_i]H(round) is valid iff it has the same
+// discrete log as the public share-key PK_i = [sk_i]B, which is exactly what
+// the proof certifies. This is the standard share-verification mechanism of
+// threshold BLS/VRF schemes without pairings.
+//
+// Non-interactive via Fiat-Shamir over SHA-512; the nonce is derived
+// deterministically from the witness and statement (no RNG, no nonce-reuse
+// hazard), mirroring RFC 6979 / Ed25519 practice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/curve25519.h"
+
+namespace mahimahi::crypto {
+
+struct DleqProof {
+  // Fiat-Shamir challenge c and response z = k + c·x (mod L).
+  curve::Scalar c;
+  curve::Scalar z;
+
+  static constexpr std::size_t kWireBytes = 64;
+  std::array<std::uint8_t, kWireBytes> to_bytes() const;
+  // Rejects non-canonical scalar encodings.
+  static std::optional<DleqProof> from_bytes(
+      const std::array<std::uint8_t, kWireBytes>& bytes);
+
+  bool operator==(const DleqProof&) const = default;
+};
+
+// Proves log_G(p) = log_h(s) = x, where p = [x]G and s = [x]h. `context`
+// domain-separates proofs across uses (it is hashed into the challenge).
+DleqProof dleq_prove(const curve::Scalar& x, const curve::GroupElement& g,
+                     const curve::GroupElement& h, const curve::GroupElement& p,
+                     const curve::GroupElement& s, BytesView context);
+
+bool dleq_verify(const DleqProof& proof, const curve::GroupElement& g,
+                 const curve::GroupElement& h, const curve::GroupElement& p,
+                 const curve::GroupElement& s, BytesView context);
+
+}  // namespace mahimahi::crypto

@@ -1,0 +1,113 @@
+#include "crypto/ed25519.h"
+
+#include <cstring>
+
+#include "crypto/curve25519.h"
+#include "crypto/sha512.h"
+
+namespace mahimahi::crypto {
+
+namespace {
+
+using curve::ge_add;
+using curve::ge_base;
+using curve::ge_compress;
+using curve::ge_decompress;
+using curve::ge_neg;
+using curve::ge_scalar_mult;
+using curve::Scalar;
+using curve::sc_from_bytes32;
+using curve::sc_from_bytes32_strict;
+using curve::sc_from_bytes64;
+using curve::sc_mul_add;
+using curve::sc_to_bytes;
+
+struct ExpandedKey {
+  std::uint8_t scalar[32];  // clamped a
+  std::uint8_t prefix[32];
+};
+
+ExpandedKey expand_seed(const std::array<std::uint8_t, 32>& seed) {
+  const auto h = Sha512::hash({seed.data(), seed.size()});
+  ExpandedKey out;
+  std::memcpy(out.scalar, h.data(), 32);
+  std::memcpy(out.prefix, h.data() + 32, 32);
+  out.scalar[0] &= 0xf8;
+  out.scalar[31] &= 0x7f;
+  out.scalar[31] |= 0x40;
+  return out;
+}
+
+}  // namespace
+
+Ed25519Keypair ed25519_keypair_from_seed(const std::array<std::uint8_t, 32>& seed) {
+  const ExpandedKey key = expand_seed(seed);
+  const auto a_point = ge_scalar_mult(key.scalar, ge_base());
+  Ed25519Keypair out;
+  out.private_key.seed = seed;
+  ge_compress(out.public_key.bytes.data(), a_point);
+  return out;
+}
+
+Ed25519Signature ed25519_sign(const Ed25519PrivateKey& key, BytesView message) {
+  const ExpandedKey expanded = expand_seed(key.seed);
+  const auto a_point = ge_scalar_mult(expanded.scalar, ge_base());
+  std::uint8_t pub[32];
+  ge_compress(pub, a_point);
+
+  Sha512 h1;
+  h1.update({expanded.prefix, 32});
+  h1.update(message);
+  const auto r_hash = h1.finish();
+  const Scalar r = sc_from_bytes64(r_hash.data());
+
+  std::uint8_t r_scalar[32];
+  sc_to_bytes(r_scalar, r);
+  const auto r_point = ge_scalar_mult(r_scalar, ge_base());
+
+  Ed25519Signature sig;
+  ge_compress(sig.bytes.data(), r_point);
+
+  Sha512 h2;
+  h2.update({sig.bytes.data(), 32});
+  h2.update({pub, 32});
+  h2.update(message);
+  const auto k_hash = h2.finish();
+  const Scalar k = sc_from_bytes64(k_hash.data());
+
+  const Scalar a = sc_from_bytes32(expanded.scalar);
+  const Scalar s = sc_mul_add(k, a, r);
+  sc_to_bytes(sig.bytes.data() + 32, s);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& key, BytesView message,
+                    const Ed25519Signature& signature) {
+  const auto a_point = ge_decompress(key.bytes.data());
+  if (!a_point) return false;
+
+  const auto s = sc_from_bytes32_strict(signature.bytes.data() + 32);
+  if (!s) return false;
+
+  Sha512 h;
+  h.update({signature.bytes.data(), 32});
+  h.update({key.bytes.data(), key.bytes.size()});
+  h.update(message);
+  const auto k_hash = h.finish();
+  const Scalar k = sc_from_bytes64(k_hash.data());
+
+  // Check enc([s]B + [k](-A)) == R.
+  std::uint8_t s_bytes[32], k_bytes[32];
+  sc_to_bytes(s_bytes, *s);
+  sc_to_bytes(k_bytes, k);
+
+  const auto sb = ge_scalar_mult(s_bytes, ge_base());
+  const auto ka = ge_scalar_mult(k_bytes, ge_neg(*a_point));
+  const auto r_point = ge_add(sb, ka);
+
+  std::uint8_t r_enc[32];
+  ge_compress(r_enc, r_point);
+  return std::memcmp(r_enc, signature.bytes.data(), 32) == 0;
+}
+
+}  // namespace mahimahi::crypto

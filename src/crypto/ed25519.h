@@ -1,0 +1,50 @@
+// Ed25519 (RFC 8032) signatures, implemented from scratch.
+//
+// Field arithmetic over GF(2^255 - 19) uses four 64-bit limbs with schoolbook
+// multiplication and 2^256 ≡ 38 folding; group arithmetic uses extended
+// twisted-Edwards coordinates with the complete (unified) addition law, which
+// is valid for Ed25519 because a = -1 is a square mod p and d is not.
+//
+// This implementation favours auditability over speed and is NOT constant
+// time; it authenticates blocks in a research/simulation system, not secrets
+// on a production boundary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace mahimahi::crypto {
+
+struct Ed25519PublicKey {
+  std::array<std::uint8_t, 32> bytes{};
+  auto operator<=>(const Ed25519PublicKey&) const = default;
+};
+
+struct Ed25519PrivateKey {
+  std::array<std::uint8_t, 32> seed{};
+};
+
+struct Ed25519Signature {
+  std::array<std::uint8_t, 64> bytes{};
+  auto operator<=>(const Ed25519Signature&) const = default;
+};
+
+struct Ed25519Keypair {
+  Ed25519PrivateKey private_key;
+  Ed25519PublicKey public_key;
+};
+
+// Deterministic: the keypair is a pure function of the 32-byte seed.
+Ed25519Keypair ed25519_keypair_from_seed(const std::array<std::uint8_t, 32>& seed);
+
+Ed25519Signature ed25519_sign(const Ed25519PrivateKey& key, BytesView message);
+
+// Strict-ish verification: rejects non-canonical scalars (s >= L) and points
+// that fail decompression.
+bool ed25519_verify(const Ed25519PublicKey& key, BytesView message,
+                    const Ed25519Signature& signature);
+
+}  // namespace mahimahi::crypto

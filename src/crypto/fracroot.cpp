@@ -1,0 +1,72 @@
+#include "crypto/fracroot.h"
+
+namespace mahimahi::crypto {
+
+namespace {
+
+// Minimal 256-bit unsigned integer: four 64-bit limbs, little-endian.
+struct U256 {
+  std::uint64_t w[4] = {0, 0, 0, 0};
+};
+
+bool less_equal(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) return a.w[i] < b.w[i];
+  }
+  return true;
+}
+
+// a * b for small multiplicands; asserts no overflow past 256 bits is
+// required by construction (inputs bounded by the callers).
+U256 mul(const U256& a, const U256& b) {
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    if (a.w[i] == 0) continue;
+    unsigned __int128 carry = 0;
+    for (int j = 0; i + j < 4; ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(a.w[i]) * b.w[j] +
+                              out.w[i + j] + carry;
+      out.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+  return out;
+}
+
+U256 shifted(std::uint64_t v, int bit_shift) {
+  U256 out;
+  const int limb = bit_shift / 64;
+  const int rem = bit_shift % 64;
+  out.w[limb] = v << rem;
+  if (rem != 0 && limb + 1 < 4) out.w[limb + 1] = v >> (64 - rem);
+  return out;
+}
+
+void set_bit(U256& v, int bit) { v.w[bit / 64] |= std::uint64_t{1} << (bit % 64); }
+void clear_bit(U256& v, int bit) { v.w[bit / 64] &= ~(std::uint64_t{1} << (bit % 64)); }
+
+}  // namespace
+
+std::uint64_t frac_sqrt64(std::uint64_t n) {
+  // r = floor(sqrt(n * 2^128)); the low 64 bits of r are the fractional bits.
+  const U256 target = shifted(n, 128);
+  U256 r;
+  for (int bit = 96; bit >= 0; --bit) {  // sqrt(n * 2^128) < 2^97 for n < 2^66
+    set_bit(r, bit);
+    if (!less_equal(mul(r, r), target)) clear_bit(r, bit);
+  }
+  return r.w[0];
+}
+
+std::uint64_t frac_cbrt64(std::uint64_t n) {
+  // r = floor(cbrt(n * 2^192)); the low 64 bits of r are the fractional bits.
+  const U256 target = shifted(n, 192);
+  U256 r;
+  for (int bit = 67; bit >= 0; --bit) {  // cbrt(p * 2^192) < 2^68 for p < 4096
+    set_bit(r, bit);
+    if (!less_equal(mul(mul(r, r), r), target)) clear_bit(r, bit);
+  }
+  return r.w[0];
+}
+
+}  // namespace mahimahi::crypto

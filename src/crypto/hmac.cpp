@@ -1,0 +1,37 @@
+#include "crypto/hmac.h"
+
+#include <array>
+
+#include "crypto/sha256.h"
+
+namespace mahimahi::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+
+  std::array<std::uint8_t, kBlock> key_block{};
+  if (key.size() > kBlock) {
+    const Digest hashed = Sha256::hash(key);
+    std::copy(hashed.bytes.begin(), hashed.bytes.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad, opad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update({ipad.data(), ipad.size()});
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update({opad.data(), opad.size()});
+  outer.update(inner_digest.view());
+  return outer.finish();
+}
+
+}  // namespace mahimahi::crypto

@@ -1,0 +1,15 @@
+// HMAC-SHA-256 (RFC 2104).
+//
+// Used by the simulated threshold coin's share function. BLAKE2b has a native
+// keyed mode (Blake2b::mac256); HMAC is provided for the SHA-256 path and as
+// an independently testable primitive.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace mahimahi::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace mahimahi::crypto

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for the HMAC underlying the simulated threshold coin and available as
+// a general-purpose hash. Incremental (init/update/final) and one-shot APIs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace mahimahi::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(BytesView data);
+  Digest finish();
+
+  static Digest hash(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+// The round-constant table; exposed so tests can cross-check it against the
+// fracroot generator (first 32 fractional bits of cbrt of first 64 primes).
+const std::array<std::uint32_t, 64>& sha256_round_constants();
+
+}  // namespace mahimahi::crypto

@@ -1,0 +1,132 @@
+#include "crypto/sha512.h"
+
+#include <bit>
+#include <cstring>
+
+#include "crypto/fracroot.h"
+
+namespace mahimahi::crypto {
+
+namespace {
+
+// H0 = first 64 fractional bits of sqrt of the first 8 primes. (These same
+// words serve as the BLAKE2b IV; the test suite checks both derivations.)
+constexpr std::array<std::uint64_t, 8> kInitState = {
+    0x6a09e667f3bcc908ULL, 0xbb67ae8584caa73bULL, 0x3c6ef372fe94f82bULL,
+    0xa54ff53a5f1d36f1ULL, 0x510e527fade682d1ULL, 0x9b05688c2b3e6c1fULL,
+    0x1f83d9abfb41bd6bULL, 0x5be0cd19137e2179ULL};
+
+std::array<std::uint64_t, 80> build_round_constants() {
+  const auto primes = first_primes<80>();
+  std::array<std::uint64_t, 80> k{};
+  for (std::size_t i = 0; i < 80; ++i) k[i] = frac_cbrt64(primes[i]);
+  return k;
+}
+
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = v << 8 | p[i];
+  return v;
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+}
+
+inline std::uint64_t rotr(std::uint64_t x, int n) { return std::rotr(x, n); }
+
+}  // namespace
+
+const std::array<std::uint64_t, 80>& sha512_round_constants() {
+  static const auto k = build_round_constants();
+  return k;
+}
+
+Sha512::Sha512() : state_(kInitState) {}
+
+void Sha512::compress(const std::uint8_t* block) {
+  const auto& kc = sha512_round_constants();
+  std::uint64_t w[80];
+  for (int i = 0; i < 16; ++i) w[i] = load_be64(block + 8 * i);
+  for (int i = 16; i < 80; ++i) {
+    const std::uint64_t s0 = rotr(w[i - 15], 1) ^ rotr(w[i - 15], 8) ^ (w[i - 15] >> 7);
+    const std::uint64_t s1 = rotr(w[i - 2], 19) ^ rotr(w[i - 2], 61) ^ (w[i - 2] >> 6);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint64_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint64_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+  for (int i = 0; i < 80; ++i) {
+    const std::uint64_t s1 = rotr(e, 14) ^ rotr(e, 18) ^ rotr(e, 41);
+    const std::uint64_t ch = (e & f) ^ (~e & g);
+    const std::uint64_t t1 = h + s1 + ch + kc[i] + w[i];
+    const std::uint64_t s0 = rotr(a, 28) ^ rotr(a, 34) ^ rotr(a, 39);
+    const std::uint64_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint64_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha512::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == kBlockSize) {
+      compress(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    compress(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    buffered_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffered_);
+  }
+}
+
+Sha512::Digest64 Sha512::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update({&pad_byte, 1});
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != kBlockSize - 16) update({&zero, 1});
+
+  std::uint8_t length_be[16] = {};
+  store_be64(length_be + 8, bit_length);  // upper 64 bits stay zero
+  update({length_be, 16});
+
+  Digest64 out;
+  for (int i = 0; i < 8; ++i) store_be64(out.data() + 8 * i, state_[i]);
+  return out;
+}
+
+Sha512::Digest64 Sha512::hash(BytesView data) {
+  Sha512 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace mahimahi::crypto

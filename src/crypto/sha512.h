@@ -1,0 +1,43 @@
+// SHA-512 (FIPS 180-4), implemented from scratch.
+//
+// Required by Ed25519 (RFC 8032). The 80 round constants are not transcribed;
+// they are regenerated at startup from their definition (fractional cube-root
+// bits of the first 80 primes) using exact integer arithmetic (see
+// crypto/fracroot.h), and validated by test vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace mahimahi::crypto {
+
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  using Digest64 = std::array<std::uint8_t, 64>;
+
+  Sha512();
+
+  void update(BytesView data);
+  Digest64 finish();
+
+  static Digest64 hash(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_;
+  // 128-bit message length is overkill for our uses; 64 bits of bytes is
+  // plenty (the upper 64 bits of the length field are always zero).
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+const std::array<std::uint64_t, 80>& sha512_round_constants();
+
+}  // namespace mahimahi::crypto

@@ -1,0 +1,147 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace mahimahi::net {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
+  wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) throw std::runtime_error("eventfd failed");
+  add_fd(wakeup_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t value;
+    while (::read(wakeup_fd_, &value, sizeof(value)) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  {
+    // Destroy registered callbacks while the loop is still alive and the
+    // member map is already empty: a closure may hold the last shared_ptr
+    // to a TcpConnection whose destructor re-enters remove_fd(). With the
+    // swap, that re-entrant call sees an empty map and is a no-op instead
+    // of mutating a hashtable that is mid-teardown.
+    std::unordered_map<int, FdCallback> doomed;
+    doomed.swap(fd_callbacks_);
+  }
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    throw std::runtime_error("epoll_ctl ADD failed");
+  }
+  fd_callbacks_[fd] = std::move(callback);
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    MM_LOG(kWarn) << "epoll_ctl MOD failed for fd " << fd;
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  const auto it = fd_callbacks_.find(fd);
+  if (it == fd_callbacks_.end()) return;
+  // Defer the closure's destruction until after the erase: it may hold the
+  // last shared_ptr to a TcpConnection whose destructor calls remove_fd()
+  // again (which must then find a consistent map and no entry for `fd`).
+  FdCallback doomed = std::move(it->second);
+  fd_callbacks_.erase(it);
+}
+
+std::uint64_t EventLoop::schedule(TimeMicros delay, Task task) {
+  const std::uint64_t id = next_timer_id_++;
+  timers_.push(Timer{steady_now_micros() + delay, id});
+  timer_tasks_.emplace(id, std::move(task));
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) { timer_tasks_.erase(id); }
+
+void EventLoop::post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto written = ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_posted() {
+  std::vector<Task> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+void EventLoop::fire_due_timers() {
+  const TimeMicros now = steady_now_micros();
+  while (!timers_.empty() && timers_.top().due <= now) {
+    const std::uint64_t id = timers_.top().id;
+    timers_.pop();
+    const auto it = timer_tasks_.find(id);
+    if (it == timer_tasks_.end()) continue;  // cancelled
+    Task task = std::move(it->second);
+    timer_tasks_.erase(it);
+    task();
+  }
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timers_.empty()) return 100;
+  const TimeMicros delta = timers_.top().due - steady_now_micros();
+  if (delta <= 0) return 0;
+  return static_cast<int>(std::min<TimeMicros>(delta / 1000 + 1, 100));
+}
+
+void EventLoop::run() {
+  running_.store(true);
+  stop_requested_.store(false);
+  epoll_event events[64];
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    const int count = ::epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
+    if (count < 0 && errno != EINTR) {
+      MM_LOG(kError) << "epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < count; ++i) {
+      const int fd = events[i].data.fd;
+      const auto it = fd_callbacks_.find(fd);
+      if (it == fd_callbacks_.end()) continue;
+      // Copy: the callback may remove (and erase) itself.
+      FdCallback callback = it->second;
+      callback(events[i].events);
+    }
+    fire_due_timers();
+    drain_posted();
+  }
+  running_.store(false);
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto written = ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+}  // namespace mahimahi::net

@@ -1,0 +1,77 @@
+// Minimal epoll-based event loop.
+//
+// Single-threaded reactor: file-descriptor callbacks, a timer heap, and a
+// thread-safe task queue (eventfd wakeup) for cross-thread posts. Each
+// NodeRuntime owns one loop running on its own thread — the C++ analogue of
+// the paper's one-tokio-runtime-per-validator setup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace mahimahi::net {
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(std::uint32_t epoll_events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` for the given epoll events (EPOLLIN/EPOLLOUT/...).
+  void add_fd(int fd, std::uint32_t events, FdCallback callback);
+  void modify_fd(int fd, std::uint32_t events);
+  void remove_fd(int fd);
+
+  // One-shot timer; returns an id usable with cancel_timer.
+  std::uint64_t schedule(TimeMicros delay, Task task);
+  void cancel_timer(std::uint64_t id);
+
+  // Thread-safe: enqueue a task to run on the loop thread.
+  void post(Task task);
+
+  // Runs until stop() is called (from any thread).
+  void run();
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+ private:
+  void drain_posted();
+  void fire_due_timers();
+  int next_timeout_ms() const;
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::unordered_map<int, FdCallback> fd_callbacks_;
+
+  struct Timer {
+    TimeMicros due;
+    std::uint64_t id;
+    bool operator>(const Timer& other) const {
+      return due != other.due ? due > other.due : id > other.id;
+    }
+  };
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::unordered_map<std::uint64_t, Task> timer_tasks_;
+  std::uint64_t next_timer_id_ = 1;
+
+  std::mutex posted_mutex_;
+  std::vector<Task> posted_;
+};
+
+}  // namespace mahimahi::net

@@ -1,0 +1,262 @@
+#include "net/node_runtime.h"
+
+#include "common/log.h"
+#include "serde/serde.h"
+
+namespace mahimahi::net {
+
+NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey key,
+                         NodeRuntimeConfig config)
+    : committee_(committee), config_(std::move(config)) {
+  core_ = std::make_unique<ValidatorCore>(committee_, key, config_.validator);
+  if (!config_.wal_path.empty()) {
+    // Recovery before the WAL is reopened for append.
+    FileWal::Visitor visitor;
+    visitor.on_block = [this](BlockPtr block, bool) {
+      core_->recover_block(std::move(block));
+    };
+    const auto replay = FileWal::replay(config_.wal_path, visitor);
+    if (replay.records > 0) {
+      MM_LOG(kInfo) << "v" << id() << " recovered " << replay.records
+                    << " WAL records" << (replay.corrupt_tail ? " (torn tail dropped)" : "");
+    }
+    highest_round_.store(core_->dag().highest_round(), std::memory_order_relaxed);
+    wal_ = std::make_unique<FileWal>(config_.wal_path);
+  } else {
+    wal_ = std::make_unique<NullWal>();
+  }
+  outgoing_.resize(committee_.size());
+}
+
+NodeRuntime::~NodeRuntime() { stop(); }
+
+void NodeRuntime::start() {
+  thread_ = std::thread([this] { loop_main(); });
+  while (listen_port_.load() == 0) std::this_thread::yield();
+}
+
+void NodeRuntime::stop() {
+  if (thread_.joinable()) {
+    loop_.stop();
+    thread_.join();
+  }
+}
+
+void NodeRuntime::loop_main() {
+  listener_ = std::make_unique<TcpListener>(
+      loop_, config_.peers[id()].port,
+      [this](TcpConnectionPtr connection) { on_unidentified_connection(connection); });
+  listen_port_.store(listener_->port());
+
+  for (ValidatorId peer = 0; peer < committee_.size(); ++peer) {
+    if (peer != id()) dial_peer(peer);
+  }
+  loop_.run();
+
+  // Teardown on the loop thread.
+  for (auto& connection : outgoing_) {
+    if (connection) connection->close();
+  }
+  for (auto& connection : pending_incoming_) {
+    if (connection) connection->close();
+  }
+  listener_.reset();
+  wal_->sync();
+}
+
+void NodeRuntime::dial_peer(ValidatorId peer) {
+  const auto& address = config_.peers[peer];
+  tcp_connect(loop_, address.host, address.port, [this, peer](TcpConnectionPtr connection) {
+    if (!loop_.running() && connection == nullptr) return;
+    if (connection == nullptr) {
+      loop_.schedule(config_.dial_retry, [this, peer] { dial_peer(peer); });
+      return;
+    }
+    outgoing_[peer] = connection;
+    connection->start(
+        [](BytesView) {},  // outgoing connections are send-only
+        [this, peer] {
+          outgoing_[peer] = nullptr;
+          loop_.schedule(config_.dial_retry, [this, peer] { dial_peer(peer); });
+        });
+    // Identify ourselves.
+    serde::Writer w;
+    w.u8(static_cast<std::uint8_t>(MessageType::kHandshake));
+    w.u32(id());
+    w.digest(committee_.epoch_seed());
+    connection->send_frame({w.data().data(), w.data().size()});
+
+    // Resynchronize the (re)connected peer: everything broadcast while this
+    // link was down was dropped by TCP, and the protocol's liveness rests on
+    // eventual delivery (Lemma 9). Offering our latest own block lets the
+    // peer pull the rest of the missing history through its synchronizer.
+    offer_latest_block(peer);
+
+    // Start consensus once we can reach a quorum (counting ourselves).
+    if (!ticking_) {
+      std::uint32_t connected = 1;
+      for (const auto& c : outgoing_) connected += c != nullptr;
+      if (connected >= committee_.quorum_threshold()) {
+        ticking_ = true;
+        tick();
+      }
+    }
+  });
+}
+
+void NodeRuntime::on_unidentified_connection(TcpConnectionPtr connection) {
+  pending_incoming_.push_back(connection);
+  auto weak = std::weak_ptr<TcpConnection>(connection);
+  connection->start(
+      [this, weak](BytesView frame) {
+        // First frame must be a handshake; then the connection is re-bound
+        // to the identified peer.
+        auto connection = weak.lock();
+        if (connection == nullptr) return;
+        try {
+          serde::Reader r(frame);
+          if (static_cast<MessageType>(r.u8()) != MessageType::kHandshake) {
+            connection->close();
+            return;
+          }
+          const ValidatorId peer = r.u32();
+          const Digest seed = r.digest();
+          if (peer >= committee_.size() || seed != committee_.epoch_seed()) {
+            connection->close();
+            return;
+          }
+          std::erase(pending_incoming_, connection);
+          connection->start(
+              [this, peer](BytesView peer_frame) { on_peer_frame(peer, peer_frame); },
+              [] {});
+        } catch (const serde::SerdeError&) {
+          connection->close();
+        }
+      },
+      [this, weak] {
+        if (auto connection = weak.lock()) std::erase(pending_incoming_, connection);
+      });
+}
+
+void NodeRuntime::on_peer_frame(ValidatorId peer, BytesView frame) {
+  try {
+    serde::Reader r(frame);
+    const auto type = static_cast<MessageType>(r.u8());
+    switch (type) {
+      case MessageType::kBlock: {
+        auto block = std::make_shared<const Block>(
+            Block::deserialize(r.raw(r.remaining())));
+        perform(core_->on_block(std::move(block), peer, steady_now_micros()));
+        break;
+      }
+      case MessageType::kFetch: {
+        const std::uint64_t count = r.varint();
+        if (count > 10000) throw serde::SerdeError("absurd fetch count");
+        std::vector<BlockRef> refs;
+        refs.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          BlockRef ref;
+          ref.round = r.varint();
+          ref.author = r.u32();
+          ref.digest = r.digest();
+          refs.push_back(ref);
+        }
+        perform(core_->on_fetch_request(refs, peer, steady_now_micros()));
+        break;
+      }
+      default:
+        break;  // late handshakes and unknown types are ignored
+    }
+  } catch (const serde::SerdeError& error) {
+    MM_LOG(kWarn) << "v" << id() << " bad frame from v" << peer << ": " << error.what();
+  }
+}
+
+Bytes NodeRuntime::encode_block(const Block& block) const {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(MessageType::kBlock));
+  const Bytes encoded = block.serialize();
+  w.raw({encoded.data(), encoded.size()});
+  return std::move(w).take();
+}
+
+void NodeRuntime::send_to_peer(ValidatorId peer, BytesView frame) {
+  if (const auto& connection = outgoing_[peer]; connection && !connection->closed()) {
+    connection->send_frame(frame);
+  }
+}
+
+void NodeRuntime::perform(Actions&& actions) {
+  for (const auto& block : actions.inserted) {
+    wal_->append_block(*block, block->author() == id());
+  }
+  if (!actions.inserted.empty()) wal_->sync();
+
+  for (const auto& block : actions.broadcast) {
+    const Bytes frame = encode_block(*block);
+    for (ValidatorId peer = 0; peer < committee_.size(); ++peer) {
+      if (peer != id()) send_to_peer(peer, {frame.data(), frame.size()});
+    }
+  }
+
+  for (const auto& request : actions.fetch_requests) {
+    serde::Writer w;
+    w.u8(static_cast<std::uint8_t>(MessageType::kFetch));
+    w.varint(request.refs.size());
+    for (const auto& ref : request.refs) {
+      w.varint(ref.round);
+      w.u32(ref.author);
+      w.digest(ref.digest);
+    }
+    send_to_peer(request.peer, {w.data().data(), w.data().size()});
+  }
+
+  for (const auto& response : actions.responses) {
+    for (const auto& block : response.blocks) {
+      const Bytes frame = encode_block(*block);
+      send_to_peer(response.peer, {frame.data(), frame.size()});
+    }
+  }
+
+  for (const auto& sub_dag : actions.committed) {
+    committed_blocks_.fetch_add(sub_dag.blocks.size(), std::memory_order_relaxed);
+    committed_tx_.fetch_add(sub_dag.transaction_count(), std::memory_order_relaxed);
+    if (commit_handler_) commit_handler_(sub_dag);
+  }
+  highest_round_.store(core_->dag().highest_round(), std::memory_order_relaxed);
+}
+
+void NodeRuntime::offer_latest_block(ValidatorId peer) {
+  const Round round = core_->last_proposed_round();
+  if (round == 0) return;  // nothing proposed yet
+  const auto& cell = core_->dag().slot(round, id());
+  if (cell.empty()) return;
+  const Bytes frame = encode_block(*cell.front());
+  if (peer == kAllPeers) {
+    for (ValidatorId p = 0; p < committee_.size(); ++p) {
+      if (p != id()) send_to_peer(p, {frame.data(), frame.size()});
+    }
+  } else {
+    send_to_peer(peer, {frame.data(), frame.size()});
+  }
+}
+
+void NodeRuntime::tick() {
+  perform(core_->on_tick(steady_now_micros()));
+  // Periodic anti-entropy: re-offer our tip so peers that missed broadcasts
+  // (connection races, drops mid-flight) converge. Receipt is idempotent.
+  const TimeMicros now = steady_now_micros();
+  if (now - last_resync_ >= config_.resync_interval) {
+    last_resync_ = now;
+    offer_latest_block(kAllPeers);
+  }
+  loop_.schedule(config_.tick_interval, [this] { tick(); });
+}
+
+void NodeRuntime::submit(std::vector<TxBatch> batches) {
+  loop_.post([this, batches = std::move(batches)]() mutable {
+    perform(core_->on_transactions(std::move(batches), steady_now_micros()));
+  });
+}
+
+}  // namespace mahimahi::net

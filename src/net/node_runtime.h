@@ -1,0 +1,115 @@
+// NodeRuntime: a deployable validator process component.
+//
+// Owns an event loop thread, the sans-IO ValidatorCore, the TCP mesh to all
+// peers (one dialed connection per peer for sending; accepted connections
+// deliver peer traffic), and optionally a write-ahead log for crash
+// recovery. This mirrors the paper's networked multi-core validator (§4):
+// tokio + raw TCP there, epoll + raw TCP here.
+//
+// Message frames (first payload byte is the type):
+//   kHandshake: u32 validator id + 32-byte committee epoch seed
+//   kBlock:     serialized block
+//   kFetch:     varint count + (round, author, digest) refs
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/tcp.h"
+#include "validator/validator.h"
+#include "wal/wal.h"
+
+namespace mahimahi::net {
+
+struct NodeAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct NodeRuntimeConfig {
+  ValidatorConfig validator;
+  // peers[i] is validator i's listen address; peers[validator.id] is ours.
+  std::vector<NodeAddress> peers;
+  // Empty = no persistence.
+  std::string wal_path;
+  TimeMicros tick_interval = millis(50);
+  TimeMicros dial_retry = millis(200);
+  // Anti-entropy: how often to re-offer our latest own block to all peers.
+  // Broadcasts to a peer whose connection is down are dropped by TCP, so
+  // eventual delivery (§2.1, Lemma 9) needs a push-based repair path; the
+  // peer's synchronizer pulls any missing ancestry from the offered block.
+  TimeMicros resync_interval = millis(500);
+};
+
+class NodeRuntime {
+ public:
+  // Fires on the loop thread for every committed sub-DAG.
+  using CommitHandler = std::function<void(const CommittedSubDag&)>;
+
+  NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey key,
+              NodeRuntimeConfig config);
+  ~NodeRuntime();
+
+  // Set before start().
+  void set_commit_handler(CommitHandler handler) { commit_handler_ = std::move(handler); }
+
+  // Replays the WAL (if any), starts the loop thread, listens and dials.
+  void start();
+  void stop();
+
+  // Thread-safe client submission.
+  void submit(std::vector<TxBatch> batches);
+
+  // Thread-safe counters.
+  std::uint64_t committed_transactions() const {
+    return committed_tx_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t committed_blocks() const {
+    return committed_blocks_.load(std::memory_order_relaxed);
+  }
+  Round highest_round() const { return highest_round_.load(std::memory_order_relaxed); }
+
+  ValidatorId id() const { return config_.validator.id; }
+  std::uint16_t listen_port() const { return listen_port_.load(); }
+
+ private:
+  enum class MessageType : std::uint8_t { kHandshake = 1, kBlock = 2, kFetch = 3 };
+
+  void loop_main();
+  void dial_peer(ValidatorId peer);
+  void on_peer_frame(ValidatorId peer, BytesView frame);
+  void on_unidentified_connection(TcpConnectionPtr connection);
+  void perform(Actions&& actions);
+  void send_to_peer(ValidatorId peer, BytesView frame);
+  void tick();
+  Bytes encode_block(const Block& block) const;
+  // Sends our latest own block to `peer` (all peers when kAllPeers); its
+  // parent references let the receiver fetch anything else it is missing.
+  static constexpr ValidatorId kAllPeers = ~0u;
+  void offer_latest_block(ValidatorId peer);
+
+  const Committee& committee_;
+  NodeRuntimeConfig config_;
+  std::unique_ptr<ValidatorCore> core_;
+  std::unique_ptr<Wal> wal_;
+  CommitHandler commit_handler_;
+
+  EventLoop loop_;
+  std::thread thread_;
+  std::unique_ptr<TcpListener> listener_;
+  std::vector<TcpConnectionPtr> outgoing_;  // index = peer id
+  std::vector<TcpConnectionPtr> pending_incoming_;
+  std::atomic<std::uint16_t> listen_port_{0};
+  bool ticking_ = false;
+  TimeMicros last_resync_ = 0;
+
+  std::atomic<std::uint64_t> committed_tx_{0};
+  std::atomic<std::uint64_t> committed_blocks_{0};
+  std::atomic<Round> highest_round_{0};
+};
+
+}  // namespace mahimahi::net

@@ -1,0 +1,261 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace mahimahi::net {
+
+namespace {
+
+void set_non_blocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_no_delay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// --- TcpConnection -----------------------------------------------------------
+
+TcpConnection::TcpConnection(EventLoop& loop, int fd) : loop_(loop), fd_(fd) {
+  set_non_blocking(fd_);
+  set_no_delay(fd_);
+}
+
+TcpConnection::~TcpConnection() {
+  // Destructor path: no handlers may fire (the owner is already going away,
+  // and shared_from_this is unavailable here).
+  on_frame_ = nullptr;
+  on_close_ = nullptr;
+  close();
+}
+
+void TcpConnection::start(FrameHandler on_frame, CloseHandler on_close) {
+  on_frame_ = std::move(on_frame);
+  on_close_ = std::move(on_close);
+  if (registered_) return;  // re-binding handlers (e.g. after a handshake)
+  registered_ = true;
+  auto self = shared_from_this();
+  loop_.add_fd(fd_, EPOLLIN, [self](std::uint32_t events) { self->handle_events(events); });
+}
+
+void TcpConnection::handle_events(std::uint32_t events) {
+  if (closed()) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close();
+    return;
+  }
+  if (events & EPOLLIN) handle_readable();
+  if (closed()) return;
+  if (events & EPOLLOUT) handle_writable();
+}
+
+void TcpConnection::handle_readable() {
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t received = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (received > 0) {
+      bytes_received_ += static_cast<std::uint64_t>(received);
+      read_buffer_.insert(read_buffer_.end(), chunk, chunk + received);
+      continue;
+    }
+    if (received == 0) {  // orderly shutdown
+      close();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close();
+    return;
+  }
+
+  // Parse complete frames.
+  std::size_t offset = 0;
+  while (read_buffer_.size() - offset >= 4) {
+    std::uint32_t length;
+    std::memcpy(&length, read_buffer_.data() + offset, 4);
+    if (length > kMaxFrameBytes) {
+      MM_LOG(kWarn) << "oversized frame (" << length << " bytes); closing connection";
+      close();
+      return;
+    }
+    if (read_buffer_.size() - offset - 4 < length) break;
+    if (on_frame_) {
+      // Copy before invoking: the handler may rebind on_frame_ (handshake
+      // identification), which would otherwise destroy the closure that is
+      // currently executing.
+      const FrameHandler handler = on_frame_;
+      handler({read_buffer_.data() + offset + 4, length});
+    }
+    if (closed()) return;  // handler may close
+    offset += 4 + length;
+  }
+  if (offset > 0) read_buffer_.erase(read_buffer_.begin(), read_buffer_.begin() + offset);
+}
+
+void TcpConnection::send_frame(BytesView payload) {
+  if (closed()) return;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  const std::size_t start = write_buffer_.size();
+  write_buffer_.resize(start + 4 + payload.size());
+  std::memcpy(write_buffer_.data() + start, &length, 4);
+  std::memcpy(write_buffer_.data() + start + 4, payload.data(), payload.size());
+  handle_writable();  // opportunistic immediate flush
+}
+
+void TcpConnection::handle_writable() {
+  while (write_offset_ < write_buffer_.size()) {
+    const ssize_t sent = ::send(fd_, write_buffer_.data() + write_offset_,
+                                write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
+    if (sent > 0) {
+      bytes_sent_ += static_cast<std::uint64_t>(sent);
+      write_offset_ += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close();
+    return;
+  }
+  if (write_offset_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_offset_ = 0;
+    if (want_write_) {
+      want_write_ = false;
+      update_interest();
+    }
+  } else if (!want_write_) {
+    want_write_ = true;
+    update_interest();
+  }
+}
+
+void TcpConnection::update_interest() {
+  loop_.modify_fd(fd_, want_write_ ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+}
+
+void TcpConnection::close() {
+  if (closed()) return;
+  // The close handler may drop the owner's last shared_ptr to this object
+  // (e.g. a peer table resetting its slot); keep the object alive until this
+  // function returns. In the destructor path the lock yields nullptr, but
+  // handlers are already cleared there.
+  const TcpConnectionPtr guard = weak_from_this().lock();
+  loop_.remove_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (on_close_) {
+    CloseHandler handler = std::move(on_close_);
+    on_close_ = nullptr;
+    handler();
+  }
+}
+
+// --- TcpListener ---------------------------------------------------------------
+
+TcpListener::TcpListener(EventLoop& loop, std::uint16_t port, AcceptHandler on_accept)
+    : loop_(loop), port_(port), on_accept_(std::move(on_accept)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&address), sizeof(address)) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("bind() failed on port " + std::to_string(port));
+  }
+  if (port == 0) {
+    socklen_t len = sizeof(address);
+    ::getsockname(fd_, reinterpret_cast<sockaddr*>(&address), &len);
+    port_ = ntohs(address.sin_port);
+  }
+  if (::listen(fd_, 128) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("listen() failed");
+  }
+  set_non_blocking(fd_);
+  loop_.add_fd(fd_, EPOLLIN, [this](std::uint32_t) { handle_accept(); });
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) {
+    loop_.remove_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void TcpListener::handle_accept() {
+  for (;;) {
+    const int client = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) return;  // EAGAIN or transient error
+    on_accept_(std::make_shared<TcpConnection>(loop_, client));
+  }
+}
+
+// --- tcp_connect ---------------------------------------------------------------
+
+void tcp_connect(EventLoop& loop, const std::string& host, std::uint16_t port,
+                 std::function<void(TcpConnectionPtr)> on_done) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    on_done(nullptr);
+    return;
+  }
+  set_non_blocking(fd);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    on_done(nullptr);
+    return;
+  }
+
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address));
+  if (rc == 0) {
+    on_done(std::make_shared<TcpConnection>(loop, fd));
+    return;
+  }
+  if (errno != EINPROGRESS) {
+    ::close(fd);
+    on_done(nullptr);
+    return;
+  }
+
+  // Wait for writability, then check SO_ERROR.
+  auto callback = std::make_shared<std::function<void(std::uint32_t)>>();
+  *callback = [&loop, fd, on_done = std::move(on_done)](std::uint32_t) {
+    loop.remove_fd(fd);
+    int error = 0;
+    socklen_t len = sizeof(error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &len);
+    if (error != 0) {
+      ::close(fd);
+      on_done(nullptr);
+      return;
+    }
+    on_done(std::make_shared<TcpConnection>(loop, fd));
+  };
+  loop.add_fd(fd, EPOLLOUT, [callback](std::uint32_t events) { (*callback)(events); });
+}
+
+}  // namespace mahimahi::net

@@ -1,0 +1,89 @@
+// Framed, non-blocking TCP transport over the epoll loop.
+//
+// Wire format per frame: [u32 length][payload]; the payload's first byte is
+// a message type (see node_runtime.h). Connections buffer partial reads and
+// writes; oversized frames kill the connection (peer protocol violation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "net/event_loop.h"
+
+namespace mahimahi::net {
+
+// An established connection (either accepted or dialed).
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+ public:
+  static constexpr std::size_t kMaxFrameBytes = 64 * 1024 * 1024;
+
+  using FrameHandler = std::function<void(BytesView frame)>;
+  using CloseHandler = std::function<void()>;
+
+  // Takes ownership of the (already non-blocking) socket fd.
+  TcpConnection(EventLoop& loop, int fd);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Registers with the loop; handlers fire on the loop thread.
+  void start(FrameHandler on_frame, CloseHandler on_close);
+
+  // Queues a frame (length prefix added). Loop thread only.
+  void send_frame(BytesView payload);
+
+  void close();
+  bool closed() const { return fd_ < 0; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void handle_events(std::uint32_t events);
+  void handle_readable();
+  void handle_writable();
+  void update_interest();
+
+  EventLoop& loop_;
+  int fd_;
+  bool registered_ = false;
+  FrameHandler on_frame_;
+  CloseHandler on_close_;
+  Bytes read_buffer_;
+  Bytes write_buffer_;
+  std::size_t write_offset_ = 0;
+  bool want_write_ = false;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+using TcpConnectionPtr = std::shared_ptr<TcpConnection>;
+
+// Listening socket; accepts connections and hands them to the callback.
+class TcpListener {
+ public:
+  using AcceptHandler = std::function<void(TcpConnectionPtr connection)>;
+
+  TcpListener(EventLoop& loop, std::uint16_t port, AcceptHandler on_accept);
+  ~TcpListener();
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void handle_accept();
+
+  EventLoop& loop_;
+  int fd_ = -1;
+  std::uint16_t port_;
+  AcceptHandler on_accept_;
+};
+
+// Asynchronous dial to 127.0.0.1-style host:port; invokes the callback with
+// nullptr on failure (caller schedules the retry).
+void tcp_connect(EventLoop& loop, const std::string& host, std::uint16_t port,
+                 std::function<void(TcpConnectionPtr)> on_done);
+
+}  // namespace mahimahi::net

@@ -1,0 +1,136 @@
+// Adversarial message-schedule models (§2.1, §2.3).
+//
+// The asynchronous network model grants the adversary control over the
+// message schedule: it may delay any message arbitrarily, but messages
+// between honest validators are eventually delivered. These policies plug
+// into the simulator's transport and implement that power in bounded form —
+// each block or control message can be held back by an adversary-chosen
+// finite extra delay. The adversary delays; it never forges (signatures
+// hold) and never drops forever (eventual delivery, §2.1), so every run
+// remains within the model under which Appendix C proves safety/liveness.
+//
+// Three concrete adversaries cover the attacks the paper reasons about:
+//
+//   * TargetedDelayAdversary — delays every block authored by a fixed
+//     target set (a DoS against specific validators). The paper's
+//     after-the-fact leader election (§2.3) is designed so an adversary
+//     cannot aim this at leaders before the vote round has passed; aiming
+//     it at fixed validators is the residual attack.
+//   * PartitionAdversary — messages crossing a group boundary during
+//     [start, end) are buffered until the partition heals. Models a
+//     transient network split / targeted link attack.
+//   * BurstDelayAdversary — periodic windows in which every message gains
+//     extra delay. Models a continuously active asynchronous adversary
+//     (congestion/DoS bursts) — the scenario the 5-round wave is
+//     parameterized for (§2.2, challenge 2).
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "types/block.h"
+#include "types/ids.h"
+
+namespace mahimahi::sim {
+
+// Transport hook: returns extra one-way delay, decided at send time.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  // Extra delay for a block traveling from -> to. 0 = untouched schedule.
+  virtual TimeMicros block_delay(const Block& block, ValidatorId from,
+                                 ValidatorId to, TimeMicros now, Rng& rng) = 0;
+
+  // Extra delay for small control messages (fetch request/response legs).
+  // Defaults to no interference.
+  virtual TimeMicros message_delay(ValidatorId /*from*/, ValidatorId /*to*/,
+                                   TimeMicros /*now*/, Rng& /*rng*/) {
+    return 0;
+  }
+};
+
+// Delays every block authored by a member of `targets` by `delay`.
+class TargetedDelayAdversary : public Adversary {
+ public:
+  TargetedDelayAdversary(std::set<ValidatorId> targets, TimeMicros delay)
+      : targets_(std::move(targets)), delay_(delay) {}
+
+  TimeMicros block_delay(const Block& block, ValidatorId, ValidatorId,
+                         TimeMicros, Rng&) override {
+    return targets_.contains(block.author()) ? delay_ : 0;
+  }
+
+ private:
+  std::set<ValidatorId> targets_;
+  TimeMicros delay_;
+};
+
+// Splits the committee into {v : v < boundary} and the rest during
+// [start, end): messages crossing the split are held until `end` (plus a
+// small random stagger so the heal is not one synchronized burst).
+class PartitionAdversary : public Adversary {
+ public:
+  PartitionAdversary(ValidatorId boundary, TimeMicros start, TimeMicros end)
+      : boundary_(boundary), start_(start), end_(end) {}
+
+  TimeMicros block_delay(const Block&, ValidatorId from, ValidatorId to,
+                         TimeMicros now, Rng& rng) override {
+    return crossing_delay(from, to, now, rng);
+  }
+
+  TimeMicros message_delay(ValidatorId from, ValidatorId to, TimeMicros now,
+                           Rng& rng) override {
+    return crossing_delay(from, to, now, rng);
+  }
+
+ private:
+  TimeMicros crossing_delay(ValidatorId from, ValidatorId to, TimeMicros now,
+                            Rng& rng) const {
+    if (now < start_ || now >= end_) return 0;
+    const bool crosses = (from < boundary_) != (to < boundary_);
+    if (!crosses) return 0;
+    return (end_ - now) + static_cast<TimeMicros>(rng.uniform(millis(20)));
+  }
+
+  ValidatorId boundary_;
+  TimeMicros start_;
+  TimeMicros end_;
+};
+
+// Every `period`, opens a window of `burst_length` during which every
+// message (blocks and control alike) gains a uniformly random delay up to
+// `max_extra_delay` — sustained adversarial asynchrony.
+class BurstDelayAdversary : public Adversary {
+ public:
+  BurstDelayAdversary(TimeMicros period, TimeMicros burst_length,
+                      TimeMicros max_extra_delay)
+      : period_(period), burst_length_(burst_length), max_extra_(max_extra_delay) {}
+
+  TimeMicros block_delay(const Block&, ValidatorId, ValidatorId, TimeMicros now,
+                         Rng& rng) override {
+    return in_burst(now) && max_extra_ > 0
+               ? static_cast<TimeMicros>(rng.uniform(max_extra_))
+               : 0;
+  }
+
+  TimeMicros message_delay(ValidatorId, ValidatorId, TimeMicros now,
+                           Rng& rng) override {
+    return in_burst(now) && max_extra_ > 0
+               ? static_cast<TimeMicros>(rng.uniform(max_extra_))
+               : 0;
+  }
+
+ private:
+  bool in_burst(TimeMicros now) const {
+    return period_ > 0 && now % period_ < burst_length_;
+  }
+
+  TimeMicros period_;
+  TimeMicros burst_length_;
+  TimeMicros max_extra_;
+};
+
+}  // namespace mahimahi::sim

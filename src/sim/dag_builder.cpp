@@ -1,0 +1,127 @@
+#include "sim/dag_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mahimahi {
+
+DagBuilder::DagBuilder(std::uint32_t n, std::uint64_t seed)
+    : setup_(Committee::make_test(n, seed)), dag_(setup_.committee) {}
+
+std::vector<ValidatorId> DagBuilder::all_validators() const {
+  std::vector<ValidatorId> out(n());
+  std::iota(out.begin(), out.end(), 0);
+  return out;
+}
+
+BlockPtr DagBuilder::add_block(ValidatorId author, Round round,
+                               std::vector<BlockRef> parents,
+                               std::vector<TxBatch> batches) {
+  auto block = std::make_shared<const Block>(Block::make(
+      author, round, std::move(parents), std::move(batches),
+      setup_.committee.coin().share(author, round), setup_.keypairs[author].private_key));
+  dag_.insert(block);
+  return block;
+}
+
+BlockPtr DagBuilder::add_block_from(ValidatorId author, Round round,
+                                    const std::vector<BlockPtr>& parents) {
+  std::vector<BlockRef> refs;
+  refs.reserve(parents.size());
+  for (const auto& parent : parents) refs.push_back(parent->ref());
+  return add_block(author, round, std::move(refs));
+}
+
+std::vector<BlockPtr> DagBuilder::add_full_round(Round round,
+                                                 std::vector<ValidatorId> authors) {
+  if (authors.empty()) authors = all_validators();
+  std::vector<BlockRef> parent_refs;
+  for (const auto& block : dag_.blocks_at(round - 1)) parent_refs.push_back(block->ref());
+  std::vector<BlockPtr> out;
+  out.reserve(authors.size());
+  for (const ValidatorId author : authors) {
+    out.push_back(add_block(author, round, parent_refs));
+  }
+  return out;
+}
+
+void DagBuilder::build_fully_connected(Round last_round) {
+  for (Round r = dag_.highest_round() + 1; r <= last_round; ++r) add_full_round(r);
+}
+
+std::vector<BlockPtr> DagBuilder::add_random_network_round(Round round, Rng& rng,
+                                                           std::vector<ValidatorId> alive) {
+  if (alive.empty()) alive = all_validators();
+  // Authors with at least one block in the previous round.
+  std::vector<ValidatorId> previous_authors;
+  for (ValidatorId a = 0; a < n(); ++a) {
+    if (!dag_.slot(round - 1, a).empty()) previous_authors.push_back(a);
+  }
+
+  std::vector<BlockPtr> out;
+  out.reserve(alive.size());
+  for (const ValidatorId author : alive) {
+    // Uniformly random 2f+1 subset of the previous round's authors (§2.3).
+    std::vector<ValidatorId> choices = previous_authors;
+    std::shuffle(choices.begin(), choices.end(), rng);
+    choices.resize(std::min<std::size_t>(choices.size(), quorum()));
+    // Also reference the author's own previous block if present (block
+    // creation rule of §2.3: "starting with their most recent block").
+    std::vector<BlockRef> refs;
+    const auto& own = dag_.slot(round - 1, author);
+    if (!own.empty() &&
+        std::find(choices.begin(), choices.end(), author) == choices.end()) {
+      refs.push_back(own.front()->ref());
+      // Keep the random subset at 2f+1 distinct previous-round authors: the
+      // own-block reference comes on top of the sampled quorum.
+    }
+    for (const ValidatorId choice : choices) {
+      refs.push_back(dag_.slot(round - 1, choice).front()->ref());
+    }
+    out.push_back(add_block(author, round, std::move(refs)));
+  }
+  return out;
+}
+
+std::vector<BlockPtr> DagBuilder::add_adversarial_round(
+    Round round, const std::vector<ValidatorId>& suppressed_authors,
+    std::vector<ValidatorId> alive) {
+  if (alive.empty()) alive = all_validators();
+  std::vector<ValidatorId> previous_authors;
+  for (ValidatorId a = 0; a < n(); ++a) {
+    if (!dag_.slot(round - 1, a).empty()) previous_authors.push_back(a);
+  }
+
+  // Preferred parents: everyone except the suppressed authors.
+  std::vector<ValidatorId> preferred;
+  for (const ValidatorId a : previous_authors) {
+    if (std::find(suppressed_authors.begin(), suppressed_authors.end(), a) ==
+        suppressed_authors.end()) {
+      preferred.push_back(a);
+    }
+  }
+
+  std::vector<BlockPtr> out;
+  out.reserve(alive.size());
+  for (const ValidatorId author : alive) {
+    // The adversary delivers only non-suppressed blocks when they suffice
+    // for a quorum; otherwise it must let enough suppressed blocks through.
+    std::vector<ValidatorId> chosen = preferred;
+    for (const ValidatorId a : suppressed_authors) {
+      if (chosen.size() >= quorum()) break;
+      if (std::find(previous_authors.begin(), previous_authors.end(), a) !=
+          previous_authors.end()) {
+        chosen.push_back(a);
+      }
+    }
+    std::vector<BlockRef> refs;
+    refs.reserve(chosen.size());
+    for (const ValidatorId c : chosen) {
+      refs.push_back(dag_.slot(round - 1, c).front()->ref());
+    }
+    out.push_back(add_block(author, round, std::move(refs)));
+  }
+  return out;
+}
+
+}  // namespace mahimahi

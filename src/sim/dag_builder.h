@@ -1,0 +1,79 @@
+// Direct DAG construction, bypassing networking.
+//
+// Used by the decision-rule tests (hand-crafted DAGs such as the paper's
+// Fig. 2), the property tests, and the commit-probability benches (Monte
+// Carlo over the random-network and asynchronous message-schedule models of
+// §2.3 / Appendix C). Blocks are real, signed blocks; only transport is
+// elided.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/options.h"
+#include "dag/dag.h"
+#include "types/committee.h"
+
+namespace mahimahi {
+
+class DagBuilder {
+ public:
+  explicit DagBuilder(std::uint32_t n, std::uint64_t seed = 42);
+
+  Dag& dag() { return dag_; }
+  const Dag& dag() const { return dag_; }
+  const Committee& committee() const { return setup_.committee; }
+  std::uint32_t n() const { return setup_.committee.size(); }
+  std::uint32_t f() const { return setup_.committee.f(); }
+  std::uint32_t quorum() const { return setup_.committee.quorum_threshold(); }
+
+  // The validator the coin will assign to `slot`. With the simulated coin
+  // this is computable before any block exists, which lets tests construct
+  // DAGs shaped around a known leader (e.g. the Fig. 2 scenarios).
+  ValidatorId leader_of(SlotId slot, const CommitterOptions& options) const {
+    const auto coin_value =
+        setup_.committee.coin().value(options.certify_round(slot.round));
+    return static_cast<ValidatorId>((coin_value + slot.leader_offset) % n());
+  }
+
+  // Adds a signed block with explicit parents. Parents must already be in
+  // the DAG. Returns the inserted block.
+  BlockPtr add_block(ValidatorId author, Round round, std::vector<BlockRef> parents,
+                     std::vector<TxBatch> batches = {});
+
+  // Convenience: parents given as blocks.
+  BlockPtr add_block_from(ValidatorId author, Round round,
+                          const std::vector<BlockPtr>& parents);
+
+  // Every author in `authors` proposes at `round`, referencing all blocks of
+  // round-1 (the fully-connected round used by most tests). Returns the new
+  // blocks, indexed by position in `authors`.
+  std::vector<BlockPtr> add_full_round(Round round, std::vector<ValidatorId> authors = {});
+
+  // Builds rounds 1..last_round fully connected.
+  void build_fully_connected(Round last_round);
+
+  // --- Message-schedule models (§2.3) --------------------------------------
+
+  // Random network model: each proposer at `round` references its own
+  // previous block plus blocks from a uniformly random subset of 2f+1
+  // authors of round-1. `alive` lists the proposing authors (defaults all).
+  std::vector<BlockPtr> add_random_network_round(Round round, Rng& rng,
+                                                 std::vector<ValidatorId> alive = {});
+
+  // Asynchronous adversary: `suppressed` blocks of round-1 are withheld from
+  // every proposer that can still form a 2f+1 quorum without them (the
+  // adversary delays targeted blocks as long as quorum formation allows —
+  // the leader-suppression attack of §2.2).
+  std::vector<BlockPtr> add_adversarial_round(Round round,
+                                              const std::vector<ValidatorId>& suppressed_authors,
+                                              std::vector<ValidatorId> alive = {});
+
+ private:
+  std::vector<ValidatorId> all_validators() const;
+
+  Committee::TestSetup setup_;
+  Dag dag_;
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,70 @@
+// Deterministic discrete-event queue.
+//
+// Events at equal timestamps execute in scheduling order (a monotone
+// sequence number breaks ties), so a seeded simulation is exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace mahimahi {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  TimeMicros now() const { return now_; }
+
+  void schedule(TimeMicros at, Callback callback) {
+    if (at < now_) at = now_;  // never schedule into the past
+    queue_.push(Event{at, next_seq_++, std::move(callback)});
+  }
+
+  void schedule_after(TimeMicros delay, Callback callback) {
+    schedule(now_ + delay, std::move(callback));
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  // Runs the next event; returns false when the queue is empty.
+  bool run_next() {
+    if (queue_.empty()) return false;
+    // priority_queue exposes const refs; the event must be moved out before
+    // executing, as callbacks may schedule more events.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    event.callback();
+    return true;
+  }
+
+  // Runs until the queue drains or simulated time exceeds `end`.
+  void run_until(TimeMicros end) {
+    while (!queue_.empty() && queue_.top().at <= end) run_next();
+    if (now_ < end) now_ = end;
+  }
+
+ private:
+  struct Event {
+    TimeMicros at;
+    std::uint64_t seq;
+    Callback callback;
+
+    bool operator>(const Event& other) const {
+      return at != other.at ? at > other.at : seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  TimeMicros now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mahimahi

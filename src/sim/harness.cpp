@@ -1,0 +1,398 @@
+#include "sim/harness.h"
+
+#include <algorithm>
+
+#include "baselines/cordial_miners.h"
+#include "baselines/tusk.h"
+#include "common/log.h"
+#include "wal/wal.h"
+
+namespace mahimahi::sim {
+
+std::string to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kMahiMahi5: return "Mahi-Mahi-5";
+    case Protocol::kMahiMahi4: return "Mahi-Mahi-4";
+    case Protocol::kMahiMahi3: return "Mahi-Mahi-3";
+    case Protocol::kCordialMiners: return "Cordial-Miners";
+    case Protocol::kTusk: return "Tusk";
+  }
+  return "?";
+}
+
+std::string SimResult::to_string() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "tps=%8.0f  avg=%6.3fs  p50=%6.3fs  p95=%6.3fs  rounds=%llu  "
+                "direct=%llu indirect=%llu skips=%llu",
+                committed_tps, avg_latency_s, p50_latency_s, p95_latency_s,
+                static_cast<unsigned long long>(max_round),
+                static_cast<unsigned long long>(commit_stats.direct_commits),
+                static_cast<unsigned long long>(commit_stats.indirect_commits),
+                static_cast<unsigned long long>(commit_stats.skipped_slots()));
+  return buffer;
+}
+
+namespace {
+
+constexpr std::uint64_t kOriginShift = 40;
+
+CommitterOptions options_for(const SimConfig& config) {
+  if (config.committer_override.has_value()) return *config.committer_override;
+  switch (config.protocol) {
+    case Protocol::kMahiMahi5: return mahi_mahi_5(config.leaders_per_round);
+    case Protocol::kMahiMahi4: return mahi_mahi_4(config.leaders_per_round);
+    case Protocol::kMahiMahi3: {
+      CommitterOptions o = mahi_mahi_5(config.leaders_per_round);
+      o.wave_length = 3;
+      return o;
+    }
+    case Protocol::kCordialMiners: return cordial_miners_shape(5);
+    case Protocol::kTusk: return {};  // unused (factory overrides)
+  }
+  return {};
+}
+
+}  // namespace
+
+struct SimHarness::Impl {
+  explicit Impl(SimConfig config_in)
+      : config(std::move(config_in)),
+        setup(Committee::make_test(config.n)),
+        rng(config.seed) {
+    if (config.wan) {
+      latency = std::make_unique<GeoLatency>(config.jitter_fraction);
+    } else {
+      latency = std::make_unique<UniformLatency>(config.uniform_latency,
+                                                 config.jitter_fraction);
+    }
+
+    egress_free.assign(config.n, 0);
+    batch_seq.assign(config.n, 0);
+    sequences.resize(config.n);
+
+    // Tusk: per-sender echo round trip — time to collect 2f+1 echoes
+    // (itself plus the 2f fastest peers).
+    cert_rtt.assign(config.n, 0);
+    if (config.protocol == Protocol::kTusk) {
+      const std::uint32_t needed = setup.committee.quorum_threshold() - 1;
+      for (ValidatorId v = 0; v < config.n; ++v) {
+        std::vector<TimeMicros> rtts;
+        for (ValidatorId u = 0; u < config.n; ++u) {
+          if (u == v || !alive(u)) continue;
+          rtts.push_back(latency->base(v, u) + latency->base(u, v));
+        }
+        std::sort(rtts.begin(), rtts.end());
+        cert_rtt[v] = rtts.empty() ? 0 : rtts[std::min<std::size_t>(needed, rtts.size()) - 1];
+      }
+    }
+
+    down.assign(config.n, 0);
+    mem_logs.resize(config.n);
+    wals.resize(config.n);
+    for (ValidatorId v = 0; v < config.n; ++v) {
+      if (!alive(v)) {
+        nodes.push_back(nullptr);
+        continue;
+      }
+      nodes.push_back(make_node(v));
+      if (!config.wal_dir.empty()) {
+        wals[v] = std::make_unique<FileWal>(wal_path(v));
+      }
+    }
+  }
+
+  std::unique_ptr<ValidatorCore> make_node(ValidatorId v) {
+    ValidatorConfig vc;
+    vc.id = v;
+    vc.min_round_delay = config.min_round_delay;
+    vc.committer = options_for(config);
+    if (config.protocol == Protocol::kTusk) {
+      vc.committer_factory = tusk_committer_factory();
+    }
+    vc.validation.verify_signature = config.verify_crypto;
+    vc.validation.verify_coin_share = config.verify_crypto;
+    if (config.verify_crypto) {
+      // All simulated validators share a process: one verification cache
+      // means each block pays ed25519 once instead of once per validator.
+      if (verifier_cache == nullptr) verifier_cache = std::make_shared<VerifierCache>();
+      vc.signature_cache = verifier_cache;
+    }
+    vc.byzantine_equivocate = v < config.equivocators;
+    return std::make_unique<ValidatorCore>(setup.committee,
+                                           setup.keypairs[v].private_key, vc);
+  }
+
+  std::string wal_path(ValidatorId v) const {
+    return config.wal_dir + "/v" + std::to_string(v) + ".wal";
+  }
+
+  bool alive(ValidatorId v) const { return v < config.n - config.crashed; }
+  // Alive AND not currently crashed by a RestartSpec.
+  bool running(ValidatorId v) const {
+    return alive(v) && !down[v] && nodes[v] != nullptr;
+  }
+  std::uint32_t alive_count() const { return config.n - config.crashed; }
+  bool in_window(TimeMicros t) const { return t >= config.warmup && t <= config.duration; }
+
+  TimeMicros transmission_delay(std::uint64_t bytes) const {
+    return static_cast<TimeMicros>(static_cast<double>(bytes) /
+                                   config.bandwidth_bytes_per_sec * kMicrosPerSecond);
+  }
+
+  void schedule_send(ValidatorId from, ValidatorId to, BlockPtr block) {
+    if (!alive(to) || to == from) return;
+    std::uint64_t bytes = block->wire_bytes();
+    if (config.protocol == Protocol::kTusk) {
+      // Certified dissemination: the block travels twice (proposal + final
+      // certified copy) and carries 2f+1 signatures.
+      bytes = bytes * 2 + setup.committee.quorum_threshold() * 96;
+    }
+    const TimeMicros start = std::max(queue.now(), egress_free[from]);
+    egress_free[from] = start + transmission_delay(bytes);
+    TimeMicros arrival = egress_free[from] + latency->sample(from, to, rng);
+    if (config.protocol == Protocol::kTusk) arrival += cert_rtt[from];
+    if (config.adversary != nullptr) {
+      arrival += config.adversary->block_delay(*block, from, to, queue.now(), rng);
+    }
+    queue.schedule(arrival, [this, from, to, block] {
+      // Checked at delivery time: a message in flight towards a validator
+      // that crashed meanwhile is lost (the synchronizer re-fetches it).
+      if (!running(to)) return;
+      handle_actions(to, nodes[to]->on_block(block, from, queue.now()));
+    });
+  }
+
+  void schedule_small_message(ValidatorId from, ValidatorId to,
+                              std::function<void()> deliver) {
+    if (!alive(to)) return;
+    TimeMicros arrival = queue.now() + latency->sample(from, to, rng);
+    if (config.adversary != nullptr) {
+      arrival += config.adversary->message_delay(from, to, queue.now(), rng);
+    }
+    queue.schedule(arrival, [this, to, deliver = std::move(deliver)] {
+      if (running(to)) deliver();
+    });
+  }
+
+  void handle_actions(ValidatorId v, Actions&& actions) {
+    // Broadcast own blocks. An equivocator's twin proposals are split:
+    // half the peers see one block, half the other.
+    const bool split = nodes[v]->config().byzantine_equivocate &&
+                       actions.broadcast.size() > 1;
+    for (ValidatorId peer = 0; peer < config.n; ++peer) {
+      if (peer == v || !alive(peer)) continue;
+      if (split) {
+        schedule_send(v, peer, actions.broadcast[peer % actions.broadcast.size()]);
+      } else {
+        for (const auto& block : actions.broadcast) schedule_send(v, peer, block);
+      }
+    }
+
+    for (auto& request : actions.fetch_requests) {
+      ++fetch_requests;
+      const ValidatorId peer = request.peer;
+      if (!alive(peer)) continue;
+      schedule_small_message(v, peer, [this, v, peer, refs = std::move(request.refs)] {
+        handle_actions(peer, nodes[peer]->on_fetch_request(refs, v, queue.now()));
+      });
+    }
+
+    for (auto& response : actions.responses) {
+      for (const auto& block : response.blocks) schedule_send(v, response.peer, block);
+    }
+
+    for (const auto& sub_dag : actions.committed) {
+      record_commits(v, sub_dag);
+    }
+
+    // Persist admitted blocks for crash recovery (only when a restart can
+    // actually happen; the log is pure overhead otherwise).
+    if (wals[v] != nullptr) {
+      for (const auto& block : actions.inserted) {
+        wals[v]->append_block(*block, block->author() == v);
+      }
+    } else if (!config.restarts.empty()) {
+      for (const auto& block : actions.inserted) mem_logs[v].push_back(block);
+    }
+  }
+
+  void record_commits(ValidatorId v, const CommittedSubDag& sub_dag) {
+    const TimeMicros now = queue.now();
+    if (config.record_sequences) {
+      for (const auto& block : sub_dag.blocks) sequences[v].push_back(block->ref());
+    }
+    for (const auto& block : sub_dag.blocks) {
+      for (const auto& batch : block->batches()) {
+        if (static_cast<ValidatorId>(batch.id >> kOriginShift) != v) continue;
+        // Origin-side commit: the validator the client submitted to.
+        if (batch.submitted_at >= config.warmup && in_window(now)) {
+          latency_recorder.record(now - batch.submitted_at, batch.count);
+        }
+        if (in_window(now)) committed_tx += batch.count;
+      }
+    }
+  }
+
+  void crash(ValidatorId v) {
+    if (!running(v)) return;
+    down[v] = 1;
+    nodes[v].reset();
+    if (wals[v] != nullptr) {
+      // Keep the file for replay; drop the open handle like a crash would.
+      wals[v]->sync();
+      wals[v].reset();
+    }
+  }
+
+  void restart(ValidatorId v) {
+    if (!alive(v) || !down[v]) return;
+    nodes[v] = make_node(v);
+    down[v] = 0;
+    // The restarted committer re-decides from the first slot, so its
+    // recorded sequence restarts from scratch too (replay repopulates it).
+    if (config.record_sequences) sequences[v].clear();
+
+    const auto replay_one = [this, v](BlockPtr block) {
+      Actions actions = nodes[v]->recover_block(std::move(block));
+      ++wal_replayed_blocks;
+      // Replayed commits were already counted before the crash: refresh the
+      // recorded sequence but leave throughput/latency metrics untouched.
+      if (config.record_sequences) {
+        for (const auto& sub : actions.committed) {
+          for (const auto& block_ptr : sub.blocks) {
+            sequences[v].push_back(block_ptr->ref());
+          }
+        }
+      }
+    };
+
+    if (!config.wal_dir.empty()) {
+      FileWal::Visitor visitor;
+      visitor.on_block = [&](BlockPtr block, bool) { replay_one(std::move(block)); };
+      visitor.on_commit = [](SlotId) {};
+      FileWal::replay(wal_path(v), visitor);
+      wals[v] = std::make_unique<FileWal>(wal_path(v));  // resume appends
+    } else {
+      for (const auto& block : mem_logs[v]) replay_one(block);
+    }
+
+    // Re-arm the driver loops that died while the validator was down.
+    queue.schedule_after(0, [this, v] { tick(v); });
+    queue.schedule_after(config.client_interval, [this, v] { inject_load(v); });
+  }
+
+  void inject_load(ValidatorId v) {
+    if (!running(v)) return;
+    const double interval_s = to_seconds(config.client_interval);
+    const double mean = config.load_tps / alive_count() * interval_s;
+    const std::uint64_t count = rng.poisson(mean);
+    if (count > 0) {
+      TxBatch batch;
+      batch.id = (static_cast<std::uint64_t>(v) << kOriginShift) | batch_seq[v]++;
+      batch.submitted_at = queue.now();
+      batch.count = static_cast<std::uint32_t>(count);
+      batch.tx_bytes = config.tx_bytes;
+      if (in_window(queue.now())) submitted_tx += count;
+      handle_actions(v, nodes[v]->on_transactions({std::move(batch)}, queue.now()));
+    }
+    queue.schedule_after(config.client_interval, [this, v] { inject_load(v); });
+  }
+
+  void tick(ValidatorId v) {
+    if (!running(v)) return;
+    handle_actions(v, nodes[v]->on_tick(queue.now()));
+    queue.schedule_after(config.tick_interval, [this, v] { tick(v); });
+  }
+
+  SimResult run() {
+    for (ValidatorId v = 0; v < config.n; ++v) {
+      if (!alive(v)) continue;
+      // Stagger startup slightly so same-time events do not depend on id
+      // ordering alone.
+      queue.schedule(static_cast<TimeMicros>(v), [this, v] { tick(v); });
+      queue.schedule(config.client_interval + static_cast<TimeMicros>(v),
+                     [this, v] { inject_load(v); });
+    }
+    for (const auto& spec : config.restarts) {
+      queue.schedule(spec.crash_at, [this, id = spec.id] { crash(id); });
+      if (spec.restart_at > spec.crash_at) {
+        queue.schedule(spec.restart_at, [this, id = spec.id] { restart(id); });
+      }
+    }
+    queue.run_until(config.duration);
+
+    SimResult result;
+    const double window_s = to_seconds(config.duration - config.warmup);
+    result.committed_tps = window_s > 0 ? committed_tx / window_s : 0;
+    result.submitted_tps = window_s > 0 ? submitted_tx / window_s : 0;
+    result.avg_latency_s = latency_recorder.mean_seconds();
+    result.p50_latency_s = latency_recorder.percentile_seconds(50);
+    result.p95_latency_s = latency_recorder.percentile_seconds(95);
+    result.p99_latency_s = latency_recorder.percentile_seconds(99);
+    result.latency_samples = latency_recorder.count();
+    // Stats validator: the lowest-id node still running at the end.
+    ValidatorId reporter = 0;
+    while (reporter < config.n && !running(reporter)) ++reporter;
+    if (reporter < config.n) {
+      result.max_round = nodes[reporter]->dag().highest_round();
+      result.commit_stats = nodes[reporter]->committer().stats();
+      result.total_blocks = nodes[reporter]->dag().block_count();
+      if (config.record_sequences) {
+        result.decisions = nodes[reporter]->committer().decided_sequence();
+      }
+    }
+    result.fetch_requests = fetch_requests;
+    result.wal_replayed_blocks = wal_replayed_blocks;
+    result.equivocation_cells = count_equivocation_cells();
+    if (config.record_sequences) {
+      result.sequences = std::move(sequences);
+    }
+    return result;
+  }
+
+  std::uint64_t count_equivocation_cells() const {
+    std::uint64_t worst = 0;
+    for (ValidatorId v = 0; v < config.n; ++v) {
+      if (!running(v)) continue;
+      std::uint64_t cells = 0;
+      const Dag& dag = nodes[v]->dag();
+      for (Round r = 1; r <= dag.highest_round(); ++r) {
+        for (ValidatorId author = 0; author < config.n; ++author) {
+          if (dag.slot(r, author).size() > 1) ++cells;
+        }
+      }
+      worst = std::max(worst, cells);
+    }
+    return worst;
+  }
+
+  SimConfig config;
+  Committee::TestSetup setup;
+  EventQueue queue;
+  std::unique_ptr<LatencyModel> latency;
+  Rng rng;
+  std::vector<std::unique_ptr<ValidatorCore>> nodes;
+  std::vector<TimeMicros> egress_free;
+  std::vector<TimeMicros> cert_rtt;
+  std::vector<std::uint64_t> batch_seq;
+  std::vector<char> down;                         // RestartSpec crash state
+  std::vector<std::unique_ptr<FileWal>> wals;     // per validator, when wal_dir set
+  std::vector<std::vector<BlockPtr>> mem_logs;    // in-memory WAL fallback
+  std::uint64_t wal_replayed_blocks = 0;
+  std::shared_ptr<VerifierCache> verifier_cache;  // shared when verify_crypto
+
+  LatencyRecorder latency_recorder;
+  std::vector<std::vector<BlockRef>> sequences;
+  std::uint64_t committed_tx = 0;
+  std::uint64_t submitted_tx = 0;
+  std::uint64_t fetch_requests = 0;
+};
+
+SimHarness::SimHarness(SimConfig config) : impl_(std::make_unique<Impl>(std::move(config))) {}
+SimHarness::~SimHarness() = default;
+SimResult SimHarness::run() { return impl_->run(); }
+
+SimResult run_simulation(const SimConfig& config) { return SimHarness(config).run(); }
+
+}  // namespace mahimahi::sim

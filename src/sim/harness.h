@@ -1,0 +1,154 @@
+// End-to-end discrete-event simulation of a geo-replicated deployment.
+//
+// Substitutes for the paper's AWS testbed (§5.1): n validator cores run the
+// real protocol logic (real blocks, real DAG, real commit rules) over a
+// simulated WAN with per-link latency sampling and sender-side bandwidth
+// serialization. Open-loop clients submit 512-byte transactions at a fixed
+// aggregate rate; the harness measures commit latency (submission at the
+// origin validator to commit at that validator) and committed throughput,
+// exactly the quantities on the axes of Figures 3-5 and 7.
+//
+// Protocol variants:
+//   * Mahi-Mahi (wave length 5/4/3, configurable leaders per round),
+//   * Cordial Miners (uncertified DAG, 1 leader per 5 rounds, no direct skip),
+//   * Tusk (certified DAG: dissemination pays a 2f+1 echo round trip before
+//     each block becomes referencable, and blocks carry certificate bytes).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "client/metrics.h"
+#include "core/options.h"
+#include "sim/adversary.h"
+#include "sim/event_queue.h"
+#include "sim/latency.h"
+#include "validator/validator.h"
+
+namespace mahimahi::sim {
+
+enum class Protocol { kMahiMahi5, kMahiMahi4, kMahiMahi3, kCordialMiners, kTusk };
+
+std::string to_string(Protocol protocol);
+
+struct SimConfig {
+  Protocol protocol = Protocol::kMahiMahi5;
+  std::uint32_t n = 10;
+  std::uint32_t leaders_per_round = 2;  // Mahi-Mahi only
+
+  // Faults: the last `crashed` validators never start; the first
+  // `equivocators` validators propose two conflicting blocks per round.
+  std::uint32_t crashed = 0;
+  std::uint32_t equivocators = 0;
+
+  // Dynamic crash/restart fault injection (in addition to the static
+  // `crashed` count): validator `id` halts at `crash_at` — in-flight
+  // messages to it are dropped — and, when `restart_at` is nonzero, rejoins
+  // then, rebuilding its DAG and proposer round by replaying its write-ahead
+  // log (§4 crash recovery). Missed blocks are re-acquired through the
+  // synchronizer's fetch path.
+  struct RestartSpec {
+    ValidatorId id = 0;
+    TimeMicros crash_at = 0;
+    TimeMicros restart_at = 0;  // 0 = crash only, never restarts
+  };
+  std::vector<RestartSpec> restarts;
+
+  // When non-empty, every live validator appends admitted blocks to a
+  // FileWal at `{wal_dir}/v{id}.wal` and restart replays that file — the
+  // real on-disk recovery path, serde included. When empty, restarts replay
+  // an in-memory block log. Use a fresh directory per run: the WAL appends.
+  std::string wal_dir;
+
+  // Network. wan=false uses UniformLatency(uniform_latency).
+  bool wan = true;
+  TimeMicros uniform_latency = millis(50);
+  double jitter_fraction = 0.08;
+
+  // Adversarial message scheduling layered on top of the latency model
+  // (see sim/adversary.h). Null = fair network.
+  std::shared_ptr<Adversary> adversary;
+  // Paper machines have 10 Gbps ≈ 1.25e9 B/s full duplex.
+  double bandwidth_bytes_per_sec = 1.25e9;
+
+  // Load: aggregate transactions/second across all clients, 512 B each
+  // (§5.1), injected as one batch per validator per client_interval.
+  double load_tps = 10'000;
+  std::uint32_t tx_bytes = 512;
+  TimeMicros client_interval = millis(25);
+
+  // Run control.
+  TimeMicros duration = seconds(25);
+  TimeMicros warmup = seconds(5);
+  TimeMicros tick_interval = millis(10);
+  std::uint64_t seed = 1;
+
+  // Minimum spacing between a validator's proposals. Real validators pace
+  // rounds by block building, signing, serialization and batching costs on
+  // top of quorum arrival; a pure-logic simulation without this floor runs
+  // rounds at raw link speed, which starves the farthest region's blocks of
+  // votes at wave length 4 (see EXPERIMENTS.md). 120ms approximates the
+  // paper's observed round cadence at moderate load (their 10-node MM-5
+  // latency of ~1.1s implies ~200ms effective rounds; we sit on the faster
+  // side while giving the farthest region enough slack to be voted for).
+  TimeMicros min_round_delay = millis(120);
+
+  // Signature/coin verification is off by default in simulation (all cores
+  // share a process; crypto cost is measured by the micro benches).
+  bool verify_crypto = false;
+
+  // Mahi-Mahi committer options are derived from `protocol` and
+  // `leaders_per_round`; override here if non-default shapes are needed.
+  std::optional<CommitterOptions> committer_override;
+
+  // Record every validator's delivered block sequence (for agreement
+  // checks in tests; costs memory at scale, so off by default).
+  bool record_sequences = false;
+};
+
+struct SimResult {
+  double committed_tps = 0;        // unique txs committed (origin-side) per second
+  double submitted_tps = 0;        // offered load actually injected
+  double avg_latency_s = 0;
+  double p50_latency_s = 0;
+  double p95_latency_s = 0;
+  double p99_latency_s = 0;
+  std::uint64_t latency_samples = 0;  // transactions measured
+  Round max_round = 0;                // highest DAG round reached (validator 0)
+  CommitStats commit_stats;           // validator 0's committer stats
+  std::uint64_t total_blocks = 0;     // blocks in validator 0's DAG
+  std::uint64_t fetch_requests = 0;   // synchronizer traffic across all nodes
+  std::uint64_t wal_replayed_blocks = 0;  // blocks replayed across all restarts
+
+  // Max over surviving validators of (author, round) cells holding more
+  // than one block — nonzero only if some author equivocated (configured
+  // equivocators, or a recovery bug re-proposing a logged round).
+  std::uint64_t equivocation_cells = 0;
+
+  // Per-validator delivered sequences (only if record_sequences was set).
+  std::vector<std::vector<BlockRef>> sequences;
+
+  // Validator 0's consumed slot decisions (diagnostics; filled when
+  // record_sequences is set).
+  std::vector<SlotDecision> decisions;
+
+  std::string to_string() const;
+};
+
+class SimHarness {
+ public:
+  explicit SimHarness(SimConfig config);
+  ~SimHarness();
+
+  SimResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Convenience: configure + run.
+SimResult run_simulation(const SimConfig& config);
+
+}  // namespace mahimahi::sim

@@ -1,0 +1,55 @@
+#include "sim/latency.h"
+
+#include <algorithm>
+
+namespace mahimahi {
+
+namespace {
+
+// One-way latencies (milliseconds) between the five regions, approximated
+// from public inter-region RTT tables (half RTT). Symmetric.
+constexpr double kOneWayMs[GeoLatency::kRegions][GeoLatency::kRegions] = {
+    //            Ohio  Oregon  CapeTown  HongKong  Milan
+    /* Ohio     */ {1.0, 25.0, 117.0, 95.0, 50.0},
+    /* Oregon   */ {25.0, 1.0, 135.0, 72.0, 70.0},
+    /* CapeTown */ {117.0, 135.0, 1.0, 140.0, 75.0},
+    /* HongKong */ {95.0, 72.0, 140.0, 1.0, 90.0},
+    /* Milan    */ {50.0, 70.0, 75.0, 90.0, 1.0},
+};
+
+TimeMicros with_jitter(TimeMicros base, double jitter_fraction, Rng& rng) {
+  if (jitter_fraction <= 0.0) return base;
+  const double jitter = rng.gaussian() * jitter_fraction * static_cast<double>(base);
+  const auto result = static_cast<TimeMicros>(static_cast<double>(base) + jitter);
+  // Delays never drop below a fifth of the base (no faster-than-light links).
+  return std::max(result, base / 5);
+}
+
+}  // namespace
+
+TimeMicros UniformLatency::sample(ValidatorId, ValidatorId, Rng& rng) {
+  return with_jitter(base_, jitter_fraction_, rng);
+}
+
+TimeMicros GeoLatency::base(ValidatorId from, ValidatorId to) const {
+  const std::size_t region_from = from % kRegions;
+  const std::size_t region_to = to % kRegions;
+  return static_cast<TimeMicros>(kOneWayMs[region_from][region_to] * kMicrosPerMilli);
+}
+
+TimeMicros GeoLatency::sample(ValidatorId from, ValidatorId to, Rng& rng) {
+  return with_jitter(base(from, to), jitter_fraction_, rng);
+}
+
+const char* GeoLatency::region_name(std::size_t region) {
+  switch (region) {
+    case kOhio: return "us-east-2 (Ohio)";
+    case kOregon: return "us-west-2 (Oregon)";
+    case kCapeTown: return "af-south-1 (Cape Town)";
+    case kHongKong: return "ap-east-1 (Hong Kong)";
+    case kMilan: return "eu-south-1 (Milan)";
+  }
+  return "?";
+}
+
+}  // namespace mahimahi

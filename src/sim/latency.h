@@ -1,0 +1,64 @@
+// Network latency models.
+//
+// The geo model reproduces the paper's testbed shape (§5.1): validators
+// spread round-robin across five AWS regions — Ohio (us-east-2), Oregon
+// (us-west-2), Cape Town (af-south-1), Hong Kong (ap-east-1), Milan
+// (eu-south-1) — with one-way latencies approximating public inter-region
+// RTT measurements, plus Gaussian jitter. Absolute values need not match the
+// paper's runs; the protocol comparisons depend on the *shape* (quorum
+// formation time across a WAN).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "types/ids.h"
+
+namespace mahimahi {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  // One-way delay for a message from -> to, sampled per message.
+  virtual TimeMicros sample(ValidatorId from, ValidatorId to, Rng& rng) = 0;
+  // Expected (jitter-free) one-way delay; used for derived quantities such
+  // as the Tusk certification round-trip.
+  virtual TimeMicros base(ValidatorId from, ValidatorId to) const = 0;
+};
+
+// Uniform latency with jitter; for tests and controlled experiments.
+class UniformLatency : public LatencyModel {
+ public:
+  UniformLatency(TimeMicros base, double jitter_fraction = 0.0)
+      : base_(base), jitter_fraction_(jitter_fraction) {}
+
+  TimeMicros sample(ValidatorId, ValidatorId, Rng& rng) override;
+  TimeMicros base(ValidatorId, ValidatorId) const override { return base_; }
+
+ private:
+  TimeMicros base_;
+  double jitter_fraction_;
+};
+
+// Five-region WAN model; validator v lives in region v % 5.
+class GeoLatency : public LatencyModel {
+ public:
+  static constexpr std::size_t kRegions = 5;
+  enum Region { kOhio = 0, kOregon, kCapeTown, kHongKong, kMilan };
+
+  explicit GeoLatency(double jitter_fraction = 0.08)
+      : jitter_fraction_(jitter_fraction) {}
+
+  TimeMicros sample(ValidatorId from, ValidatorId to, Rng& rng) override;
+  TimeMicros base(ValidatorId from, ValidatorId to) const override;
+
+  static const char* region_name(std::size_t region);
+
+ private:
+  double jitter_fraction_;
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,110 @@
+#include "types/block.h"
+
+#include "crypto/blake2b.h"
+
+namespace mahimahi {
+
+namespace {
+constexpr std::string_view kDigestDomain = "mahi-mahi/block/v1";
+}
+
+Block Block::make(ValidatorId author, Round round, std::vector<BlockRef> parents,
+                  std::vector<TxBatch> batches, crypto::CoinShare coin_share,
+                  const crypto::Ed25519PrivateKey& key) {
+  Block b;
+  b.author_ = author;
+  b.round_ = round;
+  b.parents_ = std::move(parents);
+  b.batches_ = std::move(batches);
+  b.coin_share_ = coin_share;
+  b.finalize_digest();
+  b.signature_ = crypto::ed25519_sign(key, b.digest_.view());
+  return b;
+}
+
+Block Block::genesis(ValidatorId author, const crypto::ThresholdCoin& coin) {
+  Block b;
+  b.author_ = author;
+  b.round_ = 0;
+  b.coin_share_ = coin.share(author, 0);
+  b.finalize_digest();
+  // Genesis carries no signature; it is constructed locally by everyone.
+  return b;
+}
+
+std::uint64_t Block::transaction_count() const {
+  std::uint64_t total = 0;
+  for (const auto& batch : batches_) total += batch.count;
+  return total;
+}
+
+std::uint64_t Block::wire_bytes() const {
+  // Header approximation: author, round, parents, coin share, signature.
+  std::uint64_t total = 4 + 9 + parents_.size() * 44 + 32 + 64;
+  for (const auto& batch : batches_) total += 24 + batch.wire_bytes();
+  return total;
+}
+
+Bytes Block::content_bytes() const {
+  serde::Writer w(256 + batches_.size() * 32 + parents_.size() * 48);
+  w.raw(as_bytes_view(kDigestDomain));
+  w.u32(author_);
+  w.varint(round_);
+  w.varint(parents_.size());
+  for (const auto& parent : parents_) {
+    w.varint(parent.round);
+    w.u32(parent.author);
+    w.digest(parent.digest);
+  }
+  w.digest(coin_share_);
+  w.varint(batches_.size());
+  for (const auto& batch : batches_) batch.serialize(w);
+  return std::move(w).take();
+}
+
+void Block::finalize_digest() {
+  const Bytes content = content_bytes();
+  digest_ = crypto::Blake2b::hash256({content.data(), content.size()});
+}
+
+Bytes Block::serialize() const {
+  serde::Writer w;
+  const Bytes content = content_bytes();
+  w.raw({content.data(), content.size()});
+  w.raw({signature_.bytes.data(), signature_.bytes.size()});
+  return std::move(w).take();
+}
+
+Block Block::deserialize(BytesView data) {
+  serde::Reader r(data);
+  const BytesView domain = r.raw(kDigestDomain.size());
+  if (!std::equal(domain.begin(), domain.end(), kDigestDomain.begin(),
+                  kDigestDomain.end())) {
+    throw serde::SerdeError("bad block domain tag");
+  }
+  Block b;
+  b.author_ = r.u32();
+  b.round_ = r.varint();
+  const std::uint64_t parent_count = r.varint();
+  if (parent_count > 1 << 20) throw serde::SerdeError("absurd parent count");
+  b.parents_.reserve(parent_count);
+  for (std::uint64_t i = 0; i < parent_count; ++i) {
+    BlockRef ref;
+    ref.round = r.varint();
+    ref.author = r.u32();
+    ref.digest = r.digest();
+    b.parents_.push_back(ref);
+  }
+  b.coin_share_ = r.digest();
+  const std::uint64_t batch_count = r.varint();
+  if (batch_count > 1 << 24) throw serde::SerdeError("absurd batch count");
+  b.batches_.reserve(batch_count);
+  for (std::uint64_t i = 0; i < batch_count; ++i) b.batches_.push_back(TxBatch::deserialize(r));
+  const BytesView sig = r.raw(64);
+  std::copy(sig.begin(), sig.end(), b.signature_.bytes.begin());
+  r.expect_done();
+  b.finalize_digest();
+  return b;
+}
+
+}  // namespace mahimahi

@@ -1,0 +1,78 @@
+// Blocks: the single message type of the protocol (§2.3).
+//
+// A block carries (1) author and signature, (2) round number, (3) a list of
+// transaction batches, (4) hash references to parent blocks — at least 2f+1
+// distinct authors from round R-1, by convention the author's own previous
+// block first — and (5) a share of the global perfect coin for round R.
+//
+// The digest commits to everything except the signature; the signature signs
+// the digest. Blocks are immutable after construction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/coin.h"
+#include "crypto/ed25519.h"
+#include "types/ids.h"
+#include "types/transaction.h"
+
+namespace mahimahi {
+
+class Block {
+ public:
+  // Constructs and signs a block. `parents` must already satisfy the
+  // structural rules (the proposer guarantees this; validation re-checks).
+  static Block make(ValidatorId author, Round round, std::vector<BlockRef> parents,
+                    std::vector<TxBatch> batches, crypto::CoinShare coin_share,
+                    const crypto::Ed25519PrivateKey& key);
+
+  // The deterministic genesis block of `author` (round 0, no parents, no
+  // transactions, zero signature). Never transmitted: every validator
+  // constructs the same genesis locally.
+  static Block genesis(ValidatorId author, const crypto::ThresholdCoin& coin);
+
+  ValidatorId author() const { return author_; }
+  Round round() const { return round_; }
+  const std::vector<BlockRef>& parents() const { return parents_; }
+  const std::vector<TxBatch>& batches() const { return batches_; }
+  const crypto::CoinShare& coin_share() const { return coin_share_; }
+  const crypto::Ed25519Signature& signature() const { return signature_; }
+  const Digest& digest() const { return digest_; }
+
+  BlockRef ref() const { return BlockRef{round_, author_, digest_}; }
+
+  // Total transactions across batches.
+  std::uint64_t transaction_count() const;
+  // Approximate wire size (header + batches); used for bandwidth modelling.
+  std::uint64_t wire_bytes() const;
+
+  // Wire codec. deserialize() recomputes the digest from the received
+  // content; it performs structural decoding only (no semantic validation —
+  // see types/validation.h).
+  Bytes serialize() const;
+  static Block deserialize(BytesView data);
+
+  bool operator==(const Block& other) const { return digest_ == other.digest_; }
+
+ private:
+  Block() = default;
+
+  // Digest preimage: all fields except the signature, domain-separated.
+  Bytes content_bytes() const;
+  void finalize_digest();
+
+  ValidatorId author_ = 0;
+  Round round_ = 0;
+  std::vector<BlockRef> parents_;
+  std::vector<TxBatch> batches_;
+  crypto::CoinShare coin_share_;
+  crypto::Ed25519Signature signature_;
+  Digest digest_;
+};
+
+// Blocks are shared widely (DAG store, pending buffers, commit outputs);
+// they are reference-counted and immutable.
+using BlockPtr = std::shared_ptr<const Block>;
+
+}  // namespace mahimahi

@@ -1,0 +1,53 @@
+// Identifiers shared across the protocol stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "crypto/digest.h"
+
+namespace mahimahi {
+
+// Index of a validator within the committee, in [0, n).
+using ValidatorId = std::uint32_t;
+
+// DAG round number. Round 0 holds the genesis blocks.
+using Round = std::uint64_t;
+
+// A hash reference to a block: enough to identify it globally (digest) and to
+// index it structurally (round, author) without fetching it.
+struct BlockRef {
+  Round round = 0;
+  ValidatorId author = 0;
+  Digest digest;
+
+  auto operator<=>(const BlockRef&) const = default;
+
+  std::string to_string() const {
+    return "B(v" + std::to_string(author) + ",r" + std::to_string(round) + "," +
+           digest.short_hex() + ")";
+  }
+};
+
+struct BlockRefHasher {
+  std::size_t operator()(const BlockRef& ref) const {
+    return DigestHasher{}(ref.digest);
+  }
+};
+
+// A leader slot: (round, offset among the leaders of that round). The coin
+// maps a slot to a validator; the slot may be empty, hold one block, or hold
+// several equivocating blocks (§3.1).
+struct SlotId {
+  Round round = 0;
+  std::uint32_t leader_offset = 0;
+
+  auto operator<=>(const SlotId&) const = default;
+
+  std::string to_string() const {
+    return "L(r" + std::to_string(round) + "," + std::to_string(leader_offset) + ")";
+  }
+};
+
+}  // namespace mahimahi

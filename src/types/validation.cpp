@@ -1,0 +1,53 @@
+#include "types/validation.h"
+
+#include <unordered_set>
+
+namespace mahimahi {
+
+std::string to_string(BlockValidity validity) {
+  switch (validity) {
+    case BlockValidity::kValid: return "valid";
+    case BlockValidity::kUnknownAuthor: return "unknown author";
+    case BlockValidity::kBadSignature: return "bad signature";
+    case BlockValidity::kBadCoinShare: return "bad coin share";
+    case BlockValidity::kGenesisFromNetwork: return "genesis block from network";
+    case BlockValidity::kDuplicateParents: return "duplicate parent references";
+    case BlockValidity::kParentFromFuture: return "parent from same or future round";
+    case BlockValidity::kParentUnknownAuthor: return "parent by unknown author";
+    case BlockValidity::kInsufficientParentQuorum: return "fewer than 2f+1 parents at R-1";
+  }
+  return "?";
+}
+
+BlockValidity validate_block(const Block& block, const Committee& committee,
+                             const ValidationOptions& options) {
+  if (!committee.contains(block.author())) return BlockValidity::kUnknownAuthor;
+  if (block.round() == 0) return BlockValidity::kGenesisFromNetwork;
+
+  std::unordered_set<Digest, DigestHasher> seen;
+  std::unordered_set<ValidatorId> previous_round_authors;
+  for (const auto& parent : block.parents()) {
+    if (!committee.contains(parent.author)) return BlockValidity::kParentUnknownAuthor;
+    if (parent.round >= block.round()) return BlockValidity::kParentFromFuture;
+    if (!seen.insert(parent.digest).second) return BlockValidity::kDuplicateParents;
+    if (parent.round == block.round() - 1) previous_round_authors.insert(parent.author);
+  }
+  if (previous_round_authors.size() < committee.quorum_threshold()) {
+    return BlockValidity::kInsufficientParentQuorum;
+  }
+
+  if (options.verify_coin_share &&
+      !committee.coin().verify_share(block.author(), block.round(), block.coin_share())) {
+    return BlockValidity::kBadCoinShare;
+  }
+
+  if (options.verify_signature &&
+      !crypto::ed25519_verify(committee.public_key(block.author()),
+                              block.digest().view(), block.signature())) {
+    return BlockValidity::kBadSignature;
+  }
+
+  return BlockValidity::kValid;
+}
+
+}  // namespace mahimahi

@@ -1,0 +1,44 @@
+// Block validity rules (§2.3).
+//
+// A block is valid if: (1) the signature is valid and the author is in the
+// validator set; (2) parent references are distinct, point strictly to
+// earlier rounds, and include at least 2f+1 distinct authors from round R-1;
+// (3) the coin share is valid. The remaining rule — "the causal history has
+// been downloaded and validated" — is enforced by the synchronizer before a
+// block is admitted to the DAG, not here.
+#pragma once
+
+#include <string>
+
+#include "types/block.h"
+#include "types/committee.h"
+
+namespace mahimahi {
+
+enum class BlockValidity {
+  kValid,
+  kUnknownAuthor,
+  kBadSignature,
+  kBadCoinShare,
+  kGenesisFromNetwork,   // round-0 blocks are never accepted off the wire
+  kDuplicateParents,
+  kParentFromFuture,     // parent.round >= block.round
+  kParentUnknownAuthor,
+  kInsufficientParentQuorum,  // fewer than 2f+1 distinct authors at R-1
+};
+
+std::string to_string(BlockValidity validity);
+
+struct ValidationOptions {
+  // Signature verification can be skipped (simulator fast path). The
+  // validator core additionally consults a digest-keyed verification cache
+  // (validator/verifier_cache.h) before paying for ed25519, when one is
+  // configured (ValidatorConfig::signature_cache).
+  bool verify_signature = true;
+  bool verify_coin_share = true;
+};
+
+BlockValidity validate_block(const Block& block, const Committee& committee,
+                             const ValidationOptions& options = {});
+
+}  // namespace mahimahi

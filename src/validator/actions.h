@@ -1,0 +1,56 @@
+// Outputs of a validator step.
+//
+// The validator core is sans-IO: every input handler returns the I/O the
+// driver (simulator or TCP runtime) must perform. Handlers never touch
+// sockets or clocks.
+#pragma once
+
+#include <vector>
+
+#include "core/decision.h"
+#include "types/block.h"
+
+namespace mahimahi {
+
+struct Actions {
+  // Own new block(s) to broadcast to every peer. More than one entry only
+  // for a Byzantine equivocator (the driver splits delivery).
+  std::vector<BlockPtr> broadcast;
+
+  // Missing ancestors to request, per peer.
+  struct FetchRequest {
+    ValidatorId peer;
+    std::vector<BlockRef> refs;
+  };
+  std::vector<FetchRequest> fetch_requests;
+
+  // Blocks to send to a specific peer (responses to its fetch requests).
+  struct BlockResponse {
+    ValidatorId peer;
+    std::vector<BlockPtr> blocks;
+  };
+  std::vector<BlockResponse> responses;
+
+  // Newly committed sub-DAGs, in commit order.
+  std::vector<CommittedSubDag> committed;
+
+  // Every block admitted to the DAG by this step, in insertion (= causal)
+  // order: received blocks, unblocked pending blocks, and own proposals.
+  // Drivers append these to the write-ahead log.
+  std::vector<BlockPtr> inserted;
+
+  void merge(Actions&& other) {
+    for (auto& b : other.broadcast) broadcast.push_back(std::move(b));
+    for (auto& f : other.fetch_requests) fetch_requests.push_back(std::move(f));
+    for (auto& r : other.responses) responses.push_back(std::move(r));
+    for (auto& c : other.committed) committed.push_back(std::move(c));
+    for (auto& i : other.inserted) inserted.push_back(std::move(i));
+  }
+
+  bool empty() const {
+    return broadcast.empty() && fetch_requests.empty() && responses.empty() &&
+           committed.empty() && inserted.empty();
+  }
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,59 @@
+// Validator configuration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/committer_base.h"
+#include "core/options.h"
+#include "types/committee.h"
+#include "types/validation.h"
+#include "validator/verifier_cache.h"
+
+namespace mahimahi {
+
+struct ValidatorConfig {
+  ValidatorId id = 0;
+
+  // Commit-rule options for the default (Mahi-Mahi) committer. Also covers
+  // the Cordial Miners shape via cordial_miners_shape().
+  CommitterOptions committer;
+
+  // Override to plug a different commit rule (e.g. the Tusk baseline). When
+  // set, `committer` is ignored.
+  std::function<std::unique_ptr<CommitterBase>(const Dag&, const Committee&)>
+      committer_factory;
+
+  // Block construction caps (back-pressure on the mempool).
+  std::size_t max_block_batches = 4096;
+  std::uint64_t max_block_payload_bytes = 8 * 1024 * 1024;
+
+  // Minimum spacing between own proposals. 0 = advance as soon as a 2f+1
+  // quorum for the previous round exists (pure asynchronous pace).
+  TimeMicros min_round_delay = 0;
+
+  // Semantic validation toggles (see types/validation.h). The simulator's
+  // high-rate benches disable signature checks: all validators share a
+  // process, and crypto cost is measured separately by the micro benches.
+  ValidationOptions validation;
+
+  // Optional digest-keyed signature-verification cache consulted before the
+  // ed25519 check. Useful when several validator cores share one process
+  // (the simulator, in-memory test clusters): each block then pays ed25519
+  // once per process instead of once per validator. A single isolated node
+  // gains nothing — its duplicate deliveries are dropped before validation.
+  // Null = verify every time.
+  std::shared_ptr<VerifierCache> signature_cache;
+
+  // Byzantine behaviour knob for fault-injection tests: produce two
+  // equivocating blocks per round. The transport layer decides which peers
+  // receive which block.
+  bool byzantine_equivocate = false;
+
+  // Synchronizer limits.
+  std::size_t max_pending_blocks = 100'000;
+  TimeMicros fetch_retry_delay = 500 * kMicrosPerMilli;
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,42 @@
+// FIFO transaction-batch mempool with byte accounting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "types/transaction.h"
+
+namespace mahimahi {
+
+class Mempool {
+ public:
+  void push(TxBatch batch) {
+    bytes_ += batch.wire_bytes();
+    queue_.push_back(std::move(batch));
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+  std::uint64_t bytes() const { return bytes_; }
+
+  // Drains up to max_batches / max_bytes worth of batches, FIFO.
+  std::vector<TxBatch> drain(std::size_t max_batches, std::uint64_t max_bytes) {
+    std::vector<TxBatch> out;
+    std::uint64_t taken_bytes = 0;
+    while (!queue_.empty() && out.size() < max_batches) {
+      const std::uint64_t batch_bytes = queue_.front().wire_bytes();
+      if (!out.empty() && taken_bytes + batch_bytes > max_bytes) break;
+      taken_bytes += batch_bytes;
+      bytes_ -= batch_bytes;
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return out;
+  }
+
+ private:
+  std::deque<TxBatch> queue_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,279 @@
+#include "validator/validator.h"
+
+#include "common/log.h"
+
+namespace mahimahi {
+
+ValidatorCore::ValidatorCore(const Committee& committee, crypto::Ed25519PrivateKey key,
+                             ValidatorConfig config)
+    : committee_(committee),
+      key_(key),
+      config_(config),
+      dag_(committee),
+      committer_(config.committer_factory
+                     ? config.committer_factory(dag_, committee)
+                     : std::make_unique<Committer>(dag_, committee, config.committer)),
+      synchronizer_(dag_, config.max_pending_blocks) {
+  own_last_block_ = dag_.slot(0, config_.id).front();  // own genesis
+  // Genesis blocks of every validator start as tips.
+  for (const auto& block : dag_.blocks_at(0)) tips_.insert(block->ref());
+}
+
+void ValidatorCore::note_inserted(const BlockPtr& block) {
+  // A block stays a tip until referenced by one of OUR OWN proposals (not
+  // merely by someone else's block): every honest proposal must pull all
+  // locally-known-but-unreferenced blocks into its causal history, so that
+  // stragglers from slow links still reach the vote round in time. Removing
+  // tips on third-party references would leave a slow validator's blocks
+  // reachable only through its own (equally slow) chain, starving them of
+  // votes — observable as spurious skips of far-region leaders at wave
+  // length 4.
+  tips_.insert(block->ref());
+}
+
+Actions ValidatorCore::on_block(BlockPtr block, ValidatorId from, TimeMicros now) {
+  return ingest(std::move(block), from, now);
+}
+
+Actions ValidatorCore::recover_block(BlockPtr block) {
+  Actions actions;
+  if (dag_.contains(block->digest())) return actions;
+  if (block->author() == config_.id) {
+    // Restore the proposer round even if the block itself cannot be
+    // re-inserted: never re-propose (equivocate on) a logged round.
+    if (block->round() > last_proposed_round_) {
+      last_proposed_round_ = block->round();
+      own_last_block_ = block;
+    }
+  }
+  if (!dag_.parents_present(*block)) {
+    // Possible when the pre-crash validator admitted this block through the
+    // GC exemption (a parent below its pruned horizon was never inserted,
+    // so it is not in the log either). Skip it: the commit sequence never
+    // needs sub-horizon history, and the live synchronizer re-fetches
+    // anything still relevant.
+    MM_LOG(kInfo) << "v" << config_.id << " WAL replay skipped "
+                  << block->ref().to_string() << " (parents beyond the GC horizon)";
+    return actions;
+  }
+  dag_.insert(block);
+  note_inserted(block);
+  actions.inserted.push_back(block);
+  auto committed = committer_->try_commit();
+  for (auto& sub_dag : committed) actions.committed.push_back(std::move(sub_dag));
+  maybe_gc(actions);
+  return actions;
+}
+
+Actions ValidatorCore::ingest(BlockPtr block, ValidatorId from, TimeMicros now) {
+  Actions actions;
+  if (dag_.contains(block->digest()) || synchronizer_.is_pending(block->digest())) {
+    return actions;
+  }
+  if (block->round() < dag_.pruned_below()) {
+    return actions;  // stale: below the GC horizon, can never be delivered
+  }
+
+  // Consult the verification cache: a digest that verified once (possibly
+  // at a co-located validator sharing the cache) need not pay ed25519 again.
+  ValidationOptions validation = config_.validation;
+  const auto& cache = config_.signature_cache;
+  const bool cacheable = cache != nullptr && validation.verify_signature;
+  if (cacheable) {
+    if (cache->contains(block->digest())) {
+      validation.verify_signature = false;
+      cache->count_hit();
+    } else {
+      cache->count_miss();
+    }
+  }
+
+  const BlockValidity validity = validate_block(*block, committee_, validation);
+  if (validity != BlockValidity::kValid) {
+    ++blocks_rejected_;
+    MM_LOG(kDebug) << "v" << config_.id << " rejected block from v" << from << ": "
+                   << to_string(validity);
+    return actions;
+  }
+  if (cacheable && validation.verify_signature) cache->insert(block->digest());
+
+  auto outcome = synchronizer_.offer(std::move(block));
+  for (const auto& inserted : outcome.inserted) note_inserted(inserted);
+
+  // Request missing ancestors from the sender (it referenced them, so it
+  // must hold them — Lemma 8).
+  if (!outcome.missing.empty()) {
+    Actions::FetchRequest request;
+    request.peer = from;
+    for (const auto& ref : outcome.missing) {
+      const auto [it, fresh] = inflight_fetches_.try_emplace(
+          ref.digest, FetchState{from, now});
+      if (fresh || now - it->second.asked_at >= config_.fetch_retry_delay) {
+        it->second = FetchState{from, now};
+        request.refs.push_back(ref);
+      }
+    }
+    if (!request.refs.empty()) actions.fetch_requests.push_back(std::move(request));
+  }
+
+  if (!outcome.inserted.empty()) {
+    for (const auto& inserted : outcome.inserted) {
+      inflight_fetches_.erase(inserted->digest());
+      actions.inserted.push_back(inserted);
+    }
+    maybe_propose(now, actions);
+    auto committed = committer_->try_commit();
+    for (auto& sub_dag : committed) actions.committed.push_back(std::move(sub_dag));
+    maybe_gc(actions);
+  }
+  return actions;
+}
+
+void ValidatorCore::maybe_gc(Actions& actions) {
+  const Round depth = config_.committer.gc_depth;
+  if (depth == 0) return;
+  const Round head = committer_->next_pending_slot().round;
+  if (head <= depth) return;
+  const Round horizon = head - depth;
+  if (horizon <= dag_.pruned_below()) return;
+  // Safe by the deterministic delivery cut: every slot below `head` is
+  // consumed, and any future leader (round >= head) delivers only blocks
+  // with round >= head - gc_depth, so rounds below `horizon` are dead.
+  dag_.prune_below(horizon);
+  committer_->prune_below(horizon);
+  std::erase_if(tips_, [horizon](const BlockRef& ref) { return ref.round < horizon; });
+  // Pending blocks waiting only on sub-horizon parents unblock now; they
+  // must reach the WAL (actions.inserted) like any other insertion.
+  for (BlockPtr& unblocked : synchronizer_.prune_below(horizon)) {
+    inflight_fetches_.erase(unblocked->digest());
+    note_inserted(unblocked);
+    actions.inserted.push_back(std::move(unblocked));
+  }
+}
+
+Actions ValidatorCore::on_transactions(std::vector<TxBatch> batches, TimeMicros now) {
+  Actions actions;
+  for (auto& batch : batches) mempool_.push(std::move(batch));
+  maybe_propose(now, actions);
+  return actions;
+}
+
+Actions ValidatorCore::on_fetch_request(const std::vector<BlockRef>& refs,
+                                        ValidatorId from, TimeMicros) {
+  Actions actions;
+  Actions::BlockResponse response;
+  response.peer = from;
+  for (const auto& ref : refs) {
+    if (const BlockPtr block = dag_.get(ref.digest)) {
+      if (block->round() > 0) response.blocks.push_back(block);
+    }
+  }
+  if (!response.blocks.empty()) actions.responses.push_back(std::move(response));
+  return actions;
+}
+
+Actions ValidatorCore::on_tick(TimeMicros now) {
+  Actions actions;
+  // Retry stale fetches (the original peer may have failed).
+  std::unordered_map<ValidatorId, std::vector<BlockRef>> retries;
+  for (const auto& ref : synchronizer_.outstanding()) {
+    const auto it = inflight_fetches_.find(ref.digest);
+    if (it == inflight_fetches_.end()) continue;
+    if (now - it->second.asked_at < config_.fetch_retry_delay) continue;
+    // Rotate to the block's author, then round-robin across the committee.
+    const ValidatorId next_peer =
+        it->second.peer == ref.author
+            ? static_cast<ValidatorId>((it->second.peer + 1) % committee_.size())
+            : ref.author;
+    it->second = FetchState{next_peer, now};
+    retries[next_peer].push_back(ref);
+  }
+  for (auto& [peer, refs] : retries) {
+    actions.fetch_requests.push_back({peer, std::move(refs)});
+  }
+
+  maybe_propose(now, actions);
+  return actions;
+}
+
+void ValidatorCore::maybe_propose(TimeMicros now, Actions& actions) {
+  // Advance rule: propose at r*+1 where r* is the highest round with a 2f+1
+  // distinct-author quorum. Skipping ahead lets a lagging validator rejoin.
+  Round quorum_round = 0;
+  for (Round r = dag_.highest_round();; --r) {
+    if (dag_.distinct_authors_at(r) >= committee_.quorum_threshold()) {
+      quorum_round = r;
+      break;
+    }
+    if (r == 0) break;
+  }
+  const Round target = quorum_round + 1;
+  if (target <= last_proposed_round_) return;
+  if (last_proposal_time_.has_value() &&
+      now - *last_proposal_time_ < config_.min_round_delay) {
+    return;
+  }
+
+  const BlockPtr block = build_own_block(target, now);
+  last_proposed_round_ = target;
+  last_proposal_time_ = now;
+  own_last_block_ = block;
+  dag_.insert(block);
+  note_inserted(block);
+  actions.broadcast.push_back(block);
+  actions.inserted.push_back(block);
+
+  if (config_.byzantine_equivocate) {
+    // A second, conflicting block for the same round: marker batch plus the
+    // same parents. The driver decides which peers see which block.
+    TxBatch marker;
+    marker.id = 0xe001'0000'0000'0000ULL + ++equivocation_counter_;
+    marker.count = 0;
+    marker.tx_bytes = 0;
+    auto twin = std::make_shared<const Block>(
+        Block::make(config_.id, target, own_last_block_->parents(), {marker},
+                    committee_.coin().share(config_.id, target), key_));
+    dag_.insert(twin);
+    actions.broadcast.push_back(twin);
+    actions.inserted.push_back(twin);
+  }
+
+  // Committing may be possible immediately (our block may complete a wave).
+  auto committed = committer_->try_commit();
+  for (auto& sub_dag : committed) actions.committed.push_back(std::move(sub_dag));
+  maybe_gc(actions);
+
+  // Chain proposals: our own block may complete the quorum for the next
+  // round only if others' blocks arrive, so no recursion is needed here.
+}
+
+BlockPtr ValidatorCore::build_own_block(Round round, TimeMicros now) {
+  (void)now;
+  // Parents: own previous block first (§2.3), then one block per distinct
+  // author of round-1, then any remaining unreferenced tips below `round`.
+  std::vector<BlockRef> parents;
+  std::set<Digest> chosen;
+  const auto add_parent = [&](const BlockRef& ref) {
+    if (ref.round >= round) return;
+    if (chosen.insert(ref.digest).second) parents.push_back(ref);
+  };
+
+  add_parent(own_last_block_->ref());
+  for (ValidatorId author = 0; author < committee_.size(); ++author) {
+    const auto& cell = dag_.slot(round - 1, author);
+    if (!cell.empty()) add_parent(cell.front()->ref());
+  }
+  for (const auto& tip : tips_) add_parent(tip);
+  // Everything below `round` is now referenced by this proposal; only
+  // same-or-future-round tips remain for the next one.
+  std::erase_if(tips_, [round](const BlockRef& ref) { return ref.round < round; });
+
+  std::vector<TxBatch> batches =
+      mempool_.drain(config_.max_block_batches, config_.max_block_payload_bytes);
+
+  return std::make_shared<const Block>(
+      Block::make(config_.id, round, std::move(parents), std::move(batches),
+                  committee_.coin().share(config_.id, round), key_));
+}
+
+}  // namespace mahimahi

@@ -1,0 +1,105 @@
+// The sans-IO validator core.
+//
+// Owns the local DAG, the committer, the synchronizer and the mempool, and
+// implements the proposal rule of §2.3: once 2f+1 distinct authors are known
+// for round r, propose a block at round r+1 referencing them (own previous
+// block first) together with any still-unreferenced tips, carrying fresh
+// transactions and the round's coin share.
+//
+// Drivers (the discrete-event simulator, the TCP runtime, tests) feed inputs
+// and perform the returned Actions. The core never reads a clock and never
+// does I/O, so the same binary logic runs identically under both transports.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "core/committer.h"
+#include "validator/actions.h"
+#include "validator/config.h"
+#include "validator/mempool.h"
+#include "validator/synchronizer.h"
+
+namespace mahimahi {
+
+class ValidatorCore {
+ public:
+  ValidatorCore(const Committee& committee, crypto::Ed25519PrivateKey key,
+                ValidatorConfig config);
+
+  // --- Inputs ---------------------------------------------------------------
+
+  // A block received from `from` (author or relayer).
+  Actions on_block(BlockPtr block, ValidatorId from, TimeMicros now);
+
+  // Client transactions.
+  Actions on_transactions(std::vector<TxBatch> batches, TimeMicros now);
+
+  // A peer requests blocks we may hold.
+  Actions on_fetch_request(const std::vector<BlockRef>& refs, ValidatorId from,
+                           TimeMicros now);
+
+  // Timer tick: retries outstanding fetches, re-checks proposal pacing.
+  Actions on_tick(TimeMicros now);
+
+  // WAL replay path: admits a logged block directly (its parents are already
+  // in the DAG — the log preserves insertion order). Own blocks restore the
+  // proposer round so the validator does not re-propose (and thus
+  // equivocate) after a restart. Call before any live input; returns any
+  // commits that replaying reproduces.
+  Actions recover_block(BlockPtr block);
+
+  // --- Introspection ----------------------------------------------------------
+
+  ValidatorId id() const { return config_.id; }
+  const Dag& dag() const { return dag_; }
+  const CommitterBase& committer() const { return *committer_; }
+  const ValidatorConfig& config() const { return config_; }
+  Round last_proposed_round() const { return last_proposed_round_; }
+  std::size_t mempool_size() const { return mempool_.size(); }
+  std::uint64_t blocks_rejected() const { return blocks_rejected_; }
+
+ private:
+  // Runs validation + synchronizer + committer on one incoming block.
+  Actions ingest(BlockPtr block, ValidatorId from, TimeMicros now);
+  // Proposes if the advance condition holds; appends to `actions`.
+  void maybe_propose(TimeMicros now, Actions& actions);
+  BlockPtr build_own_block(Round round, TimeMicros now);
+  void note_inserted(const BlockPtr& block);
+  // Prunes DAG + committer + synchronizer state below the GC horizon
+  // derived from the consumed-slot head (CommitterOptions::gc_depth; no-op
+  // when 0). Blocks unblocked by the horizon move are appended to
+  // `actions.inserted` so the driver logs them.
+  void maybe_gc(Actions& actions);
+
+  const Committee& committee_;
+  crypto::Ed25519PrivateKey key_;
+  ValidatorConfig config_;
+
+  Dag dag_;
+  std::unique_ptr<CommitterBase> committer_;
+  Synchronizer synchronizer_;
+  Mempool mempool_;
+
+  Round last_proposed_round_ = 0;  // genesis counts as round 0
+  // Time of the last own proposal; empty until the first one. An optional
+  // (rather than a 0 sentinel) so a proposal made at t=0 still arms the
+  // min_round_delay pacing gate.
+  std::optional<TimeMicros> last_proposal_time_;
+  BlockPtr own_last_block_;
+
+  // Blocks nobody references yet (candidate parents beyond the quorum).
+  std::set<BlockRef> tips_;
+
+  // Fetch bookkeeping: digest -> (peer asked, time asked).
+  struct FetchState {
+    ValidatorId peer;
+    TimeMicros asked_at;
+  };
+  std::unordered_map<Digest, FetchState, DigestHasher> inflight_fetches_;
+
+  std::uint64_t blocks_rejected_ = 0;
+  std::uint64_t equivocation_counter_ = 0;
+};
+
+}  // namespace mahimahi

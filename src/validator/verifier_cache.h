@@ -1,0 +1,65 @@
+// Digest-keyed signature-verification cache.
+//
+// A block reaches a validator several times — broadcast by its author,
+// relayed in fetch responses, replayed after reconnects — and ed25519
+// verification is the most expensive per-block CPU cost (see
+// bench_micro_crypto). Since the signature covers the digest and the digest
+// is recomputed from the received bytes on deserialization, "this digest
+// verified against this author's key once" is a stable fact: later copies
+// with the same digest need no second verification.
+//
+// Bounded FIFO: the cache holds at most `capacity` digests and evicts the
+// oldest. Single-threaded by design — each validator's event loop owns one
+// cache (matching the one-loop-per-validator runtime architecture).
+//
+// Security note: only *successful* verifications are cached. A negative
+// cache would let an attacker poison a digest before the honest author's
+// block arrives; failures are rare (they cost the sender a dropped frame)
+// and may stay slow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "crypto/digest.h"
+
+namespace mahimahi {
+
+class VerifierCache {
+ public:
+  explicit VerifierCache(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  // Has this digest's signature already been verified?
+  bool contains(const Digest& digest) const { return index_.contains(digest); }
+
+  // Records a successful verification; evicts the oldest entry when full.
+  void insert(const Digest& digest) {
+    if (capacity_ == 0) return;
+    if (!index_.insert(digest).second) return;  // already cached
+    order_.push_back(digest);
+    if (order_.size() > capacity_) {
+      index_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Instrumentation for tests and benches.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void count_hit() { ++hits_; }
+  void count_miss() { ++misses_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Digest> order_;
+  std::unordered_set<Digest, DigestHasher> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mahimahi

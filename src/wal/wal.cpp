@@ -1,0 +1,127 @@
+#include "wal/wal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/crc32.h"
+#include "common/log.h"
+#include "serde/serde.h"
+
+namespace mahimahi {
+
+FileWal::FileWal(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) throw std::runtime_error("FileWal: cannot open " + path_);
+}
+
+FileWal::~FileWal() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+void FileWal::append_record(BytesView payload) {
+  std::uint8_t header[8];
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  std::memcpy(header, &len, 4);
+  std::memcpy(header + 4, &crc, 4);
+  if (std::fwrite(header, 1, 8, file_) != 8 ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    throw std::runtime_error("FileWal: short write to " + path_);
+  }
+  bytes_written_ += 8 + payload.size();
+}
+
+void FileWal::append_block(const Block& block, bool own) {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(own ? WalRecordType::kOwnBlock
+                                     : WalRecordType::kReceivedBlock));
+  const Bytes encoded = block.serialize();
+  w.bytes({encoded.data(), encoded.size()});
+  append_record({w.data().data(), w.data().size()});
+}
+
+void FileWal::append_commit(SlotId slot) {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(WalRecordType::kCommittedSlot));
+  w.varint(slot.round);
+  w.u32(slot.leader_offset);
+  append_record({w.data().data(), w.data().size()});
+}
+
+void FileWal::sync() { std::fflush(file_); }
+
+FileWal::ReplayResult FileWal::replay(const std::string& path, const Visitor& visitor,
+                                      bool truncate_corrupt_tail) {
+  ReplayResult result;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return result;  // absent log = empty log
+
+  Bytes payload;
+  for (;;) {
+    std::uint8_t header[8];
+    if (std::fread(header, 1, 8, file) != 8) break;  // clean EOF or short tail
+    std::uint32_t len, crc;
+    std::memcpy(&len, header, 4);
+    std::memcpy(&crc, header + 4, 4);
+    if (len > 64 * 1024 * 1024) {  // corrupt length field
+      result.corrupt_tail = true;
+      break;
+    }
+    payload.resize(len);
+    if (std::fread(payload.data(), 1, len, file) != len) {
+      result.corrupt_tail = true;  // torn record
+      break;
+    }
+    if (crc32({payload.data(), payload.size()}) != crc) {
+      result.corrupt_tail = true;
+      break;
+    }
+
+    try {
+      serde::Reader r({payload.data(), payload.size()});
+      const auto type = static_cast<WalRecordType>(r.u8());
+      switch (type) {
+        case WalRecordType::kOwnBlock:
+        case WalRecordType::kReceivedBlock: {
+          const Bytes encoded = r.bytes();
+          auto block = std::make_shared<const Block>(
+              Block::deserialize({encoded.data(), encoded.size()}));
+          if (visitor.on_block) {
+            visitor.on_block(std::move(block), type == WalRecordType::kOwnBlock);
+          }
+          break;
+        }
+        case WalRecordType::kCommittedSlot: {
+          SlotId slot;
+          slot.round = r.varint();
+          slot.leader_offset = r.u32();
+          if (visitor.on_commit) visitor.on_commit(slot);
+          break;
+        }
+        default:
+          throw serde::SerdeError("unknown WAL record type");
+      }
+    } catch (const serde::SerdeError&) {
+      result.corrupt_tail = true;
+      break;
+    }
+    ++result.records;
+    result.valid_bytes += 8 + len;
+  }
+  std::fclose(file);
+
+  if (result.corrupt_tail && truncate_corrupt_tail) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, result.valid_bytes, ec);
+    if (ec) {
+      MM_LOG(kWarn) << "WAL truncation failed for " << path << ": " << ec.message();
+    }
+  }
+  return result;
+}
+
+}  // namespace mahimahi

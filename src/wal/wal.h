@@ -1,0 +1,87 @@
+// Write-ahead log tailored to the consensus protocol (§4).
+//
+// Record framing: [u32 payload_len][u32 crc32(payload)][payload], where the
+// payload is [u8 type][body]. Recovery scans from the start and stops at the
+// first truncated or corrupt record (torn writes at the tail are expected
+// after a crash and are discarded).
+//
+// Logged state is exactly what a validator needs to rejoin safely: every
+// block admitted to its DAG (in insertion = causal order) with an own/remote
+// marker, so replay rebuilds the DAG and the proposer round without
+// re-equivocating.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "types/block.h"
+
+namespace mahimahi {
+
+enum class WalRecordType : std::uint8_t {
+  kReceivedBlock = 1,
+  kOwnBlock = 2,
+  kCommittedSlot = 3,
+};
+
+class Wal {
+ public:
+  virtual ~Wal() = default;
+  virtual void append_block(const Block& block, bool own) = 0;
+  virtual void append_commit(SlotId slot) = 0;
+  virtual void sync() = 0;
+};
+
+// No-op WAL for tests and the simulator.
+class NullWal : public Wal {
+ public:
+  void append_block(const Block&, bool) override {}
+  void append_commit(SlotId) override {}
+  void sync() override {}
+};
+
+class FileWal : public Wal {
+ public:
+  // Opens (creating or appending) the log at `path`. Throws on failure.
+  explicit FileWal(std::string path);
+  ~FileWal() override;
+
+  FileWal(const FileWal&) = delete;
+  FileWal& operator=(const FileWal&) = delete;
+
+  void append_block(const Block& block, bool own) override;
+  void append_commit(SlotId slot) override;
+  void sync() override;
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  // Replay visitor: called per intact record in log order.
+  struct Visitor {
+    std::function<void(BlockPtr block, bool own)> on_block;
+    std::function<void(SlotId slot)> on_commit;
+  };
+
+  struct ReplayResult {
+    std::uint64_t records = 0;
+    std::uint64_t valid_bytes = 0;   // log prefix that parsed cleanly
+    bool corrupt_tail = false;       // a torn/corrupt record was discarded
+  };
+
+  // Reads `path` and feeds intact records to the visitor. If
+  // `truncate_corrupt_tail` is set, the file is truncated to the valid
+  // prefix so subsequent appends produce a clean log.
+  static ReplayResult replay(const std::string& path, const Visitor& visitor,
+                             bool truncate_corrupt_tail = true);
+
+ private:
+  void append_record(BytesView payload);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace mahimahi

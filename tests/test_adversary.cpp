@@ -1,0 +1,166 @@
+// Adversarial-schedule integration tests (§2.1 asynchronous model).
+//
+// The adversary controls message delays (finitely — eventual delivery
+// holds), so every property proven in Appendix C must survive each attack:
+// agreement (prefix-consistent sequences), no spurious equivocations, and
+// liveness once/while delivery allows. These tests run the full protocol
+// through the simulator under each adversary in sim/adversary.h.
+#include <gtest/gtest.h>
+
+#include "sim/harness.h"
+
+namespace mahimahi::sim {
+namespace {
+
+SimConfig attack_config(Protocol protocol = Protocol::kMahiMahi5) {
+  SimConfig config;
+  config.protocol = protocol;
+  config.n = 4;
+  config.wan = false;
+  config.uniform_latency = millis(25);
+  config.load_tps = 1'000;
+  config.duration = seconds(16);
+  config.warmup = seconds(2);
+  config.record_sequences = true;
+  config.seed = 5;
+  return config;
+}
+
+void expect_prefix_consistent(const SimResult& result, const std::string& label) {
+  const auto& sequences = result.sequences;
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    for (std::size_t j = i + 1; j < sequences.size(); ++j) {
+      const std::size_t common = std::min(sequences[i].size(), sequences[j].size());
+      for (std::size_t k = 0; k < common; ++k) {
+        ASSERT_EQ(sequences[i][k], sequences[j][k])
+            << label << ": validators " << i << " and " << j << " diverge at " << k;
+      }
+    }
+  }
+}
+
+TEST(Adversary, PartitionPreservesSafetyAndHealsIntoLiveness) {
+  SimConfig config = attack_config();
+  // 2|2 split from 4s to 8s: neither side has a quorum for new rounds, so
+  // commits stall; after the heal the backlog must drain.
+  config.adversary =
+      std::make_shared<PartitionAdversary>(2, seconds(4), seconds(8));
+
+  const SimResult result = run_simulation(config);
+
+  expect_prefix_consistent(result, "partition");
+  EXPECT_EQ(result.equivocation_cells, 0u);
+  // Despite a 4-second total outage in a 14-second measurement window, the
+  // post-heal protocol must recover a substantial share of the offered load.
+  EXPECT_GT(result.committed_tps, config.load_tps * 0.4) << result.to_string();
+  // Liveness after heal: rounds kept advancing well past the partition.
+  EXPECT_GT(result.max_round, 40u);
+}
+
+TEST(Adversary, PartitionStallsCommitsWhileActive) {
+  // Control experiment: with a partition covering the entire measurement
+  // window, no quorum forms and (almost) nothing commits.
+  SimConfig config = attack_config();
+  config.duration = seconds(10);
+  config.adversary =
+      std::make_shared<PartitionAdversary>(2, seconds(1), seconds(60));
+
+  const SimResult result = run_simulation(config);
+  EXPECT_LT(result.committed_tps, config.load_tps * 0.2) << result.to_string();
+}
+
+TEST(Adversary, TargetedDelayGetsVictimSkippedNotTheProtocol) {
+  SimConfig config = attack_config();
+  // Victim: validator 3. Its blocks arrive ~6 rounds late, so its leader
+  // slots cannot gather votes in time and must be (directly) skipped.
+  config.adversary = std::make_shared<TargetedDelayAdversary>(
+      std::set<ValidatorId>{3}, millis(900));
+
+  const SimResult result = run_simulation(config);
+
+  expect_prefix_consistent(result, "targeted delay");
+  EXPECT_EQ(result.equivocation_cells, 0u);
+  // The other three validators carry the protocol.
+  EXPECT_GT(result.committed_tps, config.load_tps * 0.5) << result.to_string();
+  // The victim's slots show up as skips at the deciding validators.
+  EXPECT_GT(result.commit_stats.skipped_slots(), 0u) << result.to_string();
+}
+
+TEST(Adversary, BurstAsynchronyDegradesLatencyNotAgreement) {
+  SimConfig fair = attack_config();
+  SimConfig burst = attack_config();
+  // 1s of up-to-500ms extra delay on every message, every 3 seconds.
+  burst.adversary = std::make_shared<BurstDelayAdversary>(
+      seconds(3), seconds(1), millis(500));
+
+  const SimResult fair_result = run_simulation(fair);
+  const SimResult burst_result = run_simulation(burst);
+
+  expect_prefix_consistent(burst_result, "burst");
+  EXPECT_EQ(burst_result.equivocation_cells, 0u);
+  // The attack costs latency...
+  EXPECT_GT(burst_result.avg_latency_s, fair_result.avg_latency_s);
+  // ...but not liveness.
+  EXPECT_GT(burst_result.committed_tps, fair.load_tps * 0.5)
+      << burst_result.to_string();
+}
+
+TEST(Adversary, RunsAreDeterministicUnderAttack) {
+  SimConfig config = attack_config();
+  config.adversary = std::make_shared<BurstDelayAdversary>(
+      seconds(2), millis(700), millis(300));
+
+  const SimResult a = run_simulation(config);
+  const SimResult b = run_simulation(config);
+  EXPECT_EQ(a.committed_tps, b.committed_tps);
+  EXPECT_EQ(a.max_round, b.max_round);
+  EXPECT_EQ(a.sequences, b.sequences);
+}
+
+TEST(Adversary, EmptyTargetSetIsANoop) {
+  SimConfig fair = attack_config();
+  SimConfig noop = attack_config();
+  noop.adversary = std::make_shared<TargetedDelayAdversary>(
+      std::set<ValidatorId>{}, millis(900));
+
+  const SimResult a = run_simulation(fair);
+  const SimResult b = run_simulation(noop);
+  // A no-delay adversary must not perturb the schedule at all (it draws no
+  // randomness and adds zero delay).
+  EXPECT_EQ(a.committed_tps, b.committed_tps);
+  EXPECT_EQ(a.max_round, b.max_round);
+  EXPECT_EQ(a.sequences, b.sequences);
+}
+
+TEST(Adversary, AllProtocolsSurviveBurstAttack) {
+  for (const Protocol protocol :
+       {Protocol::kMahiMahi5, Protocol::kMahiMahi4, Protocol::kCordialMiners}) {
+    SimConfig config = attack_config(protocol);
+    config.duration = seconds(12);
+    config.adversary = std::make_shared<BurstDelayAdversary>(
+        seconds(3), seconds(1), millis(400));
+    const SimResult result = run_simulation(config);
+    expect_prefix_consistent(result, to_string(protocol));
+    EXPECT_GT(result.committed_tps, config.load_tps * 0.3)
+        << to_string(protocol) << ": " << result.to_string();
+  }
+}
+
+TEST(Adversary, PartitionPlusCrashStaysWithinFaultBudget) {
+  // A crash (f=1 of the n=4 budget) concurrent with a partition window.
+  // Safety must hold throughout; liveness returns once the partition heals
+  // (the three live validators regain a quorum).
+  SimConfig config = attack_config();
+  config.duration = seconds(18);
+  config.restarts.push_back({.id = 3, .crash_at = seconds(3), .restart_at = 0});
+  config.adversary =
+      std::make_shared<PartitionAdversary>(2, seconds(5), seconds(9));
+
+  const SimResult result = run_simulation(config);
+  expect_prefix_consistent(result, "partition+crash");
+  EXPECT_EQ(result.equivocation_cells, 0u);
+  EXPECT_GT(result.committed_tps, config.load_tps * 0.25) << result.to_string();
+}
+
+}  // namespace
+}  // namespace mahimahi::sim

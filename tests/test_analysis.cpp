@@ -1,0 +1,270 @@
+// Tests for the Appendix C closed forms, including a Monte-Carlo
+// cross-check of the direct-commit bound against DAGs generated under the
+// adversarial message schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/commit_probability.h"
+#include "core/committer.h"
+#include "sim/dag_builder.h"
+
+namespace mahimahi::analysis {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(0, 0), 1);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(4, 1), 4);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(4, 2), 6);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(10, 3), 120);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(10, 10), 1);
+}
+
+TEST(Binomial, OutOfRangeIsZero) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(4, 5), 0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(4, -1), 0);
+}
+
+TEST(Binomial, SymmetryAndPascal) {
+  for (int n = 1; n <= 20; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_NEAR(binomial_coefficient(n, k), binomial_coefficient(n, n - k),
+                  1e-6 * binomial_coefficient(n, k))
+          << "C(" << n << "," << k << ")";
+      if (k >= 1) {
+        EXPECT_NEAR(binomial_coefficient(n, k),
+                    binomial_coefficient(n - 1, k - 1) + binomial_coefficient(n - 1, k),
+                    1e-6 * binomial_coefficient(n, k));
+      }
+    }
+  }
+}
+
+TEST(Hypergeometric, MatchesDirectEnumeration) {
+  // Population 7 (f=2 committee), 5 marked (2f+1), draw 2: zero-success
+  // probability = C(2,2)/C(7,2) = 1/21.
+  EXPECT_NEAR(hypergeometric_zero_probability(7, 5, 2), 1.0 / 21.0, 1e-12);
+  // Drawing more than the unmarked population forces a success.
+  EXPECT_DOUBLE_EQ(hypergeometric_zero_probability(7, 5, 3), 0.0);
+  // No draws -> certainly zero successes.
+  EXPECT_DOUBLE_EQ(hypergeometric_zero_probability(7, 5, 0), 1.0);
+}
+
+TEST(Hypergeometric, MonteCarloAgreement) {
+  // Sample the urn directly and compare frequencies to the closed form.
+  Rng rng(99);
+  const std::uint32_t population = 10, successes = 7, draws = 3;
+  const int trials = 200'000;
+  int zero_success_trials = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint32_t> urn(population);
+    for (std::uint32_t i = 0; i < population; ++i) urn[i] = i;
+    std::shuffle(urn.begin(), urn.end(), rng);
+    bool any = false;
+    for (std::uint32_t d = 0; d < draws; ++d) any |= urn[d] < successes;
+    zero_success_trials += any ? 0 : 1;
+  }
+  const double measured = static_cast<double>(zero_success_trials) / trials;
+  EXPECT_NEAR(measured, hypergeometric_zero_probability(population, successes, draws),
+              0.005);
+}
+
+TEST(Lemma13, KnownValues) {
+  // f=1: p* = 1 - C(1,l)/C(4,l). l=1 -> 3/4; l>f -> 1.
+  EXPECT_NEAR(direct_commit_probability_w5(1, 1), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(direct_commit_probability_w5(1, 2), 1.0);
+  // f=3: l=1 -> 1 - 3/10 = 0.7; l=2 -> 1 - C(3,2)/C(10,2) = 1 - 3/45.
+  EXPECT_NEAR(direct_commit_probability_w5(3, 1), 0.7, 1e-12);
+  EXPECT_NEAR(direct_commit_probability_w5(3, 2), 1.0 - 3.0 / 45.0, 1e-12);
+  EXPECT_DOUBLE_EQ(direct_commit_probability_w5(3, 4), 1.0);
+}
+
+TEST(Lemma16, KnownValues) {
+  // w=4: p* = l/(3f+1).
+  EXPECT_NEAR(direct_commit_probability_w4(1, 1), 0.25, 1e-12);
+  EXPECT_NEAR(direct_commit_probability_w4(1, 3), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(direct_commit_probability_w4(1, 4), 1.0);
+  EXPECT_NEAR(direct_commit_probability_w4(3, 2), 0.2, 1e-12);
+}
+
+TEST(Dispatch, SelectsLemmaByWaveLength) {
+  EXPECT_DOUBLE_EQ(direct_commit_probability(5, 1, 1),
+                   direct_commit_probability_w5(1, 1));
+  EXPECT_DOUBLE_EQ(direct_commit_probability(6, 1, 1),
+                   direct_commit_probability_w5(1, 1));
+  EXPECT_DOUBLE_EQ(direct_commit_probability(4, 1, 1),
+                   direct_commit_probability_w4(1, 1));
+  // w=3 has no liveness guarantee (Appendix C note).
+  EXPECT_DOUBLE_EQ(direct_commit_probability(3, 1, 1), 0.0);
+}
+
+TEST(Lemma13, DominatesLemma16) {
+  // The extra boost round can only help: for every (f, l) the w=5 bound is
+  // at least the w=4 bound.
+  for (std::uint32_t f = 1; f <= 8; ++f) {
+    for (std::uint32_t leaders = 1; leaders <= 3 * f + 1; ++leaders) {
+      EXPECT_GE(direct_commit_probability_w5(f, leaders) + 1e-12,
+                direct_commit_probability_w4(f, leaders))
+          << "f=" << f << " l=" << leaders;
+    }
+  }
+}
+
+TEST(Lemma13, MonotoneInLeaders) {
+  for (std::uint32_t f : {1u, 2u, 3u, 5u}) {
+    double previous = 0;
+    for (std::uint32_t leaders = 1; leaders <= f + 1; ++leaders) {
+      const double p = direct_commit_probability_w5(f, leaders);
+      EXPECT_GE(p + 1e-12, previous) << "f=" << f << " l=" << leaders;
+      previous = p;
+    }
+  }
+}
+
+TEST(Lemma17, BoundShrinksExponentially) {
+  double previous = 1.0;
+  for (std::uint32_t f = 4; f <= 30; ++f) {
+    const double bound = random_model_unreachable_bound(f);
+    EXPECT_LE(bound, previous) << "f=" << f;
+    previous = bound;
+  }
+  // By f=30 the bound is vanishing.
+  EXPECT_LT(random_model_unreachable_bound(30), 1e-3);
+}
+
+TEST(Tail, GeometricDecay) {
+  const double p = 0.7;
+  EXPECT_DOUBLE_EQ(undecided_tail_probability(p, 0), 1.0);
+  EXPECT_NEAR(undecided_tail_probability(p, 1), 0.3, 1e-12);
+  EXPECT_NEAR(undecided_tail_probability(p, 3), 0.027, 1e-12);
+  EXPECT_DOUBLE_EQ(undecided_tail_probability(1.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(undecided_tail_probability(0.0, 5), 1.0);
+}
+
+TEST(Tail, ExpectedWaves) {
+  EXPECT_DOUBLE_EQ(expected_waves_to_direct_commit(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_waves_to_direct_commit(0.25), 4.0);
+  EXPECT_TRUE(std::isinf(expected_waves_to_direct_commit(0.0)));
+}
+
+TEST(MessageDelays, PaperComparatives) {
+  // §1/§6: Mahi-Mahi commits in 4-5 message delays vs Tusk's 9 and
+  // DagRider's 12; Cordial Miners commits in 5.
+  EXPECT_LT(mahi_mahi_message_delays(4), kCordialMinersMessageDelays);
+  EXPECT_EQ(mahi_mahi_message_delays(5), kCordialMinersMessageDelays);
+  EXPECT_LT(mahi_mahi_message_delays(5), kTuskMessageDelays);
+  EXPECT_LT(kTuskMessageDelays, kDagRiderMessageDelays);
+}
+
+// --------------------------------------------------------------------------
+// Monte-Carlo cross-check. Two adversaries:
+//   * blind      — model-compliant: controls the schedule each round
+//                  (suppresses a rotating set of f authors) but cannot
+//                  predict the coin. The Lemma 13/16 bound must hold.
+//   * prescient  — OUT of model: suppresses elected leaders before their
+//                  coin opens. This is exactly the attack that the
+//                  after-the-fact election (§2.3) exists to prevent; with a
+//                  single leader slot it drives direct commits to zero,
+//                  which is the justification for retrospective election.
+// --------------------------------------------------------------------------
+
+enum class Schedule { kBlind, kPrescient };
+
+struct BoundCase {
+  std::uint32_t wave_length;
+  std::uint32_t f;
+  std::uint32_t leaders;
+  Schedule schedule = Schedule::kBlind;
+
+  std::string label() const {
+    std::string out = "w" + std::to_string(wave_length) + "_f" + std::to_string(f) +
+                      "_l" + std::to_string(leaders);
+    out += schedule == Schedule::kBlind ? "_blind" : "_prescient";
+    return out;
+  }
+};
+
+double measure_direct_rate(const BoundCase& param, std::uint64_t seed) {
+  const std::uint32_t n = 3 * param.f + 1;
+  CommitterOptions options;
+  options.wave_length = param.wave_length;
+  options.leaders_per_round = param.leaders;
+
+  DagBuilder builder(n, /*committee seed=*/11);
+  Rng rng(seed);
+  constexpr Round kRounds = 90;
+  for (Round r = 1; r <= kRounds; ++r) {
+    std::vector<ValidatorId> suppressed;
+    if (param.schedule == Schedule::kBlind) {
+      // Rotating f victims, chosen without coin knowledge.
+      for (std::uint32_t i = 0; i < param.f; ++i) {
+        suppressed.push_back(static_cast<ValidatorId>((r + i) % n));
+      }
+    } else if (r >= 2) {
+      // Cheats: reads the coin before it opens.
+      for (std::uint32_t offset = 0; offset < param.leaders; ++offset) {
+        suppressed.push_back(builder.leader_of({r - 1, offset}, options));
+      }
+    }
+    if (suppressed.empty()) {
+      builder.add_random_network_round(r, rng);
+    } else {
+      builder.add_adversarial_round(r, suppressed);
+    }
+  }
+  Committer committer(builder.dag(), builder.committee(), options);
+  committer.try_commit();
+  std::set<Round> decided, direct;
+  for (const auto& decision : committer.decided_sequence()) {
+    decided.insert(decision.slot.round);
+    if (decision.kind == SlotDecision::Kind::kCommit &&
+        decision.via == SlotDecision::Via::kDirect) {
+      direct.insert(decision.slot.round);
+    }
+  }
+  if (decided.empty()) return 0.0;
+  return static_cast<double>(direct.size()) / static_cast<double>(decided.size());
+}
+
+class BoundVsMeasured : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(BoundVsMeasured, BlindAdversaryRespectsBound) {
+  const BoundCase param = GetParam();
+  double rate_sum = 0;
+  constexpr int kTrials = 3;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    rate_sum += measure_direct_rate(param, 1000 + trial);
+  }
+  const double measured = rate_sum / kTrials;
+  const double bound =
+      direct_commit_probability(param.wave_length, param.f, param.leaders);
+  // Small sampling slack below the closed-form bound.
+  EXPECT_GE(measured, bound - 0.08) << param.label() << " measured " << measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Blind, BoundVsMeasured,
+    ::testing::Values(BoundCase{5, 1, 1}, BoundCase{5, 1, 2}, BoundCase{5, 3, 1},
+                      BoundCase{5, 3, 2}, BoundCase{4, 1, 1}, BoundCase{4, 1, 3},
+                      BoundCase{4, 3, 2}),
+    [](const ::testing::TestParamInfo<BoundCase>& info) { return info.param.label(); });
+
+TEST(PrescientAdversary, DefeatsSingleLeaderDirectCommits) {
+  // With coin prediction (impossible in the model) and one leader slot, the
+  // adversary suppresses every leader: no direct commit survives. This is
+  // the quantitative case for electing leaders after the fact.
+  const BoundCase param{5, 3, 1, Schedule::kPrescient};
+  EXPECT_LT(measure_direct_rate(param, 7), 0.05);
+}
+
+TEST(PrescientAdversary, MultipleLeadersRestoreProgressAtSmallScale) {
+  // f=1: suppressing two of four authors leaves fewer than 2f+1 = 3 others,
+  // so the schedule cannot exclude both leaders — some direct commits
+  // survive even against the prescient adversary.
+  const BoundCase param{5, 1, 2, Schedule::kPrescient};
+  EXPECT_GT(measure_direct_rate(param, 7), 0.5);
+}
+
+}  // namespace
+}  // namespace mahimahi::analysis

@@ -1,0 +1,116 @@
+// Tests for the simulated threshold coin: share validity, reconstruction
+// threshold, determinism, and distinct-author counting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/blake2b.h"
+#include "crypto/coin.h"
+
+namespace mahimahi::crypto {
+namespace {
+
+Digest seed(const char* tag) { return Blake2b::hash256(as_bytes_view(tag)); }
+
+std::vector<std::pair<std::uint32_t, CoinShare>> shares_from(
+    const ThresholdCoin& coin, std::uint64_t round, std::vector<std::uint32_t> authors) {
+  std::vector<std::pair<std::uint32_t, CoinShare>> out;
+  for (const auto a : authors) out.emplace_back(a, coin.share(a, round));
+  return out;
+}
+
+TEST(ThresholdCoin, SharesVerify) {
+  const ThresholdCoin coin(4, 1, seed("epoch"));
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint64_t r = 0; r < 10; ++r) {
+      EXPECT_TRUE(coin.verify_share(a, r, coin.share(a, r)));
+    }
+  }
+}
+
+TEST(ThresholdCoin, RejectsForeignShare) {
+  const ThresholdCoin coin(4, 1, seed("epoch"));
+  EXPECT_FALSE(coin.verify_share(0, 5, coin.share(1, 5)));  // wrong author
+  EXPECT_FALSE(coin.verify_share(0, 5, coin.share(0, 6)));  // wrong round
+  EXPECT_FALSE(coin.verify_share(9, 5, coin.share(0, 5)));  // out-of-range author
+}
+
+TEST(ThresholdCoin, RejectsTamperedShare) {
+  const ThresholdCoin coin(4, 1, seed("epoch"));
+  CoinShare share = coin.share(2, 7);
+  share.bytes[0] ^= 1;
+  EXPECT_FALSE(coin.verify_share(2, 7, share));
+}
+
+TEST(ThresholdCoin, CombinesAtThreshold) {
+  const ThresholdCoin coin(4, 1, seed("epoch"));
+  const auto shares = shares_from(coin, 3, {0, 1, 2});
+  const auto value = coin.combine(3, shares);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, coin.value(3));
+}
+
+TEST(ThresholdCoin, FailsBelowThreshold) {
+  const ThresholdCoin coin(4, 1, seed("epoch"));
+  EXPECT_FALSE(coin.combine(3, shares_from(coin, 3, {0, 1})).has_value());
+  EXPECT_FALSE(coin.combine(3, {}).has_value());
+}
+
+TEST(ThresholdCoin, DuplicateAuthorsDoNotCount) {
+  const ThresholdCoin coin(4, 1, seed("epoch"));
+  // Three shares but only two distinct authors: below the 2f+1 = 3 threshold.
+  std::vector<std::pair<std::uint32_t, CoinShare>> shares = {
+      {0, coin.share(0, 3)}, {0, coin.share(0, 3)}, {1, coin.share(1, 3)}};
+  EXPECT_FALSE(coin.combine(3, shares).has_value());
+}
+
+TEST(ThresholdCoin, InvalidSharesDoNotCount) {
+  const ThresholdCoin coin(4, 1, seed("epoch"));
+  auto shares = shares_from(coin, 3, {0, 1, 2});
+  shares[2].second.bytes[5] ^= 0xff;
+  EXPECT_FALSE(coin.combine(3, shares).has_value());
+  // With a fourth valid share the quorum is restored.
+  shares.emplace_back(3, coin.share(3, 3));
+  EXPECT_TRUE(coin.combine(3, shares).has_value());
+}
+
+TEST(ThresholdCoin, AnyQuorumYieldsSameValue) {
+  const ThresholdCoin coin(7, 2, seed("epoch-7"));
+  const auto v1 = coin.combine(11, shares_from(coin, 11, {0, 1, 2, 3, 4}));
+  const auto v2 = coin.combine(11, shares_from(coin, 11, {2, 3, 4, 5, 6}));
+  ASSERT_TRUE(v1.has_value());
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(*v1, *v2);
+}
+
+TEST(ThresholdCoin, ValuesVaryAcrossRounds) {
+  const ThresholdCoin coin(4, 1, seed("epoch"));
+  int repeats = 0;
+  for (std::uint64_t r = 1; r < 100; ++r) {
+    repeats += coin.value(r) == coin.value(r - 1);
+  }
+  EXPECT_LT(repeats, 3);
+}
+
+TEST(ThresholdCoin, ValuesVaryAcrossEpochs) {
+  const ThresholdCoin a(4, 1, seed("epoch-a"));
+  const ThresholdCoin b(4, 1, seed("epoch-b"));
+  int repeats = 0;
+  for (std::uint64_t r = 0; r < 100; ++r) repeats += a.value(r) == b.value(r);
+  EXPECT_LT(repeats, 3);
+}
+
+TEST(ThresholdCoin, LeaderDistributionRoughlyUniform) {
+  // The coin value mod n drives leader election; check rough uniformity.
+  const ThresholdCoin coin(10, 3, seed("uniformity"));
+  std::vector<int> hits(10, 0);
+  constexpr int kRounds = 20000;
+  for (std::uint64_t r = 0; r < kRounds; ++r) ++hits[coin.value(r) % 10];
+  for (int h : hits) {
+    EXPECT_GT(h, kRounds / 10 * 0.9);
+    EXPECT_LT(h, kRounds / 10 * 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace mahimahi::crypto

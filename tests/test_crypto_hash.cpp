@@ -1,0 +1,254 @@
+// Hash-function tests: published test vectors (FIPS 180-4, RFC 7693,
+// RFC 4231), incremental-API equivalence, and the self-verifying SHA-2
+// constant schedules (fracroot).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hex.h"
+#include "crypto/blake2b.h"
+#include "crypto/fracroot.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/sha512.h"
+
+namespace mahimahi::crypto {
+namespace {
+
+std::string hex512(const std::array<std::uint8_t, 64>& digest) {
+  return to_hex({digest.data(), digest.size()});
+}
+
+// --- SHA-256 ---------------------------------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hash({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hash(as_bytes_view("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, QuickBrownFox) {
+  EXPECT_EQ(Sha256::hash(as_bytes_view("The quick brown fox jumps over the lazy dog")).hex(),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592");
+}
+
+TEST(Sha256, MillionAs) {
+  // FIPS 180-4 long-message vector.
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes_view(chunk));
+  EXPECT_EQ(h.finish().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "incremental hashing must match one-shot hashing";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(as_bytes_view(msg.substr(0, split)));
+    h.update(as_bytes_view(msg.substr(split)));
+    EXPECT_EQ(h.finish(), Sha256::hash(as_bytes_view(msg))) << "split " << split;
+  }
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Exercise the padding logic at every length near the 64-byte boundary.
+  for (std::size_t len = 50; len <= 130; ++len) {
+    const std::string msg(len, 'q');
+    Sha256 one;
+    one.update(as_bytes_view(msg));
+    Sha256 two;
+    two.update(as_bytes_view(msg.substr(0, len / 2)));
+    two.update(as_bytes_view(msg.substr(len / 2)));
+    EXPECT_EQ(one.finish(), two.finish()) << "len " << len;
+  }
+}
+
+TEST(Sha256, RoundConstantsMatchDefinition) {
+  // K_i is defined as the first 32 fractional bits of cbrt(prime_i); the
+  // table and the exact-integer generator must agree.
+  const auto primes = first_primes<64>();
+  const auto& table = sha256_round_constants();
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(table[i], frac_cbrt32(primes[i])) << "constant " << i;
+  }
+}
+
+// --- SHA-512 ---------------------------------------------------------------
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(hex512(Sha512::hash({})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(hex512(Sha512::hash(as_bytes_view("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, QuickBrownFox) {
+  EXPECT_EQ(hex512(Sha512::hash(as_bytes_view("The quick brown fox jumps over the lazy dog"))),
+            "07e547d9586f6a73f73fbac0435ed76951218fb7d0c8d788a309d785436bbb64"
+            "2e93a252a954f23912547d1e8a3b5ed6e1bfd7097821233fa0538f3db854fee6");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot) {
+  const std::string msg(517, 'z');  // spans several 128-byte blocks
+  Sha512 h;
+  for (std::size_t i = 0; i < msg.size(); i += 100) {
+    h.update(as_bytes_view(msg.substr(i, 100)));
+  }
+  EXPECT_EQ(h.finish(), Sha512::hash(as_bytes_view(msg)));
+}
+
+TEST(Sha512, BlockBoundaryLengths) {
+  for (std::size_t len = 100; len <= 260; len += 3) {
+    const std::string msg(len, 'w');
+    Sha512 split_hash;
+    split_hash.update(as_bytes_view(msg.substr(0, len / 3)));
+    split_hash.update(as_bytes_view(msg.substr(len / 3)));
+    EXPECT_EQ(split_hash.finish(), Sha512::hash(as_bytes_view(msg))) << "len " << len;
+  }
+}
+
+TEST(Sha512, FirstRoundConstantsAreTheFamousOnes) {
+  // Spot-check the generated schedule against the widely published first
+  // four constants.
+  const auto& k = sha512_round_constants();
+  EXPECT_EQ(k[0], 0x428a2f98d728ae22ULL);
+  EXPECT_EQ(k[1], 0x7137449123ef65cdULL);
+  EXPECT_EQ(k[2], 0xb5c0fbcfec4d3b2fULL);
+  EXPECT_EQ(k[3], 0xe9b5dba58189dbbcULL);
+  EXPECT_EQ(k[79], 0x6c44198c4a475817ULL);
+}
+
+TEST(FracRoot, SqrtConstantsMatchSha512InitVector) {
+  // H0..H7 of SHA-512 are the fractional sqrt bits of the first 8 primes.
+  const auto primes = first_primes<8>();
+  constexpr std::uint64_t kExpected[8] = {
+      0x6a09e667f3bcc908ULL, 0xbb67ae8584caa73bULL, 0x3c6ef372fe94f82bULL,
+      0xa54ff53a5f1d36f1ULL, 0x510e527fade682d1ULL, 0x9b05688c2b3e6c1fULL,
+      0x1f83d9abfb41bd6bULL, 0x5be0cd19137e2179ULL};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(frac_sqrt64(primes[i]), kExpected[i]) << "prime " << primes[i];
+  }
+}
+
+TEST(FracRoot, PerfectSquaresAndCubesHaveZeroFraction) {
+  EXPECT_EQ(frac_sqrt64(4), 0u);
+  EXPECT_EQ(frac_sqrt64(9), 0u);
+  EXPECT_EQ(frac_cbrt64(8), 0u);
+  EXPECT_EQ(frac_cbrt64(27), 0u);
+}
+
+// --- BLAKE2b ---------------------------------------------------------------
+
+TEST(Blake2b, Rfc7693AbcVector) {
+  EXPECT_EQ(hex512(Blake2b::hash512(as_bytes_view("abc"))),
+            "ba80a53f981c4d0d6a2797b69f12f6e94c212f14685ac4b74b12bb6fdbffa2d1"
+            "7d87c5392aab792dc252d5de4533cc9518d38aa8dbf1925ab92386edd4009923");
+}
+
+TEST(Blake2b, EmptyString512) {
+  EXPECT_EQ(hex512(Blake2b::hash512({})),
+            "786a02f742015903c6c6fd852552d272912f4740e15847618a86e217f71f5419"
+            "d25e1031afee585313896444934eb04b903a685b1448b755d56f701afe9be2ce");
+}
+
+TEST(Blake2b, EmptyString256) {
+  EXPECT_EQ(Blake2b::hash256({}).hex(),
+            "0e5751c026e543b2e8ab2eb06099daa1d1e5df47778f7787faab45cdf12fe3a8");
+}
+
+TEST(Blake2b, Abc256) {
+  EXPECT_EQ(Blake2b::hash256(as_bytes_view("abc")).hex(),
+            "bddd813c634239723171ef3fee98579b94964e3bb1cb3e427262c8c068d52319");
+}
+
+TEST(Blake2b, MultiBlockInput) {
+  const std::string msg(300, 'x');  // crosses two 128-byte block boundaries
+  EXPECT_EQ(Blake2b::hash256(as_bytes_view(msg)).hex(),
+            "5aa7fbbf37986bb2a5d547c0d3c4d4326a24d786e7d57bf93fc784176e38b33d");
+}
+
+TEST(Blake2b, KeyedMode) {
+  EXPECT_EQ(Blake2b::mac256(as_bytes_view("secret-key"), as_bytes_view("data to mac")).hex(),
+            "119b2a392331731addd55bcaac5f5821a0e19e748b2dfbf808d009ce3a0685e9");
+  EXPECT_EQ(Blake2b::mac256(as_bytes_view("k"), {}).hex(),
+            "490b6c8300eb23464bd2f9ca37c036be5091da14ddbeafab424c4c0a1f9eaac5");
+}
+
+TEST(Blake2b, VariableDigestLengths) {
+  Blake2b h1(1);
+  h1.update(as_bytes_view("abc"));
+  std::uint8_t out1[1];
+  h1.finish(out1);
+  EXPECT_EQ(to_hex({out1, 1}), "6b");
+
+  Blake2b h20(20);
+  h20.update(as_bytes_view("abc"));
+  std::uint8_t out20[20];
+  h20.finish(out20);
+  EXPECT_EQ(to_hex({out20, 20}), "384264f676f39536840523f284921cdc68b6846b");
+}
+
+TEST(Blake2b, IncrementalMatchesOneShot) {
+  const std::string msg(1000, 'm');
+  for (const std::size_t chunk : {1ul, 7ul, 127ul, 128ul, 129ul, 500ul}) {
+    Blake2b h(32);
+    for (std::size_t i = 0; i < msg.size(); i += chunk) {
+      h.update(as_bytes_view(msg.substr(i, chunk)));
+    }
+    Digest d;
+    h.finish(d.bytes.data());
+    EXPECT_EQ(d, Blake2b::hash256(as_bytes_view(msg))) << "chunk " << chunk;
+  }
+}
+
+TEST(Blake2b, ExactBlockMultiples) {
+  // 128- and 256-byte inputs exercise the "full buffer is not final" rule.
+  const std::string one_block(128, 'b');
+  const std::string two_blocks(256, 'b');
+  EXPECT_NE(Blake2b::hash256(as_bytes_view(one_block)),
+            Blake2b::hash256(as_bytes_view(two_blocks)));
+  Blake2b split;
+  split.update(as_bytes_view(one_block));
+  split.update(as_bytes_view(one_block));
+  Digest d;
+  split.finish(d.bytes.data());
+  EXPECT_EQ(d, Blake2b::hash256(as_bytes_view(two_blocks)));
+}
+
+// --- HMAC-SHA-256 (RFC 4231) ------------------------------------------------
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_sha256({key.data(), key.size()}, as_bytes_view("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(hmac_sha256(as_bytes_view("Jefe"), as_bytes_view("what do ya want for nothing?")).hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  const Bytes key(100, 'k');
+  EXPECT_EQ(hmac_sha256({key.data(), key.size()}, as_bytes_view("big key case")).hex(),
+            "72cf7cebfc5e37ba77d76142118a0edac2ce4e2afd78372b1f45744f641be5a8");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  const auto m1 = hmac_sha256(as_bytes_view("key-a"), as_bytes_view("msg"));
+  const auto m2 = hmac_sha256(as_bytes_view("key-b"), as_bytes_view("msg"));
+  EXPECT_NE(m1, m2);
+}
+
+}  // namespace
+}  // namespace mahimahi::crypto

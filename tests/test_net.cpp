@@ -1,0 +1,311 @@
+// Networking tests: event loop, TCP framing, and full localhost clusters of
+// NodeRuntimes reaching consensus over real sockets.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+
+#include "net/node_runtime.h"
+
+namespace mahimahi::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Polls `predicate` until true or the deadline passes.
+bool wait_for(const std::function<bool()>& predicate,
+              std::chrono::milliseconds deadline = 15000ms) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return predicate();
+}
+
+TEST(EventLoop, PostedTasksRunOnLoopThread) {
+  EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    loop.post([&counter] { ++counter; });
+  }
+  EXPECT_TRUE(wait_for([&] { return counter.load() == 100; }));
+  loop.stop();
+  runner.join();
+}
+
+TEST(EventLoop, TimersFireInOrder) {
+  EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  std::mutex mutex;
+  std::vector<int> order;
+  loop.post([&] {
+    loop.schedule(millis(30), [&] {
+      std::lock_guard<std::mutex> g(mutex);
+      order.push_back(2);
+    });
+    loop.schedule(millis(10), [&] {
+      std::lock_guard<std::mutex> g(mutex);
+      order.push_back(1);
+    });
+  });
+  EXPECT_TRUE(wait_for([&] {
+    std::lock_guard<std::mutex> g(mutex);
+    return order.size() == 2;
+  }));
+  loop.stop();
+  runner.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, CancelledTimerDoesNotFire) {
+  EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  std::atomic<bool> fired{false};
+  std::atomic<bool> late_fired{false};
+  loop.post([&] {
+    const auto id = loop.schedule(millis(20), [&] { fired = true; });
+    loop.cancel_timer(id);
+    loop.schedule(millis(40), [&] { late_fired = true; });
+  });
+  EXPECT_TRUE(wait_for([&] { return late_fired.load(); }));
+  EXPECT_FALSE(fired.load());
+  loop.stop();
+  runner.join();
+}
+
+TEST(Tcp, EchoRoundTrip) {
+  EventLoop loop;
+  std::mutex mutex;
+  std::vector<Bytes> server_frames, client_frames;
+  TcpConnectionPtr server_side;
+
+  TcpListener listener(loop, 0, [&](TcpConnectionPtr connection) {
+    server_side = connection;
+    connection->start(
+        [&, connection](BytesView frame) {
+          {
+            std::lock_guard<std::mutex> g(mutex);
+            server_frames.emplace_back(frame.begin(), frame.end());
+          }
+          connection->send_frame(frame);  // echo
+        },
+        [] {});
+  });
+
+  std::thread runner([&] { loop.run(); });
+  TcpConnectionPtr client;
+  std::atomic<bool> connected{false};
+  loop.post([&] {
+    tcp_connect(loop, "127.0.0.1", listener.port(), [&](TcpConnectionPtr connection) {
+      client = connection;
+      client->start(
+          [&](BytesView frame) {
+            std::lock_guard<std::mutex> g(mutex);
+            client_frames.emplace_back(frame.begin(), frame.end());
+          },
+          [] {});
+      connected = true;
+    });
+  });
+  ASSERT_TRUE(wait_for([&] { return connected.load(); }));
+
+  const Bytes small = to_bytes("hello consensus");
+  Bytes large(300000, 0xcd);  // forces multiple reads/writes
+  loop.post([&] {
+    client->send_frame({small.data(), small.size()});
+    client->send_frame({large.data(), large.size()});
+  });
+
+  ASSERT_TRUE(wait_for([&] {
+    std::lock_guard<std::mutex> g(mutex);
+    return client_frames.size() == 2;
+  }));
+  std::lock_guard<std::mutex> g(mutex);
+  EXPECT_EQ(server_frames[0], small);
+  EXPECT_EQ(client_frames[0], small);
+  EXPECT_EQ(client_frames[1], large);
+
+  loop.stop();
+  runner.join();
+}
+
+class TcpClusterTest : public ::testing::Test {
+ protected:
+  TcpClusterTest() : setup_(Committee::make_test(4)) {}
+
+  std::unique_ptr<NodeRuntime> make_node(ValidatorId v,
+                                         const std::string& wal_path = {}) {
+    NodeRuntimeConfig config;
+    config.validator.id = v;
+    config.validator.committer = mahi_mahi_5(1);
+    config.validator.min_round_delay = millis(5);
+    config.peers = addresses_;
+    config.tick_interval = millis(10);
+    config.wal_path = wal_path;
+    return std::make_unique<NodeRuntime>(setup_.committee,
+                                         setup_.keypairs[v].private_key, config);
+  }
+
+  // Builds a 4-node localhost cluster on ephemeral ports. The chosen
+  // addresses stay in addresses_, so a node restarted later (make_node)
+  // rejoins the same mesh instead of a freshly-probed one.
+  std::vector<std::unique_ptr<NodeRuntime>> make_cluster(
+      const std::vector<std::string>& wal_paths = {}) {
+    // Ports must be known upfront by every node, so pre-claim ephemeral
+    // ports via short-lived listeners.
+    addresses_.assign(4, {});
+    {
+      EventLoop probe_loop;
+      std::vector<std::unique_ptr<TcpListener>> probes;
+      for (int i = 0; i < 4; ++i) {
+        probes.push_back(
+            std::make_unique<TcpListener>(probe_loop, 0, [](TcpConnectionPtr) {}));
+        addresses_[i].port = probes.back()->port();
+      }
+      // Listeners close here; tiny race window is acceptable for tests.
+    }
+
+    std::vector<std::unique_ptr<NodeRuntime>> nodes;
+    for (ValidatorId v = 0; v < 4; ++v) {
+      nodes.push_back(make_node(v, wal_paths.empty() ? std::string{} : wal_paths[v]));
+    }
+    return nodes;
+  }
+
+  Committee::TestSetup setup_;
+  std::vector<NodeAddress> addresses_;
+};
+
+TEST_F(TcpClusterTest, FourNodesCommitTransactions) {
+  auto nodes = make_cluster();
+  for (auto& node : nodes) node->start();
+
+  // Submit transactions to every node.
+  for (ValidatorId v = 0; v < 4; ++v) {
+    TxBatch batch;
+    batch.id = 1000 + v;
+    batch.count = 25;
+    batch.submitted_at = steady_now_micros();
+    nodes[v]->submit({batch});
+  }
+
+  // All nodes commit all 100 transactions.
+  EXPECT_TRUE(wait_for([&] {
+    for (const auto& node : nodes) {
+      if (node->committed_transactions() < 100) return false;
+    }
+    return true;
+  })) << "committed: " << nodes[0]->committed_transactions() << ", "
+      << nodes[1]->committed_transactions() << ", " << nodes[2]->committed_transactions()
+      << ", " << nodes[3]->committed_transactions();
+
+  EXPECT_GT(nodes[0]->highest_round(), 5u);
+  for (auto& node : nodes) node->stop();
+}
+
+TEST_F(TcpClusterTest, LateStartingNodeJoinsViaAntiEntropy) {
+  // Start only three of four nodes; they commit on their own (2f+1 quorum).
+  // The fourth starts late: its peers' broadcasts predate its sockets, so
+  // everything must reach it through the periodic tip offers plus fetch.
+  auto nodes = make_cluster();
+  for (ValidatorId v = 0; v < 3; ++v) nodes[v]->start();
+  TxBatch batch;
+  batch.id = 3;
+  batch.count = 30;
+  nodes[0]->submit({batch});
+  ASSERT_TRUE(wait_for([&] { return nodes[0]->committed_transactions() >= 30; }));
+
+  const Round rounds_before_join = nodes[0]->highest_round();
+  EXPECT_GT(rounds_before_join, 4u);
+  nodes[3]->start();
+  // The late node reaches the cluster's round frontier and commits.
+  EXPECT_TRUE(wait_for([&] {
+    return nodes[3]->highest_round() >= rounds_before_join &&
+           nodes[3]->committed_transactions() >= 30;
+  })) << "late node stuck at round " << nodes[3]->highest_round();
+  for (auto& node : nodes) node->stop();
+}
+
+TEST_F(TcpClusterTest, CommitSequencesAgreeAcrossNodes) {
+  auto nodes = make_cluster();
+  std::mutex mutex;
+  std::vector<std::vector<BlockRef>> sequences(4);
+  for (ValidatorId v = 0; v < 4; ++v) {
+    nodes[v]->set_commit_handler([&, v](const CommittedSubDag& sub_dag) {
+      std::lock_guard<std::mutex> g(mutex);
+      for (const auto& block : sub_dag.blocks) sequences[v].push_back(block->ref());
+    });
+  }
+  for (auto& node : nodes) node->start();
+  for (ValidatorId v = 0; v < 4; ++v) {
+    TxBatch batch;
+    batch.id = v;
+    batch.count = 10;
+    nodes[v]->submit({batch});
+  }
+  EXPECT_TRUE(wait_for([&] {
+    std::lock_guard<std::mutex> g(mutex);
+    for (const auto& sequence : sequences) {
+      if (sequence.size() < 30) return false;
+    }
+    return true;
+  }));
+  for (auto& node : nodes) node->stop();
+
+  std::lock_guard<std::mutex> g(mutex);
+  for (int i = 1; i < 4; ++i) {
+    const std::size_t common = std::min(sequences[0].size(), sequences[i].size());
+    for (std::size_t k = 0; k < common; ++k) {
+      ASSERT_EQ(sequences[0][k], sequences[i][k])
+          << "node 0 and node " << i << " diverge at position " << k;
+    }
+  }
+}
+
+TEST_F(TcpClusterTest, SurvivesNodeRestartWithWal) {
+  const auto dir = std::filesystem::temp_directory_path();
+  std::vector<std::string> wal_paths;
+  for (int i = 0; i < 4; ++i) {
+    auto path = dir / ("mahi_tcp_wal_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(i) + ".wal");
+    std::filesystem::remove(path);
+    wal_paths.push_back(path.string());
+  }
+
+  auto nodes = make_cluster(wal_paths);
+  for (auto& node : nodes) node->start();
+  TxBatch batch;
+  batch.id = 7;
+  batch.count = 40;
+  nodes[1]->submit({batch});
+  ASSERT_TRUE(wait_for([&] { return nodes[0]->committed_transactions() >= 40; }));
+
+  const Round round_before = nodes[3]->highest_round();
+  // Restart node 3 from its WAL: it must rejoin without equivocating and
+  // keep committing.
+  nodes[3]->stop();
+  nodes[3].reset();
+  nodes[3] = make_node(3, wal_paths[3]);  // same mesh addresses, same WAL
+  nodes[3]->start();
+  EXPECT_GE(nodes[3]->highest_round(), 1u);  // recovered history
+
+  TxBatch more;
+  more.id = 8;
+  more.count = 15;
+  nodes[0]->submit({more});
+  EXPECT_TRUE(wait_for([&] {
+    return nodes[0]->committed_transactions() >= 55 &&
+           nodes[3]->highest_round() > round_before;
+  })) << "post-restart commits stalled";
+
+  for (auto& node : nodes) {
+    if (node) node->stop();
+  }
+  for (const auto& path : wal_paths) std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace mahimahi::net

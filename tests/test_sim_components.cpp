@@ -1,0 +1,156 @@
+// Unit tests for simulator components: event queue, latency models,
+// metrics, and the Poisson sampler.
+#include <gtest/gtest.h>
+
+#include "client/metrics.h"
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/latency.h"
+
+namespace mahimahi {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&] { order.push_back(3); });
+  queue.schedule(10, [&] { order.push_back(1); });
+  queue.schedule(20, [&] { order.push_back(2); });
+  queue.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 100);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  queue.run_until(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents) {
+  EventQueue queue;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) queue.schedule_after(10, chain);
+  };
+  queue.schedule(0, chain);
+  queue.run_until(100);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(queue.now(), 100);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(10, [&] { ++fired; });
+  queue.schedule(50, [&] { ++fired; });
+  queue.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.run_until(60);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NeverSchedulesIntoThePast) {
+  EventQueue queue;
+  TimeMicros observed = -1;
+  queue.schedule(100, [&] {
+    // Attempt to schedule before `now`; must clamp to now.
+    queue.schedule(5, [&] { observed = queue.now(); });
+  });
+  queue.run_until(200);
+  EXPECT_EQ(observed, 100);
+}
+
+TEST(UniformLatency, JitterFreeIsExact) {
+  UniformLatency model(millis(40));
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(model.sample(0, 1, rng), millis(40));
+}
+
+TEST(UniformLatency, JitterStaysReasonable) {
+  UniformLatency model(millis(40), 0.1);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const TimeMicros sample = model.sample(0, 1, rng);
+    EXPECT_GE(sample, millis(8));   // clamped at base/5
+    EXPECT_LT(sample, millis(80));  // ~10 sigmas
+  }
+}
+
+TEST(GeoLatency, MatrixIsSymmetricAndLocalIsFast) {
+  GeoLatency model(0.0);
+  for (ValidatorId a = 0; a < 10; ++a) {
+    for (ValidatorId b = 0; b < 10; ++b) {
+      EXPECT_EQ(model.base(a, b), model.base(b, a));
+    }
+  }
+  // Same region (v0 and v5 are both Ohio with n=10): 1ms.
+  EXPECT_EQ(model.base(0, 5), millis(1));
+  // Cape Town (region 2) is the farthest from Hong Kong (region 3).
+  EXPECT_GT(model.base(2, 3), millis(100));
+}
+
+TEST(GeoLatency, RegionNamesExist) {
+  for (std::size_t region = 0; region < GeoLatency::kRegions; ++region) {
+    EXPECT_NE(std::string(GeoLatency::region_name(region)), "?");
+  }
+}
+
+TEST(LatencyRecorder, WeightedMeanAndPercentiles) {
+  LatencyRecorder recorder;
+  recorder.record(millis(100), 1);
+  recorder.record(millis(200), 1);
+  recorder.record(millis(300), 2);
+  EXPECT_EQ(recorder.count(), 4u);
+  EXPECT_DOUBLE_EQ(recorder.mean_seconds(), (0.1 + 0.2 + 0.3 * 2) / 4);
+  EXPECT_DOUBLE_EQ(recorder.percentile_seconds(50), 0.2);
+  EXPECT_DOUBLE_EQ(recorder.percentile_seconds(100), 0.3);
+  EXPECT_DOUBLE_EQ(recorder.percentile_seconds(1), 0.1);
+}
+
+TEST(LatencyRecorder, ZeroWeightIgnored) {
+  LatencyRecorder recorder;
+  recorder.record(millis(100), 0);
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_EQ(recorder.mean_seconds(), 0.0);
+}
+
+TEST(Poisson, MeanMatches) {
+  Rng rng(5);
+  for (const double mean : {0.5, 5.0, 40.0, 500.0}) {
+    double total = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) total += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(total / kSamples, mean, mean * 0.05 + 0.05) << "mean " << mean;
+  }
+}
+
+TEST(Poisson, ZeroAndNegativeMeansYieldZero) {
+  Rng rng(6);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-3.0), 0u);
+}
+
+TEST(Poisson, VarianceMatches) {
+  Rng rng(7);
+  const double mean = 30.0;
+  constexpr int kSamples = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double sample = static_cast<double>(rng.poisson(mean));
+    sum += sample;
+    sum_sq += sample * sample;
+  }
+  const double measured_mean = sum / kSamples;
+  const double variance = sum_sq / kSamples - measured_mean * measured_mean;
+  EXPECT_NEAR(variance, mean, mean * 0.1);  // Poisson: variance == mean
+}
+
+}  // namespace
+}  // namespace mahimahi

@@ -1,0 +1,154 @@
+// End-to-end integration tests: full protocol runs through the discrete-
+// event simulator, across all four protocol variants, with faults.
+#include <gtest/gtest.h>
+
+#include "sim/harness.h"
+
+namespace mahimahi::sim {
+namespace {
+
+SimConfig base_config(Protocol protocol, std::uint32_t n) {
+  SimConfig config;
+  config.protocol = protocol;
+  config.n = n;
+  config.wan = false;  // uniform 50ms links keep small tests fast & predictable
+  config.uniform_latency = millis(25);
+  config.load_tps = 1'000;
+  config.duration = seconds(10);
+  config.warmup = seconds(3);
+  config.record_sequences = true;
+  config.seed = 7;
+  return config;
+}
+
+void expect_prefix_consistent(const SimResult& result, const std::string& label) {
+  const auto& sequences = result.sequences;
+  for (std::size_t i = 0; i < sequences.size(); ++i) {
+    for (std::size_t j = i + 1; j < sequences.size(); ++j) {
+      const std::size_t common = std::min(sequences[i].size(), sequences[j].size());
+      for (std::size_t k = 0; k < common; ++k) {
+        ASSERT_EQ(sequences[i][k], sequences[j][k])
+            << label << ": validators " << i << " and " << j << " diverge at " << k;
+      }
+    }
+  }
+}
+
+class ProtocolRun : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ProtocolRun, CommitsTransactionsWithAgreement) {
+  const auto config = base_config(GetParam(), 4);
+  const SimResult result = run_simulation(config);
+
+  EXPECT_GT(result.committed_tps, config.load_tps * 0.5)
+      << to_string(GetParam()) << ": " << result.to_string();
+  EXPECT_GT(result.latency_samples, 100u);
+  EXPECT_GT(result.avg_latency_s, 0.0);
+  EXPECT_LT(result.avg_latency_s, 5.0) << result.to_string();
+  EXPECT_GT(result.max_round, 20u);
+  expect_prefix_consistent(result, to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolRun,
+                         ::testing::Values(Protocol::kMahiMahi5, Protocol::kMahiMahi4,
+                                           Protocol::kCordialMiners, Protocol::kTusk),
+                         [](const ::testing::TestParamInfo<Protocol>& info) {
+                           std::string name = to_string(info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+TEST(SimIntegration, DeterministicGivenSeed) {
+  const auto config = base_config(Protocol::kMahiMahi5, 4);
+  const SimResult a = run_simulation(config);
+  const SimResult b = run_simulation(config);
+  EXPECT_EQ(a.committed_tps, b.committed_tps);
+  EXPECT_EQ(a.avg_latency_s, b.avg_latency_s);
+  EXPECT_EQ(a.max_round, b.max_round);
+  EXPECT_EQ(a.sequences, b.sequences);
+}
+
+TEST(SimIntegration, SeedChangesSchedule) {
+  auto config = base_config(Protocol::kMahiMahi5, 4);
+  const SimResult a = run_simulation(config);
+  config.seed = 8;
+  const SimResult b = run_simulation(config);
+  // Different arrival timings; latencies will not be bit-identical.
+  EXPECT_NE(a.avg_latency_s, b.avg_latency_s);
+}
+
+TEST(SimIntegration, SurvivesCrashFaults) {
+  auto config = base_config(Protocol::kMahiMahi5, 10);
+  config.crashed = 3;  // the maximum for n = 10
+  config.load_tps = 2'000;
+  const SimResult result = run_simulation(config);
+  EXPECT_GT(result.committed_tps, config.load_tps * 0.4) << result.to_string();
+  // Crashed validators' slots are skipped directly, not via anchors.
+  EXPECT_GT(result.commit_stats.direct_skips, 0u);
+  expect_prefix_consistent(result, "crash");
+}
+
+TEST(SimIntegration, CordialMinersSkipsLateUnderCrashFaults) {
+  auto config = base_config(Protocol::kCordialMiners, 10);
+  config.crashed = 3;
+  const SimResult result = run_simulation(config);
+  EXPECT_GT(result.committed_tps, 0.0) << result.to_string();
+  // No direct skip rule: faulty leaders resolve indirectly.
+  EXPECT_EQ(result.commit_stats.direct_skips, 0u);
+  expect_prefix_consistent(result, "cm-crash");
+}
+
+TEST(SimIntegration, ToleratesEquivocator) {
+  auto config = base_config(Protocol::kMahiMahi5, 4);
+  config.equivocators = 1;
+  const SimResult result = run_simulation(config);
+  EXPECT_GT(result.committed_tps, 0.0) << result.to_string();
+  expect_prefix_consistent(result, "equivocator");
+}
+
+TEST(SimIntegration, WanGeoModelRuns) {
+  auto config = base_config(Protocol::kMahiMahi5, 10);
+  config.wan = true;
+  config.load_tps = 5'000;
+  const SimResult result = run_simulation(config);
+  EXPECT_GT(result.committed_tps, config.load_tps * 0.5) << result.to_string();
+  // WAN quorum formation is slower than the 25ms uniform fabric.
+  EXPECT_GT(result.avg_latency_s, 0.2);
+  expect_prefix_consistent(result, "wan");
+}
+
+TEST(SimIntegration, LatencyOrderingMatchesPaperShape) {
+  // Claim C1 in miniature: Tusk > Cordial Miners > Mahi-Mahi-5 > Mahi-Mahi-4
+  // in latency at equal (low) load. Small committee, WAN links.
+  auto config = base_config(Protocol::kMahiMahi4, 4);
+  config.wan = true;
+  config.load_tps = 500;
+  config.record_sequences = false;
+
+  const double mm4 = run_simulation(config).avg_latency_s;
+  config.protocol = Protocol::kMahiMahi5;
+  const double mm5 = run_simulation(config).avg_latency_s;
+  config.protocol = Protocol::kCordialMiners;
+  const double cm = run_simulation(config).avg_latency_s;
+  config.protocol = Protocol::kTusk;
+  const double tusk = run_simulation(config).avg_latency_s;
+
+  EXPECT_LT(mm4, mm5) << "C5: wave length 4 beats 5";
+  EXPECT_LT(mm5, cm) << "C1: multi-leader overlapping waves beat CM";
+  EXPECT_LT(cm, tusk) << "C1: uncertified DAG beats certified DAG";
+}
+
+TEST(SimIntegration, VerifiedCryptoPathWorks) {
+  // Full signature + coin-share verification on a small, short run.
+  auto config = base_config(Protocol::kMahiMahi5, 4);
+  config.duration = seconds(5);
+  config.warmup = seconds(2);
+  config.load_tps = 200;
+  config.verify_crypto = true;
+  const SimResult result = run_simulation(config);
+  EXPECT_GT(result.committed_tps, 0.0) << result.to_string();
+  expect_prefix_consistent(result, "verified");
+}
+
+}  // namespace
+}  // namespace mahimahi::sim

@@ -1,0 +1,180 @@
+// Synchronizer unit tests: causal-completeness enforcement (§2.3, Lemma 8).
+//
+// The synchronizer is what makes an uncertified DAG usable: blocks are
+// admitted only once their full ancestry is present, missing ancestors are
+// reported for fetching, and out-of-order arrivals cascade. Also covers the
+// GC interaction: refs below the DAG's pruned horizon count as satisfied.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/dag_builder.h"
+#include "validator/synchronizer.h"
+
+namespace mahimahi {
+namespace {
+
+class SynchronizerTest : public ::testing::Test {
+ protected:
+  SynchronizerTest() : builder_(4), dag_(builder_.committee()) {}
+
+  // Builds rounds 1..rounds fully connected inside the builder (the
+  // synchronizer under test gets blocks only when we offer them).
+  void build(Round rounds) { builder_.build_fully_connected(rounds); }
+
+  BlockPtr block_at(Round round, ValidatorId author) {
+    return builder_.dag().slot(round, author).front();
+  }
+
+  DagBuilder builder_;  // source of valid blocks
+  Dag dag_;             // the DAG under synchronization
+};
+
+TEST_F(SynchronizerTest, InOrderOfferInsertsImmediately) {
+  build(2);
+  Synchronizer sync(dag_, 1000);
+  const auto outcome = sync.offer(block_at(1, 0));
+  ASSERT_EQ(outcome.inserted.size(), 1u);
+  EXPECT_TRUE(outcome.missing.empty());
+  EXPECT_TRUE(dag_.contains(block_at(1, 0)->digest()));
+}
+
+TEST_F(SynchronizerTest, OutOfOrderOfferParksAndReportsMissing) {
+  build(2);
+  Synchronizer sync(dag_, 1000);
+  const auto block = block_at(2, 1);
+  const auto outcome = sync.offer(block);
+  EXPECT_TRUE(outcome.inserted.empty());
+  // All four round-1 parents are unknown (own-previous + 2f+1 quorum).
+  EXPECT_GE(outcome.missing.size(), 3u);
+  EXPECT_TRUE(sync.is_pending(block->digest()));
+  EXPECT_FALSE(dag_.contains(block->digest()));
+}
+
+TEST_F(SynchronizerTest, ArrivingParentsCascadeInCausalOrder) {
+  build(3);
+  Synchronizer sync(dag_, 1000);
+  // Offer a round-3 block first, then round-2, then the round-1 ancestry;
+  // the last arrivals must unblock everything, parents before children.
+  sync.offer(block_at(3, 0));
+  sync.offer(block_at(2, 0));
+  sync.offer(block_at(2, 1));
+  sync.offer(block_at(2, 2));
+  sync.offer(block_at(2, 3));
+
+  std::vector<BlockPtr> inserted;
+  for (ValidatorId v = 0; v < 4; ++v) {
+    const auto outcome = sync.offer(block_at(1, v));
+    inserted.insert(inserted.end(), outcome.inserted.begin(), outcome.inserted.end());
+  }
+  // Everything (4 + 4 + 1 blocks) is now in the DAG.
+  EXPECT_EQ(inserted.size(), 9u);
+  EXPECT_TRUE(dag_.contains(block_at(3, 0)->digest()));
+  // Causal order within the cascade: every block's parents precede it.
+  std::set<Digest> seen;
+  for (const auto& block : inserted) {
+    for (const auto& parent : block->parents()) {
+      if (parent.round == 0) continue;  // genesis pre-exists
+      EXPECT_TRUE(seen.contains(parent.digest))
+          << block->ref().to_string() << " inserted before its parent";
+    }
+    seen.insert(block->digest());
+  }
+}
+
+TEST_F(SynchronizerTest, DuplicateOffersAreNoOps) {
+  build(2);
+  Synchronizer sync(dag_, 1000);
+  EXPECT_EQ(sync.offer(block_at(1, 0)).inserted.size(), 1u);
+  EXPECT_TRUE(sync.offer(block_at(1, 0)).inserted.empty());
+
+  const auto parked = block_at(2, 1);
+  EXPECT_FALSE(sync.offer(parked).missing.empty());
+  EXPECT_TRUE(sync.offer(parked).missing.empty()) << "re-offer must not re-request";
+}
+
+TEST_F(SynchronizerTest, PendingBufferIsBounded) {
+  build(3);
+  Synchronizer sync(dag_, /*max_pending=*/2);
+  EXPECT_TRUE(sync.offer(block_at(2, 0)).inserted.empty());
+  EXPECT_TRUE(sync.offer(block_at(2, 1)).inserted.empty());
+  EXPECT_EQ(sync.pending_count(), 2u);
+  // Third parked offer is dropped, not queued.
+  sync.offer(block_at(2, 2));
+  EXPECT_EQ(sync.pending_count(), 2u);
+  EXPECT_FALSE(sync.is_pending(block_at(2, 2)->digest()));
+}
+
+TEST_F(SynchronizerTest, OutstandingListsEachMissingRefOnce) {
+  build(2);
+  Synchronizer sync(dag_, 1000);
+  // Two round-2 blocks share round-1 parents; refs must not duplicate.
+  sync.offer(block_at(2, 0));
+  sync.offer(block_at(2, 1));
+  const auto outstanding = sync.outstanding();
+  std::set<Digest> unique;
+  for (const auto& ref : outstanding) {
+    EXPECT_TRUE(unique.insert(ref.digest).second) << "duplicate outstanding ref";
+  }
+  EXPECT_EQ(unique.size(), 4u);  // the four round-1 blocks
+}
+
+TEST_F(SynchronizerTest, PruneBelowSatisfiesSubHorizonRefsAndUnblocks) {
+  build(6);
+  Synchronizer sync(dag_, 1000);
+  // Fill the DAG up to round 4 except validator 3's round-4 block.
+  for (Round r = 1; r <= 4; ++r) {
+    for (ValidatorId v = 0; v < 4; ++v) {
+      if (r == 4 && v == 3) continue;
+      sync.offer(block_at(r, v));
+    }
+  }
+  // A round-5 block referencing the missing round-4 block parks.
+  const auto child = block_at(5, 3);
+  EXPECT_TRUE(sync.offer(child).inserted.empty());
+  ASSERT_TRUE(sync.is_pending(child->digest()));
+
+  // GC moves the horizon past round 4: the missing ref counts as satisfied
+  // and the parked block inserts (its round-4 parents are exempt now).
+  dag_.prune_below(5);
+  const auto unblocked = sync.prune_below(5);
+  ASSERT_EQ(unblocked.size(), 1u);
+  EXPECT_EQ(unblocked[0]->digest(), child->digest());
+  EXPECT_TRUE(dag_.contains(child->digest()));
+  EXPECT_FALSE(sync.is_pending(child->digest()));
+}
+
+TEST_F(SynchronizerTest, PruneBelowDropsStalePendingBlocks) {
+  build(3);
+  Synchronizer sync(dag_, 1000);
+  // Park a round-2 block (round-1 ancestry unknown).
+  const auto stale = block_at(2, 0);
+  sync.offer(stale);
+  ASSERT_TRUE(sync.is_pending(stale->digest()));
+
+  // The horizon moves past the parked block itself: it is dropped, not
+  // inserted (it can never be delivered).
+  dag_.prune_below(3);
+  const auto unblocked = sync.prune_below(3);
+  EXPECT_TRUE(unblocked.empty());
+  EXPECT_FALSE(sync.is_pending(stale->digest()));
+  EXPECT_FALSE(dag_.contains(stale->digest()));
+}
+
+TEST_F(SynchronizerTest, OffersBelowHorizonReportNoSubHorizonMissing) {
+  build(4);
+  Synchronizer sync(dag_, 1000);
+  dag_.prune_below(4);
+  // A round-4 block whose entire ancestry is below the horizon: nothing to
+  // fetch, inserts immediately via the GC exemption.
+  const auto block = block_at(4, 1);
+  const auto outcome = sync.offer(block);
+  for (const auto& ref : outcome.missing) {
+    EXPECT_GE(ref.round, 3u) << "requested a ref below the GC horizon";
+  }
+  ASSERT_EQ(outcome.inserted.size(), 1u);
+  EXPECT_TRUE(dag_.contains(block->digest()));
+}
+
+}  // namespace
+}  // namespace mahimahi

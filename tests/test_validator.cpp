@@ -1,0 +1,276 @@
+// Unit tests for the sans-IO validator core: proposal rule, synchronizer
+// integration, fetch retry, mempool draining, equivocation mode, recovery.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "validator/validator.h"
+
+namespace mahimahi {
+namespace {
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  ValidatorTest() : setup_(Committee::make_test(4)) {}
+
+  ValidatorConfig config_for(ValidatorId id) {
+    ValidatorConfig config;
+    config.id = id;
+    config.committer = mahi_mahi_5(1);
+    return config;
+  }
+
+  std::unique_ptr<ValidatorCore> make_validator(ValidatorId id) {
+    return std::make_unique<ValidatorCore>(setup_.committee,
+                                           setup_.keypairs[id].private_key,
+                                           config_for(id));
+  }
+
+  // Runs a fully-connected in-memory cluster of 4 validators, delivering
+  // every broadcast to every peer. With min_round_delay = 0 and instant
+  // delivery the cluster free-runs (each quorum immediately triggers the
+  // next proposal), so delivery is capped at `max_round`: blocks beyond the
+  // cap are dropped, which starves later quorums and ends the cascade.
+  struct Cluster {
+    std::vector<std::unique_ptr<ValidatorCore>> nodes;
+    std::vector<CommittedSubDag> committed[4];
+    TimeMicros now = 0;
+    Round max_round = 20;
+
+    void pump(std::vector<std::pair<ValidatorId, Actions>> initial) {
+      std::vector<std::pair<ValidatorId, Actions>> queue = std::move(initial);
+      while (!queue.empty()) {
+        std::vector<std::pair<ValidatorId, Actions>> next;
+        for (auto& [from, actions] : queue) {
+          for (auto& sub : actions.committed) committed[from].push_back(sub);
+          for (const auto& block : actions.broadcast) {
+            if (block->round() > max_round) continue;
+            for (ValidatorId to = 0; to < 4; ++to) {
+              if (to == from) continue;
+              Actions reaction = nodes[to]->on_block(block, from, now);
+              if (!reaction.empty()) next.emplace_back(to, std::move(reaction));
+            }
+          }
+        }
+        queue = std::move(next);
+      }
+    }
+  };
+
+  Cluster make_cluster() {
+    Cluster cluster;
+    for (ValidatorId v = 0; v < 4; ++v) cluster.nodes.push_back(make_validator(v));
+    return cluster;
+  }
+
+  Committee::TestSetup setup_;
+};
+
+TEST_F(ValidatorTest, ProposesRound1OnFirstTick) {
+  auto validator = make_validator(0);
+  const Actions actions = validator->on_tick(0);
+  ASSERT_EQ(actions.broadcast.size(), 1u);
+  EXPECT_EQ(actions.broadcast[0]->round(), 1u);
+  EXPECT_EQ(actions.broadcast[0]->author(), 0u);
+  // The proposal references all four genesis blocks.
+  EXPECT_EQ(actions.broadcast[0]->parents().size(), 4u);
+  EXPECT_EQ(validator->last_proposed_round(), 1u);
+}
+
+TEST_F(ValidatorTest, DoesNotReProposeSameRound) {
+  auto validator = make_validator(0);
+  validator->on_tick(0);
+  const Actions again = validator->on_tick(10);
+  EXPECT_TRUE(again.broadcast.empty());
+}
+
+TEST_F(ValidatorTest, AdvancesRoundOnQuorum) {
+  auto cluster = make_cluster();
+  // Everyone proposes round 1; deliveries cascade proposals for subsequent
+  // rounds as quorums form.
+  std::vector<std::pair<ValidatorId, Actions>> initial;
+  for (ValidatorId v = 0; v < 4; ++v) {
+    initial.emplace_back(v, cluster.nodes[v]->on_tick(0));
+  }
+  cluster.pump(std::move(initial));
+  // With instant delivery the cluster free-runs: every validator reaches a
+  // round well beyond 1 and all DAGs stay within one round of each other.
+  for (ValidatorId v = 0; v < 4; ++v) {
+    EXPECT_GT(cluster.nodes[v]->last_proposed_round(), 1u);
+  }
+}
+
+TEST_F(ValidatorTest, RejectsInvalidBlocks) {
+  auto validator = make_validator(0);
+  // Forged signature: signed with the wrong key.
+  std::vector<BlockRef> genesis_refs;
+  for (const auto& g : validator->dag().blocks_at(0)) genesis_refs.push_back(g->ref());
+  auto forged = std::make_shared<const Block>(
+      Block::make(1, 1, genesis_refs, {}, setup_.committee.coin().share(1, 1),
+                  setup_.keypairs[2].private_key));
+  const Actions actions = validator->on_block(forged, 1, 0);
+  EXPECT_TRUE(actions.inserted.empty());
+  EXPECT_EQ(validator->blocks_rejected(), 1u);
+  EXPECT_FALSE(validator->dag().contains(forged->digest()));
+}
+
+TEST_F(ValidatorTest, FetchesMissingParents) {
+  auto v0 = make_validator(0);
+  auto v1 = make_validator(1);
+
+  // v1 proposes rounds 1 and 2 with help from v2, v3 (simulated directly).
+  auto v2 = make_validator(2);
+  auto v3 = make_validator(3);
+  const auto b1 = v1->on_tick(0).broadcast[0];
+  const auto b2 = v2->on_tick(0).broadcast[0];
+  const auto b3 = v3->on_tick(0).broadcast[0];
+  v1->on_block(b2, 2, 1);
+  Actions v1_round2 = v1->on_block(b3, 3, 1);
+  ASSERT_EQ(v1_round2.broadcast.size(), 1u);
+  const auto round2_block = v1_round2.broadcast[0];
+  ASSERT_EQ(round2_block->round(), 2u);
+
+  // v0 receives only the round-2 block: parents are missing, so it must
+  // fetch them from the sender.
+  const Actions actions = v0->on_block(round2_block, 1, 2);
+  EXPECT_TRUE(actions.inserted.empty());
+  ASSERT_EQ(actions.fetch_requests.size(), 1u);
+  EXPECT_EQ(actions.fetch_requests[0].peer, 1u);
+  const auto requested = actions.fetch_requests[0].refs;
+  EXPECT_GE(requested.size(), 2u);  // b1..b3 minus whatever v0 already has
+
+  // v1 serves the fetch; v0 inserts the parents, which unblocks the pending
+  // round-2 block.
+  const Actions served = v1->on_fetch_request(requested, 0, 3);
+  ASSERT_EQ(served.responses.size(), 1u);
+  Actions final_actions;
+  for (const auto& block : served.responses[0].blocks) {
+    final_actions.merge(v0->on_block(block, 1, 4));
+  }
+  EXPECT_TRUE(v0->dag().contains(round2_block->digest()));
+}
+
+TEST_F(ValidatorTest, FetchRetryRotatesPeers) {
+  auto v0 = make_validator(0);
+  ValidatorConfig config = config_for(0);
+
+  // Create a block with unknown parents by building a foreign mini-cluster.
+  auto cluster = make_cluster();
+  std::vector<std::pair<ValidatorId, Actions>> initial;
+  initial.emplace_back(1, cluster.nodes[1]->on_tick(0));
+  initial.emplace_back(2, cluster.nodes[2]->on_tick(0));
+  initial.emplace_back(3, cluster.nodes[3]->on_tick(0));
+  cluster.pump(std::move(initial));
+  BlockPtr deep = nullptr;
+  for (const auto& block : cluster.nodes[1]->dag().blocks_at(2)) {
+    deep = block;
+    break;
+  }
+  ASSERT_NE(deep, nullptr);
+
+  Actions first = v0->on_block(deep, 1, 0);
+  ASSERT_FALSE(first.fetch_requests.empty());
+  EXPECT_EQ(first.fetch_requests[0].peer, 1u);
+
+  // Before the retry delay: no new requests.
+  EXPECT_TRUE(v0->on_tick(millis(100)).fetch_requests.empty());
+  // After the retry delay the request is re-issued to another peer (the
+  // block author first).
+  const Actions retried = v0->on_tick(millis(1000));
+  ASSERT_FALSE(retried.fetch_requests.empty());
+}
+
+TEST_F(ValidatorTest, MempoolDrainsIntoProposals) {
+  auto validator = make_validator(0);
+  TxBatch batch;
+  batch.id = 42;
+  batch.count = 10;
+  // Transactions trigger an immediate proposal when a quorum for the
+  // previous round is already available (here: genesis).
+  const Actions actions = validator->on_transactions({batch}, 0);
+  ASSERT_EQ(actions.broadcast.size(), 1u);
+  ASSERT_EQ(actions.broadcast[0]->batches().size(), 1u);
+  EXPECT_EQ(actions.broadcast[0]->batches()[0].id, 42u);
+  EXPECT_EQ(validator->mempool_size(), 0u);
+  // A subsequent tick has nothing new to propose.
+  EXPECT_TRUE(validator->on_tick(1).broadcast.empty());
+}
+
+TEST_F(ValidatorTest, BlockPayloadCapRespected) {
+  ValidatorConfig config = config_for(0);
+  config.max_block_batches = 2;
+  ValidatorCore validator(setup_.committee, setup_.keypairs[0].private_key, config);
+  std::vector<TxBatch> batches(5);
+  for (std::size_t i = 0; i < 5; ++i) batches[i].id = i;
+  const Actions actions = validator.on_transactions(batches, 0);
+  ASSERT_EQ(actions.broadcast.size(), 1u);
+  EXPECT_EQ(actions.broadcast[0]->batches().size(), 2u);
+  EXPECT_EQ(validator.mempool_size(), 3u);
+}
+
+TEST_F(ValidatorTest, MinRoundDelayPacesProposals) {
+  ValidatorConfig config = config_for(0);
+  config.min_round_delay = millis(100);
+  ValidatorCore validator(setup_.committee, setup_.keypairs[0].private_key, config);
+  EXPECT_EQ(validator.on_tick(0).broadcast.size(), 1u);  // first proposal free
+
+  // Deliver a full round-1 quorum: proposal for round 2 must wait for the
+  // pacing delay.
+  auto v1 = make_validator(1);
+  auto v2 = make_validator(2);
+  auto v3 = make_validator(3);
+  validator.on_block(v1->on_tick(0).broadcast[0], 1, millis(10));
+  validator.on_block(v2->on_tick(0).broadcast[0], 2, millis(11));
+  const Actions quorum = validator.on_block(v3->on_tick(0).broadcast[0], 3, millis(12));
+  EXPECT_TRUE(quorum.broadcast.empty()) << "paced: too early to propose round 2";
+  EXPECT_TRUE(validator.on_tick(millis(50)).broadcast.empty());
+  const Actions after_delay = validator.on_tick(millis(101));
+  ASSERT_EQ(after_delay.broadcast.size(), 1u);
+  EXPECT_EQ(after_delay.broadcast[0]->round(), 2u);
+}
+
+TEST_F(ValidatorTest, EquivocatorProducesTwins) {
+  ValidatorConfig config = config_for(0);
+  config.byzantine_equivocate = true;
+  ValidatorCore validator(setup_.committee, setup_.keypairs[0].private_key, config);
+  const Actions actions = validator.on_tick(0);
+  ASSERT_EQ(actions.broadcast.size(), 2u);
+  EXPECT_EQ(actions.broadcast[0]->round(), actions.broadcast[1]->round());
+  EXPECT_EQ(actions.broadcast[0]->author(), actions.broadcast[1]->author());
+  EXPECT_NE(actions.broadcast[0]->digest(), actions.broadcast[1]->digest());
+  // Both are valid blocks from the committee's perspective.
+  EXPECT_EQ(validate_block(*actions.broadcast[1], setup_.committee), BlockValidity::kValid);
+}
+
+TEST_F(ValidatorTest, RecoverRestoresProposerRound) {
+  auto validator = make_validator(0);
+  const auto own1 = validator->on_tick(0).broadcast[0];
+
+  // A fresh core replaying the logged block must not re-propose round 1.
+  auto recovered = make_validator(0);
+  recovered->recover_block(own1);
+  EXPECT_EQ(recovered->last_proposed_round(), 1u);
+  const Actions tick = recovered->on_tick(1);
+  EXPECT_TRUE(tick.broadcast.empty());
+  EXPECT_TRUE(recovered->dag().contains(own1->digest()));
+}
+
+TEST_F(ValidatorTest, DuplicateDeliveryIsIdempotent) {
+  auto v0 = make_validator(0);
+  auto v1 = make_validator(1);
+  const auto block = v1->on_tick(0).broadcast[0];
+  // First delivery inserts v1's block and (genesis already forms a quorum)
+  // triggers v0's own round-1 proposal.
+  const Actions first = v0->on_block(block, 1, 0);
+  ASSERT_EQ(first.inserted.size(), 2u);
+  EXPECT_EQ(first.inserted[0]->author(), 1u);
+  EXPECT_EQ(first.inserted[1]->author(), 0u);
+  // Re-delivery is a no-op: nothing inserted, nothing proposed.
+  const Actions second = v0->on_block(block, 1, 1);
+  EXPECT_TRUE(second.inserted.empty());
+  EXPECT_TRUE(second.broadcast.empty());
+  EXPECT_EQ(v0->dag().block_count(), 6u);  // 4 genesis + v1's block + own proposal
+}
+
+}  // namespace
+}  // namespace mahimahi
