@@ -103,6 +103,86 @@ void BM_Ed25519Verify(benchmark::State& state) {
 }
 BENCHMARK(BM_Ed25519Verify);
 
+// --- Batch verification ------------------------------------------------------
+//
+// The ingestion pipeline's headline win: verifying a worker batch of blocks
+// as one random-linear-combination check. `authors` models the committee —
+// a 64-block batch from 10 validators collapses to 10 public-key scalar
+// multiplications plus one fixed-base term.
+
+struct BatchFixture {
+  std::vector<Ed25519Keypair> keypairs;
+  std::vector<Bytes> messages;
+  std::vector<Ed25519BatchItem> items;
+};
+
+BatchFixture make_batch(std::size_t count, std::size_t authors) {
+  BatchFixture fixture;
+  std::array<std::uint8_t, 32> seed{};
+  for (std::size_t a = 0; a < authors; ++a) {
+    seed[0] = static_cast<std::uint8_t>(a + 1);
+    fixture.keypairs.push_back(ed25519_keypair_from_seed(seed));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    Bytes message = make_input(32);  // blocks sign their 32-byte digest
+    message[0] = static_cast<std::uint8_t>(i);
+    fixture.messages.push_back(std::move(message));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& kp = fixture.keypairs[i % authors];
+    const auto& message = fixture.messages[i];
+    fixture.items.push_back({kp.public_key, {message.data(), message.size()},
+                             ed25519_sign(kp.private_key, {message.data(), message.size()})});
+  }
+  return fixture;
+}
+
+// Baseline: the pre-pipeline ingestion cost — one ed25519_verify per block.
+void BM_Ed25519VerifySingleLoop(benchmark::State& state) {
+  const auto fixture = make_batch(static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    bool all = true;
+    for (const auto& item : fixture.items) {
+      all &= ed25519_verify(item.key, item.message, item.signature);
+    }
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Ed25519VerifySingleLoop)
+    ->ArgsProduct({{16, 64}, {10}})
+    ->ArgNames({"batch", "authors"});
+
+void BM_Ed25519VerifyBatch(benchmark::State& state) {
+  const auto fixture = make_batch(static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ed25519_verify_batch(fixture.items));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Ed25519VerifyBatch)
+    ->ArgsProduct({{16, 64}, {10}})      // committee-shaped: authors repeat
+    ->ArgNames({"batch", "authors"});
+BENCHMARK(BM_Ed25519VerifyBatch)
+    ->Args({64, 64})                     // worst case: all keys distinct
+    ->ArgNames({"batch", "authors"});
+
+void BM_CoinVerifySharesBatch(benchmark::State& state) {
+  const ThresholdCoin coin(50, 16, Blake2b::hash256(as_bytes_view("bench")));
+  std::vector<ThresholdCoin::ShareQuery> queries;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const std::uint32_t author = i % 10;
+    queries.push_back({author, i / 10 + 1, coin.share(author, i / 10 + 1)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coin.verify_shares(queries));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_CoinVerifySharesBatch);
+
 void BM_CoinShare(benchmark::State& state) {
   const ThresholdCoin coin(50, 16, Blake2b::hash256(as_bytes_view("bench")));
   std::uint64_t round = 0;

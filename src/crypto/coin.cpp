@@ -42,6 +42,34 @@ bool ThresholdCoin::verify_share(std::uint32_t author, std::uint64_t round,
   return ct_equal(expected.view(), share_in.view());
 }
 
+std::vector<std::uint8_t> ThresholdCoin::verify_shares(
+    std::span<const ShareQuery> queries) const {
+  std::vector<std::uint8_t> ok(queries.size(), 0);
+  // Share keys depend only on the author; derive each at most once per batch.
+  // Committees are small, so a linear scan beats a hash map.
+  std::vector<std::pair<std::uint32_t, Digest>> keys;
+  keys.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& query = queries[i];
+    if (query.author >= n_) continue;
+    const Digest* key = nullptr;
+    for (const auto& [author, cached] : keys) {
+      if (author == query.author) {
+        key = &cached;
+        break;
+      }
+    }
+    if (key == nullptr) {
+      keys.emplace_back(query.author, share_key(query.author));
+      key = &keys.back().second;
+    }
+    const Bytes msg = round_message(query.round);
+    const CoinShare expected = Blake2b::mac256(key->view(), {msg.data(), msg.size()});
+    ok[i] = ct_equal(expected.view(), query.share.view()) ? 1 : 0;
+  }
+  return ok;
+}
+
 std::optional<std::uint64_t> ThresholdCoin::combine(
     std::uint64_t round,
     std::span<const std::pair<std::uint32_t, CoinShare>> shares) const {

@@ -43,6 +43,17 @@ class ThresholdCoin {
   bool verify_share(std::uint32_t author, std::uint64_t round,
                     const CoinShare& share) const;
 
+  // Batched share verification: one verdict per query, identical to calling
+  // verify_share per query. Amortizes the per-author key derivation across
+  // the batch — a block batch from an n-validator committee re-derives each
+  // author's share key once instead of once per block.
+  struct ShareQuery {
+    std::uint32_t author;
+    std::uint64_t round;
+    CoinShare share;
+  };
+  std::vector<std::uint8_t> verify_shares(std::span<const ShareQuery> queries) const;
+
   // Reconstructs the coin for `round` from shares. Input pairs are
   // (author, share); invalid or duplicate-author shares are ignored. Returns
   // nullopt if fewer than 2f+1 distinct valid shares remain.

@@ -85,6 +85,10 @@ void EventLoop::post(Task task) {
   [[maybe_unused]] const auto written = ::write(wakeup_fd_, &one, sizeof(one));
 }
 
+bool EventLoop::in_loop_thread() const {
+  return loop_thread_id_.load(std::memory_order_relaxed) == std::this_thread::get_id();
+}
+
 void EventLoop::drain_posted() {
   std::vector<Task> tasks;
   {
@@ -117,6 +121,7 @@ int EventLoop::next_timeout_ms() const {
 void EventLoop::run() {
   running_.store(true);
   stop_requested_.store(false);
+  loop_thread_id_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   epoll_event events[64];
   while (!stop_requested_.load(std::memory_order_relaxed)) {
     const int count = ::epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
@@ -135,6 +140,7 @@ void EventLoop::run() {
     fire_due_timers();
     drain_posted();
   }
+  loop_thread_id_.store(std::thread::id{}, std::memory_order_relaxed);
   running_.store(false);
 }
 

@@ -11,6 +11,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -38,8 +39,17 @@ class EventLoop {
   std::uint64_t schedule(TimeMicros delay, Task task);
   void cancel_timer(std::uint64_t id);
 
-  // Thread-safe: enqueue a task to run on the loop thread.
+  // Thread-safe: enqueue a task to run on the loop thread. Tasks always go
+  // through the queue, even when posted from the loop thread itself: queue
+  // order is delivery order, which callers rely on (e.g. commit handlers
+  // must see sub-DAGs in consensus order — inline execution could reenter
+  // and reorder them).
   void post(Task task);
+
+  // True when called from the thread currently inside run(). For asserting
+  // single-threaded invariants (e.g. "the validator core only ever runs on
+  // the loop thread").
+  bool in_loop_thread() const;
 
   // Runs until stop() is called (from any thread).
   void run();
@@ -56,6 +66,7 @@ class EventLoop {
   int wakeup_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  std::atomic<std::thread::id> loop_thread_id_{};
 
   std::unordered_map<int, FdCallback> fd_callbacks_;
 

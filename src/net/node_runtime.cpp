@@ -1,7 +1,11 @@
 #include "net/node_runtime.h"
 
+#include <cassert>
+#include <unordered_set>
+
 #include "common/log.h"
 #include "serde/serde.h"
+#include "validator/crypto_stage.h"
 
 namespace mahimahi::net {
 
@@ -26,6 +30,9 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
     wal_ = std::make_unique<NullWal>();
   }
   outgoing_.resize(committee_.size());
+  if (config_.verify_threads > 0) {
+    verify_pool_ = std::make_unique<WorkerPool>(config_.verify_threads);
+  }
 }
 
 NodeRuntime::~NodeRuntime() { stop(); }
@@ -36,6 +43,9 @@ void NodeRuntime::start() {
 }
 
 void NodeRuntime::stop() {
+  // Workers first: after stop() they hold no reference to any member, so the
+  // loop (and everything it owns) can tear down safely.
+  if (verify_pool_) verify_pool_->stop();
   if (thread_.joinable()) {
     loop_.stop();
     thread_.join();
@@ -144,9 +154,15 @@ void NodeRuntime::on_peer_frame(ValidatorId peer, BytesView frame) {
     const auto type = static_cast<MessageType>(r.u8());
     switch (type) {
       case MessageType::kBlock: {
-        auto block = std::make_shared<const Block>(
-            Block::deserialize(r.raw(r.remaining())));
-        perform(core_->on_block(std::move(block), peer, steady_now_micros()));
+        const BytesView payload = r.raw(r.remaining());
+        if (verify_pool_) {
+          // Decode + crypto verification happen on the worker pool; the
+          // loop thread only copies the frame out of the socket buffer.
+          enqueue_block_frame(peer, Bytes(payload.begin(), payload.end()));
+        } else {
+          auto block = std::make_shared<const Block>(Block::deserialize(payload));
+          perform(core_->on_block(std::move(block), peer, steady_now_micros()));
+        }
         break;
       }
       case MessageType::kFetch: {
@@ -172,6 +188,131 @@ void NodeRuntime::on_peer_frame(ValidatorId peer, BytesView frame) {
   }
 }
 
+void NodeRuntime::enqueue_block_frame(ValidatorId peer, Bytes payload) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(verify_mutex_);
+    if (pending_frames_.size() >= config_.max_pending_verify_frames) {
+      // Overload shedding: a peer outrunning verification throughput must
+      // not grow the queue without bound. Anti-entropy and the fetch path
+      // re-deliver dropped blocks once the backlog clears.
+      verify_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    pending_frames_.push_back(RawFrame{peer, std::move(payload)});
+    if (!verify_scheduled_) {
+      verify_scheduled_ = true;
+      schedule = true;
+    }
+  }
+  if (schedule) verify_pool_->submit([this] { verify_pending_frames(); });
+}
+
+void NodeRuntime::verify_pending_frames() {
+  // One drain loop at a time (verify_scheduled_ stays true until the queue
+  // is empty): concurrent drains could post their batches to the loop out
+  // of arrival order, parking children ahead of their in-flight parents and
+  // broadcasting spurious fetch requests. Batching, not thread fan-out, is
+  // where the verification win comes from anyway.
+  for (;;) {
+    std::vector<RawFrame> frames;
+    {
+      std::lock_guard<std::mutex> lock(verify_mutex_);
+      if (pending_frames_.empty()) {
+        verify_scheduled_ = false;
+        return;
+      }
+      frames.swap(pending_frames_);
+    }
+    verify_frames(std::move(frames));
+  }
+}
+
+void NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
+
+  // Stage: decode + structural validation + dedup.
+  std::vector<BlockPtr> blocks;
+  std::vector<ValidatorId> senders;
+  blocks.reserve(frames.size());
+  senders.reserve(frames.size());
+  std::unordered_set<Digest, DigestHasher> in_batch;
+  for (const auto& frame : frames) {
+    BlockPtr block;
+    try {
+      block = std::make_shared<const Block>(
+          Block::deserialize({frame.payload.data(), frame.payload.size()}));
+    } catch (const serde::SerdeError& error) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      MM_LOG(kWarn) << "v" << id() << " bad block frame from v" << frame.peer << ": "
+                    << error.what();
+      continue;
+    }
+    // Already retained by the core (anti-entropy re-offer) or duplicated
+    // within this very batch: skip before the crypto stage.
+    if (!in_batch.insert(block->digest()).second) continue;
+    if (forwarded_digests_.contains(block->digest())) continue;
+    const BlockValidity structural = validate_block_structure(*block, committee_);
+    if (structural != BlockValidity::kValid) {
+      worker_structurally_rejected_.fetch_add(1, std::memory_order_relaxed);
+      MM_LOG(kDebug) << "v" << id() << " rejected block from v" << frame.peer << ": "
+                     << to_string(structural);
+      continue;
+    }
+    blocks.push_back(std::move(block));
+    senders.push_back(frame.peer);
+  }
+
+  // Stage: the shared crypto stage (validator/crypto_stage.h) — verifier-
+  // cache consult (a configured shared cache short-circuits signatures a
+  // co-located runtime already verified), batched coin-share checks, one
+  // RLC signature batch with bisecting fallback. Safe off-thread: the
+  // committee is immutable and the cache internally locked.
+  const CryptoStageResult stage =
+      run_crypto_stage(blocks, committee_, config_.validator.validation,
+                       config_.validator.signature_cache.get());
+
+  std::vector<IngestBlock> items;
+  items.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (stage.verdicts[i] != BlockValidity::kValid) {
+      worker_crypto_rejected_.fetch_add(1, std::memory_order_relaxed);
+      MM_LOG(kDebug) << "v" << id() << " rejected block from v" << senders[i] << ": "
+                     << to_string(stage.verdicts[i]);
+      continue;
+    }
+    items.push_back(IngestBlock{std::move(blocks[i]), senders[i], true,
+                                stage.cache_hit[i] != 0});
+  }
+  if (items.empty()) return;
+
+  // Hand the verified batch back to the loop thread; the core never runs
+  // concurrently with itself. The forwarded-digest record is written there,
+  // AFTER the core decides: a block the synchronizer drops under
+  // back-pressure must stay re-deliverable through the fetch path.
+  std::vector<Digest> digests;
+  digests.reserve(items.size());
+  for (const auto& item : items) digests.push_back(item.block->digest());
+  loop_.post([this, items = std::move(items), digests = std::move(digests)]() mutable {
+    perform(core_->on_blocks(std::move(items), steady_now_micros()));
+    for (const auto& digest : digests) {
+      if (core_->knows_block(digest)) forwarded_digests_.insert(digest);
+    }
+  });
+}
+
+IngestStats NodeRuntime::ingest_stats() const {
+  IngestStats stats;
+  stats.structurally_rejected =
+      core_structurally_rejected_.load(std::memory_order_relaxed) +
+      worker_structurally_rejected_.load(std::memory_order_relaxed);
+  stats.crypto_rejected = core_crypto_rejected_.load(std::memory_order_relaxed) +
+                          worker_crypto_rejected_.load(std::memory_order_relaxed);
+  stats.cache_hits = core_cache_hits_.load(std::memory_order_relaxed);
+  stats.verified = core_verified_.load(std::memory_order_relaxed);
+  stats.preverified = core_preverified_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 Bytes NodeRuntime::encode_block(const Block& block) const {
   serde::Writer w;
   w.u8(static_cast<std::uint8_t>(MessageType::kBlock));
@@ -187,6 +328,9 @@ void NodeRuntime::send_to_peer(ValidatorId peer, BytesView frame) {
 }
 
 void NodeRuntime::perform(Actions&& actions) {
+  // The sans-IO core and everything here run exclusively on the loop
+  // thread; workers only decode and verify.
+  assert(loop_.in_loop_thread());
   for (const auto& block : actions.inserted) {
     wal_->append_block(*block, block->author() == id());
   }
@@ -224,6 +368,14 @@ void NodeRuntime::perform(Actions&& actions) {
     if (commit_handler_) commit_handler_(sub_dag);
   }
   highest_round_.store(core_->dag().highest_round(), std::memory_order_relaxed);
+
+  // Publish the core's pipeline counters for thread-safe reads.
+  const IngestStats& stats = core_->ingest_stats();
+  core_structurally_rejected_.store(stats.structurally_rejected, std::memory_order_relaxed);
+  core_crypto_rejected_.store(stats.crypto_rejected, std::memory_order_relaxed);
+  core_cache_hits_.store(stats.cache_hits, std::memory_order_relaxed);
+  core_verified_.store(stats.verified, std::memory_order_relaxed);
+  core_preverified_.store(stats.preverified, std::memory_order_relaxed);
 }
 
 void NodeRuntime::offer_latest_block(ValidatorId peer) {
@@ -254,6 +406,9 @@ void NodeRuntime::tick() {
 }
 
 void NodeRuntime::submit(std::vector<TxBatch> batches) {
+  // Always through the queue — a commit handler resubmitting from the loop
+  // thread must not reenter perform() while earlier sub-DAGs of the current
+  // step are still being delivered.
   loop_.post([this, batches = std::move(batches)]() mutable {
     perform(core_->on_transactions(std::move(batches), steady_now_micros()));
   });

@@ -6,6 +6,14 @@
 // recovery. This mirrors the paper's networked multi-core validator (§4):
 // tokio + raw TCP there, epoll + raw TCP here.
 //
+// Block ingestion is pipelined: the loop thread only reads frames off the
+// sockets and enqueues them; a small worker pool (config.verify_threads)
+// decodes and crypto-verifies them — batched, so bursts amortize ed25519
+// costs (crypto/ed25519.h) — and posts the surviving blocks back to the loop
+// thread, which feeds them to ValidatorCore::on_blocks. The core stays
+// single-threaded and sans-IO; only decode + verification, which are pure
+// functions of the frame bytes and the committee, run concurrently.
+//
 // Message frames (first payload byte is the type):
 //   kHandshake: u32 validator id + 32-byte committee epoch seed
 //   kBlock:     serialized block
@@ -14,12 +22,14 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/event_loop.h"
 #include "net/tcp.h"
+#include "net/worker_pool.h"
 #include "validator/validator.h"
 #include "wal/wal.h"
 
@@ -43,6 +53,17 @@ struct NodeRuntimeConfig {
   // eventual delivery (§2.1, Lemma 9) needs a push-based repair path; the
   // peer's synchronizer pulls any missing ancestry from the offered block.
   TimeMicros resync_interval = millis(500);
+  // Threads decoding and crypto-verifying incoming block frames off the
+  // event-loop thread. 0 = decode and verify inline on the loop thread
+  // (strictly serial ingestion; useful for debugging and determinism).
+  std::size_t verify_threads = 2;
+  // Bound on frames queued for the verify workers. The inline path was
+  // implicitly bounded by TCP flow control (the loop read one frame, then
+  // verified it); the worker queue needs an explicit cap or a peer
+  // outrunning verification throughput grows it without bound. Overflow
+  // drops the incoming frame — safe, since anti-entropy re-offers and the
+  // synchronizer's fetch path re-deliver anything that matters.
+  std::size_t max_pending_verify_frames = 10'000;
 };
 
 class NodeRuntime {
@@ -73,17 +94,45 @@ class NodeRuntime {
   }
   Round highest_round() const { return highest_round_.load(std::memory_order_relaxed); }
 
+  // Combined ingestion-pipeline counters: the worker stages (structural and
+  // crypto rejects during off-thread verification) plus the core's own
+  // stages, mirrored after every loop-thread step. Thread-safe.
+  IngestStats ingest_stats() const;
+  // Frames that failed to decode as blocks (malformed wire bytes).
+  std::uint64_t decode_errors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
+  // Frames dropped because the verify queue was full (overload shedding).
+  std::uint64_t verify_frames_dropped() const {
+    return verify_frames_dropped_.load(std::memory_order_relaxed);
+  }
+
   ValidatorId id() const { return config_.validator.id; }
   std::uint16_t listen_port() const { return listen_port_.load(); }
 
  private:
   enum class MessageType : std::uint8_t { kHandshake = 1, kBlock = 2, kFetch = 3 };
 
+  struct RawFrame {
+    ValidatorId peer;
+    Bytes payload;  // serialized block, type byte stripped
+  };
+
   void loop_main();
   void dial_peer(ValidatorId peer);
   void on_peer_frame(ValidatorId peer, BytesView frame);
   void on_unidentified_connection(TcpConnectionPtr connection);
   void perform(Actions&& actions);
+  // Queues a block frame for the verify workers (schedules a drain when
+  // none is pending) — called on the loop thread.
+  void enqueue_block_frame(ValidatorId peer, Bytes payload);
+  // Worker-side: loops draining the queued frames (one drain at a time, so
+  // batches reach the loop thread in arrival order) until the queue is
+  // empty.
+  void verify_pending_frames();
+  // Worker-side: decodes + structurally validates + batch-crypto-verifies
+  // one drained batch and posts survivors to the loop thread.
+  void verify_frames(std::vector<RawFrame> frames);
   void send_to_peer(ValidatorId peer, BytesView frame);
   void tick();
   Bytes encode_block(const Block& block) const;
@@ -110,6 +159,30 @@ class NodeRuntime {
   std::atomic<std::uint64_t> committed_tx_{0};
   std::atomic<std::uint64_t> committed_blocks_{0};
   std::atomic<Round> highest_round_{0};
+
+  // Off-loop verification pipeline.
+  std::unique_ptr<WorkerPool> verify_pool_;
+  std::mutex verify_mutex_;
+  std::vector<RawFrame> pending_frames_;   // guarded by verify_mutex_
+  bool verify_scheduled_ = false;          // guarded by verify_mutex_
+  // Digests of blocks the core has retained (inserted or parked): workers
+  // drop re-deliveries of them — the periodic anti-entropy re-offers,
+  // relayed fetch responses — before paying crypto again. Recorded on the
+  // loop thread only after the core accepts a block, so anything dropped
+  // (bad crypto, synchronizer back-pressure) stays re-deliverable.
+  // VerifierCache is internally locked.
+  VerifierCache forwarded_digests_;
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> verify_frames_dropped_{0};
+  std::atomic<std::uint64_t> worker_structurally_rejected_{0};
+  std::atomic<std::uint64_t> worker_crypto_rejected_{0};
+  // Mirror of the core's IngestStats, refreshed on the loop thread after
+  // every step so ingest_stats() never races the core.
+  std::atomic<std::uint64_t> core_structurally_rejected_{0};
+  std::atomic<std::uint64_t> core_crypto_rejected_{0};
+  std::atomic<std::uint64_t> core_cache_hits_{0};
+  std::atomic<std::uint64_t> core_verified_{0};
+  std::atomic<std::uint64_t> core_preverified_{0};
 };
 
 }  // namespace mahimahi::net

@@ -1,0 +1,50 @@
+#include "net/worker_pool.h"
+
+namespace mahimahi::net {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void WorkerPool::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    queue_.clear();
+  }
+  wake_.notify_all();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void WorkerPool::worker_main() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace mahimahi::net

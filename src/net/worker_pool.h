@@ -1,0 +1,50 @@
+// A small fixed-size thread pool for CPU-bound pipeline stages.
+//
+// NodeRuntime uses it to run frame decoding and batched signature
+// verification off the event-loop thread (the paper's tokio runtime pipelines
+// the same way): workers consume submitted tasks, and each task posts its
+// results back to the owning EventLoop. The pool itself knows nothing about
+// blocks — it is a plain task queue.
+//
+// stop() (also run by the destructor) lets in-flight tasks finish, discards
+// tasks still queued, and joins the threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mahimahi::net {
+
+class WorkerPool {
+ public:
+  using Task = std::function<void()>;
+
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Thread-safe. Tasks submitted after stop() are discarded.
+  void submit(Task task);
+
+  void stop();
+
+  std::size_t thread_count() const { return threads_.size(); }
+
+ private:
+  void worker_main();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mahimahi::net

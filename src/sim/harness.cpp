@@ -70,6 +70,8 @@ struct SimHarness::Impl {
     egress_free.assign(config.n, 0);
     batch_seq.assign(config.n, 0);
     sequences.resize(config.n);
+    inboxes.resize(config.n);
+    inbox_scheduled.assign(config.n, 0);
 
     // Tusk: per-sender echo round trip — time to collect 2f+1 echoes
     // (itself plus the 2f fastest peers).
@@ -159,7 +161,25 @@ struct SimHarness::Impl {
       // Checked at delivery time: a message in flight towards a validator
       // that crashed meanwhile is lost (the synchronizer re-fetches it).
       if (!running(to)) return;
-      handle_actions(to, nodes[to]->on_block(block, from, queue.now()));
+      deliver_block(to, block, from);
+    });
+  }
+
+  // Batched delivery through the staged ingestion pipeline: blocks arriving
+  // at the same simulated instant accumulate in a per-validator inbox that a
+  // same-time drain event (scheduled behind them by the queue's determinis-
+  // tic tie-break) flushes as one ValidatorCore::on_blocks call — the sim
+  // analogue of the TCP runtime's worker-pool batches.
+  void deliver_block(ValidatorId to, BlockPtr block, ValidatorId from) {
+    inboxes[to].push_back(IngestBlock{std::move(block), from, false});
+    if (inbox_scheduled[to]) return;
+    inbox_scheduled[to] = 1;
+    queue.schedule(queue.now(), [this, to] {
+      inbox_scheduled[to] = 0;
+      std::vector<IngestBlock> items;
+      items.swap(inboxes[to]);
+      if (!running(to)) return;  // crashed between arrival and drain
+      handle_actions(to, nodes[to]->on_blocks(std::move(items), queue.now()));
     });
   }
 
@@ -238,6 +258,7 @@ struct SimHarness::Impl {
     if (!running(v)) return;
     down[v] = 1;
     nodes[v].reset();
+    inboxes[v].clear();  // in-flight deliveries die with the process
     if (wals[v] != nullptr) {
       // Keep the file for replay; drop the open handle like a crash would.
       wals[v]->sync();
@@ -376,6 +397,8 @@ struct SimHarness::Impl {
   std::vector<TimeMicros> egress_free;
   std::vector<TimeMicros> cert_rtt;
   std::vector<std::uint64_t> batch_seq;
+  std::vector<std::vector<IngestBlock>> inboxes;  // batched same-time deliveries
+  std::vector<char> inbox_scheduled;
   std::vector<char> down;                         // RestartSpec crash state
   std::vector<std::unique_ptr<FileWal>> wals;     // per validator, when wal_dir set
   std::vector<std::vector<BlockPtr>> mem_logs;    // in-memory WAL fallback

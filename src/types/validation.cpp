@@ -19,8 +19,7 @@ std::string to_string(BlockValidity validity) {
   return "?";
 }
 
-BlockValidity validate_block(const Block& block, const Committee& committee,
-                             const ValidationOptions& options) {
+BlockValidity validate_block_structure(const Block& block, const Committee& committee) {
   if (!committee.contains(block.author())) return BlockValidity::kUnknownAuthor;
   if (block.round() == 0) return BlockValidity::kGenesisFromNetwork;
 
@@ -35,7 +34,11 @@ BlockValidity validate_block(const Block& block, const Committee& committee,
   if (previous_round_authors.size() < committee.quorum_threshold()) {
     return BlockValidity::kInsufficientParentQuorum;
   }
+  return BlockValidity::kValid;
+}
 
+BlockValidity validate_block_crypto(const Block& block, const Committee& committee,
+                                    const ValidationOptions& options) {
   if (options.verify_coin_share &&
       !committee.coin().verify_share(block.author(), block.round(), block.coin_share())) {
     return BlockValidity::kBadCoinShare;
@@ -48,6 +51,53 @@ BlockValidity validate_block(const Block& block, const Committee& committee,
   }
 
   return BlockValidity::kValid;
+}
+
+std::vector<BlockValidity> validate_blocks_crypto(std::span<const BlockPtr> blocks,
+                                                  const Committee& committee,
+                                                  const ValidationOptions& options) {
+  std::vector<BlockValidity> verdicts(blocks.size(), BlockValidity::kValid);
+  if (blocks.empty()) return verdicts;
+
+  if (options.verify_coin_share) {
+    std::vector<crypto::ThresholdCoin::ShareQuery> queries;
+    queries.reserve(blocks.size());
+    for (const auto& block : blocks) {
+      queries.push_back({block->author(), block->round(), block->coin_share()});
+    }
+    const auto ok = committee.coin().verify_shares(queries);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (!ok[i]) verdicts[i] = BlockValidity::kBadCoinShare;
+    }
+  }
+
+  if (options.verify_signature) {
+    // Only blocks that survived the coin stage reach the signature batch;
+    // indices map batch positions back to block positions.
+    std::vector<crypto::Ed25519BatchItem> items;
+    std::vector<std::size_t> indices;
+    items.reserve(blocks.size());
+    indices.reserve(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (verdicts[i] != BlockValidity::kValid) continue;
+      items.push_back({committee.public_key(blocks[i]->author()),
+                       blocks[i]->digest().view(), blocks[i]->signature()});
+      indices.push_back(i);
+    }
+    const auto ok = crypto::ed25519_verify_each(items);
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      if (!ok[j]) verdicts[indices[j]] = BlockValidity::kBadSignature;
+    }
+  }
+
+  return verdicts;
+}
+
+BlockValidity validate_block(const Block& block, const Committee& committee,
+                             const ValidationOptions& options) {
+  const BlockValidity structural = validate_block_structure(block, committee);
+  if (structural != BlockValidity::kValid) return structural;
+  return validate_block_crypto(block, committee, options);
 }
 
 }  // namespace mahimahi

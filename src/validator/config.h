@@ -51,6 +51,12 @@ struct ValidatorConfig {
   // receive which block.
   bool byzantine_equivocate = false;
 
+  // Observer mode: validate, insert and commit but never propose — a read
+  // replica that follows consensus without participating. Also used by tests
+  // to compare drivers: without proposals, the DAG (and thus the commit
+  // sequence) is a pure function of the delivered blocks.
+  bool observer = false;
+
   // Synchronizer limits.
   std::size_t max_pending_blocks = 100'000;
   TimeMicros fetch_retry_delay = 500 * kMicrosPerMilli;

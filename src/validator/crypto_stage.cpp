@@ -1,0 +1,46 @@
+#include "validator/crypto_stage.h"
+
+namespace mahimahi {
+
+CryptoStageResult run_crypto_stage(std::span<const BlockPtr> blocks,
+                                   const Committee& committee,
+                                   const ValidationOptions& options,
+                                   VerifierCache* cache) {
+  CryptoStageResult result;
+  result.verdicts.assign(blocks.size(), BlockValidity::kValid);
+  result.cache_hit.assign(blocks.size(), 0);
+  if (blocks.empty()) return result;
+
+  const bool cacheable = cache != nullptr && options.verify_signature;
+  std::vector<BlockPtr> hits, misses;
+  std::vector<std::size_t> hit_index, miss_index;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (cacheable && cache->check_and_count(blocks[i]->digest())) {
+      result.cache_hit[i] = 1;
+      hits.push_back(blocks[i]);
+      hit_index.push_back(i);
+    } else {
+      misses.push_back(blocks[i]);
+      miss_index.push_back(i);
+    }
+  }
+
+  // Cache hits: the signature is vouched for, the coin share is not.
+  ValidationOptions hit_options = options;
+  hit_options.verify_signature = false;
+  const auto hit_verdicts = validate_blocks_crypto(hits, committee, hit_options);
+  for (std::size_t j = 0; j < hit_index.size(); ++j) {
+    result.verdicts[hit_index[j]] = hit_verdicts[j];
+  }
+
+  const auto miss_verdicts = validate_blocks_crypto(misses, committee, options);
+  for (std::size_t j = 0; j < miss_index.size(); ++j) {
+    result.verdicts[miss_index[j]] = miss_verdicts[j];
+    if (cacheable && miss_verdicts[j] == BlockValidity::kValid) {
+      cache->insert(misses[j]->digest());
+    }
+  }
+  return result;
+}
+
+}  // namespace mahimahi

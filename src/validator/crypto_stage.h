@@ -1,0 +1,41 @@
+// The shared crypto stage of the ingestion pipeline.
+//
+// Both drivers of ValidatorCore ingestion run the same stage — the core
+// itself (inline verification) and NodeRuntime's verify workers (off-thread
+// verification) — so the cache-consult protocol lives here once:
+//
+//   1. partition blocks into verifier-cache hits (signature already proven
+//      for this digest; possibly by a co-located validator sharing the
+//      cache) and misses;
+//   2. batch-verify coin shares for everything and signatures for the
+//      misses (types/validation.h);
+//   3. record newly proven digests back into the cache.
+//
+// Cache hits still pay the (cheap) coin-share check: the cache witnesses the
+// signature only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "types/validation.h"
+#include "validator/verifier_cache.h"
+
+namespace mahimahi {
+
+struct CryptoStageResult {
+  // One verdict per block: kValid, kBadCoinShare or kBadSignature.
+  std::vector<BlockValidity> verdicts;
+  // cache_hit[i] != 0 iff block i's signature was vouched by the cache.
+  std::vector<char> cache_hit;
+};
+
+// `cache` may be null (no caching). Thread-safe iff its inputs are: the
+// committee is immutable and VerifierCache is internally locked, so workers
+// may call this concurrently with the core.
+CryptoStageResult run_crypto_stage(std::span<const BlockPtr> blocks,
+                                   const Committee& committee,
+                                   const ValidationOptions& options,
+                                   VerifierCache* cache);
+
+}  // namespace mahimahi

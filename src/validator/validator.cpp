@@ -1,6 +1,9 @@
 #include "validator/validator.h"
 
+#include <unordered_set>
+
 #include "common/log.h"
+#include "validator/crypto_stage.h"
 
 namespace mahimahi {
 
@@ -32,7 +35,9 @@ void ValidatorCore::note_inserted(const BlockPtr& block) {
 }
 
 Actions ValidatorCore::on_block(BlockPtr block, ValidatorId from, TimeMicros now) {
-  return ingest(std::move(block), from, now);
+  std::vector<IngestBlock> items;
+  items.push_back({std::move(block), from, false});
+  return on_blocks(std::move(items), now);
 }
 
 Actions ValidatorCore::recover_block(BlockPtr block) {
@@ -65,38 +70,102 @@ Actions ValidatorCore::recover_block(BlockPtr block) {
   return actions;
 }
 
-Actions ValidatorCore::ingest(BlockPtr block, ValidatorId from, TimeMicros now) {
+Actions ValidatorCore::on_blocks(std::vector<IngestBlock> items, TimeMicros now) {
   Actions actions;
-  if (dag_.contains(block->digest()) || synchronizer_.is_pending(block->digest())) {
-    return actions;
-  }
-  if (block->round() < dag_.pruned_below()) {
-    return actions;  // stale: below the GC horizon, can never be delivered
+
+  // --- Stage 1: dedup + structural validation -------------------------------
+  // Cheap integer work; everything rejected here never touches crypto.
+  std::vector<IngestBlock> batch;
+  batch.reserve(items.size());
+  std::unordered_set<Digest, DigestHasher> in_batch;
+  for (auto& item : items) {
+    const Digest& digest = item.block->digest();
+    if (dag_.contains(digest) || synchronizer_.is_pending(digest)) continue;
+    if (!in_batch.insert(digest).second) continue;  // duplicate within batch
+    if (item.block->round() < dag_.pruned_below()) {
+      continue;  // stale: below the GC horizon, can never be delivered
+    }
+    const BlockValidity structural = validate_block_structure(*item.block, committee_);
+    if (structural != BlockValidity::kValid) {
+      ++blocks_rejected_;
+      ++ingest_stats_.structurally_rejected;
+      MM_LOG(kDebug) << "v" << config_.id << " rejected block from v" << item.from
+                     << ": " << to_string(structural);
+      continue;
+    }
+    batch.push_back(std::move(item));
   }
 
-  // Consult the verification cache: a digest that verified once (possibly
-  // at a co-located validator sharing the cache) need not pay ed25519 again.
-  ValidationOptions validation = config_.validation;
+  // --- Stage 2: crypto verification, batched --------------------------------
+  // The shared crypto stage (validator/crypto_stage.h): verifier-cache
+  // consult, batched coin-share checks, one random-linear-combination
+  // signature batch with bisecting fallback. Blocks the driver preverified
+  // off-thread skip the stage entirely.
+  std::vector<char> rejected(batch.size(), 0);
   const auto& cache = config_.signature_cache;
-  const bool cacheable = cache != nullptr && validation.verify_signature;
-  if (cacheable) {
-    if (cache->contains(block->digest())) {
-      validation.verify_signature = false;
-      cache->count_hit();
-    } else {
-      cache->count_miss();
+  const bool cacheable = cache != nullptr && config_.validation.verify_signature;
+
+  std::vector<BlockPtr> to_verify;
+  std::vector<std::size_t> verify_index;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].crypto_verified) continue;
+    to_verify.push_back(batch[i].block);
+    verify_index.push_back(i);
+  }
+  const CryptoStageResult stage =
+      run_crypto_stage(to_verify, committee_, config_.validation, cache.get());
+  for (std::size_t j = 0; j < verify_index.size(); ++j) {
+    const std::size_t i = verify_index[j];
+    if (stage.verdicts[j] != BlockValidity::kValid) {
+      rejected[i] = 1;
+      ++blocks_rejected_;
+      ++ingest_stats_.crypto_rejected;
+      MM_LOG(kDebug) << "v" << config_.id << " rejected block from v" << batch[i].from
+                     << ": " << to_string(stage.verdicts[j]);
+    } else if (stage.cache_hit[j]) {
+      ++ingest_stats_.cache_hits;
+    } else if (config_.validation.verify_signature) {
+      ++ingest_stats_.verified;
     }
   }
 
-  const BlockValidity validity = validate_block(*block, committee_, validation);
-  if (validity != BlockValidity::kValid) {
-    ++blocks_rejected_;
-    MM_LOG(kDebug) << "v" << config_.id << " rejected block from v" << from << ": "
-                   << to_string(validity);
-    return actions;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (rejected[i] || !batch[i].crypto_verified) continue;
+    if (batch[i].cache_hit) {
+      // The driver's signature check was itself a cache hit: count it as
+      // one, and the digest is already cached.
+      ++ingest_stats_.cache_hits;
+      continue;
+    }
+    ++ingest_stats_.preverified;
+    // The driver's verification is as good as ours: seed the cache so
+    // co-located cores skip the work too.
+    if (cacheable) cache->insert(batch[i].block->digest());
   }
-  if (cacheable && validation.verify_signature) cache->insert(block->digest());
 
+  // --- Stage 3: DAG insert via the synchronizer -----------------------------
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (rejected[i]) continue;
+    admit(std::move(batch[i].block), batch[i].from, now, actions);
+  }
+
+  // --- Stage 4: propose / commit / GC, once per batch -----------------------
+  if (!actions.inserted.empty()) {
+    maybe_propose(now, actions);
+    auto committed = committer_->try_commit();
+    for (auto& sub_dag : committed) actions.committed.push_back(std::move(sub_dag));
+    maybe_gc(actions);
+  }
+  return actions;
+}
+
+void ValidatorCore::admit(BlockPtr block, ValidatorId from, TimeMicros now,
+                          Actions& actions) {
+  // An earlier block of this batch may have cascade-inserted this one (it
+  // was parked in the synchronizer); re-check before offering.
+  if (dag_.contains(block->digest()) || synchronizer_.is_pending(block->digest())) {
+    return;
+  }
   auto outcome = synchronizer_.offer(std::move(block));
   for (const auto& inserted : outcome.inserted) note_inserted(inserted);
 
@@ -116,17 +185,10 @@ Actions ValidatorCore::ingest(BlockPtr block, ValidatorId from, TimeMicros now) 
     if (!request.refs.empty()) actions.fetch_requests.push_back(std::move(request));
   }
 
-  if (!outcome.inserted.empty()) {
-    for (const auto& inserted : outcome.inserted) {
-      inflight_fetches_.erase(inserted->digest());
-      actions.inserted.push_back(inserted);
-    }
-    maybe_propose(now, actions);
-    auto committed = committer_->try_commit();
-    for (auto& sub_dag : committed) actions.committed.push_back(std::move(sub_dag));
-    maybe_gc(actions);
+  for (const auto& inserted : outcome.inserted) {
+    inflight_fetches_.erase(inserted->digest());
+    actions.inserted.push_back(inserted);
   }
-  return actions;
 }
 
 void ValidatorCore::maybe_gc(Actions& actions) {
@@ -197,6 +259,7 @@ Actions ValidatorCore::on_tick(TimeMicros now) {
 }
 
 void ValidatorCore::maybe_propose(TimeMicros now, Actions& actions) {
+  if (config_.observer) return;  // read replicas follow, never propose
   // Advance rule: propose at r*+1 where r* is the highest round with a 2f+1
   // distinct-author quorum. Skipping ahead lets a lagging validator rejoin.
   Round quorum_round = 0;

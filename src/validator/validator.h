@@ -14,6 +14,7 @@
 #include <optional>
 #include <set>
 
+#include "client/metrics.h"
 #include "core/committer.h"
 #include "validator/actions.h"
 #include "validator/config.h"
@@ -22,6 +23,19 @@
 
 namespace mahimahi {
 
+// One unit of work for the batch ingestion entry point.
+struct IngestBlock {
+  BlockPtr block;
+  ValidatorId from = 0;  // author or relayer (fetch-response sender)
+  // The driver already ran the crypto stage off the core's thread (e.g. the
+  // TCP runtime's verify workers); the core skips coin/signature checks.
+  bool crypto_verified = false;
+  // Refinement of crypto_verified: the driver's signature check was a
+  // verifier-cache hit rather than a paid verification (keeps the core's
+  // IngestStats truthful about where crypto cycles went).
+  bool cache_hit = false;
+};
+
 class ValidatorCore {
  public:
   ValidatorCore(const Committee& committee, crypto::Ed25519PrivateKey key,
@@ -29,8 +43,17 @@ class ValidatorCore {
 
   // --- Inputs ---------------------------------------------------------------
 
-  // A block received from `from` (author or relayer).
+  // A block received from `from` (author or relayer). Equivalent to a
+  // one-element on_blocks call.
   Actions on_block(BlockPtr block, ValidatorId from, TimeMicros now);
+
+  // Batch entry point: runs the staged ingestion pipeline
+  //   dedup → structural validation → batched crypto verification →
+  //   DAG insert → propose/commit/GC (once per batch)
+  // over all items. Crypto verification is amortized across the batch
+  // (types/validation.h); proposal and commit evaluation run once instead of
+  // once per block. Output is deterministic in the item order.
+  Actions on_blocks(std::vector<IngestBlock> items, TimeMicros now);
 
   // Client transactions.
   Actions on_transactions(std::vector<TxBatch> batches, TimeMicros now);
@@ -56,12 +79,21 @@ class ValidatorCore {
   const CommitterBase& committer() const { return *committer_; }
   const ValidatorConfig& config() const { return config_; }
   Round last_proposed_round() const { return last_proposed_round_; }
+  // Is this digest in the DAG or parked in the synchronizer? Drivers use it
+  // as a dedup hint ("safe to drop re-deliveries"); the core's own
+  // ingestion-time dedup remains authoritative.
+  bool knows_block(const Digest& digest) const {
+    return dag_.contains(digest) || synchronizer_.is_pending(digest);
+  }
   std::size_t mempool_size() const { return mempool_.size(); }
   std::uint64_t blocks_rejected() const { return blocks_rejected_; }
+  // Stage counters of the ingestion pipeline (client/metrics.h).
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
 
  private:
-  // Runs validation + synchronizer + committer on one incoming block.
-  Actions ingest(BlockPtr block, ValidatorId from, TimeMicros now);
+  // Pipeline stage: admits one crypto-cleared block through the
+  // synchronizer, collecting fetch requests and insertions into `actions`.
+  void admit(BlockPtr block, ValidatorId from, TimeMicros now, Actions& actions);
   // Proposes if the advance condition holds; appends to `actions`.
   void maybe_propose(TimeMicros now, Actions& actions);
   BlockPtr build_own_block(Round round, TimeMicros now);
@@ -100,6 +132,7 @@ class ValidatorCore {
 
   std::uint64_t blocks_rejected_ = 0;
   std::uint64_t equivocation_counter_ = 0;
+  IngestStats ingest_stats_;
 };
 
 }  // namespace mahimahi

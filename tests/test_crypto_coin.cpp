@@ -100,6 +100,35 @@ TEST(ThresholdCoin, ValuesVaryAcrossEpochs) {
   EXPECT_LT(repeats, 3);
 }
 
+TEST(ThresholdCoin, BatchShareVerificationMatchesSingle) {
+  const ThresholdCoin coin(4, 1, seed("batch"));
+  std::vector<ThresholdCoin::ShareQuery> queries;
+  // Valid shares across rounds and authors (authors repeat, exercising the
+  // per-author key cache), plus an out-of-range author, a wrong-round share,
+  // and a tampered share.
+  for (std::uint32_t author = 0; author < 4; ++author) {
+    for (std::uint64_t round = 1; round <= 3; ++round) {
+      queries.push_back({author, round, coin.share(author, round)});
+    }
+  }
+  queries.push_back({9, 1, coin.share(0, 1)});           // unknown author
+  queries.push_back({1, 2, coin.share(1, 3)});           // share for the wrong round
+  auto tampered = coin.share(2, 2);
+  tampered.bytes[0] ^= 0xff;
+  queries.push_back({2, 2, tampered});
+
+  const auto ok = coin.verify_shares(queries);
+  ASSERT_EQ(ok.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(ok[i] != 0,
+              coin.verify_share(queries[i].author, queries[i].round, queries[i].share))
+        << "query " << i;
+  }
+  EXPECT_FALSE(ok[queries.size() - 3]);
+  EXPECT_FALSE(ok[queries.size() - 2]);
+  EXPECT_FALSE(ok[queries.size() - 1]);
+}
+
 TEST(ThresholdCoin, LeaderDistributionRoughlyUniform) {
   // The coin value mod n drives leader election; check rough uniformity.
   const ThresholdCoin coin(10, 3, seed("uniformity"));

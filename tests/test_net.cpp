@@ -145,9 +145,16 @@ class TcpClusterTest : public ::testing::Test {
     config.peers = addresses_;
     config.tick_interval = millis(10);
     config.wal_path = wal_path;
+    config.verify_threads = verify_threads_;
+    config.validator.signature_cache = shared_cache_;
     return std::make_unique<NodeRuntime>(setup_.committee,
                                          setup_.keypairs[v].private_key, config);
   }
+
+  // Worker-pool ingestion by default; tests may set 0 for the inline path.
+  std::size_t verify_threads_ = 2;
+  // When set, all runtimes share one verification cache (co-located setup).
+  std::shared_ptr<VerifierCache> shared_cache_;
 
   // Builds a 4-node localhost cluster on ephemeral ports. The chosen
   // addresses stay in addresses_, so a node restarted later (make_node)
@@ -204,6 +211,67 @@ TEST_F(TcpClusterTest, FourNodesCommitTransactions) {
 
   EXPECT_GT(nodes[0]->highest_round(), 5u);
   for (auto& node : nodes) node->stop();
+
+  // The worker pool carried the ingestion pipeline: every peer block was
+  // decoded and crypto-verified off the loop thread.
+  for (const auto& node : nodes) {
+    const IngestStats stats = node->ingest_stats();
+    EXPECT_GT(stats.preverified, 0u) << "node " << node->id();
+    EXPECT_EQ(stats.crypto_rejected, 0u);
+    EXPECT_EQ(stats.structurally_rejected, 0u);
+    EXPECT_EQ(node->decode_errors(), 0u);
+  }
+}
+
+TEST_F(TcpClusterTest, SharedVerifierCacheSkipsRepeatVerification) {
+  // Four co-located runtimes sharing one (internally locked) cache: each
+  // block pays ed25519 once process-wide; the other three runtimes' verify
+  // workers hit the cache.
+  shared_cache_ = std::make_shared<VerifierCache>();
+  auto nodes = make_cluster();
+  for (auto& node : nodes) node->start();
+  TxBatch batch;
+  batch.id = 77;
+  batch.count = 10;
+  nodes[1]->submit({batch});
+  EXPECT_TRUE(wait_for([&] {
+    for (const auto& node : nodes) {
+      if (node->committed_transactions() < 10) return false;
+    }
+    return true;
+  }));
+  for (auto& node : nodes) node->stop();
+  EXPECT_GT(shared_cache_->hits(), 0u);
+  EXPECT_GT(shared_cache_->misses(), 0u);
+  // Worker-side hits surface in the combined pipeline counters.
+  std::uint64_t total_cache_hits = 0;
+  for (const auto& node : nodes) total_cache_hits += node->ingest_stats().cache_hits;
+  EXPECT_GT(total_cache_hits, 0u);
+}
+
+TEST_F(TcpClusterTest, InlineVerificationCommitsIdentically) {
+  // verify_threads = 0: decode + crypto run on the loop thread; the cluster
+  // must behave the same (the pipeline stages are placement-agnostic).
+  verify_threads_ = 0;
+  auto nodes = make_cluster();
+  for (auto& node : nodes) node->start();
+  TxBatch batch;
+  batch.id = 55;
+  batch.count = 20;
+  nodes[2]->submit({batch});
+  EXPECT_TRUE(wait_for([&] {
+    for (const auto& node : nodes) {
+      if (node->committed_transactions() < 20) return false;
+    }
+    return true;
+  }));
+  for (auto& node : nodes) node->stop();
+  // Inline ingestion pays crypto inside the core: verified, not preverified.
+  for (const auto& node : nodes) {
+    const IngestStats stats = node->ingest_stats();
+    EXPECT_GT(stats.verified, 0u) << "node " << node->id();
+    EXPECT_EQ(stats.preverified, 0u);
+  }
 }
 
 TEST_F(TcpClusterTest, LateStartingNodeJoinsViaAntiEntropy) {
