@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_network.dir/examples/adversarial_network.cpp.o"
+  "CMakeFiles/adversarial_network.dir/examples/adversarial_network.cpp.o.d"
+  "adversarial_network"
+  "adversarial_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit_probability.dir/bench/bench_commit_probability.cpp.o"
+  "CMakeFiles/bench_commit_probability.dir/bench/bench_commit_probability.cpp.o.d"
+  "bench_commit_probability"
+  "bench_commit_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_equivocation.dir/examples/byzantine_equivocation.cpp.o"
+  "CMakeFiles/byzantine_equivocation.dir/examples/byzantine_equivocation.cpp.o.d"
+  "byzantine_equivocation"
+  "byzantine_equivocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_equivocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_faults.dir/examples/crash_faults.cpp.o"
+  "CMakeFiles/crash_faults.dir/examples/crash_faults.cpp.o.d"
+  "crash_faults"
+  "crash_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_replication.dir/examples/geo_replication.cpp.o"
+  "CMakeFiles/geo_replication.dir/examples/geo_replication.cpp.o.d"
+  "geo_replication"
+  "geo_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

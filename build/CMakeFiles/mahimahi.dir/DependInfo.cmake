@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/commit_probability.cpp" "CMakeFiles/mahimahi.dir/src/analysis/commit_probability.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/analysis/commit_probability.cpp.o.d"
+  "/root/repo/src/app/kv_store.cpp" "CMakeFiles/mahimahi.dir/src/app/kv_store.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/app/kv_store.cpp.o.d"
+  "/root/repo/src/app/replicated_kv.cpp" "CMakeFiles/mahimahi.dir/src/app/replicated_kv.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/app/replicated_kv.cpp.o.d"
+  "/root/repo/src/baselines/tusk.cpp" "CMakeFiles/mahimahi.dir/src/baselines/tusk.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/baselines/tusk.cpp.o.d"
+  "/root/repo/src/common/crc32.cpp" "CMakeFiles/mahimahi.dir/src/common/crc32.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/common/crc32.cpp.o.d"
+  "/root/repo/src/common/hex.cpp" "CMakeFiles/mahimahi.dir/src/common/hex.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/common/hex.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/mahimahi.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/mahimahi.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/core/committer.cpp" "CMakeFiles/mahimahi.dir/src/core/committer.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/core/committer.cpp.o.d"
+  "/root/repo/src/core/linearize.cpp" "CMakeFiles/mahimahi.dir/src/core/linearize.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/core/linearize.cpp.o.d"
+  "/root/repo/src/core/vote_index.cpp" "CMakeFiles/mahimahi.dir/src/core/vote_index.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/core/vote_index.cpp.o.d"
+  "/root/repo/src/crypto/blake2b.cpp" "CMakeFiles/mahimahi.dir/src/crypto/blake2b.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/blake2b.cpp.o.d"
+  "/root/repo/src/crypto/coin.cpp" "CMakeFiles/mahimahi.dir/src/crypto/coin.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/coin.cpp.o.d"
+  "/root/repo/src/crypto/curve25519.cpp" "CMakeFiles/mahimahi.dir/src/crypto/curve25519.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/curve25519.cpp.o.d"
+  "/root/repo/src/crypto/dleq.cpp" "CMakeFiles/mahimahi.dir/src/crypto/dleq.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/dleq.cpp.o.d"
+  "/root/repo/src/crypto/ed25519.cpp" "CMakeFiles/mahimahi.dir/src/crypto/ed25519.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/ed25519.cpp.o.d"
+  "/root/repo/src/crypto/fracroot.cpp" "CMakeFiles/mahimahi.dir/src/crypto/fracroot.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/fracroot.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/mahimahi.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/mahimahi.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "CMakeFiles/mahimahi.dir/src/crypto/sha512.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/sha512.cpp.o.d"
+  "/root/repo/src/crypto/threshold_vrf.cpp" "CMakeFiles/mahimahi.dir/src/crypto/threshold_vrf.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/crypto/threshold_vrf.cpp.o.d"
+  "/root/repo/src/dag/dag.cpp" "CMakeFiles/mahimahi.dir/src/dag/dag.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/dag/dag.cpp.o.d"
+  "/root/repo/src/net/event_loop.cpp" "CMakeFiles/mahimahi.dir/src/net/event_loop.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/net/event_loop.cpp.o.d"
+  "/root/repo/src/net/node_runtime.cpp" "CMakeFiles/mahimahi.dir/src/net/node_runtime.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/net/node_runtime.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "CMakeFiles/mahimahi.dir/src/net/tcp.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/net/tcp.cpp.o.d"
+  "/root/repo/src/net/worker_pool.cpp" "CMakeFiles/mahimahi.dir/src/net/worker_pool.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/net/worker_pool.cpp.o.d"
+  "/root/repo/src/serde/serde.cpp" "CMakeFiles/mahimahi.dir/src/serde/serde.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/serde/serde.cpp.o.d"
+  "/root/repo/src/sim/dag_builder.cpp" "CMakeFiles/mahimahi.dir/src/sim/dag_builder.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/sim/dag_builder.cpp.o.d"
+  "/root/repo/src/sim/harness.cpp" "CMakeFiles/mahimahi.dir/src/sim/harness.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/sim/harness.cpp.o.d"
+  "/root/repo/src/sim/latency.cpp" "CMakeFiles/mahimahi.dir/src/sim/latency.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/sim/latency.cpp.o.d"
+  "/root/repo/src/types/block.cpp" "CMakeFiles/mahimahi.dir/src/types/block.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/types/block.cpp.o.d"
+  "/root/repo/src/types/committee.cpp" "CMakeFiles/mahimahi.dir/src/types/committee.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/types/committee.cpp.o.d"
+  "/root/repo/src/types/validation.cpp" "CMakeFiles/mahimahi.dir/src/types/validation.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/types/validation.cpp.o.d"
+  "/root/repo/src/validator/crypto_stage.cpp" "CMakeFiles/mahimahi.dir/src/validator/crypto_stage.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/validator/crypto_stage.cpp.o.d"
+  "/root/repo/src/validator/synchronizer.cpp" "CMakeFiles/mahimahi.dir/src/validator/synchronizer.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/validator/synchronizer.cpp.o.d"
+  "/root/repo/src/validator/validator.cpp" "CMakeFiles/mahimahi.dir/src/validator/validator.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/validator/validator.cpp.o.d"
+  "/root/repo/src/wal/wal.cpp" "CMakeFiles/mahimahi.dir/src/wal/wal.cpp.o" "gcc" "CMakeFiles/mahimahi.dir/src/wal/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery.dir/examples/recovery.cpp.o"
+  "CMakeFiles/recovery.dir/examples/recovery.cpp.o.d"
+  "recovery"
+  "recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_kv.dir/tests/test_app_kv.cpp.o"
+  "CMakeFiles/test_app_kv.dir/tests/test_app_kv.cpp.o.d"
+  "test_app_kv"
+  "test_app_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_committer_property.dir/tests/test_committer_property.cpp.o"
+  "CMakeFiles/test_committer_property.dir/tests/test_committer_property.cpp.o.d"
+  "test_committer_property"
+  "test_committer_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_committer_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_committer_rules.dir/tests/test_committer_rules.cpp.o"
+  "CMakeFiles/test_committer_rules.dir/tests/test_committer_rules.cpp.o.d"
+  "test_committer_rules"
+  "test_committer_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_committer_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

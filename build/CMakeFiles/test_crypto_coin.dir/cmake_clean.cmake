@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_coin.dir/tests/test_crypto_coin.cpp.o"
+  "CMakeFiles/test_crypto_coin.dir/tests/test_crypto_coin.cpp.o.d"
+  "test_crypto_coin"
+  "test_crypto_coin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_ed25519.dir/tests/test_crypto_ed25519.cpp.o"
+  "CMakeFiles/test_crypto_ed25519.dir/tests/test_crypto_ed25519.cpp.o.d"
+  "test_crypto_ed25519"
+  "test_crypto_ed25519.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_ed25519.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

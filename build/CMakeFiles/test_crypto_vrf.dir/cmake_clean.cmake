@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto_vrf.dir/tests/test_crypto_vrf.cpp.o"
+  "CMakeFiles/test_crypto_vrf.dir/tests/test_crypto_vrf.cpp.o.d"
+  "test_crypto_vrf"
+  "test_crypto_vrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto_vrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_block.dir/tests/test_fuzz_block.cpp.o"
+  "CMakeFiles/test_fuzz_block.dir/tests/test_fuzz_block.cpp.o.d"
+  "test_fuzz_block"
+  "test_fuzz_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ingest_pipeline.dir/tests/test_ingest_pipeline.cpp.o"
+  "CMakeFiles/test_ingest_pipeline.dir/tests/test_ingest_pipeline.cpp.o.d"
+  "test_ingest_pipeline"
+  "test_ingest_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ingest_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

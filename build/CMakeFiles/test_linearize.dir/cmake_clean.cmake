@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linearize.dir/tests/test_linearize.cpp.o"
+  "CMakeFiles/test_linearize.dir/tests/test_linearize.cpp.o.d"
+  "test_linearize"
+  "test_linearize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linearize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serde.dir/tests/test_serde.cpp.o"
+  "CMakeFiles/test_serde.dir/tests/test_serde.cpp.o.d"
+  "test_serde"
+  "test_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

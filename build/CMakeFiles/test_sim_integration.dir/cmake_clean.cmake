@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_integration.dir/tests/test_sim_integration.cpp.o"
+  "CMakeFiles/test_sim_integration.dir/tests/test_sim_integration.cpp.o.d"
+  "test_sim_integration"
+  "test_sim_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

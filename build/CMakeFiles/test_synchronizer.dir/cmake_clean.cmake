@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synchronizer.dir/tests/test_synchronizer.cpp.o"
+  "CMakeFiles/test_synchronizer.dir/tests/test_synchronizer.cpp.o.d"
+  "test_synchronizer"
+  "test_synchronizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synchronizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

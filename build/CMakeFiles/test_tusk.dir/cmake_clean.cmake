@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tusk.dir/tests/test_tusk.cpp.o"
+  "CMakeFiles/test_tusk.dir/tests/test_tusk.cpp.o.d"
+  "test_tusk"
+  "test_tusk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tusk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verifier_cache.dir/tests/test_verifier_cache.cpp.o"
+  "CMakeFiles/test_verifier_cache.dir/tests/test_verifier_cache.cpp.o.d"
+  "test_verifier_cache"
+  "test_verifier_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verifier_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
