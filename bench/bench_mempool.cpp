@@ -1,0 +1,103 @@
+// Sharded-mempool microbenchmarks: submit-path scaling with shard count
+// under concurrent producers, and drain cost.
+//
+// The headline series is BM_MempoolSubmit/shards:{1,4,8}/threads:8 — the
+// same 8 producers against 1, 4 and 8 lock stripes. Throughput should rise
+// with the stripe count (8-shard >= 2x single-shard): that delta is the
+// whole point of sharding the pool.
+//
+// Machine-readable output: pass --benchmark_format=json (CI does).
+#include <benchmark/benchmark.h>
+
+#include "mempool/mempool.h"
+
+namespace {
+
+using namespace mahimahi;
+
+MempoolConfig bench_config(std::size_t shards) {
+  MempoolConfig config;
+  config.shards = shards;
+  // Caps sized so admission never rejects: the bench measures the accept
+  // path (digest + quota bookkeeping + queue push), not shedding.
+  config.max_pool_bytes = 1ull << 40;
+  config.max_client_bytes = 1ull << 40;
+  config.max_shard_batches = 1ull << 30;
+  return config;
+}
+
+TxBatch make_batch(std::uint64_t client, std::uint64_t seq) {
+  TxBatch batch;
+  batch.id = (client << ShardedMempool::kClientKeyShift) | seq;
+  batch.count = 1;
+  batch.tx_bytes = 512;
+  return batch;
+}
+
+// Shared across the producer threads of one benchmark run (set up and torn
+// down by thread 0 at the framework's barriers).
+ShardedMempool* g_pool = nullptr;
+
+// N producer threads, each its own client stream, hammering submit(). Every
+// 8192 submissions a producer also drains — the steady state a proposer
+// imposes — which keeps residency (and memory) bounded over long runs.
+void BM_MempoolSubmit(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_pool = new ShardedMempool(bench_config(static_cast<std::size_t>(state.range(0))));
+  }
+  const auto client = static_cast<std::uint64_t>(state.thread_index());
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_pool->submit(make_batch(client, seq++)));
+    if ((seq & 8191u) == 0) g_pool->drain(8192, 1ull << 40);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["shards"] = static_cast<double>(state.range(0));
+    state.counters["rejected"] = static_cast<double>(g_pool->stats().rejected());
+    delete g_pool;
+    g_pool = nullptr;
+  }
+}
+BENCHMARK(BM_MempoolSubmit)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Proposal-path cost: one drain call pulling 256 batches round-robin from
+// however many shards hold them.
+void BM_MempoolDrain(benchmark::State& state) {
+  ShardedMempool pool(bench_config(static_cast<std::size_t>(state.range(0))));
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      pool.submit(make_batch(i % 8, seq++));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(pool.drain(256, 1ull << 40));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MempoolDrain)->ArgName("shards")->Arg(1)->Arg(8);
+
+// Admission-control overhead when the pool rejects: duplicates short-circuit
+// at the digest set, the cheapest possible outcome after hashing.
+void BM_MempoolDuplicateReject(benchmark::State& state) {
+  ShardedMempool pool(bench_config(4));
+  const TxBatch batch = make_batch(1, 7);
+  pool.submit(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.submit(batch));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MempoolDuplicateReject);
+
+}  // namespace
+
+BENCHMARK_MAIN();

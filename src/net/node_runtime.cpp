@@ -1,6 +1,8 @@
 #include "net/node_runtime.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 #include <unordered_set>
 
 #include "common/log.h"
@@ -9,10 +11,24 @@
 
 namespace mahimahi::net {
 
+std::size_t ingest_batch_cap(std::size_t max_batch, TimeMicros latency_budget,
+                             TimeMicros ewma_per_block) {
+  std::size_t cap = max_batch == 0 ? std::numeric_limits<std::size_t>::max() : max_batch;
+  if (latency_budget > 0 && ewma_per_block > 0) {
+    const auto by_budget = static_cast<std::size_t>(latency_budget / ewma_per_block);
+    cap = std::min(cap, std::max<std::size_t>(1, by_budget));
+  }
+  return std::max<std::size_t>(1, cap);
+}
+
 NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey key,
                          NodeRuntimeConfig config)
     : committee_(committee), config_(std::move(config)) {
   core_ = std::make_unique<ValidatorCore>(committee_, key, config_.validator);
+  // Share the core's pool (built or adopted by the ValidatorCore ctor):
+  // clients and workers admit into it concurrently, the core drains it when
+  // proposing.
+  mempool_ = core_->mempool_handle();
   if (!config_.wal_path.empty()) {
     // Recovery before the WAL is reopened for append.
     FileWal::Visitor visitor;
@@ -222,13 +238,37 @@ void NodeRuntime::verify_pending_frames() {
         verify_scheduled_ = false;
         return;
       }
-      frames.swap(pending_frames_);
+      // Adaptive batching: bound how much of the backlog one pass takes so
+      // a block arriving mid-burst reaches the core within roughly the
+      // latency budget instead of waiting out the whole queue.
+      const std::size_t cap =
+          ingest_batch_cap(config_.validator.max_ingest_batch,
+                           config_.validator.ingest_latency_budget,
+                           verify_cost_ewma_.load(std::memory_order_relaxed));
+      const std::size_t take = std::min(cap, pending_frames_.size());
+      frames.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        frames.push_back(std::move(pending_frames_.front()));
+        pending_frames_.pop_front();
+      }
     }
-    verify_frames(std::move(frames));
+    const TimeMicros start = steady_now_micros();
+    const std::size_t verified = verify_frames(std::move(frames));
+    // Update the cost estimate only from frames that reached the crypto
+    // stage: floods of near-free drops (duplicate re-offers, decode
+    // failures) must not drag the EWMA to zero and disable the latency
+    // shaping right before a burst of genuine blocks.
+    if (verified > 0) {
+      const TimeMicros per_block =
+          (steady_now_micros() - start) / static_cast<TimeMicros>(verified);
+      const TimeMicros prev = verify_cost_ewma_.load(std::memory_order_relaxed);
+      verify_cost_ewma_.store(prev == 0 ? per_block : (3 * prev + per_block) / 4,
+                              std::memory_order_relaxed);
+    }
   }
 }
 
-void NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
+std::size_t NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
 
   // Stage: decode + structural validation + dedup.
   std::vector<BlockPtr> blocks;
@@ -283,7 +323,8 @@ void NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
     items.push_back(IngestBlock{std::move(blocks[i]), senders[i], true,
                                 stage.cache_hit[i] != 0});
   }
-  if (items.empty()) return;
+  const std::size_t crypto_staged = blocks.size();
+  if (items.empty()) return crypto_staged;
 
   // Hand the verified batch back to the loop thread; the core never runs
   // concurrently with itself. The forwarded-digest record is written there,
@@ -298,6 +339,7 @@ void NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
       if (core_->knows_block(digest)) forwarded_digests_.insert(digest);
     }
   });
+  return crypto_staged;
 }
 
 IngestStats NodeRuntime::ingest_stats() const {
@@ -406,12 +448,72 @@ void NodeRuntime::tick() {
 }
 
 void NodeRuntime::submit(std::vector<TxBatch> batches) {
-  // Always through the queue — a commit handler resubmitting from the loop
-  // thread must not reenter perform() while earlier sub-DAGs of the current
-  // step are still being delivered.
-  loop_.post([this, batches = std::move(batches)]() mutable {
-    perform(core_->on_transactions(std::move(batches), steady_now_micros()));
-  });
+  // Admission runs off the loop thread: the sharded pool is thread-safe, so
+  // client submission no longer serializes behind consensus I/O. With a
+  // worker pool the batches go through a single-drain queue (one admission
+  // loop at a time, like verify_pending_frames) so two back-to-back
+  // submit() calls cannot race each other on the worker pool and invert the
+  // pool's per-client FIFO order. Without workers, admission happens inline
+  // on the calling thread.
+  if (batches.empty()) {
+    // Poke path for clients that admitted via mempool_handle() directly.
+    nudge_proposal();
+    return;
+  }
+  if (!verify_pool_) {
+    admit_batches(std::move(batches));
+    return;
+  }
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(submit_mutex_);
+    for (auto& batch : batches) pending_submissions_.push_back(std::move(batch));
+    if (!submit_scheduled_) {
+      submit_scheduled_ = true;
+      schedule = true;
+    }
+  }
+  if (schedule) verify_pool_->submit([this] { admit_pending_submissions(); });
+}
+
+void NodeRuntime::admit_pending_submissions() {
+  for (;;) {
+    std::vector<TxBatch> batches;
+    {
+      std::lock_guard<std::mutex> lock(submit_mutex_);
+      if (pending_submissions_.empty()) {
+        submit_scheduled_ = false;
+        return;
+      }
+      batches.swap(pending_submissions_);
+    }
+    admit_batches(std::move(batches));
+  }
+}
+
+void NodeRuntime::admit_batches(std::vector<TxBatch> batches) {
+  const std::size_t submitted = batches.size();
+  std::uint64_t rejected = 0;
+  for (const AdmitResult verdict : mempool_->submit_all(std::move(batches))) {
+    if (!admitted(verdict)) ++rejected;
+  }
+  if (rejected > 0) {
+    submit_rejected_.fetch_add(rejected, std::memory_order_relaxed);
+    MM_LOG(kWarn) << "v" << id() << " mempool rejected " << rejected << "/"
+                  << submitted << " submitted batches (backpressure)";
+  }
+  nudge_proposal();
+}
+
+void NodeRuntime::nudge_proposal() {
+  // At most one pending nudge at a time; reentry into perform() is
+  // impossible because the nudge always goes through loop_.post.
+  if (!propose_nudge_pending_.exchange(true, std::memory_order_acq_rel)) {
+    loop_.post([this] {
+      propose_nudge_pending_.store(false, std::memory_order_release);
+      perform(core_->on_mempool_ready(steady_now_micros()));
+    });
+  }
 }
 
 }  // namespace mahimahi::net

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +35,13 @@
 #include "wal/wal.h"
 
 namespace mahimahi::net {
+
+// Adaptive ingest batching (ValidatorConfig::max_ingest_batch /
+// ingest_latency_budget): how many queued block frames one verify drain may
+// take, given the EWMA of per-block decode+verify cost. max_batch 0 =
+// unbounded; budget or ewma 0 = no latency shaping. Never returns 0.
+std::size_t ingest_batch_cap(std::size_t max_batch, TimeMicros latency_budget,
+                             TimeMicros ewma_per_block);
 
 struct NodeAddress {
   std::string host = "127.0.0.1";
@@ -82,8 +90,20 @@ class NodeRuntime {
   void start();
   void stop();
 
-  // Thread-safe client submission.
+  // Thread-safe client submission. Admission control (sharded mempool front
+  // door) runs off the loop thread — on the worker pool when one exists,
+  // inline on the calling thread otherwise; the loop thread only learns
+  // "the pool has work" and drains it on the next proposal. Because the
+  // worker-pool path is asynchronous, per-batch verdicts cannot be returned
+  // here: rejects surface through submit_rejected() / mempool_stats() and a
+  // warn-level log. A client that needs each verdict synchronously (to
+  // propagate backpressure upstream) should call
+  // mempool_handle()->submit() itself — thread-safe, never blocks on the
+  // loop thread — then poke this wrapper with an empty vector.
   void submit(std::vector<TxBatch> batches);
+
+  // The shared admission pool, for clients that want per-batch verdicts.
+  const std::shared_ptr<ShardedMempool>& mempool_handle() const { return mempool_; }
 
   // Thread-safe counters.
   std::uint64_t committed_transactions() const {
@@ -105,6 +125,13 @@ class NodeRuntime {
   // Frames dropped because the verify queue was full (overload shedding).
   std::uint64_t verify_frames_dropped() const {
     return verify_frames_dropped_.load(std::memory_order_relaxed);
+  }
+  // Admission-control counters of the shared mempool (thread-safe).
+  MempoolStats mempool_stats() const { return mempool_->stats(); }
+  // Batches this runtime's submit() path rejected (subset view of
+  // mempool_stats(), attributable to local clients).
+  std::uint64_t submit_rejected() const {
+    return submit_rejected_.load(std::memory_order_relaxed);
   }
 
   ValidatorId id() const { return config_.validator.id; }
@@ -131,9 +158,18 @@ class NodeRuntime {
   // empty.
   void verify_pending_frames();
   // Worker-side: decodes + structurally validates + batch-crypto-verifies
-  // one drained batch and posts survivors to the loop thread.
-  void verify_frames(std::vector<RawFrame> frames);
+  // one drained batch and posts survivors to the loop thread. Returns how
+  // many blocks reached the crypto stage (feeds the cost EWMA: cheap drops
+  // must not dilute the per-block verify estimate).
+  std::size_t verify_frames(std::vector<RawFrame> frames);
   void send_to_peer(ValidatorId peer, BytesView frame);
+  // Worker-side: drains queued client submissions (one loop at a time, so
+  // admissions hit the pool in arrival order) until the queue is empty.
+  void admit_pending_submissions();
+  // Admits one burst into the shared pool and nudges the loop thread.
+  void admit_batches(std::vector<TxBatch> batches);
+  // Queues one proposal re-check on the loop thread (collapses bursts).
+  void nudge_proposal();
   void tick();
   Bytes encode_block(const Block& block) const;
   // Sends our latest own block to `peer` (all peers when kAllPeers); its
@@ -143,6 +179,9 @@ class NodeRuntime {
 
   const Committee& committee_;
   NodeRuntimeConfig config_;
+  // Shared with the core (ValidatorConfig::mempool_instance): submissions
+  // are admitted on client/worker threads, drains happen on the loop thread.
+  std::shared_ptr<ShardedMempool> mempool_;
   std::unique_ptr<ValidatorCore> core_;
   std::unique_ptr<Wal> wal_;
   CommitHandler commit_handler_;
@@ -163,7 +202,9 @@ class NodeRuntime {
   // Off-loop verification pipeline.
   std::unique_ptr<WorkerPool> verify_pool_;
   std::mutex verify_mutex_;
-  std::vector<RawFrame> pending_frames_;   // guarded by verify_mutex_
+  // A deque so the adaptive drain can take the front chunk in O(chunk)
+  // while deep backlogs keep arriving at the back.
+  std::deque<RawFrame> pending_frames_;    // guarded by verify_mutex_
   bool verify_scheduled_ = false;          // guarded by verify_mutex_
   // Digests of blocks the core has retained (inserted or parked): workers
   // drop re-deliveries of them — the periodic anti-entropy re-offers,
@@ -174,6 +215,18 @@ class NodeRuntime {
   VerifierCache forwarded_digests_;
   std::atomic<std::uint64_t> decode_errors_{0};
   std::atomic<std::uint64_t> verify_frames_dropped_{0};
+  std::atomic<std::uint64_t> submit_rejected_{0};
+  // Client submissions awaiting worker-side admission; the single-drain
+  // discipline (submit_scheduled_) keeps them in arrival order.
+  std::mutex submit_mutex_;
+  std::vector<TxBatch> pending_submissions_;  // guarded by submit_mutex_
+  bool submit_scheduled_ = false;             // guarded by submit_mutex_
+  // Collapses a burst of off-loop submissions into one queued proposal
+  // re-check on the loop thread.
+  std::atomic<bool> propose_nudge_pending_{false};
+  // EWMA of per-block decode+verify cost (micros), written by the single
+  // active verify drain, read when sizing the next batch.
+  std::atomic<TimeMicros> verify_cost_ewma_{0};
   std::atomic<std::uint64_t> worker_structurally_rejected_{0};
   std::atomic<std::uint64_t> worker_crypto_rejected_{0};
   // Mirror of the core's IngestStats, refreshed on the loop thread after

@@ -1,6 +1,7 @@
 #include "sim/harness.h"
 
 #include <algorithm>
+#include <deque>
 
 #include "baselines/cordial_miners.h"
 #include "baselines/tusk.h"
@@ -68,7 +69,11 @@ struct SimHarness::Impl {
     }
 
     egress_free.assign(config.n, 0);
-    batch_seq.assign(config.n, 0);
+    // Client index lives in id bits [32, 40): at most 256 streams/validator.
+    config.clients_per_validator =
+        std::clamp<std::uint32_t>(config.clients_per_validator, 1, 256);
+    batch_seq.assign(config.n,
+                     std::vector<std::uint64_t>(config.clients_per_validator, 0));
     sequences.resize(config.n);
     inboxes.resize(config.n);
     inbox_scheduled.assign(config.n, 0);
@@ -112,6 +117,7 @@ struct SimHarness::Impl {
     if (config.protocol == Protocol::kTusk) {
       vc.committer_factory = tusk_committer_factory();
     }
+    vc.mempool = config.mempool;
     vc.validation.verify_signature = config.verify_crypto;
     vc.validation.verify_coin_share = config.verify_crypto;
     if (config.verify_crypto) {
@@ -174,13 +180,31 @@ struct SimHarness::Impl {
     inboxes[to].push_back(IngestBlock{std::move(block), from, false});
     if (inbox_scheduled[to]) return;
     inbox_scheduled[to] = 1;
-    queue.schedule(queue.now(), [this, to] {
-      inbox_scheduled[to] = 0;
-      std::vector<IngestBlock> items;
-      items.swap(inboxes[to]);
-      if (!running(to)) return;  // crashed between arrival and drain
-      handle_actions(to, nodes[to]->on_blocks(std::move(items), queue.now()));
-    });
+    queue.schedule(queue.now(), [this, to] { drain_inbox(to); });
+  }
+
+  // Flushes the inbox through ValidatorCore::on_blocks, honouring the core's
+  // max_ingest_batch (the sim analogue of the TCP runtime's adaptive verify
+  // drain): an over-cap burst is split into several same-time on_blocks
+  // calls, later arrivals never wait behind the entire backlog.
+  void drain_inbox(ValidatorId to) {
+    inbox_scheduled[to] = 0;
+    if (!running(to)) return;  // crashed between arrival and drain
+    auto& inbox = inboxes[to];
+    if (inbox.empty()) return;
+    const std::size_t cap = nodes[to]->config().max_ingest_batch;
+    const std::size_t take = cap == 0 ? inbox.size() : std::min(cap, inbox.size());
+    std::vector<IngestBlock> items;
+    items.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      items.push_back(std::move(inbox.front()));
+      inbox.pop_front();
+    }
+    if (!inbox.empty()) {
+      inbox_scheduled[to] = 1;
+      queue.schedule(queue.now(), [this, to] { drain_inbox(to); });
+    }
+    handle_actions(to, nodes[to]->on_blocks(std::move(items), queue.now()));
   }
 
   void schedule_small_message(ValidatorId from, ValidatorId to,
@@ -306,16 +330,27 @@ struct SimHarness::Impl {
   void inject_load(ValidatorId v) {
     if (!running(v)) return;
     const double interval_s = to_seconds(config.client_interval);
-    const double mean = config.load_tps / alive_count() * interval_s;
-    const std::uint64_t count = rng.poisson(mean);
-    if (count > 0) {
+    const std::uint32_t clients = config.clients_per_validator;
+    const double mean = config.load_tps / alive_count() * interval_s / clients;
+    std::vector<TxBatch> batches;
+    for (std::uint32_t client = 0; client < clients; ++client) {
+      const std::uint64_t count = rng.poisson(mean);
+      if (count == 0) continue;
       TxBatch batch;
-      batch.id = (static_cast<std::uint64_t>(v) << kOriginShift) | batch_seq[v]++;
+      // Id layout: origin validator in the top bits (commit attribution),
+      // client stream in bits [32, 40) (the sharded mempool's client key),
+      // per-stream sequence below.
+      batch.id = (static_cast<std::uint64_t>(v) << kOriginShift) |
+                 (static_cast<std::uint64_t>(client) << ShardedMempool::kClientKeyShift) |
+                 batch_seq[v][client]++;
       batch.submitted_at = queue.now();
       batch.count = static_cast<std::uint32_t>(count);
       batch.tx_bytes = config.tx_bytes;
       if (in_window(queue.now())) submitted_tx += count;
-      handle_actions(v, nodes[v]->on_transactions({std::move(batch)}, queue.now()));
+      batches.push_back(std::move(batch));
+    }
+    if (!batches.empty()) {
+      handle_actions(v, nodes[v]->on_transactions(std::move(batches), queue.now()));
     }
     queue.schedule_after(config.client_interval, [this, v] { inject_load(v); });
   }
@@ -363,6 +398,9 @@ struct SimHarness::Impl {
         result.decisions = nodes[reporter]->committer().decided_sequence();
       }
     }
+    if (reporter < config.n) {
+      result.mempool_rejected = nodes[reporter]->mempool().stats().rejected();
+    }
     result.fetch_requests = fetch_requests;
     result.wal_replayed_blocks = wal_replayed_blocks;
     result.equivocation_cells = count_equivocation_cells();
@@ -396,8 +434,8 @@ struct SimHarness::Impl {
   std::vector<std::unique_ptr<ValidatorCore>> nodes;
   std::vector<TimeMicros> egress_free;
   std::vector<TimeMicros> cert_rtt;
-  std::vector<std::uint64_t> batch_seq;
-  std::vector<std::vector<IngestBlock>> inboxes;  // batched same-time deliveries
+  std::vector<std::vector<std::uint64_t>> batch_seq;  // [validator][client]
+  std::vector<std::deque<IngestBlock>> inboxes;   // batched same-time deliveries
   std::vector<char> inbox_scheduled;
   std::vector<char> down;                         // RestartSpec crash state
   std::vector<std::unique_ptr<FileWal>> wals;     // per validator, when wal_dir set

@@ -73,10 +73,21 @@ struct SimConfig {
   double bandwidth_bytes_per_sec = 1.25e9;
 
   // Load: aggregate transactions/second across all clients, 512 B each
-  // (§5.1), injected as one batch per validator per client_interval.
+  // (§5.1), injected as one batch per client per client_interval.
   double load_tps = 10'000;
   std::uint32_t tx_bytes = 512;
   TimeMicros client_interval = millis(25);
+
+  // Distinct client streams per validator. Each stream gets its own id range
+  // (origin << 40 | client << 32 | seq), so it maps to its own sharded-
+  // mempool client key — multi-client workloads exercise the same admission
+  // and fair-drain path the TCP runtime uses. 1 reproduces the historical
+  // single-stream traces bit-for-bit.
+  std::uint32_t clients_per_validator = 1;
+
+  // Sharded-mempool shape handed to every validator core (shard count,
+  // quotas, capacity caps).
+  MempoolConfig mempool;
 
   // Run control.
   TimeMicros duration = seconds(25);
@@ -120,6 +131,7 @@ struct SimResult {
   std::uint64_t total_blocks = 0;     // blocks in validator 0's DAG
   std::uint64_t fetch_requests = 0;   // synchronizer traffic across all nodes
   std::uint64_t wal_replayed_blocks = 0;  // blocks replayed across all restarts
+  std::uint64_t mempool_rejected = 0;     // admission rejects at validator 0's pool
 
   // Max over surviving validators of (author, round) cells holding more
   // than one block — nonzero only if some author equivocated (configured

@@ -7,6 +7,7 @@
 
 #include "core/committer_base.h"
 #include "core/options.h"
+#include "mempool/mempool.h"
 #include "types/committee.h"
 #include "types/validation.h"
 #include "validator/verifier_cache.h"
@@ -25,9 +26,28 @@ struct ValidatorConfig {
   std::function<std::unique_ptr<CommitterBase>(const Dag&, const Committee&)>
       committer_factory;
 
-  // Block construction caps (back-pressure on the mempool).
+  // Block construction caps (per-drain budgets on the mempool).
   std::size_t max_block_batches = 4096;
   std::uint64_t max_block_payload_bytes = 8 * 1024 * 1024;
+
+  // Sharded-mempool shape (mempool/mempool.h): shard count, admission
+  // quotas, capacity caps. Ignored when `mempool_instance` is set.
+  MempoolConfig mempool;
+
+  // Optional pre-built pool shared with the driver. The TCP runtime creates
+  // one so client submission is admitted off the loop thread (any thread may
+  // submit; only the proposal-path drain runs on the loop thread). Null =
+  // the core builds a private pool from `mempool`.
+  std::shared_ptr<ShardedMempool> mempool_instance;
+
+  // Adaptive ingest batching (drivers' drain policy, not the core's): one
+  // verify/ingest drain takes at most `max_ingest_batch` queued blocks
+  // (0 = unbounded), shrunk further so a batch's estimated verification time
+  // stays within `ingest_latency_budget` (0 = no budget). Keeps a single
+  // straggler block from waiting behind a 64-block burst at low load while
+  // preserving batched-crypto amortization under sustained load.
+  std::size_t max_ingest_batch = 64;
+  TimeMicros ingest_latency_budget = millis(2);
 
   // Minimum spacing between own proposals. 0 = advance as soon as a 2f+1
   // quorum for the previous round exists (pure asynchronous pace).

@@ -16,7 +16,10 @@ ValidatorCore::ValidatorCore(const Committee& committee, crypto::Ed25519PrivateK
       committer_(config.committer_factory
                      ? config.committer_factory(dag_, committee)
                      : std::make_unique<Committer>(dag_, committee, config.committer)),
-      synchronizer_(dag_, config.max_pending_blocks) {
+      synchronizer_(dag_, config.max_pending_blocks),
+      mempool_(config.mempool_instance
+                   ? config.mempool_instance
+                   : std::make_shared<ShardedMempool>(config.mempool)) {
   own_last_block_ = dag_.slot(0, config_.id).front();  // own genesis
   // Genesis blocks of every validator start as tips.
   for (const auto& block : dag_.blocks_at(0)) tips_.insert(block->ref());
@@ -215,7 +218,18 @@ void ValidatorCore::maybe_gc(Actions& actions) {
 
 Actions ValidatorCore::on_transactions(std::vector<TxBatch> batches, TimeMicros now) {
   Actions actions;
-  for (auto& batch : batches) mempool_.push(std::move(batch));
+  for (const AdmitResult verdict : mempool_->submit_all(std::move(batches))) {
+    if (!admitted(verdict)) {
+      MM_LOG(kDebug) << "v" << config_.id << " mempool rejected batch: "
+                     << to_string(verdict);
+    }
+  }
+  maybe_propose(now, actions);
+  return actions;
+}
+
+Actions ValidatorCore::on_mempool_ready(TimeMicros now) {
+  Actions actions;
   maybe_propose(now, actions);
   return actions;
 }
@@ -332,7 +346,7 @@ BlockPtr ValidatorCore::build_own_block(Round round, TimeMicros now) {
   std::erase_if(tips_, [round](const BlockRef& ref) { return ref.round < round; });
 
   std::vector<TxBatch> batches =
-      mempool_.drain(config_.max_block_batches, config_.max_block_payload_bytes);
+      mempool_->drain(config_.max_block_batches, config_.max_block_payload_bytes);
 
   return std::make_shared<const Block>(
       Block::make(config_.id, round, std::move(parents), std::move(batches),

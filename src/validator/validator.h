@@ -16,9 +16,9 @@
 
 #include "client/metrics.h"
 #include "core/committer.h"
+#include "mempool/mempool.h"
 #include "validator/actions.h"
 #include "validator/config.h"
-#include "validator/mempool.h"
 #include "validator/synchronizer.h"
 
 namespace mahimahi {
@@ -55,8 +55,16 @@ class ValidatorCore {
   // once per block. Output is deterministic in the item order.
   Actions on_blocks(std::vector<IngestBlock> items, TimeMicros now);
 
-  // Client transactions.
+  // Client transactions: admits each batch through the sharded mempool's
+  // front door (rejects are counted in mempool().stats()), then re-checks
+  // the proposal rule. Same-thread convenience path — drivers that admit
+  // off-thread submit to the shared pool directly and call
+  // on_mempool_ready() from the core's thread instead.
   Actions on_transactions(std::vector<TxBatch> batches, TimeMicros now);
+
+  // Notification that the shared mempool gained transactions through a
+  // side-channel (off-loop admission): re-checks the proposal rule only.
+  Actions on_mempool_ready(TimeMicros now);
 
   // A peer requests blocks we may hold.
   Actions on_fetch_request(const std::vector<BlockRef>& refs, ValidatorId from,
@@ -85,7 +93,11 @@ class ValidatorCore {
   bool knows_block(const Digest& digest) const {
     return dag_.contains(digest) || synchronizer_.is_pending(digest);
   }
-  std::size_t mempool_size() const { return mempool_.size(); }
+  std::size_t mempool_size() const { return mempool_->size(); }
+  const ShardedMempool& mempool() const { return *mempool_; }
+  // The pool itself, for drivers that admit submissions off the core's
+  // thread (net/node_runtime.h). Thread-safe by construction.
+  const std::shared_ptr<ShardedMempool>& mempool_handle() const { return mempool_; }
   std::uint64_t blocks_rejected() const { return blocks_rejected_; }
   // Stage counters of the ingestion pipeline (client/metrics.h).
   const IngestStats& ingest_stats() const { return ingest_stats_; }
@@ -111,7 +123,7 @@ class ValidatorCore {
   Dag dag_;
   std::unique_ptr<CommitterBase> committer_;
   Synchronizer synchronizer_;
-  Mempool mempool_;
+  std::shared_ptr<ShardedMempool> mempool_;
 
   Round last_proposed_round_ = 0;  // genesis counts as round 0
   // Time of the last own proposal; empty until the first one. An optional

@@ -24,6 +24,23 @@ bool wait_for(const std::function<bool()>& predicate,
   return predicate();
 }
 
+TEST(IngestBatchCap, AdaptiveBatchSizing) {
+  // No limits configured: unbounded drain.
+  EXPECT_GT(ingest_batch_cap(0, 0, 0), 1u << 20);
+  // Pure count cap.
+  EXPECT_EQ(ingest_batch_cap(64, 0, 0), 64u);
+  EXPECT_EQ(ingest_batch_cap(64, millis(2), 0), 64u);  // no cost estimate yet
+  // Latency budget shrinks the batch once the per-block cost is known:
+  // 2ms budget / 100us per block = 20 blocks.
+  EXPECT_EQ(ingest_batch_cap(64, millis(2), 100), 20u);
+  // The budget never starves the drain below one block...
+  EXPECT_EQ(ingest_batch_cap(64, millis(2), millis(50)), 1u);
+  // ...and never exceeds the hard count cap however cheap blocks are.
+  EXPECT_EQ(ingest_batch_cap(64, millis(1000), 1), 64u);
+  // Budget-only configuration (max_batch = 0).
+  EXPECT_EQ(ingest_batch_cap(0, millis(1), 100), 10u);
+}
+
 TEST(EventLoop, PostedTasksRunOnLoopThread) {
   EventLoop loop;
   std::thread runner([&] { loop.run(); });
@@ -211,6 +228,12 @@ TEST_F(TcpClusterTest, FourNodesCommitTransactions) {
 
   EXPECT_GT(nodes[0]->highest_round(), 5u);
   for (auto& node : nodes) node->stop();
+
+  // Submission went through the sharded pool's front door without rejects.
+  for (const auto& node : nodes) {
+    EXPECT_EQ(node->submit_rejected(), 0u);
+    EXPECT_GE(node->mempool_stats().accepted, 1u);
+  }
 
   // The worker pool carried the ingestion pipeline: every peer block was
   // decoded and crypto-verified off the loop thread.

@@ -208,6 +208,57 @@ TEST_F(ValidatorTest, BlockPayloadCapRespected) {
   EXPECT_EQ(validator.mempool_size(), 3u);
 }
 
+TEST_F(ValidatorTest, SharedMempoolInstanceFeedsProposals) {
+  // The TCP runtime's path: submissions are admitted into a shared pool from
+  // outside the core (off the loop thread), and the core only learns "the
+  // pool has work" — on_mempool_ready must then propose with those batches.
+  auto pool = std::make_shared<ShardedMempool>();
+  ValidatorConfig config = config_for(0);
+  config.mempool_instance = pool;
+  ValidatorCore validator(setup_.committee, setup_.keypairs[0].private_key, config);
+
+  TxBatch batch;
+  batch.id = (7ull << ShardedMempool::kClientKeyShift) | 1;
+  batch.count = 5;
+  ASSERT_TRUE(admitted(pool->submit(batch)));
+  EXPECT_EQ(validator.mempool_size(), 1u);
+
+  const Actions actions = validator.on_mempool_ready(0);
+  ASSERT_EQ(actions.broadcast.size(), 1u);
+  ASSERT_EQ(actions.broadcast[0]->batches().size(), 1u);
+  EXPECT_EQ(actions.broadcast[0]->batches()[0].id, batch.id);
+  EXPECT_EQ(validator.mempool_size(), 0u);
+}
+
+TEST_F(ValidatorTest, OversizedBatchStillProposed) {
+  // Carry-over regression at the proposal level: one batch above the block
+  // payload cap must still make it into a block (else its shard wedges).
+  ValidatorConfig config = config_for(0);
+  config.max_block_payload_bytes = 1024;
+  ValidatorCore validator(setup_.committee, setup_.keypairs[0].private_key, config);
+  TxBatch huge;
+  huge.id = 1;
+  huge.count = 100;
+  huge.tx_bytes = 512;  // 51200 bytes > 1024 cap
+  const Actions actions = validator.on_transactions({huge}, 0);
+  ASSERT_EQ(actions.broadcast.size(), 1u);
+  ASSERT_EQ(actions.broadcast[0]->batches().size(), 1u);
+  EXPECT_EQ(validator.mempool_size(), 0u);
+}
+
+TEST_F(ValidatorTest, MempoolAdmissionRejectsDuplicates) {
+  auto validator = make_validator(0);
+  TxBatch batch;
+  batch.id = 9;
+  batch.count = 3;
+  // Proposals fire on submission, so the duplicate must ride in the same
+  // call to be observable as an admission reject.
+  const Actions actions = validator->on_transactions({batch, batch}, 0);
+  ASSERT_EQ(actions.broadcast.size(), 1u);
+  EXPECT_EQ(actions.broadcast[0]->batches().size(), 1u);
+  EXPECT_EQ(validator->mempool().stats().duplicate, 1u);
+}
+
 TEST_F(ValidatorTest, MinRoundDelayPacesProposals) {
   ValidatorConfig config = config_for(0);
   config.min_round_delay = millis(100);
