@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Smoke gate for google-benchmark JSON output.
+
+CI pipes each bench binary's --benchmark_format=json output into a file and
+runs this gate on it before uploading the file as a workflow artifact. The
+gate fails (exit 1) on:
+
+  * unreadable or malformed JSON,
+  * an empty or missing "benchmarks" list,
+  * entries that reported an error (error_occurred / error_message),
+  * entries with a missing, non-finite or negative real_time,
+  * (with --expect NAME) no benchmark whose name contains NAME.
+
+So a bench that bit-rots into producing garbage — or a CI step whose filter
+matches nothing — fails the push instead of silently uploading junk.
+
+Usage: check_bench.py FILE.json [--expect NAME_SUBSTRING]...
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"check_bench: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="google-benchmark JSON output file")
+    parser.add_argument(
+        "--expect",
+        action="append",
+        default=[],
+        metavar="NAME_SUBSTRING",
+        help="require at least one benchmark whose name contains this "
+        "substring (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{args.file}: {error}")
+
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail(f"{args.file}: empty or missing 'benchmarks' list")
+
+    names = []
+    for entry in benchmarks:
+        name = entry.get("name")
+        if not name:
+            fail(f"{args.file}: benchmark entry without a name: {entry!r}")
+        if entry.get("error_occurred"):
+            fail(f"{name}: {entry.get('error_message', 'error_occurred')}")
+        names.append(name)
+        if entry.get("run_type") == "aggregate":
+            continue  # aggregates (mean/median/stddev) carry derived timings
+        real_time = entry.get("real_time")
+        if (
+            not isinstance(real_time, (int, float))
+            or isinstance(real_time, bool)
+            or not math.isfinite(real_time)
+            or real_time < 0
+        ):
+            fail(f"{name}: bad real_time {real_time!r}")
+
+    for expect in args.expect:
+        if not any(expect in name for name in names):
+            shown = ", ".join(names[:10])
+            fail(f"{args.file}: no benchmark matching '{expect}' (have: {shown})")
+
+    print(f"check_bench: OK: {args.file}: {len(names)} benchmark entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+// Off-loop commit-rule evaluation (the parallel committer).
+//
+// Once verification and mempool admission run on the worker pool, the
+// commit-rule scan — Committer::scan(), a full candidate-wave/leader-slot
+// pass after every ingested batch — is the largest remaining non-I/O consumer
+// of event-loop time. CommitScanner moves that scan off the loop thread
+// without ever sharing the live DAG across threads: it owns a private replica
+// of the owner's DAG, incrementally maintained from the owner's insertion
+// stream (Actions::inserted, which is causal by construction), plus a
+// scanning Committer bound to that replica. A drive context — a worker-pool
+// task in the TCP runtime, a deferred event in the simulator — calls
+// ingest() + scan(); the returned decisions are handed back to the owning
+// thread, which applies them to the live committer with Committer::apply
+// (cheap: linearization and bookkeeping only, no wave scans).
+//
+// Determinism: every decision scan() returns is final
+// (SlotDecision::final_decision) — once a slot classifies commit/skip it
+// never changes as the DAG grows — so a decision stream computed against a
+// lagging replica applies bit-identically to the equal-or-larger live DAG.
+// The scanner consumes its own decided prefix (without delivering) after
+// each scan, so successive scans resume exactly where the previous one
+// stopped, in lockstep with the owner's apply step; it also prunes the
+// replica at the same deterministic GC horizons the owner does.
+//
+// Threading: not internally synchronized. The owner must serialize ingest()
+// and scan() calls — NodeRuntime uses the same single-drain discipline as
+// its verify stage — and order construction before the first drive (a
+// worker-pool submission provides the necessary happens-before edge).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/committer.h"
+#include "dag/dag.h"
+#include "types/committee.h"
+
+namespace mahimahi {
+
+class CommitScanner {
+ public:
+  // `seed` is a snapshot of the owner's DAG (copied; blocks are shared).
+  // `head` is the owner committer's next_pending_slot() at snapshot time:
+  // slots below it were consumed before the snapshot — possibly against
+  // history the snapshot no longer holds (WAL recovery + GC) — and are never
+  // re-scanned.
+  CommitScanner(const Dag& seed, SlotId head, const Committee& committee,
+                CommitterOptions options);
+
+  // Inserts newly admitted blocks, in the owner's insertion (= causal)
+  // order. Duplicates and blocks below the replica's GC horizon are skipped.
+  void ingest(const std::vector<BlockPtr>& blocks);
+
+  // Runs the commit-rule scan against the replica, consumes the newly
+  // decided prefix (no delivery) and returns it in slot order for the owner
+  // to apply. Prunes the replica by gc_depth as the head advances, mirroring
+  // the owner's ValidatorCore::maybe_gc.
+  std::vector<SlotDecision> scan();
+
+  SlotId next_pending_slot() const { return scanner_.next_pending_slot(); }
+  const Dag& replica() const { return replica_; }
+  std::uint64_t blocks_ingested() const { return blocks_ingested_; }
+  std::uint64_t scans_run() const { return scans_run_; }
+
+ private:
+  Dag replica_;
+  Committer scanner_;
+  std::uint64_t blocks_ingested_ = 0;
+  std::uint64_t scans_run_ = 0;
+};
+
+}  // namespace mahimahi

@@ -203,38 +203,60 @@ std::map<SlotId, SlotDecision> Committer::evaluate_all() {
   return pass;
 }
 
-std::vector<CommittedSubDag> Committer::try_commit() {
-  std::vector<CommittedSubDag> out;
+std::vector<SlotDecision> Committer::scan() {
+  std::vector<SlotDecision> out;
   const auto pass = evaluate_all();
 
-  // Consume the decided prefix in slot order, stopping at the first
-  // undecided slot (Algorithm 1, ExtendCommitSequence).
+  // The decided prefix in slot order, stopping at the first undecided slot
+  // (Algorithm 1, ExtendCommitSequence). Consumption is apply()'s job.
   for (SlotId slot = next_pending_;; slot = successor(slot)) {
     const auto it = pass.find(slot);
     if (it == pass.end()) break;  // beyond the evaluated range
-    const SlotDecision& decision = it->second;
-    if (decision.kind == SlotDecision::Kind::kUndecided) break;
+    if (it->second.kind == SlotDecision::Kind::kUndecided) break;
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<CommittedSubDag> Committer::apply(
+    const std::vector<SlotDecision>& decisions, bool deliver) {
+  std::vector<CommittedSubDag> out;
+  for (const SlotDecision& decision : decisions) {
+    if (decision.slot < next_pending_) continue;  // consumed by an earlier apply
+    if (decision.slot != next_pending_) break;    // gap: scanned ahead of our head
+    assert(decision.final_decision);
 
     decided_log_.push_back(decision);
     if (decision.kind == SlotDecision::Kind::kCommit) {
       decision.via == SlotDecision::Via::kDirect ? ++stats_.direct_commits
                                                  : ++stats_.indirect_commits;
-      const Round leader_round = decision.block->round();
-      const Round min_round =
-          options_.gc_depth > 0 && leader_round > options_.gc_depth
-              ? leader_round - options_.gc_depth
-              : 0;
-      out.push_back(
-          linearize_sub_dag(dag_, slot, decision.block, delivered_, stats_, min_round));
+      if (deliver) {
+        const Round leader_round = decision.block->round();
+        const Round min_round =
+            options_.gc_depth > 0 && leader_round > options_.gc_depth
+                ? leader_round - options_.gc_depth
+                : 0;
+        out.push_back(linearize_sub_dag(dag_, decision.slot, decision.block,
+                                        delivered_, stats_, min_round));
+      }
     } else {
       decision.via == SlotDecision::Via::kDirect ? ++stats_.direct_skips
                                                  : ++stats_.indirect_skips;
     }
-    final_.erase(slot);
-    next_pending_ = successor(slot);
+    final_.erase(decision.slot);
+    next_pending_ = successor(decision.slot);
   }
   return out;
 }
+
+void Committer::fast_forward(SlotId head) {
+  if (head <= next_pending_) return;
+  next_pending_ = head;
+  // Memoized final decisions below the head can never be consumed now.
+  std::erase_if(final_, [head](const auto& entry) { return entry.first < head; });
+}
+
+std::vector<CommittedSubDag> Committer::try_commit() { return apply(scan()); }
 
 void Committer::prune_below(Round round) {
   votes_.prune_below(round);

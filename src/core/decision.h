@@ -34,6 +34,19 @@ struct SlotDecision {
   std::string to_string() const;
 };
 
+// Do two decisions agree on the observable outcome — same slot, same
+// classification and, for commits, the same block? `via` is deliberately
+// ignored: a slot may legitimately be decided directly in one view and
+// indirectly in another (Lemma 7); only the outcome is agreement-critical.
+// The serial-vs-off-loop determinism checks compare decision streams with
+// this.
+inline bool same_outcome(const SlotDecision& a, const SlotDecision& b) {
+  if (a.slot != b.slot || a.kind != b.kind) return false;
+  if (a.kind != SlotDecision::Kind::kCommit) return true;
+  return a.block != nullptr && b.block != nullptr &&
+         a.block->digest() == b.block->digest();
+}
+
 // A committed leader slot together with the newly delivered portion of its
 // causal history, in deterministic causal order (leader block last).
 struct CommittedSubDag {

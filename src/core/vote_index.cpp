@@ -10,27 +10,63 @@ std::optional<Digest> VoteIndex::resolve(const Block& from, ValidatorId author,
   // traversal root; otherwise nothing can be found.
   if (round >= from.round()) return std::nullopt;
 
-  const Key key{from.digest(), round, author};
-  if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
-
-  std::optional<Digest> result;
-  for (const auto& parent : from.parents()) {
-    if (parent.round < round) continue;  // cannot contain the target
-    if (parent.round == round && parent.author == author) {
-      result = parent.digest;
-      break;
-    }
-    const BlockPtr parent_block = dag_.get(parent.digest);
-    if (parent_block == nullptr) continue;  // pruned history; treated as absent
-    const auto sub = resolve(*parent_block, author, round);
-    if (sub.has_value()) {
-      result = sub;
-      break;
-    }
+  if (const auto it = memo_.find(Key{from.digest(), round, author});
+      it != memo_.end()) {
+    return it->second;
   }
 
-  memo_.emplace(key, result);
-  return result;
+  // Iterative ordered depth-first traversal with an explicit frame stack.
+  // In parallel-commit mode this runs inside worker-pool tasks, where an
+  // unmemoized ancestor chain as deep as the unpruned DAG must not overflow
+  // a thread stack the way head recursion could. Raw Block pointers are safe
+  // while the owning DAG is not mutated, which the single-threaded-use
+  // contract of the committer guarantees.
+  struct Frame {
+    const Block* block;
+    std::size_t next_parent = 0;
+    std::optional<Digest> result;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{.block = &from});
+  std::optional<Digest> propagated;
+  bool child_returned = false;
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (child_returned) {
+      child_returned = false;
+      if (propagated.has_value()) frame.result = propagated;
+    }
+
+    bool descended = false;
+    while (!frame.result.has_value() &&
+           frame.next_parent < frame.block->parents().size()) {
+      const BlockRef& parent = frame.block->parents()[frame.next_parent++];
+      if (parent.round < round) continue;  // cannot contain the target
+      if (parent.round == round && parent.author == author) {
+        frame.result = parent.digest;
+        break;
+      }
+      const BlockPtr parent_block = dag_.get(parent.digest);
+      if (parent_block == nullptr) continue;  // pruned history; treated as absent
+      if (const auto it = memo_.find(Key{parent.digest, round, author});
+          it != memo_.end()) {
+        if (it->second.has_value()) frame.result = it->second;
+        continue;
+      }
+      stack.push_back(Frame{.block = parent_block.get()});
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+
+    // Frame exhausted (or found the target): memoize and propagate upward.
+    memo_.emplace(Key{frame.block->digest(), round, author}, frame.result);
+    propagated = frame.result;
+    child_returned = true;
+    stack.pop_back();
+  }
+  return propagated;
 }
 
 BlockPtr VoteIndex::voted_block(const Block& from, ValidatorId author, Round round) {

@@ -5,7 +5,9 @@
 // depth-first traversal of v's causal references (Observation 1: this makes
 // "vote" single-valued per voter even under equivocation). The traversal is
 // a pure function of block content, so results are memoized per
-// (block, author, round).
+// (block, author, round); it is implemented iteratively (explicit frame
+// stack) because in parallel-commit mode it runs on worker-pool threads,
+// whose stacks must survive arbitrarily deep unmemoized ancestor chains.
 #pragma once
 
 #include <optional>

@@ -84,6 +84,9 @@ void Sha256::compress(const std::uint8_t* block) {
 }
 
 void Sha256::update(BytesView data) {
+  // An empty span's data() may be null; memcpy's source is nonnull even for
+  // zero sizes (UBSan).
+  if (data.empty()) return;
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

@@ -85,6 +85,10 @@ void Sha512::compress(const std::uint8_t* block) {
 }
 
 void Sha512::update(BytesView data) {
+  // An empty span's data() may be null, and memcpy's source is declared
+  // nonnull even for zero sizes (UBSan flags it; empty-message signing hits
+  // this path).
+  if (data.empty()) return;
   total_bytes_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

@@ -16,7 +16,16 @@ std::size_t ingest_batch_cap(std::size_t max_batch, TimeMicros latency_budget,
   std::size_t cap = max_batch == 0 ? std::numeric_limits<std::size_t>::max() : max_batch;
   if (latency_budget > 0 && ewma_per_block > 0) {
     const auto by_budget = static_cast<std::size_t>(latency_budget / ewma_per_block);
-    cap = std::min(cap, std::max<std::size_t>(1, by_budget));
+    // The budget never shrinks a drain below the amortization floor. Most of
+    // the RLC batch-verification gain is realized by ~8 signatures, so a
+    // smaller batch RAISES per-block cost — and a cap derived from that
+    // inflated cost is a bistable trap: one expensive single-frame drain
+    // (slow environment: sanitizer build, cold caches, debug crypto) pins
+    // the EWMA above the budget, the cap collapses to 1, amortization never
+    // recovers, and verify throughput drops below the arrival rate for
+    // good. Observed as a late-joining node whose ancestry fetch walk loses
+    // the race against round production under ASan.
+    cap = std::min(cap, std::max(kVerifyAmortizationFloor, by_budget));
   }
   return std::max<std::size_t>(1, cap);
 }
@@ -24,6 +33,10 @@ std::size_t ingest_batch_cap(std::size_t max_batch, TimeMicros latency_budget,
 NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey key,
                          NodeRuntimeConfig config)
     : committee_(committee), config_(std::move(config)) {
+  if (config_.verify_threads == 0) {
+    // Inline (serial) ingestion has no workers to host the commit scan.
+    config_.validator.parallel_commit = false;
+  }
   core_ = std::make_unique<ValidatorCore>(committee_, key, config_.validator);
   // Share the core's pool (built or adopted by the ValidatorCore ctor):
   // clients and workers admit into it concurrently, the core drains it when
@@ -48,6 +61,13 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
   outgoing_.resize(committee_.size());
   if (config_.verify_threads > 0) {
     verify_pool_ = std::make_unique<WorkerPool>(config_.verify_threads);
+  }
+  if (core_->parallel_commit_active()) {
+    // Seed the scanner from the post-recovery DAG and consumption head; the
+    // worker-pool queue orders this construction before the first scan.
+    commit_scanner_ = std::make_unique<CommitScanner>(
+        core_->dag(), core_->committer().next_pending_slot(), committee_,
+        config_.validator.committer);
   }
 }
 
@@ -376,7 +396,13 @@ void NodeRuntime::perform(Actions&& actions) {
   for (const auto& block : actions.inserted) {
     wal_->append_block(*block, block->author() == id());
   }
-  if (!actions.inserted.empty()) wal_->sync();
+  if (!actions.inserted.empty()) {
+    wal_->sync();
+    // Parallel commit: the insertion stream feeds the worker-side replica;
+    // the scan it triggers posts decisions back through
+    // apply_commit_decisions.
+    if (commit_scanner_ != nullptr) enqueue_commit_blocks(actions.inserted);
+  }
 
   for (const auto& block : actions.broadcast) {
     const Bytes frame = encode_block(*block);
@@ -418,6 +444,49 @@ void NodeRuntime::perform(Actions&& actions) {
   core_cache_hits_.store(stats.cache_hits, std::memory_order_relaxed);
   core_verified_.store(stats.verified, std::memory_order_relaxed);
   core_preverified_.store(stats.preverified, std::memory_order_relaxed);
+}
+
+void NodeRuntime::enqueue_commit_blocks(const std::vector<BlockPtr>& blocks) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(commit_mutex_);
+    pending_commit_blocks_.insert(pending_commit_blocks_.end(), blocks.begin(),
+                                  blocks.end());
+    if (!commit_scan_scheduled_) {
+      commit_scan_scheduled_ = true;
+      schedule = true;
+    }
+  }
+  if (schedule) verify_pool_->submit([this] { scan_pending_commits(); });
+}
+
+void NodeRuntime::scan_pending_commits() {
+  // One drain loop at a time (commit_scan_scheduled_ stays true until the
+  // queue is empty): the replica and its scanner are single-threaded state,
+  // and decision batches must reach the loop thread in scan order — the
+  // apply step consumes them head-first.
+  for (;;) {
+    std::vector<BlockPtr> blocks;
+    {
+      std::lock_guard<std::mutex> lock(commit_mutex_);
+      if (pending_commit_blocks_.empty()) {
+        commit_scan_scheduled_ = false;
+        return;
+      }
+      blocks.swap(pending_commit_blocks_);
+    }
+    commit_scanner_->ingest(blocks);
+    std::vector<SlotDecision> decisions = commit_scanner_->scan();
+    commit_scans_.fetch_add(1, std::memory_order_relaxed);
+    if (decisions.empty()) continue;
+    loop_.post([this, decisions = std::move(decisions)] {
+      const TimeMicros start = steady_now_micros();
+      perform(core_->apply_commit_decisions(decisions, start));
+      commit_apply_micros_.fetch_add(steady_now_micros() - start,
+                                     std::memory_order_relaxed);
+      commit_batches_applied_.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
 }
 
 void NodeRuntime::offer_latest_block(ValidatorId peer) {

@@ -14,6 +14,15 @@
 // single-threaded and sans-IO; only decode + verification, which are pure
 // functions of the frame bytes and the committee, run concurrently.
 //
+// With ValidatorConfig::parallel_commit, the commit-rule scan also leaves
+// the loop thread: newly inserted blocks are queued (same single-drain
+// discipline as the verify stage) for a worker task that maintains a replica
+// DAG (core/commit_scanner.h) and evaluates candidate waves there; the
+// resulting decisions are posted back and applied on the loop thread —
+// linearization only, no wave scans. The loop thread then spends
+// commit_apply_micros() per batch instead of the full scan cost, finishing
+// the "loop thread is pure I/O multiplexing" architecture.
+//
 // Message frames (first payload byte is the type):
 //   kHandshake: u32 validator id + 32-byte committee epoch seed
 //   kBlock:     serialized block
@@ -28,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/commit_scanner.h"
 #include "net/event_loop.h"
 #include "net/tcp.h"
 #include "net/worker_pool.h"
@@ -36,10 +46,18 @@
 
 namespace mahimahi::net {
 
+// The latency budget never shrinks a verify drain below this many frames:
+// batched RLC signature verification realizes most of its amortization by ~8
+// items, so smaller batches cost MORE per block — a budget-derived cap below
+// the floor is self-defeating (see ingest_batch_cap for the bistable trap it
+// creates in slow environments).
+inline constexpr std::size_t kVerifyAmortizationFloor = 8;
+
 // Adaptive ingest batching (ValidatorConfig::max_ingest_batch /
 // ingest_latency_budget): how many queued block frames one verify drain may
 // take, given the EWMA of per-block decode+verify cost. max_batch 0 =
-// unbounded; budget or ewma 0 = no latency shaping. Never returns 0.
+// unbounded; budget or ewma 0 = no latency shaping. Never returns 0, and
+// latency shaping never goes below min(max_batch, kVerifyAmortizationFloor).
 std::size_t ingest_batch_cap(std::size_t max_batch, TimeMicros latency_budget,
                              TimeMicros ewma_per_block);
 
@@ -128,6 +146,20 @@ class NodeRuntime {
   }
   // Admission-control counters of the shared mempool (thread-safe).
   MempoolStats mempool_stats() const { return mempool_->stats(); }
+  // Parallel-committer introspection (thread-safe). Scans run on the worker
+  // pool; decision batches and the micros spent applying them are the only
+  // commit work left on the loop thread (serial mode pays the whole scan
+  // there instead, inside ValidatorCore::on_blocks).
+  bool parallel_commit_active() const { return commit_scanner_ != nullptr; }
+  std::uint64_t commit_scans() const {
+    return commit_scans_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t commit_batches_applied() const {
+    return commit_batches_applied_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t commit_apply_micros() const {
+    return commit_apply_micros_.load(std::memory_order_relaxed);
+  }
   // Batches this runtime's submit() path rejected (subset view of
   // mempool_stats(), attributable to local clients).
   std::uint64_t submit_rejected() const {
@@ -163,6 +195,14 @@ class NodeRuntime {
   // must not dilute the per-block verify estimate).
   std::size_t verify_frames(std::vector<RawFrame> frames);
   void send_to_peer(ValidatorId peer, BytesView frame);
+  // Queues newly inserted blocks for the commit scanner (schedules a drain
+  // when none is pending) — called on the loop thread.
+  void enqueue_commit_blocks(const std::vector<BlockPtr>& blocks);
+  // Worker-side: drains queued blocks into the replica, runs the commit
+  // scan, and posts decision batches to the loop thread (one drain at a
+  // time — the scanner is single-threaded state and decisions must arrive
+  // in scan order).
+  void scan_pending_commits();
   // Worker-side: drains queued client submissions (one loop at a time, so
   // admissions hit the pool in arrival order) until the queue is empty.
   void admit_pending_submissions();
@@ -224,6 +264,19 @@ class NodeRuntime {
   // Collapses a burst of off-loop submissions into one queued proposal
   // re-check on the loop thread.
   std::atomic<bool> propose_nudge_pending_{false};
+  // Off-loop commit evaluation (parallel committer). The scanner is touched
+  // only by the single active scan drain; the queue hands it the loop
+  // thread's insertion stream in order. Unbounded by design: entries are
+  // BlockPtrs the core already retains, so the DAG itself is the bound, and
+  // dropping one would lose commits (unlike verify frames, nothing
+  // re-delivers them).
+  std::unique_ptr<CommitScanner> commit_scanner_;
+  std::mutex commit_mutex_;
+  std::vector<BlockPtr> pending_commit_blocks_;  // guarded by commit_mutex_
+  bool commit_scan_scheduled_ = false;           // guarded by commit_mutex_
+  std::atomic<std::uint64_t> commit_scans_{0};
+  std::atomic<std::uint64_t> commit_batches_applied_{0};
+  std::atomic<std::uint64_t> commit_apply_micros_{0};
   // EWMA of per-block decode+verify cost (micros), written by the single
   // active verify drain, read when sizing the next batch.
   std::atomic<TimeMicros> verify_cost_ewma_{0};

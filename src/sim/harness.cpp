@@ -6,6 +6,7 @@
 #include "baselines/cordial_miners.h"
 #include "baselines/tusk.h"
 #include "common/log.h"
+#include "core/commit_scanner.h"
 #include "wal/wal.h"
 
 namespace mahimahi::sim {
@@ -97,12 +98,15 @@ struct SimHarness::Impl {
     down.assign(config.n, 0);
     mem_logs.resize(config.n);
     wals.resize(config.n);
+    scanners.resize(config.n);
+    scan_scheduled.assign(config.n, 0);
     for (ValidatorId v = 0; v < config.n; ++v) {
       if (!alive(v)) {
         nodes.push_back(nullptr);
         continue;
       }
       nodes.push_back(make_node(v));
+      scanners[v] = make_scanner(v);
       if (!config.wal_dir.empty()) {
         wals[v] = std::make_unique<FileWal>(wal_path(v));
       }
@@ -127,8 +131,20 @@ struct SimHarness::Impl {
       vc.signature_cache = verifier_cache;
     }
     vc.byzantine_equivocate = v < config.equivocators;
+    vc.parallel_commit = config.parallel_commit;
     return std::make_unique<ValidatorCore>(setup.committee,
                                            setup.keypairs[v].private_key, vc);
+  }
+
+  // The off-loop evaluation replica for `v` — nullptr when the core commits
+  // inline (parallel_commit off, or a committer_factory variant like Tusk).
+  // Seeded from the core's current DAG and consumption head, so it works
+  // both at startup (genesis only) and after a WAL replay (restart()).
+  std::unique_ptr<CommitScanner> make_scanner(ValidatorId v) {
+    if (!nodes[v]->parallel_commit_active()) return nullptr;
+    return std::make_unique<CommitScanner>(nodes[v]->dag(),
+                                           nodes[v]->committer().next_pending_slot(),
+                                           setup.committee, options_for(config));
   }
 
   std::string wal_path(ValidatorId v) const {
@@ -259,6 +275,27 @@ struct SimHarness::Impl {
     } else if (!config.restarts.empty()) {
       for (const auto& block : actions.inserted) mem_logs[v].push_back(block);
     }
+
+    // Parallel commit: feed the replica and schedule the off-loop scan — the
+    // sim analogue of the TCP runtime's worker handoff.
+    if (scanners[v] != nullptr && !actions.inserted.empty()) {
+      scanners[v]->ingest(actions.inserted);
+      schedule_commit_scan(v);
+    }
+  }
+
+  void schedule_commit_scan(ValidatorId v) {
+    if (scan_scheduled[v]) return;  // collapses bursts, like the verify drain
+    scan_scheduled[v] = 1;
+    queue.schedule_after(config.commit_scan_delay, [this, v] { run_commit_scan(v); });
+  }
+
+  void run_commit_scan(ValidatorId v) {
+    scan_scheduled[v] = 0;
+    if (!running(v) || scanners[v] == nullptr) return;
+    auto decisions = scanners[v]->scan();
+    if (decisions.empty()) return;
+    handle_actions(v, nodes[v]->apply_commit_decisions(decisions, queue.now()));
   }
 
   void record_commits(ValidatorId v, const CommittedSubDag& sub_dag) {
@@ -282,7 +319,8 @@ struct SimHarness::Impl {
     if (!running(v)) return;
     down[v] = 1;
     nodes[v].reset();
-    inboxes[v].clear();  // in-flight deliveries die with the process
+    scanners[v].reset();  // the replica dies with the process
+    inboxes[v].clear();   // in-flight deliveries die with the process
     if (wals[v] != nullptr) {
       // Keep the file for replay; drop the open handle like a crash would.
       wals[v]->sync();
@@ -321,6 +359,11 @@ struct SimHarness::Impl {
     } else {
       for (const auto& block : mem_logs[v]) replay_one(block);
     }
+
+    // Replay committed inline (recover_block always does); the fresh replica
+    // resumes from the recovered DAG and head, exactly like the TCP runtime
+    // reseeding its scanner after a WAL replay.
+    scanners[v] = make_scanner(v);
 
     // Re-arm the driver loops that died while the validator was down.
     queue.schedule_after(0, [this, v] { tick(v); });
@@ -438,6 +481,9 @@ struct SimHarness::Impl {
   std::vector<std::deque<IngestBlock>> inboxes;   // batched same-time deliveries
   std::vector<char> inbox_scheduled;
   std::vector<char> down;                         // RestartSpec crash state
+  // Parallel commit: per-validator replica scanner + pending-scan-event flag.
+  std::vector<std::unique_ptr<CommitScanner>> scanners;
+  std::vector<char> scan_scheduled;
   std::vector<std::unique_ptr<FileWal>> wals;     // per validator, when wal_dir set
   std::vector<std::vector<BlockPtr>> mem_logs;    // in-memory WAL fallback
   std::uint64_t wal_replayed_blocks = 0;

@@ -49,6 +49,17 @@ struct ValidatorConfig {
   std::size_t max_ingest_batch = 64;
   TimeMicros ingest_latency_budget = millis(2);
 
+  // Off-loop commit evaluation. When set (and no committer_factory
+  // overrides the default committer), input handlers stop running the
+  // commit-rule scan inline: the driver owns a core/commit_scanner.h replica
+  // fed from Actions::inserted, runs Committer::scan() off the core's thread
+  // (worker pool in the TCP runtime, deferred event in the simulator), and
+  // posts the decisions back through ValidatorCore::apply_commit_decisions().
+  // Drivers without that plumbing must leave this off — blocks would insert
+  // but never commit. WAL replay (recover_block) always commits inline: it
+  // runs single-threaded before any driver thread exists.
+  bool parallel_commit = false;
+
   // Minimum spacing between own proposals. 0 = advance as soon as a 2f+1
   // quorum for the previous round exists (pure asynchronous pace).
   TimeMicros min_round_delay = 0;

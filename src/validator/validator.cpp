@@ -20,6 +20,11 @@ ValidatorCore::ValidatorCore(const Committee& committee, crypto::Ed25519PrivateK
       mempool_(config.mempool_instance
                    ? config.mempool_instance
                    : std::make_shared<ShardedMempool>(config.mempool)) {
+  if (config_.parallel_commit && !config.committer_factory) {
+    // Without a factory override the committer is the split-capable default
+    // built above; custom commit rules keep the inline path.
+    split_committer_ = static_cast<Committer*>(committer_.get());
+  }
   own_last_block_ = dag_.slot(0, config_.id).front();  // own genesis
   // Genesis blocks of every validator start as tips.
   for (const auto& block : dag_.blocks_at(0)) tips_.insert(block->ref());
@@ -67,6 +72,9 @@ Actions ValidatorCore::recover_block(BlockPtr block) {
   dag_.insert(block);
   note_inserted(block);
   actions.inserted.push_back(block);
+  // Replay always commits inline, even in parallel-commit mode: recovery is
+  // single-threaded and runs before the driver's scanner exists (drivers
+  // seed the scanner from the recovered DAG + head afterwards).
   auto committed = committer_->try_commit();
   for (auto& sub_dag : committed) actions.committed.push_back(std::move(sub_dag));
   maybe_gc(actions);
@@ -155,10 +163,29 @@ Actions ValidatorCore::on_blocks(std::vector<IngestBlock> items, TimeMicros now)
   // --- Stage 4: propose / commit / GC, once per batch -----------------------
   if (!actions.inserted.empty()) {
     maybe_propose(now, actions);
-    auto committed = committer_->try_commit();
-    for (auto& sub_dag : committed) actions.committed.push_back(std::move(sub_dag));
-    maybe_gc(actions);
+    commit_and_gc(actions);
   }
+  return actions;
+}
+
+void ValidatorCore::commit_and_gc(Actions& actions) {
+  // In parallel-commit mode the scan belongs to the driver's scanner; the
+  // commits land later through apply_commit_decisions().
+  if (split_committer_ != nullptr) return;
+  auto committed = committer_->try_commit();
+  for (auto& sub_dag : committed) actions.committed.push_back(std::move(sub_dag));
+  maybe_gc(actions);
+}
+
+Actions ValidatorCore::apply_commit_decisions(const std::vector<SlotDecision>& decisions,
+                                              TimeMicros now) {
+  (void)now;  // commits are clock-free; the signature matches the other inputs
+  Actions actions;
+  if (split_committer_ == nullptr) return actions;
+  for (auto& sub_dag : split_committer_->apply(decisions)) {
+    actions.committed.push_back(std::move(sub_dag));
+  }
+  maybe_gc(actions);
   return actions;
 }
 
@@ -316,9 +343,7 @@ void ValidatorCore::maybe_propose(TimeMicros now, Actions& actions) {
   }
 
   // Committing may be possible immediately (our block may complete a wave).
-  auto committed = committer_->try_commit();
-  for (auto& sub_dag : committed) actions.committed.push_back(std::move(sub_dag));
-  maybe_gc(actions);
+  commit_and_gc(actions);
 
   // Chain proposals: our own block may complete the quorum for the next
   // round only if others' blocks arrive, so no recursion is needed here.

@@ -33,9 +33,15 @@ TEST(IngestBatchCap, AdaptiveBatchSizing) {
   // Latency budget shrinks the batch once the per-block cost is known:
   // 2ms budget / 100us per block = 20 blocks.
   EXPECT_EQ(ingest_batch_cap(64, millis(2), 100), 20u);
-  // The budget never starves the drain below one block...
-  EXPECT_EQ(ingest_batch_cap(64, millis(2), millis(50)), 1u);
-  // ...and never exceeds the hard count cap however cheap blocks are.
+  // The budget never shrinks the drain below the amortization floor: tiny
+  // batches lose the RLC batch-verification amortization, so a cap derived
+  // from slow-looking per-block costs must not collapse to 1 and pin the
+  // cost there (the bistable trap — see ingest_batch_cap).
+  EXPECT_EQ(ingest_batch_cap(64, millis(2), millis(50)), kVerifyAmortizationFloor);
+  EXPECT_EQ(ingest_batch_cap(64, millis(2), 400), kVerifyAmortizationFloor);  // 5 < floor
+  // The floor yields to the hard count cap when that is smaller...
+  EXPECT_EQ(ingest_batch_cap(4, millis(2), millis(50)), 4u);
+  // ...and the count cap still binds however cheap blocks are.
   EXPECT_EQ(ingest_batch_cap(64, millis(1000), 1), 64u);
   // Budget-only configuration (max_batch = 0).
   EXPECT_EQ(ingest_batch_cap(0, millis(1), 100), 10u);
@@ -164,12 +170,15 @@ class TcpClusterTest : public ::testing::Test {
     config.wal_path = wal_path;
     config.verify_threads = verify_threads_;
     config.validator.signature_cache = shared_cache_;
+    config.validator.parallel_commit = parallel_commit_;
     return std::make_unique<NodeRuntime>(setup_.committee,
                                          setup_.keypairs[v].private_key, config);
   }
 
   // Worker-pool ingestion by default; tests may set 0 for the inline path.
   std::size_t verify_threads_ = 2;
+  // Off-loop commit evaluation (scan on the worker pool, apply on the loop).
+  bool parallel_commit_ = false;
   // When set, all runtimes share one verification cache (co-located setup).
   std::shared_ptr<VerifierCache> shared_cache_;
 
@@ -349,6 +358,57 @@ TEST_F(TcpClusterTest, CommitSequencesAgreeAcrossNodes) {
   std::lock_guard<std::mutex> g(mutex);
   for (int i = 1; i < 4; ++i) {
     const std::size_t common = std::min(sequences[0].size(), sequences[i].size());
+    for (std::size_t k = 0; k < common; ++k) {
+      ASSERT_EQ(sequences[0][k], sequences[i][k])
+          << "node 0 and node " << i << " diverge at position " << k;
+    }
+  }
+}
+
+TEST_F(TcpClusterTest, ParallelCommitClusterAgreesAndKeepsScanOffLoop) {
+  // The cross-thread committer handoff under real sockets: insertion stream
+  // → worker-side replica scan → posted decisions → loop-thread apply. The
+  // sanitizer CI matrix runs this under TSan; functionally, all nodes must
+  // commit the same sequences and every commit must come through the
+  // off-loop path (scans on workers, apply batches on the loop thread).
+  parallel_commit_ = true;
+  auto nodes = make_cluster();
+  std::mutex mutex;
+  std::vector<std::vector<BlockRef>> sequences(4);
+  for (ValidatorId v = 0; v < 4; ++v) {
+    nodes[v]->set_commit_handler([&, v](const CommittedSubDag& sub_dag) {
+      std::lock_guard<std::mutex> g(mutex);
+      for (const auto& block : sub_dag.blocks) sequences[v].push_back(block->ref());
+    });
+  }
+  for (auto& node : nodes) node->start();
+  for (ValidatorId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(nodes[v]->parallel_commit_active());
+    TxBatch batch;
+    batch.id = 500 + v;
+    batch.count = 20;
+    nodes[v]->submit({batch});
+  }
+  EXPECT_TRUE(wait_for([&] {
+    for (const auto& node : nodes) {
+      if (node->committed_transactions() < 80) return false;
+    }
+    return true;
+  })) << "committed: " << nodes[0]->committed_transactions();
+  for (auto& node : nodes) node->stop();
+
+  for (const auto& node : nodes) {
+    // Every commit went through the split path: worker scans happened, and
+    // the loop thread consumed at least one posted decision batch.
+    EXPECT_GT(node->commit_scans(), 0u) << "node " << node->id();
+    EXPECT_GT(node->commit_batches_applied(), 0u) << "node " << node->id();
+    EXPECT_GT(node->committed_blocks(), 0u) << "node " << node->id();
+  }
+
+  std::lock_guard<std::mutex> g(mutex);
+  for (int i = 1; i < 4; ++i) {
+    const std::size_t common = std::min(sequences[0].size(), sequences[i].size());
+    ASSERT_GT(common, 0u);
     for (std::size_t k = 0; k < common; ++k) {
       ASSERT_EQ(sequences[0][k], sequences[i][k])
           << "node 0 and node " << i << " diverge at position " << k;
