@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Dead-link gate for the repo's markdown docs.
+
+Scans the given markdown files (and any directly given directories for
+*.md) for inline links/images `[text](target)` and checks that every
+relative target resolves to a real file, and that every `#fragment` on a
+markdown target matches a heading in that file (GitHub slug rules:
+lowercase, punctuation stripped, spaces to dashes).
+
+External targets (http/https/mailto) are not fetched — CI must not depend
+on the network. Exit 1 on any dead link, so a doc rename or a stale anchor
+fails the push instead of shipping a 404.
+
+Usage: check_docs_links.py README.md docs [more files or dirs...]
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", text)  # '# comment' in a fence is not a heading
+    slugs = set()
+    for match in HEADING_RE.finditer(text):
+        slug = github_slug(match.group(1))
+        n = 1
+        unique = slug
+        while unique in slugs:  # GitHub de-dupes repeated headings with -1, -2...
+            unique = f"{slug}-{n}"
+            n += 1
+        slugs.add(unique)
+    return slugs
+
+
+def collect_files(arguments) -> list:
+    files = []
+    for argument in arguments:
+        path = pathlib.Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    errors = []
+    checked = 0
+    for md in collect_files(sys.argv[1:]):
+        if not md.is_file():
+            errors.append(f"{md}: file not found")
+            continue
+        text = CODE_FENCE_RE.sub("", md.read_text(encoding="utf-8"))
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            resolved = (md.parent / path_part).resolve() if path_part else md.resolve()
+            if not resolved.exists():
+                errors.append(f"{md}: dead link '{target}' ({resolved} missing)")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in anchors_of(resolved):
+                    errors.append(f"{md}: dead anchor '{target}' (no heading '#{fragment}')")
+
+    for error in errors:
+        print(f"check_docs_links: FAIL: {error}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(f"check_docs_links: OK: {checked} relative links checked")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,8 +54,24 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
                     << " WAL records" << (replay.corrupt_tail ? " (torn tail dropped)" : "");
     }
     highest_round_.store(core_->dag().highest_round(), std::memory_order_relaxed);
-    wal_ = std::make_unique<FileWal>(config_.wal_path);
+    auto file =
+        std::make_unique<FileWal>(config_.wal_path, config_.validator.wal_fsync);
+    if (config_.validator.wal_group_commit) {
+      GroupCommitWalOptions wal_options;
+      wal_options.flush_interval = config_.validator.wal_flush_interval;
+      // Durability acks run on the loop thread: they release gated proposal
+      // broadcasts, which touch loop-owned connection state.
+      auto group = std::make_unique<GroupCommitWal>(
+          std::move(file), wal_options,
+          [this](std::function<void()> ack) { loop_.post(std::move(ack)); });
+      group_wal_ = group.get();
+      wal_ = std::move(group);
+    } else {
+      wal_ = std::move(file);
+    }
   } else {
+    // No persistence: NullWal acks durability synchronously, so
+    // wal_group_commit without a wal_path cannot wedge the proposal path.
     wal_ = std::make_unique<NullWal>();
   }
   outgoing_.resize(committee_.size());
@@ -86,6 +102,11 @@ void NodeRuntime::stop() {
     loop_.stop();
     thread_.join();
   }
+  // WAL writer last: it may still be flushing a final group and posting acks
+  // through loop_, so it must be joined while the loop object is alive (the
+  // stopped loop queues the posts and never runs them — the sends they gate
+  // have no live connections left anyway).
+  if (group_wal_) group_wal_->shutdown();
 }
 
 void NodeRuntime::loop_main() {
@@ -389,25 +410,116 @@ void NodeRuntime::send_to_peer(ValidatorId peer, BytesView frame) {
   }
 }
 
+void NodeRuntime::send_shared(ValidatorId target, const SharedFrame& frame) {
+  if (target == kAllPeers) {
+    for (ValidatorId peer = 0; peer < committee_.size(); ++peer) {
+      if (peer == id()) continue;
+      if (const auto& connection = outgoing_[peer]; connection && !connection->closed()) {
+        connection->send_frame(frame);
+      }
+    }
+    return;
+  }
+  if (const auto& connection = outgoing_[target]; connection && !connection->closed()) {
+    connection->send_frame(frame);
+  }
+}
+
+void NodeRuntime::dispatch_egress(std::vector<EgressItem> items) {
+  if (items.empty()) return;
+  if (egress_offload_active()) {
+    enqueue_egress(std::move(items));
+    return;
+  }
+  // Inline path (no worker pool, or offload disabled): still encode once per
+  // block and fan the shared frame out.
+  for (const auto& item : items) {
+    const SharedFrame frame = make_shared_frame(encode_block(*item.block));
+    egress_frames_encoded_.fetch_add(1, std::memory_order_relaxed);
+    send_shared(item.target, frame);
+  }
+}
+
+void NodeRuntime::enqueue_egress(std::vector<EgressItem> items) {
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(egress_mutex_);
+    pending_egress_.insert(pending_egress_.end(),
+                           std::make_move_iterator(items.begin()),
+                           std::make_move_iterator(items.end()));
+    if (!egress_scheduled_) {
+      egress_scheduled_ = true;
+      schedule = true;
+    }
+  }
+  if (schedule) verify_pool_->submit([this] { encode_pending_egress(); });
+}
+
+void NodeRuntime::encode_pending_egress() {
+  // One drain loop at a time (egress_scheduled_ stays true until the queue
+  // is empty), so encoded frames post back — and therefore hit the sockets —
+  // in enqueue order; a peer then never sees our round r+1 proposal before
+  // round r just because two drains raced.
+  for (;;) {
+    std::vector<EgressItem> items;
+    {
+      std::lock_guard<std::mutex> lock(egress_mutex_);
+      if (pending_egress_.empty()) {
+        egress_scheduled_ = false;
+        return;
+      }
+      items.swap(pending_egress_);
+    }
+    std::vector<std::pair<ValidatorId, SharedFrame>> sends;
+    sends.reserve(items.size());
+    for (const auto& item : items) {
+      // Pure CPU over immutable blocks: safe off-thread, exactly like the
+      // verify stage's decode.
+      sends.emplace_back(item.target, make_shared_frame(encode_block(*item.block)));
+      egress_frames_encoded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    loop_.post([this, sends = std::move(sends)] {
+      for (const auto& [target, frame] : sends) send_shared(target, frame);
+    });
+  }
+}
+
 void NodeRuntime::perform(Actions&& actions) {
   // The sans-IO core and everything here run exclusively on the loop
-  // thread; workers only decode and verify.
+  // thread; workers only decode/verify, scan commits, and encode egress.
   assert(loop_.in_loop_thread());
   for (const auto& block : actions.inserted) {
     wal_->append_block(*block, block->author() == id());
   }
   if (!actions.inserted.empty()) {
-    wal_->sync();
+    // Inline WAL: make the batch durable now, exactly as before. Group
+    // commit skips this — records ride the writer's interval/budget flushes,
+    // and the only send that must wait for durability (the own-proposal
+    // broadcast below) is gated on the ack instead.
+    if (group_wal_ == nullptr) wal_->sync();
     // Parallel commit: the insertion stream feeds the worker-side replica;
     // the scan it triggers posts decisions back through
     // apply_commit_decisions.
     if (commit_scanner_ != nullptr) enqueue_commit_blocks(actions.inserted);
   }
 
-  for (const auto& block : actions.broadcast) {
-    const Bytes frame = encode_block(*block);
-    for (ValidatorId peer = 0; peer < committee_.size(); ++peer) {
-      if (peer != id()) send_to_peer(peer, {frame.data(), frame.size()});
+  if (!actions.broadcast.empty()) {
+    // Non-equivocation rests on never broadcasting an own block that a
+    // restart could forget: the send waits for WAL durability. On the
+    // inline path the batch sync above already covered these appends (own
+    // proposals are always in actions.inserted), so dispatch directly
+    // rather than paying on_durable's redundant second sync; the group WAL
+    // posts the ack from its writer thread once the covering group is on
+    // disk.
+    std::vector<EgressItem> items;
+    items.reserve(actions.broadcast.size());
+    for (const auto& block : actions.broadcast) items.push_back({block, kAllPeers});
+    if (group_wal_ == nullptr) {
+      dispatch_egress(std::move(items));
+    } else {
+      wal_->on_durable([this, items = std::move(items)]() mutable {
+        dispatch_egress(std::move(items));
+      });
     }
   }
 
@@ -424,10 +536,12 @@ void NodeRuntime::perform(Actions&& actions) {
   }
 
   for (const auto& response : actions.responses) {
-    for (const auto& block : response.blocks) {
-      const Bytes frame = encode_block(*block);
-      send_to_peer(response.peer, {frame.data(), frame.size()});
-    }
+    // Already-durable blocks (they are in the DAG): no gate, straight to the
+    // egress encoder.
+    std::vector<EgressItem> items;
+    items.reserve(response.blocks.size());
+    for (const auto& block : response.blocks) items.push_back({block, response.peer});
+    dispatch_egress(std::move(items));
   }
 
   for (const auto& sub_dag : actions.committed) {
@@ -494,14 +608,20 @@ void NodeRuntime::offer_latest_block(ValidatorId peer) {
   if (round == 0) return;  // nothing proposed yet
   const auto& cell = core_->dag().slot(round, id());
   if (cell.empty()) return;
-  const Bytes frame = encode_block(*cell.front());
-  if (peer == kAllPeers) {
-    for (ValidatorId p = 0; p < committee_.size(); ++p) {
-      if (p != id()) send_to_peer(p, {frame.data(), frame.size()});
-    }
-  } else {
-    send_to_peer(peer, {frame.data(), frame.size()});
+  // Offers carry an own block, so under group commit they obey the same
+  // durability gate as the original broadcast: a tick can fire between a
+  // proposal's insertion and its group flush, and offering the block in
+  // that window would leak a potentially-forgettable proposal. (Usually the
+  // block is long durable and the ack completes at once.) On the inline
+  // path the block was synced when it was inserted — dispatch directly.
+  std::vector<EgressItem> items{EgressItem{cell.front(), peer}};
+  if (group_wal_ == nullptr) {
+    dispatch_egress(std::move(items));
+    return;
   }
+  wal_->on_durable([this, items = std::move(items)]() mutable {
+    dispatch_egress(std::move(items));
+  });
 }
 
 void NodeRuntime::tick() {

@@ -19,9 +19,24 @@
 // discipline as the verify stage) for a worker task that maintains a replica
 // DAG (core/commit_scanner.h) and evaluates candidate waves there; the
 // resulting decisions are posted back and applied on the loop thread —
-// linearization only, no wave scans. The loop thread then spends
-// commit_apply_micros() per batch instead of the full scan cost, finishing
-// the "loop thread is pure I/O multiplexing" architecture.
+// linearization only, no wave scans.
+//
+// The write side is pipelined the same way (docs/ARCHITECTURE.md has the
+// full picture):
+//   * Egress (ValidatorConfig::egress_offload): outbound blocks — proposal
+//     broadcasts, fetch responses, anti-entropy offers — are queued for a
+//     worker that encodes each block ONCE into a shared immutable frame
+//     (net/tcp.h SharedFrame); the loop thread then hands every per-peer
+//     send a refcounted view. Same single-drain discipline, so frames reach
+//     the sockets in enqueue order.
+//   * WAL (ValidatorConfig::wal_group_commit): appends stage into
+//     wal/group_commit_wal.h, whose writer thread lands whole groups as one
+//     write + sync. Own proposals enter the egress path only when the WAL's
+//     durability ack posts back to the loop thread, preserving the recovery
+//     contract (a broadcast block is always replayable). Inline WALs ack
+//     synchronously — including NullWal, so running without persistence can
+//     never wedge the proposal path.
+// Together these leave the loop thread as pure I/O multiplexing.
 //
 // Message frames (first payload byte is the type):
 //   kHandshake: u32 validator id + 32-byte committee epoch seed
@@ -42,6 +57,7 @@
 #include "net/tcp.h"
 #include "net/worker_pool.h"
 #include "validator/validator.h"
+#include "wal/group_commit_wal.h"
 #include "wal/wal.h"
 
 namespace mahimahi::net {
@@ -160,6 +176,23 @@ class NodeRuntime {
   std::uint64_t commit_apply_micros() const {
     return commit_apply_micros_.load(std::memory_order_relaxed);
   }
+  // Egress/WAL write-side introspection (thread-safe). With egress offload
+  // the encode counter advances on the worker pool; inline encodes (no pool,
+  // or egress_offload off) count too, so the counter always means "outbound
+  // block frames encoded once and fanned out as shared views".
+  bool egress_offload_active() const {
+    return verify_pool_ != nullptr && config_.validator.egress_offload;
+  }
+  std::uint64_t egress_frames_encoded() const {
+    return egress_frames_encoded_.load(std::memory_order_relaxed);
+  }
+  bool wal_group_commit_active() const { return group_wal_ != nullptr; }
+  std::uint64_t wal_groups_flushed() const {
+    return group_wal_ ? group_wal_->groups_flushed() : 0;
+  }
+  std::uint64_t wal_flush_micros() const {
+    return group_wal_ ? group_wal_->flush_micros() : 0;
+  }
   // Batches this runtime's submit() path rejected (subset view of
   // mempool_stats(), attributable to local clients).
   std::uint64_t submit_rejected() const {
@@ -175,6 +208,12 @@ class NodeRuntime {
   struct RawFrame {
     ValidatorId peer;
     Bytes payload;  // serialized block, type byte stripped
+  };
+
+  // One outbound block awaiting encode + fan-out. kAllPeers broadcasts.
+  struct EgressItem {
+    BlockPtr block;
+    ValidatorId target;
   };
 
   void loop_main();
@@ -195,6 +234,19 @@ class NodeRuntime {
   // must not dilute the per-block verify estimate).
   std::size_t verify_frames(std::vector<RawFrame> frames);
   void send_to_peer(ValidatorId peer, BytesView frame);
+  // Hands a shared encoded frame to `target` (every peer when kAllPeers) —
+  // per-peer sends only bump the frame's refcount. Loop thread.
+  void send_shared(ValidatorId target, const SharedFrame& frame);
+  // Routes outbound blocks to the egress encoder: the worker pool when
+  // egress offload is active, inline encode + send otherwise. Loop thread.
+  void dispatch_egress(std::vector<EgressItem> items);
+  // Queues items for the worker-side encoder (schedules a drain when none
+  // is pending) — called on the loop thread.
+  void enqueue_egress(std::vector<EgressItem> items);
+  // Worker-side: drains the egress queue (one drain at a time, so frames
+  // reach the sockets in enqueue order), encodes each block once into a
+  // SharedFrame, and posts the sends back to the loop thread.
+  void encode_pending_egress();
   // Queues newly inserted blocks for the commit scanner (schedules a drain
   // when none is pending) — called on the loop thread.
   void enqueue_commit_blocks(const std::vector<BlockPtr>& blocks);
@@ -224,6 +276,9 @@ class NodeRuntime {
   std::shared_ptr<ShardedMempool> mempool_;
   std::unique_ptr<ValidatorCore> core_;
   std::unique_ptr<Wal> wal_;
+  // Non-null iff wal_ is a GroupCommitWal (introspection + explicit shutdown
+  // before the loop object dies: the writer posts acks through loop_).
+  GroupCommitWal* group_wal_ = nullptr;
   CommitHandler commit_handler_;
 
   EventLoop loop_;
@@ -274,6 +329,15 @@ class NodeRuntime {
   std::mutex commit_mutex_;
   std::vector<BlockPtr> pending_commit_blocks_;  // guarded by commit_mutex_
   bool commit_scan_scheduled_ = false;           // guarded by commit_mutex_
+  // Off-loop egress encoding. Unbounded like the commit queue: entries are
+  // blocks this node itself decided to send (proposals, offers) or already
+  // holds in its DAG (fetch responses, whose volume a peer caps at
+  // 10000 refs per request), so the DAG bounds the queue and dropping an
+  // entry would silently lose a message the protocol expects to deliver.
+  std::mutex egress_mutex_;
+  std::vector<EgressItem> pending_egress_;  // guarded by egress_mutex_
+  bool egress_scheduled_ = false;           // guarded by egress_mutex_
+  std::atomic<std::uint64_t> egress_frames_encoded_{0};
   std::atomic<std::uint64_t> commit_scans_{0};
   std::atomic<std::uint64_t> commit_batches_applied_{0};
   std::atomic<std::uint64_t> commit_apply_micros_{0};

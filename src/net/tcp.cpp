@@ -6,8 +6,10 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -108,32 +110,74 @@ void TcpConnection::handle_readable() {
 }
 
 void TcpConnection::send_frame(BytesView payload) {
-  if (closed()) return;
-  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
-  const std::size_t start = write_buffer_.size();
-  write_buffer_.resize(start + 4 + payload.size());
-  std::memcpy(write_buffer_.data() + start, &length, 4);
-  std::memcpy(write_buffer_.data() + start + 4, payload.data(), payload.size());
+  send_frame(make_shared_frame(Bytes(payload.begin(), payload.end())));
+}
+
+void TcpConnection::send_frame(SharedFrame payload) {
+  if (closed() || payload == nullptr) return;
+  PendingWrite pending;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload->size());
+  std::memcpy(pending.header.data(), &length, 4);
+  pending.payload = std::move(payload);
+  write_queue_.push_back(std::move(pending));
   handle_writable();  // opportunistic immediate flush
 }
 
 void TcpConnection::handle_writable() {
-  while (write_offset_ < write_buffer_.size()) {
-    const ssize_t sent = ::send(fd_, write_buffer_.data() + write_offset_,
-                                write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
-    if (sent > 0) {
-      bytes_sent_ += static_cast<std::uint64_t>(sent);
-      write_offset_ += static_cast<std::size_t>(sent);
+  while (!write_queue_.empty()) {
+    // Gather the queue head into one writev: each pending frame contributes
+    // its unsent header and payload slices, so a burst of small frames costs
+    // one syscall instead of one per frame, and no frame is ever copied into
+    // a connection-private buffer.
+    std::array<iovec, 16> iov;
+    std::size_t iov_count = 0;
+    for (const PendingWrite& pending : write_queue_) {
+      if (iov_count + 2 > iov.size()) break;
+      std::size_t skip = pending.sent;
+      if (skip < pending.header.size()) {
+        iov[iov_count++] = {
+            const_cast<std::uint8_t*>(pending.header.data() + skip),
+            pending.header.size() - skip};
+        skip = 0;
+      } else {
+        skip -= pending.header.size();
+      }
+      if (skip < pending.payload->size()) {
+        iov[iov_count++] = {
+            const_cast<std::uint8_t*>(pending.payload->data() + skip),
+            pending.payload->size() - skip};
+      }
+    }
+    if (iov_count == 0) {  // fully-sent head (empty payload edge case)
+      write_queue_.pop_front();
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    close();
-    return;
+
+    msghdr message{};
+    message.msg_iov = iov.data();
+    message.msg_iovlen = iov_count;
+    const ssize_t sent = ::sendmsg(fd_, &message, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close();
+      return;
+    }
+    if (sent == 0) break;  // defensive: never spin on a zero-byte send
+    bytes_sent_ += static_cast<std::uint64_t>(sent);
+
+    // Retire fully-sent frames from the head.
+    std::size_t remaining = static_cast<std::size_t>(sent);
+    while (remaining > 0) {
+      PendingWrite& head = write_queue_.front();
+      const std::size_t total = head.header.size() + head.payload->size();
+      const std::size_t take = std::min(remaining, total - head.sent);
+      head.sent += take;
+      remaining -= take;
+      if (head.sent == total) write_queue_.pop_front();
+    }
   }
-  if (write_offset_ == write_buffer_.size()) {
-    write_buffer_.clear();
-    write_offset_ = 0;
+  if (write_queue_.empty()) {
     if (want_write_) {
       want_write_ = false;
       update_interest();

@@ -5,7 +5,9 @@
 // writes; oversized frames kill the connection (peer protocol violation).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -14,6 +16,15 @@
 #include "net/event_loop.h"
 
 namespace mahimahi::net {
+
+// An immutable, refcounted outbound frame payload. Encoded once (possibly on
+// a worker thread), then shared by every connection sending it: a broadcast
+// to n-1 peers queues n-1 views of one buffer instead of n-1 copies.
+using SharedFrame = std::shared_ptr<const Bytes>;
+
+inline SharedFrame make_shared_frame(Bytes payload) {
+  return std::make_shared<const Bytes>(std::move(payload));
+}
 
 // An established connection (either accepted or dialed).
 class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
@@ -33,8 +44,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   // Registers with the loop; handlers fire on the loop thread.
   void start(FrameHandler on_frame, CloseHandler on_close);
 
-  // Queues a frame (length prefix added). Loop thread only.
+  // Queues a frame (length prefix added). Loop thread only. The BytesView
+  // overload copies the payload once; the SharedFrame overload only bumps a
+  // refcount — use it when one encoded frame fans out to several peers.
   void send_frame(BytesView payload);
+  void send_frame(SharedFrame payload);
 
   void close();
   bool closed() const { return fd_ < 0; }
@@ -42,6 +56,15 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint64_t bytes_received() const { return bytes_received_; }
 
  private:
+  // One queued outbound frame: the 4-byte length prefix plus a refcounted,
+  // immutable payload. `sent` counts bytes of (header + payload) already on
+  // the wire, so a partial send resumes mid-frame.
+  struct PendingWrite {
+    std::array<std::uint8_t, 4> header;
+    SharedFrame payload;
+    std::size_t sent = 0;
+  };
+
   void handle_events(std::uint32_t events);
   void handle_readable();
   void handle_writable();
@@ -53,8 +76,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   FrameHandler on_frame_;
   CloseHandler on_close_;
   Bytes read_buffer_;
-  Bytes write_buffer_;
-  std::size_t write_offset_ = 0;
+  std::deque<PendingWrite> write_queue_;
   bool want_write_ = false;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;

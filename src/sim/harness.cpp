@@ -98,6 +98,7 @@ struct SimHarness::Impl {
     down.assign(config.n, 0);
     mem_logs.resize(config.n);
     wals.resize(config.n);
+    wal_stages.resize(config.n);
     scanners.resize(config.n);
     scan_scheduled.assign(config.n, 0);
     for (ValidatorId v = 0; v < config.n; ++v) {
@@ -235,17 +236,40 @@ struct SimHarness::Impl {
     });
   }
 
-  void handle_actions(ValidatorId v, Actions&& actions) {
-    // Broadcast own blocks. An equivocator's twin proposals are split:
-    // half the peers see one block, half the other.
-    const bool split = nodes[v]->config().byzantine_equivocate &&
-                       actions.broadcast.size() > 1;
+  // True when validator v's log uses the staged group-commit model. With no
+  // log at all there is nothing to make durable: acks are synchronous, the
+  // NullWal behavior.
+  bool group_commit_active(ValidatorId v) const {
+    return config.wal_group_commit &&
+           (wals[v] != nullptr || !config.restarts.empty());
+  }
+
+  // Sends one Actions::broadcast group to the network. An equivocator's twin
+  // proposals are split: half the peers see one block, half the other. The
+  // split is per broadcast group, which is why gated (deferred) broadcasts
+  // keep their group boundaries instead of being flattened.
+  void dispatch_broadcast(ValidatorId v, const std::vector<BlockPtr>& blocks) {
+    const bool split = nodes[v]->config().byzantine_equivocate && blocks.size() > 1;
     for (ValidatorId peer = 0; peer < config.n; ++peer) {
       if (peer == v || !alive(peer)) continue;
       if (split) {
-        schedule_send(v, peer, actions.broadcast[peer % actions.broadcast.size()]);
+        schedule_send(v, peer, blocks[peer % blocks.size()]);
       } else {
-        for (const auto& block : actions.broadcast) schedule_send(v, peer, block);
+        for (const auto& block : blocks) schedule_send(v, peer, block);
+      }
+    }
+  }
+
+  void handle_actions(ValidatorId v, Actions&& actions) {
+    const bool staged_wal = group_commit_active(v);
+    // Broadcast own blocks — immediately when the log is inline-durable (or
+    // absent), behind the covering group flush otherwise.
+    if (!actions.broadcast.empty()) {
+      if (staged_wal) {
+        wal_stages[v].gated_broadcasts.push_back(actions.broadcast);
+        schedule_wal_flush(v);
+      } else {
+        dispatch_broadcast(v, actions.broadcast);
       }
     }
 
@@ -267,8 +291,17 @@ struct SimHarness::Impl {
     }
 
     // Persist admitted blocks for crash recovery (only when a restart can
-    // actually happen; the log is pure overhead otherwise).
-    if (wals[v] != nullptr) {
+    // actually happen; the log is pure overhead otherwise). Group commit
+    // stages them for the deferred flush event instead — a crash before the
+    // flush loses exactly the staged tail.
+    if (staged_wal) {
+      if (!actions.inserted.empty()) {
+        for (const auto& block : actions.inserted) {
+          wal_stages[v].records.emplace_back(block, block->author() == v);
+        }
+        schedule_wal_flush(v);
+      }
+    } else if (wals[v] != nullptr) {
       for (const auto& block : actions.inserted) {
         wals[v]->append_block(*block, block->author() == v);
       }
@@ -282,6 +315,35 @@ struct SimHarness::Impl {
       scanners[v]->ingest(actions.inserted);
       schedule_commit_scan(v);
     }
+  }
+
+  void schedule_wal_flush(ValidatorId v) {
+    auto& stage = wal_stages[v];
+    if (stage.flush_scheduled) return;  // one covering flush per open group
+    stage.flush_scheduled = true;
+    queue.schedule_after(config.wal_flush_interval,
+                         [this, v, epoch = stage.epoch] { flush_wal(v, epoch); });
+  }
+
+  // The deferred group flush: lands every staged record as one group
+  // (append + sync on the file path), then releases the broadcasts gated on
+  // it. `epoch` invalidates events that were in flight across a crash.
+  void flush_wal(ValidatorId v, std::uint64_t epoch) {
+    auto& stage = wal_stages[v];
+    if (stage.epoch != epoch) return;  // scheduled before a crash: stale
+    stage.flush_scheduled = false;
+    if (!running(v)) return;
+    if (wals[v] != nullptr) {
+      for (const auto& [block, own] : stage.records) wals[v]->append_block(*block, own);
+      wals[v]->sync();
+    } else {
+      for (const auto& [block, own] : stage.records) mem_logs[v].push_back(block);
+    }
+    if (!stage.records.empty()) ++wal_groups_flushed;
+    stage.records.clear();
+    const auto gated = std::move(stage.gated_broadcasts);
+    stage.gated_broadcasts.clear();
+    for (const auto& group : gated) dispatch_broadcast(v, group);
   }
 
   void schedule_commit_scan(ValidatorId v) {
@@ -321,6 +383,12 @@ struct SimHarness::Impl {
     nodes[v].reset();
     scanners[v].reset();  // the replica dies with the process
     inboxes[v].clear();   // in-flight deliveries die with the process
+    // The staged group-commit tail dies with the process: records that never
+    // flushed are not durable, and the broadcasts they gated never happened.
+    wal_stages[v].records.clear();
+    wal_stages[v].gated_broadcasts.clear();
+    wal_stages[v].flush_scheduled = false;
+    ++wal_stages[v].epoch;  // invalidate in-flight flush events
     if (wals[v] != nullptr) {
       // Keep the file for replay; drop the open handle like a crash would.
       wals[v]->sync();
@@ -446,6 +514,7 @@ struct SimHarness::Impl {
     }
     result.fetch_requests = fetch_requests;
     result.wal_replayed_blocks = wal_replayed_blocks;
+    result.wal_groups_flushed = wal_groups_flushed;
     result.equivocation_cells = count_equivocation_cells();
     if (config.record_sequences) {
       result.sequences = std::move(sequences);
@@ -486,6 +555,16 @@ struct SimHarness::Impl {
   std::vector<char> scan_scheduled;
   std::vector<std::unique_ptr<FileWal>> wals;     // per validator, when wal_dir set
   std::vector<std::vector<BlockPtr>> mem_logs;    // in-memory WAL fallback
+  // Group-commit staging (SimConfig::wal_group_commit): records and gated
+  // broadcast groups awaiting the deferred flush event.
+  struct WalStage {
+    std::vector<std::pair<BlockPtr, bool>> records;          // (block, own)
+    std::vector<std::vector<BlockPtr>> gated_broadcasts;     // per Actions group
+    bool flush_scheduled = false;
+    std::uint64_t epoch = 0;  // bumped at crash; stale events no-op
+  };
+  std::vector<WalStage> wal_stages;
+  std::uint64_t wal_groups_flushed = 0;
   std::uint64_t wal_replayed_blocks = 0;
   std::shared_ptr<VerifierCache> verifier_cache;  // shared when verify_crypto
 

@@ -61,6 +61,18 @@ struct SimConfig {
   // an in-memory block log. Use a fresh directory per run: the WAL appends.
   std::string wal_dir;
 
+  // Deterministic model of ValidatorConfig::wal_group_commit: admitted
+  // blocks stage per validator and land in the log (file or in-memory) as
+  // one group when a deferred flush event fires wal_flush_interval later;
+  // own-block broadcasts wait for the flush that covers them (the runtime's
+  // durability gate), and a crash loses the staged tail — exactly what a
+  // real group-commit crash loses. With no log at all (empty wal_dir and no
+  // restarts) there is nothing to make durable, so acks are synchronous and
+  // broadcasts flow immediately — the NullWal behavior the TCP runtime
+  // relies on to not wedge proposals.
+  bool wal_group_commit = false;
+  TimeMicros wal_flush_interval = millis(1);
+
   // Network. wan=false uses UniformLatency(uniform_latency).
   bool wan = true;
   TimeMicros uniform_latency = millis(50);
@@ -144,6 +156,7 @@ struct SimResult {
   std::uint64_t total_blocks = 0;     // blocks in validator 0's DAG
   std::uint64_t fetch_requests = 0;   // synchronizer traffic across all nodes
   std::uint64_t wal_replayed_blocks = 0;  // blocks replayed across all restarts
+  std::uint64_t wal_groups_flushed = 0;   // non-empty group flushes (group commit)
   std::uint64_t mempool_rejected = 0;     // admission rejects at validator 0's pool
 
   // Max over surviving validators of (author, round) cells holding more

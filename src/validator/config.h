@@ -49,6 +49,34 @@ struct ValidatorConfig {
   std::size_t max_ingest_batch = 64;
   TimeMicros ingest_latency_budget = millis(2);
 
+  // Write-side offload (drivers' policy, like the ingest knobs above).
+  //
+  // wal_group_commit: WAL appends stage into a buffer and a dedicated writer
+  // thread lands whole groups as one write + sync (wal/group_commit_wal.h in
+  // the TCP runtime; a deterministic deferred flush event in the simulator).
+  // Own proposals broadcast only after their durability ack — the recovery
+  // contract (no post-restart equivocation) is unchanged, the loop thread
+  // just stops paying disk latency for it. Off = the classic inline
+  // append + sync per insertion batch.
+  bool wal_group_commit = false;
+  // Longest a staged WAL record waits before its group flushes (also the
+  // added proposal-broadcast latency ceiling when the log is idle). 0 = the
+  // writer flushes as soon as it is free, grouping only what accumulates
+  // during the previous write + sync.
+  TimeMicros wal_flush_interval = millis(1);
+  // Upgrade WAL sync() from fflush (survives a process crash) to
+  // fflush + fsync (survives a machine crash). On real disks fsync costs
+  // milliseconds — inline, that lands on the loop thread per insertion
+  // batch; with wal_group_commit it is one fsync per group on the writer
+  // thread. Off by default: tests and the simulator model process crashes.
+  bool wal_fsync = false;
+  // Encode outbound block frames (proposal broadcasts, fetch responses,
+  // anti-entropy offers) on the worker pool instead of the loop thread; each
+  // block is encoded once into a shared immutable frame and every per-peer
+  // send holds a refcounted view. Forced off when the driver has no worker
+  // pool (NodeRuntimeConfig::verify_threads = 0).
+  bool egress_offload = true;
+
   // Off-loop commit evaluation. When set (and no committer_factory
   // overrides the default committer), input handlers stop running the
   // commit-rule scan inline: the driver owns a core/commit_scanner.h replica

@@ -1,5 +1,7 @@
 #include "wal/wal.h"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
@@ -10,7 +12,35 @@
 
 namespace mahimahi {
 
-FileWal::FileWal(std::string path) : path_(std::move(path)) {
+Bytes wal_frame_record(BytesView payload) {
+  Bytes framed(8 + payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  std::memcpy(framed.data(), &len, 4);
+  std::memcpy(framed.data() + 4, &crc, 4);
+  std::memcpy(framed.data() + 8, payload.data(), payload.size());
+  return framed;
+}
+
+Bytes wal_encode_block_record(const Block& block, bool own) {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(own ? WalRecordType::kOwnBlock
+                                     : WalRecordType::kReceivedBlock));
+  const Bytes encoded = block.serialize();
+  w.bytes({encoded.data(), encoded.size()});
+  return wal_frame_record({w.data().data(), w.data().size()});
+}
+
+Bytes wal_encode_commit_record(SlotId slot) {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(WalRecordType::kCommittedSlot));
+  w.varint(slot.round);
+  w.u32(slot.leader_offset);
+  return wal_frame_record({w.data().data(), w.data().size()});
+}
+
+FileWal::FileWal(std::string path, bool fsync_on_sync)
+    : path_(std::move(path)), fsync_on_sync_(fsync_on_sync) {
   file_ = std::fopen(path_.c_str(), "ab");
   if (file_ == nullptr) throw std::runtime_error("FileWal: cannot open " + path_);
 }
@@ -22,37 +52,27 @@ FileWal::~FileWal() {
   }
 }
 
-void FileWal::append_record(BytesView payload) {
-  std::uint8_t header[8];
-  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
-  const std::uint32_t crc = crc32(payload);
-  std::memcpy(header, &len, 4);
-  std::memcpy(header + 4, &crc, 4);
-  if (std::fwrite(header, 1, 8, file_) != 8 ||
-      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+void FileWal::append_framed(BytesView framed) {
+  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
     throw std::runtime_error("FileWal: short write to " + path_);
   }
-  bytes_written_ += 8 + payload.size();
+  bytes_written_ += framed.size();
 }
 
 void FileWal::append_block(const Block& block, bool own) {
-  serde::Writer w;
-  w.u8(static_cast<std::uint8_t>(own ? WalRecordType::kOwnBlock
-                                     : WalRecordType::kReceivedBlock));
-  const Bytes encoded = block.serialize();
-  w.bytes({encoded.data(), encoded.size()});
-  append_record({w.data().data(), w.data().size()});
+  const Bytes framed = wal_encode_block_record(block, own);
+  append_framed({framed.data(), framed.size()});
 }
 
 void FileWal::append_commit(SlotId slot) {
-  serde::Writer w;
-  w.u8(static_cast<std::uint8_t>(WalRecordType::kCommittedSlot));
-  w.varint(slot.round);
-  w.u32(slot.leader_offset);
-  append_record({w.data().data(), w.data().size()});
+  const Bytes framed = wal_encode_commit_record(slot);
+  append_framed({framed.data(), framed.size()});
 }
 
-void FileWal::sync() { std::fflush(file_); }
+void FileWal::sync() {
+  std::fflush(file_);
+  if (fsync_on_sync_) ::fsync(::fileno(file_));
+}
 
 FileWal::ReplayResult FileWal::replay(const std::string& path, const Visitor& visitor,
                                       bool truncate_corrupt_tail) {
@@ -63,7 +83,14 @@ FileWal::ReplayResult FileWal::replay(const std::string& path, const Visitor& vi
   Bytes payload;
   for (;;) {
     std::uint8_t header[8];
-    if (std::fread(header, 1, 8, file) != 8) break;  // clean EOF or short tail
+    const std::size_t header_read = std::fread(header, 1, 8, file);
+    if (header_read != 8) {
+      // 0 bytes = clean EOF. A partial header is a torn tail like any other:
+      // it must be flagged (and truncated) or the next append would land
+      // after the garbage and orphan everything behind it.
+      if (header_read != 0) result.corrupt_tail = true;
+      break;
+    }
     std::uint32_t len, crc;
     std::memcpy(&len, header, 4);
     std::memcpy(&crc, header + 4, 4);

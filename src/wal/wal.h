@@ -9,6 +9,14 @@
 // block admitted to its DAG (in insertion = causal order) with an own/remote
 // marker, so replay rebuilds the DAG and the proposer round without
 // re-equivocating.
+//
+// Durability model: append_* calls stage a record; sync() makes everything
+// staged durable. The inline implementations here (NullWal, FileWal) complete
+// on_durable() synchronously — append, sync, ack, all on the caller's thread.
+// wal/group_commit_wal.h adds the off-thread variant: appends stage into a
+// buffer, a writer thread flushes groups, and the ack arrives later. Drivers
+// that must not send an own block before it is durable (the non-equivocation
+// contract) gate the send on on_durable() and work with either.
 #pragma once
 
 #include <cstdint>
@@ -27,15 +35,36 @@ enum class WalRecordType : std::uint8_t {
   kCommittedSlot = 3,
 };
 
+// Record encoding, shared by every WAL implementation so that a log is
+// byte-identical no matter which of them wrote it (group-commit recovery
+// equivalence rests on this). Each helper returns one fully framed record:
+// [u32 len][u32 crc][payload].
+Bytes wal_frame_record(BytesView payload);
+Bytes wal_encode_block_record(const Block& block, bool own);
+Bytes wal_encode_commit_record(SlotId slot);
+
 class Wal {
  public:
   virtual ~Wal() = default;
   virtual void append_block(const Block& block, bool own) = 0;
   virtual void append_commit(SlotId slot) = 0;
   virtual void sync() = 0;
+
+  // Runs `done` once every record appended before this call is durable.
+  // Inline implementations sync and invoke it before returning — so a driver
+  // gating its proposal broadcast on the ack degenerates to the classic
+  // append → sync → send sequence, and a NullWal (no persistence, nothing to
+  // wait for) can never wedge the proposal path. A group-commit WAL
+  // completes the ack from its writer thread after the covering flush.
+  virtual void on_durable(std::function<void()> done) {
+    sync();
+    done();
+  }
 };
 
-// No-op WAL for tests and the simulator.
+// No-op WAL for tests and the simulator. on_durable acks synchronously
+// (inherited default with a no-op sync): with nothing persisted there is
+// nothing to wait for.
 class NullWal : public Wal {
  public:
   void append_block(const Block&, bool) override {}
@@ -46,7 +75,12 @@ class NullWal : public Wal {
 class FileWal : public Wal {
  public:
   // Opens (creating or appending) the log at `path`. Throws on failure.
-  explicit FileWal(std::string path);
+  // fsync_on_sync upgrades sync() from fflush (durable across a process
+  // crash — the page cache survives) to fflush + fsync (durable across a
+  // machine crash). fsync costs milliseconds on real disks, which is exactly
+  // the latency the group-commit decorator amortizes and moves off the
+  // appender's thread.
+  explicit FileWal(std::string path, bool fsync_on_sync = false);
   ~FileWal() override;
 
   FileWal(const FileWal&) = delete;
@@ -55,6 +89,11 @@ class FileWal : public Wal {
   void append_block(const Block& block, bool own) override;
   void append_commit(SlotId slot) override;
   void sync() override;
+
+  // Writes one pre-framed buffer (one or more records produced by the
+  // wal_encode_* helpers) verbatim. The group-commit writer uses this to
+  // land a whole group as a single write.
+  void append_framed(BytesView framed);
 
   std::uint64_t bytes_written() const { return bytes_written_; }
 
@@ -77,10 +116,9 @@ class FileWal : public Wal {
                              bool truncate_corrupt_tail = true);
 
  private:
-  void append_record(BytesView payload);
-
   std::string path_;
   std::FILE* file_ = nullptr;
+  bool fsync_on_sync_ = false;
   std::uint64_t bytes_written_ = 0;
 };
 

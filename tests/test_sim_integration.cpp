@@ -114,6 +114,43 @@ TEST(SimIntegration, ParallelCommitSurvivesCrashRestart) {
   expect_prefix_consistent(result, "parallel+restart");
 }
 
+TEST(SimIntegration, GroupCommitWithoutLogActsSynchronously) {
+  // wal_group_commit with no log at all (no wal_dir, no restarts): there is
+  // nothing to make durable, so durability acks complete synchronously —
+  // the NullWal contract — and the run is bit-identical to the baseline.
+  // This is the deadlock guard: if the ack were deferred, every proposal
+  // broadcast would wait forever and nothing would commit.
+  const auto baseline_config = base_config(Protocol::kMahiMahi5, 4);
+  auto config = baseline_config;
+  config.wal_group_commit = true;
+  config.wal_flush_interval = millis(2);
+  const SimResult baseline = run_simulation(baseline_config);
+  const SimResult grouped = run_simulation(config);
+  EXPECT_GT(grouped.committed_tps, baseline_config.load_tps * 0.5);
+  EXPECT_EQ(grouped.sequences, baseline.sequences);
+  EXPECT_EQ(grouped.committed_tps, baseline.committed_tps);
+  EXPECT_EQ(grouped.avg_latency_s, baseline.avg_latency_s);
+  EXPECT_EQ(grouped.wal_groups_flushed, 0u);  // no log → no groups
+}
+
+TEST(SimIntegration, GroupCommitWithMemLogIsDeterministicAndAgrees) {
+  // With a log (the in-memory one restarts use), group commit stages records
+  // and defers own-block broadcasts behind a flush event. The flush latency
+  // shifts timing, but the run stays deterministic and agreement holds.
+  auto config = base_config(Protocol::kMahiMahi5, 4);
+  config.wal_group_commit = true;
+  config.wal_flush_interval = millis(2);
+  config.restarts.push_back({.id = 2, .crash_at = seconds(4), .restart_at = seconds(6)});
+  const SimResult a = run_simulation(config);
+  const SimResult b = run_simulation(config);
+  EXPECT_EQ(a.sequences, b.sequences);
+  EXPECT_EQ(a.committed_tps, b.committed_tps);
+  EXPECT_GT(a.wal_groups_flushed, 0u);
+  EXPECT_GT(a.committed_tps, config.load_tps * 0.5) << a.to_string();
+  EXPECT_EQ(a.equivocation_cells, 0u);
+  expect_prefix_consistent(a, "group-commit mem log");
+}
+
 TEST(SimIntegration, SeedChangesSchedule) {
   auto config = base_config(Protocol::kMahiMahi5, 4);
   const SimResult a = run_simulation(config);

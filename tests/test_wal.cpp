@@ -1,11 +1,16 @@
 // WAL tests: append/replay round-trips, torn-write recovery, corruption
-// detection, and full validator crash-recovery.
+// detection, full validator crash-recovery, and the group-commit decorator
+// (byte-identity with the inline log, durability acks, torn groups).
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <future>
 
+#include "common/rng.h"
 #include "validator/validator.h"
+#include "wal/group_commit_wal.h"
 #include "wal/wal.h"
 
 namespace mahimahi {
@@ -154,6 +159,190 @@ TEST_F(WalTest, ValidatorCrashRecoveryDoesNotEquivocate) {
     EXPECT_NE(block->round(), 1u) << "recovered validator re-proposed round 1";
   }
   EXPECT_TRUE(recovered.dag().contains(first_proposal->digest()));
+}
+
+TEST(NullWalTest, DurabilityAckIsSynchronous) {
+  // The runtime gates proposal broadcast on this ack; a NullWal that
+  // deferred it would wedge proposals whenever wal_group_commit is set
+  // without a wal_path.
+  NullWal wal;
+  bool ran = false;
+  wal.on_durable([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(WalTest, FileWalDurabilityAckIsSynchronous) {
+  FileWal wal(path_.string());
+  wal.append_block(make_block(0, 1), true);
+  bool ran = false;
+  wal.on_durable([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+// Reads a file fully into memory for byte-level comparisons.
+Bytes slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+TEST_F(WalTest, GroupCommitLogIsByteIdenticalToInlineLog) {
+  // Property: for ANY flush boundaries — randomized here via the byte
+  // budget, the flush interval, and mid-stream durability barriers — the
+  // group-committed log is byte-for-byte the log the inline FileWal writes
+  // for the same append sequence. Recovery therefore cannot tell the two
+  // apart.
+  Rng rng(41);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto inline_path = path_.string() + ".inline";
+    const auto group_path = path_.string() + ".group";
+    std::filesystem::remove(inline_path);
+    std::filesystem::remove(group_path);
+
+    // A mixed record sequence, same for both logs.
+    std::vector<std::pair<Block, bool>> blocks;
+    std::vector<SlotId> commits;
+    const int records = 8 + static_cast<int>(rng.uniform(25));
+    {
+      FileWal inline_wal(inline_path);
+      GroupCommitWalOptions options;
+      options.flush_interval =
+          static_cast<TimeMicros>(rng.uniform(3) * 200);  // 0 / 200us / 400us
+      options.group_byte_budget = 1 + rng.uniform(4096);
+      GroupCommitWal group_wal(std::make_unique<FileWal>(group_path), options);
+
+      for (int i = 0; i < records; ++i) {
+        if (rng.uniform(4) == 0) {
+          const SlotId slot{rng.uniform(100), static_cast<std::uint32_t>(rng.uniform(3))};
+          inline_wal.append_commit(slot);
+          group_wal.append_commit(slot);
+        } else {
+          const Block block = make_block(static_cast<ValidatorId>(rng.uniform(4)),
+                                         1000 * trial + i);
+          const bool own = rng.uniform(2) == 0;
+          inline_wal.append_block(block, own);
+          group_wal.append_block(block, own);
+        }
+        if (rng.uniform(8) == 0) group_wal.sync();  // random durability barrier
+      }
+      inline_wal.sync();
+      group_wal.sync();
+      EXPECT_EQ(group_wal.records_appended(), static_cast<std::uint64_t>(records));
+      EXPECT_EQ(group_wal.records_flushed(), static_cast<std::uint64_t>(records));
+      EXPECT_GE(group_wal.groups_flushed(), 1u);
+    }  // both WALs close (group drains via destructor)
+
+    EXPECT_EQ(slurp(inline_path), slurp(group_path)) << "trial " << trial;
+    std::filesystem::remove(inline_path);
+    std::filesystem::remove(group_path);
+  }
+}
+
+TEST_F(WalTest, GroupCommitDurabilityAcksFireInOrderAfterFlush) {
+  GroupCommitWalOptions options;
+  options.flush_interval = millis(50);  // force the byte budget to trip first
+  options.group_byte_budget = 1;        // every record flushes its group
+  GroupCommitWal wal(std::make_unique<FileWal>(path_.string()), options);
+
+  std::mutex mutex;
+  std::vector<int> order;
+  std::promise<void> all_done;
+  for (int i = 0; i < 8; ++i) {
+    wal.append_block(make_block(i % 4, 100 + i), false);
+    wal.on_durable([&, i] {
+      std::lock_guard<std::mutex> g(mutex);
+      order.push_back(i);
+      if (order.size() == 8) all_done.set_value();
+    });
+  }
+  ASSERT_EQ(all_done.get_future().wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  std::lock_guard<std::mutex> g(mutex);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  // Every ack fired only after its record was durable; with a 1-byte budget
+  // each record got its own group.
+  EXPECT_EQ(wal.records_flushed(), 8u);
+  EXPECT_GE(wal.groups_flushed(), 1u);
+}
+
+TEST_F(WalTest, GroupCommitTornTailTruncatesCleanlyAtEveryOffset) {
+  // Crash model: the machine dies mid-write of the LAST flushed group.
+  // Whatever prefix of that group reached the disk, replay must stop at the
+  // last complete record and truncate to a clean boundary — never crash,
+  // never resurrect a partial record.
+  std::vector<Bytes> framed;  // per-record framed bytes, to locate boundaries
+  {
+    GroupCommitWalOptions options;
+    options.flush_interval = 0;
+    // Large budget: the final sync lands the last records as one group.
+    options.group_byte_budget = 1 << 20;
+    GroupCommitWal wal(std::make_unique<FileWal>(path_.string()), options);
+    // First group: two records, made durable by a barrier.
+    for (int i = 0; i < 2; ++i) {
+      const Block block = make_block(i % 4, 10 + i);
+      framed.push_back(wal_encode_block_record(block, i == 0));
+      wal.append_block(block, i == 0);
+    }
+    wal.sync();
+    // Last group: three records in one flush.
+    for (int i = 2; i < 5; ++i) {
+      const Block block = make_block(i % 4, 10 + i);
+      framed.push_back(wal_encode_block_record(block, false));
+      wal.append_block(block, false);
+    }
+  }  // destructor drains the last group
+
+  const Bytes full = slurp(path_);
+  std::vector<std::size_t> boundaries{0};  // byte offsets of record ends
+  for (const auto& record : framed) boundaries.push_back(boundaries.back() + record.size());
+  ASSERT_EQ(full.size(), boundaries.back());
+
+  const std::size_t last_group_start = boundaries[2];  // first 2 records durable
+  const auto torn = path_.string() + ".torn";
+  for (std::size_t cut = last_group_start; cut < full.size(); ++cut) {
+    std::filesystem::remove(torn);
+    {
+      std::ofstream out(torn, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(full.data()),
+                static_cast<std::streamsize>(cut));
+    }
+    std::uint64_t replayed = 0;
+    FileWal::Visitor visitor;
+    visitor.on_block = [&](BlockPtr, bool) { ++replayed; };
+    const auto result = FileWal::replay(torn, visitor, /*truncate_corrupt_tail=*/true);
+
+    // The clean prefix is every record whose end fits inside the cut.
+    std::size_t complete = 0;
+    while (complete + 1 < boundaries.size() && boundaries[complete + 1] <= cut) ++complete;
+    EXPECT_EQ(replayed, complete) << "cut at " << cut;
+    EXPECT_EQ(result.valid_bytes, boundaries[complete]) << "cut at " << cut;
+    EXPECT_EQ(result.corrupt_tail, cut != boundaries[complete]) << "cut at " << cut;
+    EXPECT_EQ(std::filesystem::file_size(torn), boundaries[complete]) << "cut at " << cut;
+  }
+  std::filesystem::remove(torn);
+}
+
+TEST_F(WalTest, GroupCommitRecoversAcrossReopen) {
+  // Write through the group path, then replay + append inline, then replay
+  // again: the formats interoperate end to end.
+  {
+    GroupCommitWalOptions options;
+    GroupCommitWal wal(std::make_unique<FileWal>(path_.string()), options);
+    wal.append_block(make_block(0, 1), true);
+    wal.append_block(make_block(1, 2), false);
+  }
+  std::uint64_t replayed = 0;
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr, bool) { ++replayed; };
+  EXPECT_FALSE(FileWal::replay(path_.string(), visitor).corrupt_tail);
+  EXPECT_EQ(replayed, 2u);
+  {
+    FileWal wal(path_.string());
+    wal.append_block(make_block(2, 3), false);
+  }
+  replayed = 0;
+  const auto result = FileWal::replay(path_.string(), visitor);
+  EXPECT_EQ(result.records, 3u);
+  EXPECT_FALSE(result.corrupt_tail);
 }
 
 TEST_F(WalTest, LargeLogReplaysCompletely) {
