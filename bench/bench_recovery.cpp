@@ -1,0 +1,198 @@
+// Recovery/replay benchmarks: monolithic log vs checkpoint + segment-suffix.
+//
+// The quantity that matters to an operator is restart time. A monolithic WAL
+// replays every record ever written — O(history). The checkpoint subsystem
+// (checkpoint/) bounds it: recovery decodes the newest checkpoint and
+// replays only the segment suffix accumulated since the last cut, which the
+// checkpoint interval caps independently of history length.
+//
+//   BM_RecoveryReplayMonolithic/N        full FileWal::replay of N records
+//   BM_RecoveryReplayCheckpointSuffix/N  CheckpointStore load + decode, plus
+//                                        SegmentedWal::replay of the bounded
+//                                        suffix (same fixed interval at every
+//                                        N — that is the point)
+//
+// Compare PerRecordNs across N for the monolithic series: it must stay flat
+// (the replay scratch buffer is shared and reused — a per-record allocation
+// regression shows up here as superlinear growth, and the benchmark fails
+// itself if per-record time at the largest N exceeds 20x the smallest-N
+// baseline). Machine-readable output: --benchmark_format=json (CI uploads
+// bench_recovery.json and gates it with scripts/check_bench.py).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "checkpoint/checkpoint.h"
+#include "checkpoint/segmented_wal.h"
+#include "sim/dag_builder.h"
+#include "validator/validator.h"
+#include "wal/wal.h"
+
+namespace {
+
+using namespace mahimahi;
+
+namespace fs = std::filesystem;
+
+// Records since the last checkpoint cut — what the suffix replay pays no
+// matter how long the validator has been running.
+constexpr std::size_t kSuffixRecords = 1024;
+
+std::string bench_dir(const char* tag) {
+  const auto dir = fs::temp_directory_path() /
+                   (std::string("mahi_bench_recovery_") + tag + "_" +
+                    std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// One representative framed block record, cloned N times: replay cost per
+// record (frame scan + CRC + block decode) is independent of block identity.
+const Bytes& record_bytes() {
+  static const Bytes record = [] {
+    static Committee::TestSetup setup = Committee::make_test(4);
+    std::vector<BlockRef> refs;
+    for (ValidatorId v = 0; v < 4; ++v) {
+      refs.push_back(Block::genesis(v, setup.committee.coin()).ref());
+    }
+    TxBatch batch;
+    batch.id = 1;
+    batch.count = 16;
+    batch.tx_bytes = 512;
+    const Block block =
+        Block::make(0, 1, refs, {batch}, setup.committee.coin().share(0, 1),
+                    setup.keypairs[0].private_key);
+    return wal_encode_block_record(block, false);
+  }();
+  return record;
+}
+
+void write_records(FramedWal& wal, std::size_t count) {
+  const Bytes& record = record_bytes();
+  for (std::size_t i = 0; i < count; ++i) {
+    wal.append_framed({record.data(), record.size()});
+  }
+  wal.sync();
+}
+
+// A real captured cut (30 fully-connected rounds, GC horizon active), so the
+// checkpoint-decode half of recovery pays representative costs.
+const Bytes& checkpoint_bytes() {
+  static const Bytes encoded = [] {
+    DagBuilder builder(4);
+    builder.build_fully_connected(30);
+    Committee::TestSetup setup = Committee::make_test(4);
+    ValidatorConfig config;
+    config.observer = true;
+    config.committer.gc_depth = 8;
+    config.validation.verify_signature = false;
+    config.validation.verify_coin_share = false;
+    ValidatorCore core(setup.committee, setup.keypairs[0].private_key, config);
+    for (Round r = 1; r <= 30; ++r) {
+      for (ValidatorId v = 0; v < 4; ++v) {
+        core.on_block(builder.dag().slot(r, v).front(), v, 0);
+      }
+    }
+    CheckpointData data = core.capture_checkpoint();
+    data.sequence = 1;
+    return encode_checkpoint(data);
+  }();
+  return encoded;
+}
+
+// Cross-run quadratic guard: per-record replay time at the largest N must
+// stay within an order of magnitude of the smallest-N baseline. Quadratic
+// growth (e.g. a reintroduced per-record allocation pattern) trips this at
+// ratio ~100.
+std::map<std::string, double>& per_record_baseline() {
+  static std::map<std::string, double> baseline;
+  return baseline;
+}
+
+void check_linear(benchmark::State& state, const std::string& series,
+                  double per_record_ns) {
+  state.counters["PerRecordNs"] = per_record_ns;
+  auto [it, inserted] = per_record_baseline().emplace(series, per_record_ns);
+  if (!inserted && per_record_ns > 20.0 * it->second) {
+    state.SkipWithError("superlinear replay: per-record time grew >20x vs "
+                        "the smallest-N baseline");
+  }
+}
+
+void BM_RecoveryReplayMonolithic(benchmark::State& state) {
+  const auto records = static_cast<std::size_t>(state.range(0));
+  const std::string dir = bench_dir("mono");
+  const std::string path = (fs::path(dir) / "log.wal").string();
+  {
+    FileWal wal(path);
+    write_records(wal, records);
+  }
+  std::uint64_t replayed = 0;
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr, bool) { ++replayed; };
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    replayed = 0;
+    const auto result = FileWal::replay(path, visitor);
+    benchmark::DoNotOptimize(result.records);
+  }
+  const double wall_ns = std::chrono::duration<double, std::nano>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * records));
+  if (state.iterations() > 0 && records > 0) {
+    check_linear(state, "monolithic",
+                 wall_ns / static_cast<double>(state.iterations() * records));
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_RecoveryReplayMonolithic)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RecoveryReplayCheckpointSuffix(benchmark::State& state) {
+  // `records` is the history length; the checkpoint path replays only the
+  // bounded suffix regardless — the flat line next to the monolithic series
+  // IS the subsystem's value proposition.
+  const auto records = static_cast<std::size_t>(state.range(0));
+  const std::string dir = bench_dir("ckpt");
+  {
+    SegmentedWalOptions options;
+    options.segment_bytes = 256 * 1024;
+    SegmentedWal seg(dir, options);
+    write_records(seg, std::min(records, kSuffixRecords));
+    CheckpointStore store(dir);
+    const Bytes& encoded = checkpoint_bytes();
+    store.write(1, {encoded.data(), encoded.size()});
+  }
+  std::uint64_t replayed = 0;
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr, bool) { ++replayed; };
+  for (auto _ : state) {
+    replayed = 0;
+    CheckpointStore store(dir);
+    auto data = store.load_newest_valid();
+    benchmark::DoNotOptimize(data->blocks.size());
+    const auto result = SegmentedWal::replay(dir, visitor);
+    benchmark::DoNotOptimize(result.records);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * std::min(records, kSuffixRecords)));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_RecoveryReplayCheckpointSuffix)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -28,6 +28,11 @@ std::optional<std::string> KvStore::get(const std::string& key) const {
 }
 
 Digest KvStore::state_digest() const {
+  const Bytes encoded = snapshot_bytes();
+  return crypto::Blake2b::hash256({encoded.data(), encoded.size()});
+}
+
+Bytes KvStore::snapshot_bytes() const {
   // std::map iterates in key order, so the encoding is deterministic.
   serde::Writer w;
   w.u64(version_);
@@ -36,7 +41,22 @@ Digest KvStore::state_digest() const {
     w.bytes(as_bytes_view(key));
     w.bytes(as_bytes_view(value));
   }
-  return crypto::Blake2b::hash256({w.data().data(), w.data().size()});
+  return std::move(w).take();
+}
+
+KvStore KvStore::restore(BytesView snapshot) {
+  serde::Reader r(snapshot);
+  KvStore store;
+  store.version_ = r.u64();
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Bytes key = r.bytes();
+    const Bytes value = r.bytes();
+    store.entries_.emplace(std::string(key.begin(), key.end()),
+                           std::string(value.begin(), value.end()));
+  }
+  r.expect_done();
+  return store;
 }
 
 }  // namespace mahimahi::app

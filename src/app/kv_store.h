@@ -32,6 +32,12 @@ class KvStore {
   // Deterministic digest of (sorted) contents and version.
   Digest state_digest() const;
 
+  // Full-state serialization for checkpoints (the same deterministic
+  // encoding state_digest() hashes): restore() on the snapshot reproduces
+  // state_digest() exactly. Throws serde::SerdeError on malformed input.
+  Bytes snapshot_bytes() const;
+  static KvStore restore(BytesView snapshot);
+
   const std::map<std::string, std::string>& entries() const { return entries_; }
 
  private:

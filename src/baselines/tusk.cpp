@@ -52,6 +52,7 @@ SlotDecision TuskCommitter::evaluate(SlotId slot,
       decision.kind = SlotDecision::Kind::kCommit;
       decision.via = SlotDecision::Via::kDirect;
       decision.block = block;
+      decision.ref = block->ref();
       decision.final_decision = true;
       return decision;
     }
@@ -73,6 +74,7 @@ SlotDecision TuskCommitter::evaluate(SlotId slot,
     decision.kind = SlotDecision::Kind::kCommit;
     decision.via = SlotDecision::Via::kIndirect;
     decision.block = block;
+    decision.ref = block->ref();
   } else {
     decision.kind = SlotDecision::Kind::kSkip;
     decision.via = SlotDecision::Via::kIndirect;

@@ -1,0 +1,299 @@
+#include "checkpoint/checkpoint.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/crc32.h"
+#include "common/log.h"
+#include "serde/serde.h"
+#include "validator/crypto_stage.h"
+#include "wal/wal.h"
+
+namespace mahimahi {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x4d4d434b;  // "MMCK"
+constexpr std::uint8_t kCheckpointVersion = 1;
+
+void write_slot(serde::Writer& w, SlotId slot) {
+  w.varint(slot.round);
+  w.u32(slot.leader_offset);
+}
+
+SlotId read_slot(serde::Reader& r) {
+  SlotId slot;
+  slot.round = r.varint();
+  slot.leader_offset = r.u32();
+  return slot;
+}
+
+void write_ref(serde::Writer& w, const BlockRef& ref) {
+  w.varint(ref.round);
+  w.u32(ref.author);
+  w.digest(ref.digest);
+}
+
+BlockRef read_ref(serde::Reader& r) {
+  BlockRef ref;
+  ref.round = r.varint();
+  ref.author = r.u32();
+  ref.digest = r.digest();
+  return ref;
+}
+
+}  // namespace
+
+Bytes encode_checkpoint(const CheckpointData& data) {
+  serde::Writer w;
+  w.u32(kCheckpointMagic);
+  w.u8(kCheckpointVersion);
+  w.u64(data.sequence);
+  w.u32(data.author);
+  w.varint(data.horizon);
+  write_slot(w, data.head);
+  w.varint(data.last_proposed_round);
+
+  w.varint(data.decided.size());
+  for (const auto& d : data.decided) {
+    write_slot(w, d.slot);
+    w.u32(d.leader);
+    w.u8(static_cast<std::uint8_t>(d.kind));
+    w.u8(static_cast<std::uint8_t>(d.via));
+    if (d.kind == SlotDecision::Kind::kCommit) write_ref(w, d.block);
+  }
+
+  w.varint(data.delivered.size());
+  for (const auto& [digest, round] : data.delivered) {
+    w.digest(digest);
+    w.varint(round);
+  }
+
+  w.varint(data.blocks.size());
+  for (const BlockPtr& block : data.blocks) {
+    const Bytes encoded = block->serialize();
+    w.bytes({encoded.data(), encoded.size()});
+  }
+
+  w.bytes({data.app_state.data(), data.app_state.size()});
+  w.digest(data.app_digest);
+
+  return wal_frame_record({w.data().data(), w.data().size()});
+}
+
+CheckpointData decode_checkpoint(BytesView encoded) {
+  serde::Reader framing(encoded);
+  const std::uint32_t len = framing.u32();
+  const std::uint32_t crc = framing.u32();
+  if (len != framing.remaining()) {
+    throw serde::SerdeError("checkpoint: frame length mismatch");
+  }
+  const BytesView payload = framing.raw(len);
+  if (crc32(payload) != crc) throw serde::SerdeError("checkpoint: CRC mismatch");
+
+  serde::Reader r(payload);
+  if (r.u32() != kCheckpointMagic) throw serde::SerdeError("checkpoint: bad magic");
+  if (r.u8() != kCheckpointVersion) throw serde::SerdeError("checkpoint: bad version");
+
+  CheckpointData data;
+  data.sequence = r.u64();
+  data.author = r.u32();
+  data.horizon = r.varint();
+  data.head = read_slot(r);
+  data.last_proposed_round = r.varint();
+
+  const std::uint64_t decided_count = r.varint();
+  data.decided.reserve(decided_count);
+  for (std::uint64_t i = 0; i < decided_count; ++i) {
+    CheckpointData::DecidedSlot d;
+    d.slot = read_slot(r);
+    d.leader = r.u32();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(SlotDecision::Kind::kSkip)) {
+      throw serde::SerdeError("checkpoint: bad decision kind");
+    }
+    d.kind = static_cast<SlotDecision::Kind>(kind);
+    const std::uint8_t via = r.u8();
+    if (via > static_cast<std::uint8_t>(SlotDecision::Via::kIndirect)) {
+      throw serde::SerdeError("checkpoint: bad decision via");
+    }
+    d.via = static_cast<SlotDecision::Via>(via);
+    if (d.kind == SlotDecision::Kind::kCommit) d.block = read_ref(r);
+    data.decided.push_back(d);
+  }
+
+  const std::uint64_t delivered_count = r.varint();
+  data.delivered.reserve(delivered_count);
+  for (std::uint64_t i = 0; i < delivered_count; ++i) {
+    const Digest digest = r.digest();
+    data.delivered.emplace_back(digest, r.varint());
+  }
+
+  const std::uint64_t block_count = r.varint();
+  data.blocks.reserve(block_count);
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    const std::uint64_t block_len = r.varint();
+    if (block_len > r.remaining()) {
+      throw serde::SerdeError("checkpoint: block length exceeds payload");
+    }
+    data.blocks.push_back(std::make_shared<const Block>(
+        Block::deserialize(r.raw(static_cast<std::size_t>(block_len)))));
+  }
+
+  data.app_state = r.bytes();
+  data.app_digest = r.digest();
+  r.expect_done();
+  return data;
+}
+
+std::string verify_checkpoint(const CheckpointData& data, const Committee& committee,
+                              const CommitterOptions& options,
+                              const ValidationOptions& validation,
+                              VerifierCache* cache) {
+  // The decided log must be EXACTLY the slot-successor chain from the first
+  // slot to the head — a head the log does not account for slot-by-slot is
+  // fabricated. (What each decision SAYS below the horizon is the trust gap
+  // documented in the header; its shape at least cannot lie.)
+  SlotId expected{options.first_slot_round, 0};
+  for (const auto& d : data.decided) {
+    if (d.kind == SlotDecision::Kind::kUndecided) return "undecided slot in log";
+    if (d.slot != expected) return "log is not the contiguous slot chain";
+    expected = d.slot.leader_offset + 1 < options.leaders_per_round
+                   ? SlotId{d.slot.round, d.slot.leader_offset + 1}
+                   : SlotId{d.slot.round + options.wave_stride, 0};
+  }
+  if (expected != data.head) return "decided log does not reach the head";
+
+  // The suffix: round-ascending, at or above the horizon, structurally valid.
+  Round previous = 0;
+  for (const BlockPtr& block : data.blocks) {
+    if (block->round() < data.horizon || block->round() == 0) {
+      return "suffix block below horizon";
+    }
+    if (block->round() < previous) return "suffix not round-ascending";
+    previous = block->round();
+    const BlockValidity structural = validate_block_structure(*block, committee);
+    if (structural != BlockValidity::kValid) {
+      return "suffix block invalid: " + to_string(structural);
+    }
+  }
+
+  // Every committed slot at or above the horizon must be backed by a block
+  // in the suffix — the analogue of checking the snapshot against the
+  // committed chain: an installed committer must be able to point at the
+  // agreed leader blocks it claims were committed.
+  std::unordered_set<Digest, DigestHasher> suffix;
+  for (const BlockPtr& block : data.blocks) suffix.insert(block->digest());
+  for (const auto& d : data.decided) {
+    if (d.kind != SlotDecision::Kind::kCommit) continue;
+    if (d.block.round >= data.horizon && !suffix.contains(d.block.digest)) {
+      return "committed block missing from suffix";
+    }
+  }
+
+  // Crypto last (the expensive part): batched coin/signature verification of
+  // the whole suffix, exactly what live ingestion would have paid.
+  const CryptoStageResult stage =
+      run_crypto_stage(data.blocks, committee, validation, cache);
+  for (std::size_t i = 0; i < data.blocks.size(); ++i) {
+    if (stage.verdicts[i] != BlockValidity::kValid) {
+      return "suffix block failed crypto: " + to_string(stage.verdicts[i]);
+    }
+  }
+  return {};
+}
+
+// --- CheckpointStore ---------------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string CheckpointStore::checkpoint_path(const std::string& dir,
+                                             std::uint64_t sequence) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "ckpt-%012" PRIu64 ".ckpt", sequence);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+std::vector<std::uint64_t> CheckpointStore::list(const std::string& dir) {
+  std::vector<std::uint64_t> sequences;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 22 || !name.starts_with("ckpt-") || !name.ends_with(".ckpt")) {
+      continue;
+    }
+    std::uint64_t sequence = 0;
+    if (std::sscanf(name.c_str() + 5, "%12" SCNu64, &sequence) == 1) {
+      sequences.push_back(sequence);
+    }
+  }
+  std::sort(sequences.begin(), sequences.end());
+  return sequences;
+}
+
+void CheckpointStore::write(std::uint64_t sequence, BytesView encoded) {
+  const std::string path = checkpoint_path(dir_, sequence);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) throw std::runtime_error("CheckpointStore: cannot open " + tmp);
+  const bool ok = std::fwrite(encoded.data(), 1, encoded.size(), file) == encoded.size();
+  std::fflush(file);
+  ::fsync(::fileno(file));
+  std::fclose(file);
+  if (!ok) throw std::runtime_error("CheckpointStore: short write to " + tmp);
+  // The rename is the commit point: a crash before it leaves at most a tmp
+  // file, which no reader ever looks at.
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<std::pair<std::uint64_t, Bytes>> CheckpointStore::newest_valid_bytes()
+    const {
+  auto sequences = list(dir_);
+  for (auto it = sequences.rbegin(); it != sequences.rend(); ++it) {
+    const std::string path = checkpoint_path(dir_, *it);
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) continue;
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    std::fseek(file, 0, SEEK_SET);
+    Bytes bytes(size > 0 ? static_cast<std::size_t>(size) : 0);
+    const bool read_ok =
+        std::fread(bytes.data(), 1, bytes.size(), file) == bytes.size();
+    std::fclose(file);
+    if (!read_ok) continue;
+    try {
+      decode_checkpoint({bytes.data(), bytes.size()});  // CRC + shape gate
+    } catch (const serde::SerdeError& error) {
+      MM_LOG(kWarn) << "CheckpointStore: falling back past corrupt checkpoint "
+                    << *it << ": " << error.what();
+      continue;
+    }
+    return std::make_pair(*it, std::move(bytes));
+  }
+  return std::nullopt;
+}
+
+std::optional<CheckpointData> CheckpointStore::load_newest_valid() const {
+  auto newest = newest_valid_bytes();
+  if (!newest.has_value()) return std::nullopt;
+  return decode_checkpoint({newest->second.data(), newest->second.size()});
+}
+
+void CheckpointStore::retire(std::size_t keep) {
+  auto sequences = list(dir_);
+  if (sequences.size() <= keep) return;
+  for (std::size_t i = 0; i + keep < sequences.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(checkpoint_path(dir_, sequences[i]), ec);
+  }
+}
+
+}  // namespace mahimahi

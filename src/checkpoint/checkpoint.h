@@ -1,0 +1,130 @@
+// Checkpoints: a serialized consistent cut of a validator's committed state.
+//
+// A checkpoint captures, at a GC horizon, everything a fresh validator needs
+// to stand where the writer stood without replaying history below the
+// horizon:
+//
+//   * the consumption head (first unconsumed leader slot) and the full
+//     decided slot log — the agreed sequence itself;
+//   * the live DAG suffix: every block with round >= horizon, round-
+//     ascending, so re-insertion never misses a parent (sub-horizon parents
+//     are exempt once the DAG's horizon is set);
+//   * the delivered marks at or above the horizon, so the first commit after
+//     installation does not re-deliver blocks a pre-cut commit already
+//     delivered;
+//   * the writer's proposer round (restart safety: never re-propose a
+//     checkpointed round) and an opaque application snapshot with the digest
+//     the restored app must reproduce (the cut's analogue of verifying
+//     against the committed certificate chain: the digest is a deterministic
+//     function of the decided log, so peers agree on it).
+//
+// The encoding is one CRC-framed record (shared wal_frame_record framing),
+// written crash-atomically by CheckpointStore (tmp + fsync + rename):
+// a checkpoint file either decodes end-to-end or is discarded, and recovery
+// falls back to the previous one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/decision.h"
+#include "core/options.h"
+#include "types/block.h"
+#include "types/committee.h"
+#include "types/validation.h"
+#include "validator/verifier_cache.h"
+
+namespace mahimahi {
+
+struct CheckpointData {
+  std::uint64_t sequence = 0;      // writer-local monotonic checkpoint number
+  ValidatorId author = 0;          // which validator cut this
+  Round horizon = 0;               // the cut's GC horizon (DAG pruned below it)
+  SlotId head;                     // first unconsumed slot at the cut
+  Round last_proposed_round = 0;   // author's proposer round at the cut
+
+  // The full decided log at the cut. `block` is resolved against the DAG at
+  // install time (null for commits below the horizon); `ref` always carries
+  // the identity.
+  struct DecidedSlot {
+    SlotId slot;
+    ValidatorId leader = 0;
+    SlotDecision::Kind kind = SlotDecision::Kind::kUndecided;
+    SlotDecision::Via via = SlotDecision::Via::kNone;
+    BlockRef block;  // meaningful for commits
+  };
+  std::vector<DecidedSlot> decided;
+
+  // Delivered marks with round >= horizon (Committer::delivered_snapshot).
+  std::vector<std::pair<Digest, Round>> delivered;
+
+  // Live DAG suffix: round >= max(horizon, 1), ascending by round (genesis
+  // is excluded — every validator constructs it locally).
+  std::vector<BlockPtr> blocks;
+
+  // Opaque application snapshot (driver-owned; e.g. app/kv_store.h contents)
+  // plus the state digest the restored application must reproduce.
+  Bytes app_state;
+  Digest app_digest;
+};
+
+// One CRC-framed record; decode throws serde::SerdeError on any mismatch
+// (torn file, CRC failure, malformed payload).
+Bytes encode_checkpoint(const CheckpointData& data);
+CheckpointData decode_checkpoint(BytesView encoded);
+
+// Semantic checks beyond the CRC, run before installing a checkpoint that
+// came off the wire: block shape + (per `validation`) batched coin/signature
+// verification, round-ascending suffix at or above the horizon, a decided
+// log that is EXACTLY the slot-successor chain from `options.first_slot_round`
+// to `head` (a fabricated head with a thin or empty log is rejected), and
+// every committed slot at or above the horizon backed by a block in the
+// suffix. Returns an empty string when acceptable, else a reason.
+// Thread-safe (workers verify off-loop).
+//
+// Known trust gap: decisions BELOW the horizon are unverifiable without the
+// pruned history — the receiver trusts the serving committee member for
+// them (mitigated by only requesting when provably stuck, and only from
+// committee peers). Certified checkpoints (threshold-signed cuts) are the
+// ROADMAP follow-up that closes it.
+std::string verify_checkpoint(const CheckpointData& data, const Committee& committee,
+                              const CommitterOptions& options,
+                              const ValidationOptions& validation,
+                              VerifierCache* cache = nullptr);
+
+// Directory of `ckpt-<sequence>.ckpt` files with crash-atomic writes and
+// corruption fallback on load. One store typically shares the segmented
+// WAL's directory.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir);
+
+  // Writes `encoded` (an encode_checkpoint result) as checkpoint `sequence`:
+  // tmp file, fsync, rename. Throws on I/O failure.
+  void write(std::uint64_t sequence, BytesView encoded);
+
+  // Newest checkpoint that decodes cleanly; corrupt newer files are skipped
+  // (recovery falls back a checkpoint on corruption). nullopt when none.
+  std::optional<CheckpointData> load_newest_valid() const;
+
+  // Raw encoded bytes of the newest valid checkpoint, for serving snapshot
+  // catch-up without a re-encode.
+  std::optional<std::pair<std::uint64_t, Bytes>> newest_valid_bytes() const;
+
+  // Keeps the newest `keep` checkpoint files, deletes older ones (at least
+  // one fallback survives with keep >= 2).
+  void retire(std::size_t keep = 2);
+
+  static std::vector<std::uint64_t> list(const std::string& dir);
+  static std::string checkpoint_path(const std::string& dir, std::uint64_t sequence);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace mahimahi

@@ -1,0 +1,247 @@
+#include "checkpoint/segmented_wal.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "serde/serde.h"
+
+namespace mahimahi {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr std::uint32_t kManifestMagic = 0x4d4d5347;  // "MMSG"
+
+// fwrite + fflush + fsync + rename: the manifest must never be observed
+// half-written, and its content must hit the disk before any retired segment
+// is unlinked.
+void write_file_atomic(const std::string& path, BytesView content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) throw std::runtime_error("SegmentedWal: cannot open " + tmp);
+  const bool ok = std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  std::fflush(file);
+  ::fsync(::fileno(file));
+  std::fclose(file);
+  if (!ok) throw std::runtime_error("SegmentedWal: short write to " + tmp);
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
+std::string SegmentedWal::segment_path(const std::string& dir, std::uint64_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08" PRIu64 ".wal", index);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+std::uint64_t SegmentedWal::read_manifest(const std::string& dir) {
+  const auto path = std::filesystem::path(dir) / kManifestName;
+  std::FILE* file = std::fopen(path.string().c_str(), "rb");
+  if (file == nullptr) return 0;
+  std::uint8_t buffer[64];
+  const std::size_t n = std::fread(buffer, 1, sizeof(buffer), file);
+  std::fclose(file);
+  try {
+    serde::Reader r({buffer, n});
+    if (r.u32() != kManifestMagic) return 0;
+    return r.varint();
+  } catch (const serde::SerdeError&) {
+    return 0;  // a torn manifest rewrite: fall back to "everything is live"
+  }
+}
+
+std::vector<std::uint64_t> SegmentedWal::list_segments(const std::string& dir) {
+  std::vector<std::uint64_t> indexes;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 16 || !name.starts_with("seg-") || !name.ends_with(".wal")) {
+      continue;
+    }
+    std::uint64_t index = 0;
+    if (std::sscanf(name.c_str() + 4, "%8" SCNu64, &index) == 1) {
+      indexes.push_back(index);
+    }
+  }
+  std::sort(indexes.begin(), indexes.end());
+  return indexes;
+}
+
+SegmentedWal::SegmentedWal(std::string dir, SegmentedWalOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  std::filesystem::create_directories(dir_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  base_index_ = read_manifest(dir_);
+  const auto existing = list_segments(dir_);
+  std::uint64_t active = base_index_;
+  for (const std::uint64_t index : existing) active = std::max(active, index);
+  open_active_locked(active);
+}
+
+SegmentedWal::~SegmentedWal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+void SegmentedWal::open_active_locked(std::uint64_t index) {
+  const std::string path = segment_path(dir_, index);
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) throw std::runtime_error("SegmentedWal: cannot open " + path);
+  active_index_ = index;
+  active_records_ = 0;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  active_bytes_ = ec ? 0 : size;
+}
+
+void SegmentedWal::seal_active_locked() {
+  std::fflush(file_);
+  if (options_.fsync_on_sync) ::fsync(::fileno(file_));
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+void SegmentedWal::roll_if_over_budget_locked(std::size_t incoming_bytes) {
+  if (active_bytes_ == 0) return;  // never roll an empty segment
+  const bool over_bytes = active_bytes_ + incoming_bytes > options_.segment_bytes;
+  const bool over_records =
+      options_.segment_records > 0 && active_records_ >= options_.segment_records;
+  if (!over_bytes && !over_records) return;
+  seal_active_locked();
+  open_active_locked(active_index_ + 1);
+}
+
+void SegmentedWal::write_locked(BytesView framed) {
+  roll_if_over_budget_locked(framed.size());
+  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
+    throw std::runtime_error("SegmentedWal: short write to " +
+                             segment_path(dir_, active_index_));
+  }
+  active_bytes_ += framed.size();
+  ++active_records_;
+  bytes_written_ += framed.size();
+}
+
+void SegmentedWal::append_framed(BytesView framed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_locked(framed);
+}
+
+void SegmentedWal::append_block(const Block& block, bool own) {
+  const Bytes framed = wal_encode_block_record(block, own);
+  append_framed({framed.data(), framed.size()});
+}
+
+void SegmentedWal::append_commit(SlotId slot) {
+  const Bytes framed = wal_encode_commit_record(slot);
+  append_framed({framed.data(), framed.size()});
+}
+
+void SegmentedWal::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fflush(file_);
+  if (options_.fsync_on_sync) ::fsync(::fileno(file_));
+}
+
+std::uint64_t SegmentedWal::roll_segment() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (active_bytes_ > 0) {
+    seal_active_locked();
+    open_active_locked(active_index_ + 1);
+  }
+  return active_index_;
+}
+
+void SegmentedWal::retire_segments_below(std::uint64_t keep_from) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  keep_from = std::min(keep_from, active_index_);
+  if (keep_from <= base_index_) return;
+  // Manifest first: once it is durable, replay never looks below keep_from,
+  // so a crash between here and the unlinks only strands dead files.
+  write_manifest_locked(keep_from);
+  for (std::uint64_t index = base_index_; index < keep_from; ++index) {
+    std::error_code ec;
+    if (std::filesystem::remove(segment_path(dir_, index), ec)) ++segments_retired_;
+    if (ec) {
+      MM_LOG(kWarn) << "SegmentedWal: failed to retire segment " << index << ": "
+                    << ec.message();
+    }
+  }
+  base_index_ = keep_from;
+}
+
+void SegmentedWal::write_manifest_locked(std::uint64_t base) {
+  serde::Writer w;
+  w.u32(kManifestMagic);
+  w.varint(base);
+  write_file_atomic((std::filesystem::path(dir_) / kManifestName).string(),
+                    {w.data().data(), w.data().size()});
+}
+
+std::uint64_t SegmentedWal::active_segment() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_index_;
+}
+
+std::uint64_t SegmentedWal::base_segment() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return base_index_;
+}
+
+std::uint64_t SegmentedWal::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_written_;
+}
+
+std::uint64_t SegmentedWal::segments_retired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_retired_;
+}
+
+SegmentedWal::ReplayResult SegmentedWal::replay(const std::string& dir,
+                                                const FileWal::Visitor& visitor,
+                                                bool truncate_corrupt_tail) {
+  ReplayResult result;
+  const std::uint64_t base = read_manifest(dir);
+  std::vector<std::uint64_t> indexes = list_segments(dir);
+  std::erase_if(indexes, [base](std::uint64_t index) { return index < base; });
+  if (indexes.empty()) return result;
+
+  Bytes scratch;  // shared across segments: one warm buffer for the whole log
+  std::uint64_t expected = indexes.front();
+  for (std::size_t i = 0; i < indexes.size(); ++i, ++expected) {
+    if (indexes[i] != expected) {
+      // A hole in the sequence: everything past it is unreachable history
+      // (mid-log damage, not a crash artifact — crashes only tear the tail).
+      MM_LOG(kWarn) << "SegmentedWal: segment " << expected << " missing in " << dir;
+      result.corrupt_tail = true;
+      return result;
+    }
+    const bool last = i + 1 == indexes.size();
+    const auto file_result = FileWal::replay_with_scratch(
+        segment_path(dir, indexes[i]), visitor,
+        /*truncate_corrupt_tail=*/last && truncate_corrupt_tail, scratch);
+    result.records += file_result.records;
+    ++result.segments;
+    if (file_result.corrupt_tail) {
+      result.corrupt_tail = true;
+      if (!last) {
+        MM_LOG(kWarn) << "SegmentedWal: corrupt record mid-log in segment "
+                      << indexes[i] << " of " << dir;
+        return result;  // do not replay past the damage
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mahimahi

@@ -1,0 +1,123 @@
+// Segmented WAL layout: the same record stream as FileWal, rolled across
+// bounded segment files so checkpointing can retire history.
+//
+// A monolithic log grows without bound — a long-running validator pays
+// unbounded replay time and disk. This layout splits the identical byte
+// stream (shared wal_encode_* framing, so a segmented log concatenates to
+// exactly what FileWal would have written) into `seg-<index>.wal` files
+// under one directory:
+//
+//   * appends go to the highest-index (active) segment; when the active
+//     segment exceeds the byte/record budget, it is sealed (flush + optional
+//     fsync) and the next index opens — a record never splits across files;
+//   * a MANIFEST file names the lowest live segment. It is only rewritten
+//     (crash-atomically: tmp + fsync + rename) by retire_segments_below(),
+//     BEFORE the retired files are unlinked — a crash mid-retire leaves
+//     stale files below the manifest base, which replay ignores and the next
+//     retire removes;
+//   * replay walks segments base..max in order with one shared scratch
+//     buffer. A torn tail is expected only in the LAST segment (crashes tear
+//     the active file) and truncates exactly like FileWal's; a corrupt
+//     record in an earlier segment is disk damage — replay stops there and
+//     reports it so the caller can fall back to an older checkpoint.
+//
+// Thread safety: unlike FileWal, all mutating members take an internal
+// mutex. The checkpoint writer needs to roll/retire from the loop thread
+// while the group-commit writer thread is appending groups.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "wal/wal.h"
+
+namespace mahimahi {
+
+struct SegmentedWalOptions {
+  // Seal the active segment once it holds at least this many bytes. A single
+  // oversized record (or group-commit group) still lands whole — segments
+  // may exceed the budget by one append.
+  std::uint64_t segment_bytes = 4 << 20;
+  // Record-count budget tripping a roll before the byte budget (0 = none).
+  std::uint64_t segment_records = 0;
+  // Same meaning as FileWal: upgrade sync() from fflush to fflush + fsync.
+  bool fsync_on_sync = false;
+};
+
+class SegmentedWal : public FramedWal {
+ public:
+  // Opens (creating the directory if needed) the segmented log at `dir`.
+  // Appends resume on the highest existing segment. Throws on failure.
+  explicit SegmentedWal(std::string dir, SegmentedWalOptions options = {});
+  ~SegmentedWal() override;
+
+  SegmentedWal(const SegmentedWal&) = delete;
+  SegmentedWal& operator=(const SegmentedWal&) = delete;
+
+  void append_block(const Block& block, bool own) override;
+  void append_commit(SlotId slot) override;
+  void sync() override;
+  void append_framed(BytesView framed) override;
+
+  // Seals the active segment and opens the next index (no-op on an empty
+  // active segment). The checkpoint writer calls this at the cut: every
+  // record of the cut is in a sealed segment, so once the checkpoint file is
+  // durable the sealed prefix can retire. Returns the active index after the
+  // call — replay of [returned index, ...) plus the checkpoint covers
+  // everything.
+  std::uint64_t roll_segment();
+
+  // Deletes sealed segments with index < keep_from after atomically
+  // rewriting the manifest base. Never touches the active segment
+  // (keep_from is clamped to it).
+  void retire_segments_below(std::uint64_t keep_from);
+
+  std::uint64_t active_segment() const;
+  std::uint64_t base_segment() const;
+  std::uint64_t bytes_written() const;
+  std::uint64_t segments_retired() const;
+
+  struct ReplayResult {
+    std::uint64_t records = 0;
+    std::uint64_t segments = 0;   // files visited
+    bool corrupt_tail = false;    // torn tail (last segment) or mid-log damage
+  };
+
+  // Replays segments manifest-base..max in index order. A gap in the index
+  // sequence or a corrupt record in a non-final segment stops the replay
+  // with corrupt_tail set (the caller falls back to an older checkpoint); a
+  // torn tail of the final segment truncates like FileWal's.
+  static ReplayResult replay(const std::string& dir, const FileWal::Visitor& visitor,
+                             bool truncate_corrupt_tail = true);
+
+  static std::string segment_path(const std::string& dir, std::uint64_t index);
+  // Lowest live segment per the manifest; 0 when the manifest is absent or
+  // unreadable (replay then starts at the lowest file present).
+  static std::uint64_t read_manifest(const std::string& dir);
+  // Sorted indexes of the segment files present on disk.
+  static std::vector<std::uint64_t> list_segments(const std::string& dir);
+
+ private:
+  void open_active_locked(std::uint64_t index);
+  void seal_active_locked();
+  void roll_if_over_budget_locked(std::size_t incoming_bytes);
+  void write_locked(BytesView framed);
+  void write_manifest_locked(std::uint64_t base);
+
+  const std::string dir_;
+  const SegmentedWalOptions options_;
+
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;           // the active segment
+  std::uint64_t active_index_ = 0;
+  std::uint64_t base_index_ = 0;
+  std::uint64_t active_bytes_ = 0;      // size of the active segment file
+  std::uint64_t active_records_ = 0;    // records appended to it this session
+  std::uint64_t bytes_written_ = 0;     // this session, across segments
+  std::uint64_t segments_retired_ = 0;
+};
+
+}  // namespace mahimahi

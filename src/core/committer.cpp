@@ -12,7 +12,7 @@ std::string SlotDecision::to_string() const {
   std::string out = slot.to_string() + "=";
   switch (kind) {
     case Kind::kUndecided: out += "undecided"; break;
-    case Kind::kCommit: out += "commit(" + block->ref().to_string() + ")"; break;
+    case Kind::kCommit: out += "commit(" + ref.to_string() + ")"; break;
     case Kind::kSkip: out += "skip"; break;
   }
   if (via == Via::kDirect) out += "/direct";
@@ -114,6 +114,7 @@ SlotDecision Committer::evaluate(SlotId slot,
       decision.kind = SlotDecision::Kind::kCommit;
       decision.via = SlotDecision::Via::kDirect;
       decision.block = candidate;
+      decision.ref = candidate->ref();
       decision.final_decision = true;
       return decision;
     }
@@ -167,6 +168,7 @@ SlotDecision Committer::evaluate(SlotId slot,
       decision.kind = SlotDecision::Kind::kCommit;
       decision.via = SlotDecision::Via::kIndirect;
       decision.block = candidate;
+      decision.ref = candidate->ref();
       decision.final_decision = true;
       return decision;
     }
@@ -254,6 +256,40 @@ void Committer::fast_forward(SlotId head) {
   next_pending_ = head;
   // Memoized final decisions below the head can never be consumed now.
   std::erase_if(final_, [head](const auto& entry) { return entry.first < head; });
+}
+
+std::vector<std::pair<Digest, Round>> Committer::delivered_snapshot(
+    Round min_round) const {
+  std::vector<std::pair<Digest, Round>> out;
+  for (const auto& [digest, round] : delivered_) {
+    if (round >= min_round) out.emplace_back(digest, round);
+  }
+  // The map iterates in hash order; a checkpoint must encode
+  // deterministically (two captures of the same cut are byte-identical).
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Committer::restore(std::vector<SlotDecision> decided, SlotId head,
+                        const std::vector<std::pair<Digest, Round>>& delivered) {
+  decided_log_ = std::move(decided);
+  next_pending_ = head;
+  // Memoized evaluations predate the installed DAG; drop them rather than
+  // reason about which survive (they are a cache, re-deriving is cheap).
+  final_.clear();
+  delivered_.clear();
+  for (const auto& [digest, round] : delivered) delivered_.emplace(digest, round);
+  delivered_pruned_below_ = 0;
+  stats_ = {};
+  for (const SlotDecision& decision : decided_log_) {
+    if (decision.kind == SlotDecision::Kind::kCommit) {
+      decision.via == SlotDecision::Via::kDirect ? ++stats_.direct_commits
+                                                 : ++stats_.indirect_commits;
+    } else if (decision.kind == SlotDecision::Kind::kSkip) {
+      decision.via == SlotDecision::Via::kDirect ? ++stats_.direct_skips
+                                                 : ++stats_.indirect_skips;
+    }
+  }
 }
 
 std::vector<CommittedSubDag> Committer::try_commit() { return apply(scan()); }

@@ -76,6 +76,23 @@ class Committer : public CommitterBase {
   // not ahead of the current head.
   void fast_forward(SlotId head);
 
+  // --- Checkpoint support ---------------------------------------------------
+  //
+  // Delivered marks at or above `min_round`, for a checkpoint cut at that
+  // horizon. Marks below it are never consulted again (linearize's min_round
+  // cut excludes sub-horizon parents first), so the snapshot stays bounded.
+  std::vector<std::pair<Digest, Round>> delivered_snapshot(Round min_round) const;
+
+  // Installs a checkpointed consumption state: replaces the decided log,
+  // repositions the head, seeds the delivered map, and recomputes the
+  // commit/skip stats from the log (delivered byte/tx counters restart at
+  // zero — they are local diagnostics, not agreed state). Decisions must be
+  // final and in slot order; commits below the checkpoint horizon may carry
+  // a null `block` (their ref keeps the identity). Pair with
+  // Dag::prune_below(horizon) + insert of the checkpoint's DAG suffix.
+  void restore(std::vector<SlotDecision> decided, SlotId head,
+               const std::vector<std::pair<Digest, Round>>& delivered);
+
   const CommitterOptions& options() const { return options_; }
   const CommitStats& stats() const override { return stats_; }
 

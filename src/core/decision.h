@@ -21,6 +21,10 @@ struct SlotDecision {
   Kind kind = Kind::kUndecided;
   Via via = Via::kNone;
   BlockPtr block;           // the committed block, when kind == kCommit
+  // The committed block's reference, set alongside `block` for commits. It
+  // outlives the pointer: a decision restored from a checkpoint whose block
+  // fell below the GC horizon keeps the ref (identity) with a null `block`.
+  BlockRef ref;
   // Final decisions never change as the DAG grows; non-final ones are
   // re-evaluated on the next pass.
   bool final_decision = false;

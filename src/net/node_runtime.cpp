@@ -42,32 +42,66 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
   // clients and workers admit into it concurrently, the core drains it when
   // proposing.
   mempool_ = core_->mempool_handle();
+  checkpointing_ = config_.validator.checkpoint_interval > 0 &&
+                   config_.validator.committer.gc_depth > 0 &&
+                   core_->checkpoint_capable();
   if (!config_.wal_path.empty()) {
-    // Recovery before the WAL is reopened for append.
+    // Recovery before the WAL is reopened for append. The segmented layout
+    // (checkpointing active) prefers newest-valid-checkpoint + segment-
+    // suffix replay; the monolithic layout replays the whole file.
     FileWal::Visitor visitor;
     visitor.on_block = [this](BlockPtr block, bool) {
       core_->recover_block(std::move(block));
     };
-    const auto replay = FileWal::replay(config_.wal_path, visitor);
-    if (replay.records > 0) {
-      MM_LOG(kInfo) << "v" << id() << " recovered " << replay.records
-                    << " WAL records" << (replay.corrupt_tail ? " (torn tail dropped)" : "");
+    std::unique_ptr<FramedWal> layout;
+    if (checkpointing_) {
+      // wal_path is a directory here: segments + checkpoints side by side.
+      checkpoint_store_ = std::make_unique<CheckpointStore>(config_.wal_path);
+      if (auto newest = checkpoint_store_->newest_valid_bytes()) {
+        auto data = decode_checkpoint({newest->second.data(), newest->second.size()});
+        checkpoint_seq_ = data.sequence;
+        last_checkpoint_horizon_ = data.horizon;
+        core_->install_checkpoint(data, 0);  // recovery: actions are moot
+        latest_checkpoint_bytes_ =
+            std::make_shared<const Bytes>(std::move(newest->second));
+        MM_LOG(kInfo) << "v" << id() << " recovered checkpoint " << data.sequence
+                      << " (horizon r" << data.horizon << ", "
+                      << data.blocks.size() << " suffix blocks)";
+      }
+      const auto replay = SegmentedWal::replay(config_.wal_path, visitor);
+      if (replay.records > 0) {
+        MM_LOG(kInfo) << "v" << id() << " replayed " << replay.records
+                      << " records from " << replay.segments << " WAL segments"
+                      << (replay.corrupt_tail ? " (torn tail dropped)" : "");
+      }
+      SegmentedWalOptions seg_options;
+      seg_options.segment_bytes = config_.validator.wal_segment_bytes;
+      seg_options.fsync_on_sync = config_.validator.wal_fsync;
+      auto segmented = std::make_unique<SegmentedWal>(config_.wal_path, seg_options);
+      seg_wal_ = segmented.get();
+      layout = std::move(segmented);
+    } else {
+      const auto replay = FileWal::replay(config_.wal_path, visitor);
+      if (replay.records > 0) {
+        MM_LOG(kInfo) << "v" << id() << " recovered " << replay.records
+                      << " WAL records"
+                      << (replay.corrupt_tail ? " (torn tail dropped)" : "");
+      }
+      layout = std::make_unique<FileWal>(config_.wal_path, config_.validator.wal_fsync);
     }
     highest_round_.store(core_->dag().highest_round(), std::memory_order_relaxed);
-    auto file =
-        std::make_unique<FileWal>(config_.wal_path, config_.validator.wal_fsync);
     if (config_.validator.wal_group_commit) {
       GroupCommitWalOptions wal_options;
       wal_options.flush_interval = config_.validator.wal_flush_interval;
       // Durability acks run on the loop thread: they release gated proposal
       // broadcasts, which touch loop-owned connection state.
       auto group = std::make_unique<GroupCommitWal>(
-          std::move(file), wal_options,
+          std::move(layout), wal_options,
           [this](std::function<void()> ack) { loop_.post(std::move(ack)); });
       group_wal_ = group.get();
       wal_ = std::move(group);
     } else {
-      wal_ = std::move(file);
+      wal_ = std::move(layout);
     }
   } else {
     // No persistence: NullWal acks durability synchronously, so
@@ -235,6 +269,29 @@ void NodeRuntime::on_peer_frame(ValidatorId peer, BytesView frame) {
           refs.push_back(ref);
         }
         perform(core_->on_fetch_request(refs, peer, steady_now_micros()));
+        break;
+      }
+      case MessageType::kHorizon: {
+        perform(core_->on_peer_horizon(peer, r.varint(), steady_now_micros()));
+        break;
+      }
+      case MessageType::kCheckpointRequest: {
+        serve_checkpoint(peer);
+        break;
+      }
+      case MessageType::kCheckpointResponse: {
+        if (!catchup_request_outstanding_) break;  // unsolicited: drop unread
+        const BytesView payload = r.raw(r.remaining());
+        Bytes copy(payload.begin(), payload.end());
+        if (verify_pool_) {
+          // Decode + suffix crypto verification are the expensive parts;
+          // they are pure functions of the bytes and the committee.
+          verify_pool_->submit([this, peer, copy = std::move(copy)]() mutable {
+            verify_checkpoint_response(peer, std::move(copy));
+          });
+        } else {
+          verify_checkpoint_response(peer, std::move(copy));
+        }
         break;
       }
       default:
@@ -535,6 +592,20 @@ void NodeRuntime::perform(Actions&& actions) {
     send_to_peer(request.peer, {w.data().data(), w.data().size()});
   }
 
+  for (const auto& notice : actions.horizon_notices) {
+    serde::Writer w;
+    w.u8(static_cast<std::uint8_t>(MessageType::kHorizon));
+    w.varint(notice.horizon);
+    send_to_peer(notice.peer, {w.data().data(), w.data().size()});
+  }
+
+  for (const ValidatorId peer : actions.checkpoint_requests) {
+    serde::Writer w;
+    w.u8(static_cast<std::uint8_t>(MessageType::kCheckpointRequest));
+    send_to_peer(peer, {w.data().data(), w.data().size()});
+    catchup_request_outstanding_ = true;
+  }
+
   for (const auto& response : actions.responses) {
     // Already-durable blocks (they are in the DAG): no gate, straight to the
     // egress encoder.
@@ -550,6 +621,9 @@ void NodeRuntime::perform(Actions&& actions) {
     if (commit_handler_) commit_handler_(sub_dag);
   }
   highest_round_.store(core_->dag().highest_round(), std::memory_order_relaxed);
+
+  // Commits may have moved the GC horizon past the checkpoint interval.
+  maybe_checkpoint();
 
   // Publish the core's pipeline counters for thread-safe reads.
   const IngestStats& stats = core_->ingest_stats();
@@ -583,6 +657,14 @@ void NodeRuntime::scan_pending_commits() {
     std::vector<BlockPtr> blocks;
     {
       std::lock_guard<std::mutex> lock(commit_mutex_);
+      if (commit_scanner_stale_) {
+        // A checkpoint install invalidated the replica mid-drain. Stop
+        // touching the scanner and hand the rebuild to the loop thread;
+        // commit_scan_scheduled_ stays true so no second drain races the
+        // swap (rebuild clears it).
+        loop_.post([this] { rebuild_commit_scanner(); });
+        return;
+      }
       if (pending_commit_blocks_.empty()) {
         commit_scan_scheduled_ = false;
         return;
@@ -601,6 +683,159 @@ void NodeRuntime::scan_pending_commits() {
       commit_batches_applied_.fetch_add(1, std::memory_order_relaxed);
     });
   }
+}
+
+void NodeRuntime::maybe_checkpoint() {
+  if (!checkpointing_ || checkpoint_in_flight_) return;
+  const Round horizon = core_->dag().pruned_below();
+  if (horizon == 0 ||
+      horizon < last_checkpoint_horizon_ + config_.validator.checkpoint_interval) {
+    return;
+  }
+  // The consistent cut: captured here, on the loop thread, where the core is
+  // quiescent — committed head, decided log, delivered marks, live DAG
+  // suffix. Rolling the segment at the same instant gives the retire
+  // boundary: every record of the cut is now in a sealed segment.
+  CheckpointData data = core_->capture_checkpoint();
+  data.sequence = ++checkpoint_seq_;
+  const std::uint64_t keep_from = seg_wal_ != nullptr ? seg_wal_->roll_segment() : 0;
+  checkpoint_in_flight_ = true;
+  auto task = [this, data = std::move(data), keep_from]() {
+    // Worker side: serialization + the crash-atomic file write. The blocks
+    // are immutable and the store touches only its own files.
+    auto encoded = std::make_shared<const Bytes>(encode_checkpoint(data));
+    if (checkpoint_store_ != nullptr) {
+      try {
+        checkpoint_store_->write(data.sequence, {encoded->data(), encoded->size()});
+      } catch (const std::exception& error) {
+        MM_LOG(kWarn) << "v" << id() << " checkpoint write failed: " << error.what();
+        loop_.post([this] { checkpoint_in_flight_ = false; });
+        return;  // keep the old horizon; segments stay until a write lands
+      }
+    }
+    loop_.post([this, horizon = data.horizon, keep_from, encoded] {
+      finish_checkpoint(horizon, keep_from, encoded);
+    });
+  };
+  if (verify_pool_) {
+    verify_pool_->submit(std::move(task));
+  } else {
+    task();
+  }
+}
+
+void NodeRuntime::finish_checkpoint(Round horizon, std::uint64_t keep_from,
+                                    std::shared_ptr<const Bytes> encoded) {
+  checkpoint_in_flight_ = false;
+  // Monotonic: a peer snapshot installed while this cut's write was in
+  // flight may already have advanced the horizon past it — never serve or
+  // track an older cut than the current one.
+  if (horizon > last_checkpoint_horizon_) {
+    last_checkpoint_horizon_ = horizon;
+    latest_checkpoint_bytes_ = std::move(encoded);
+  }
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  // Only now — with the checkpoint durable — can segments retire, and even
+  // then with one cut of lag: recovery may fall back past a corrupt newest
+  // checkpoint, which needs the segments from the PREVIOUS cut's boundary.
+  if (seg_wal_ != nullptr) seg_wal_->retire_segments_below(checkpoint_keep_from_);
+  checkpoint_keep_from_ = keep_from;
+  if (checkpoint_store_ != nullptr) checkpoint_store_->retire(2);
+}
+
+void NodeRuntime::serve_checkpoint(ValidatorId peer) {
+  if (latest_checkpoint_bytes_ == nullptr) return;  // nothing to offer yet
+  serde::Writer w(1 + latest_checkpoint_bytes_->size());
+  w.u8(static_cast<std::uint8_t>(MessageType::kCheckpointResponse));
+  w.raw({latest_checkpoint_bytes_->data(), latest_checkpoint_bytes_->size()});
+  send_to_peer(peer, {w.data().data(), w.data().size()});
+  checkpoints_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void NodeRuntime::verify_checkpoint_response(ValidatorId peer, Bytes payload) {
+  try {
+    CheckpointData data = decode_checkpoint({payload.data(), payload.size()});
+    const std::string error =
+        verify_checkpoint(data, committee_, config_.validator.committer,
+                          config_.validator.validation,
+                          config_.validator.signature_cache.get());
+    if (!error.empty()) {
+      MM_LOG(kWarn) << "v" << id() << " rejected checkpoint from v" << peer << ": "
+                    << error;
+      return;
+    }
+    loop_.post([this, data = std::move(data)]() mutable {
+      install_peer_checkpoint(std::move(data));
+    });
+  } catch (const serde::SerdeError& error) {
+    MM_LOG(kWarn) << "v" << id() << " bad checkpoint frame from v" << peer << ": "
+                  << error.what();
+  }
+}
+
+void NodeRuntime::install_peer_checkpoint(CheckpointData data) {
+  const SlotId before = core_->committer().next_pending_slot();
+  Actions actions = core_->install_checkpoint(data, steady_now_micros());
+  if (core_->committer().next_pending_slot() <= before) return;  // stale snapshot
+  catchup_request_outstanding_ = false;
+  snapshot_catchups_.fetch_add(1, std::memory_order_relaxed);
+  MM_LOG(kInfo) << "v" << id() << " installed snapshot from v" << data.author
+                << " (horizon r" << data.horizon << ", head r" << data.head.round
+                << ")";
+  // Persist the snapshot as our own recovery point: a crash from here on
+  // must not land us back below everyone's horizon. The sequence continues
+  // our local numbering.
+  data.sequence = ++checkpoint_seq_;
+  last_checkpoint_horizon_ = data.horizon;
+  // Re-encoded rather than stored verbatim so the local sequence stamp keeps
+  // our file numbering monotonic (rare path; the cost is one serialization).
+  auto restamped = std::make_shared<const Bytes>(encode_checkpoint(data));
+  latest_checkpoint_bytes_ = restamped;
+  if (checkpoint_store_ != nullptr) {
+    try {
+      checkpoint_store_->write(data.sequence, {restamped->data(), restamped->size()});
+      checkpoint_store_->retire(2);
+    } catch (const std::exception& error) {
+      MM_LOG(kWarn) << "v" << id() << " failed to persist snapshot: " << error.what();
+    }
+  }
+  // The scanner's replica predates the install; rebuild it before any
+  // further scan. Then perform() logs the installed suffix to our WAL and
+  // lets consensus resume.
+  if (commit_scanner_ != nullptr) {
+    bool defer = false;
+    {
+      std::lock_guard<std::mutex> lock(commit_mutex_);
+      pending_commit_blocks_.clear();
+      if (commit_scan_scheduled_) {
+        // A drain may be touching the scanner right now: flag it and let the
+        // drain hand control back (rebuild_commit_scanner via loop post).
+        commit_scanner_stale_ = true;
+        defer = true;
+      }
+    }
+    if (!defer) rebuild_commit_scanner();
+  }
+  perform(std::move(actions));
+}
+
+void NodeRuntime::rebuild_commit_scanner() {
+  // Loop thread, with no scan drain alive: reseed the replica from the
+  // post-install DAG and head.
+  commit_scanner_ = std::make_unique<CommitScanner>(
+      core_->dag(), core_->committer().next_pending_slot(), committee_,
+      config_.validator.committer);
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(commit_mutex_);
+    commit_scanner_stale_ = false;
+    // Blocks that queued while the rebuild was pending are already inside
+    // the seed DAG or genuinely new; either way the drain dedups via the
+    // replica's own insert.
+    commit_scan_scheduled_ = !pending_commit_blocks_.empty();
+    schedule = commit_scan_scheduled_;
+  }
+  if (schedule) verify_pool_->submit([this] { scan_pending_commits(); });
 }
 
 void NodeRuntime::offer_latest_block(ValidatorId peer) {

@@ -38,10 +38,29 @@
 //     never wedge the proposal path.
 // Together these leave the loop thread as pure I/O multiplexing.
 //
+// Checkpointing (ValidatorConfig::checkpoint_interval, checkpoint/):
+//   * with persistence, the WAL runs the segmented layout (rolling
+//     seg-*.wal files + a checkpoint store in the same directory) instead of
+//     one monolithic file, and recovery prefers newest-valid-checkpoint +
+//     segment-suffix replay;
+//   * every time the GC horizon advances past the interval, the loop thread
+//     captures the consistent cut and rolls the active segment; a worker
+//     serializes and lands the checkpoint file crash-atomically; completion
+//     posts back to the loop thread, which retires the sealed segments the
+//     checkpoint covers;
+//   * a peer that asks for ancestors below our GC horizon gets a kHorizon
+//     notice; when it is stuck below it, it sends kCheckpointRequest and we
+//     answer with the latest encoded checkpoint, which it verifies off-loop
+//     and installs — the only way a validator that fell behind every peer's
+//     horizon can ever catch up.
+//
 // Message frames (first payload byte is the type):
-//   kHandshake: u32 validator id + 32-byte committee epoch seed
-//   kBlock:     serialized block
-//   kFetch:     varint count + (round, author, digest) refs
+//   kHandshake:          u32 validator id + 32-byte committee epoch seed
+//   kBlock:              serialized block
+//   kFetch:              varint count + (round, author, digest) refs
+//   kHorizon:            varint GC horizon of the sender
+//   kCheckpointRequest:  empty (send me your latest checkpoint)
+//   kCheckpointResponse: one encode_checkpoint() record
 #pragma once
 
 #include <atomic>
@@ -52,6 +71,8 @@
 #include <thread>
 #include <vector>
 
+#include "checkpoint/checkpoint.h"
+#include "checkpoint/segmented_wal.h"
 #include "core/commit_scanner.h"
 #include "net/event_loop.h"
 #include "net/tcp.h"
@@ -86,7 +107,9 @@ struct NodeRuntimeConfig {
   ValidatorConfig validator;
   // peers[i] is validator i's listen address; peers[validator.id] is ours.
   std::vector<NodeAddress> peers;
-  // Empty = no persistence.
+  // Empty = no persistence. With validator.checkpoint_interval > 0 (and
+  // gc_depth set) this is a DIRECTORY holding the segmented layout —
+  // seg-*.wal files, MANIFEST, ckpt-*.ckpt — instead of one log file.
   std::string wal_path;
   TimeMicros tick_interval = millis(50);
   TimeMicros dial_retry = millis(200);
@@ -193,6 +216,19 @@ class NodeRuntime {
   std::uint64_t wal_flush_micros() const {
     return group_wal_ ? group_wal_->flush_micros() : 0;
   }
+  // Checkpoint subsystem introspection (thread-safe).
+  bool checkpointing_active() const { return checkpointing_; }
+  bool segmented_wal_active() const { return seg_wal_ != nullptr; }
+  std::uint64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
+  // Snapshot catch-ups completed: peer checkpoints verified and installed.
+  std::uint64_t snapshot_catchups() const {
+    return snapshot_catchups_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checkpoints_served() const {
+    return checkpoints_served_.load(std::memory_order_relaxed);
+  }
   // Batches this runtime's submit() path rejected (subset view of
   // mempool_stats(), attributable to local clients).
   std::uint64_t submit_rejected() const {
@@ -203,7 +239,14 @@ class NodeRuntime {
   std::uint16_t listen_port() const { return listen_port_.load(); }
 
  private:
-  enum class MessageType : std::uint8_t { kHandshake = 1, kBlock = 2, kFetch = 3 };
+  enum class MessageType : std::uint8_t {
+    kHandshake = 1,
+    kBlock = 2,
+    kFetch = 3,
+    kHorizon = 4,
+    kCheckpointRequest = 5,
+    kCheckpointResponse = 6,
+  };
 
   struct RawFrame {
     ValidatorId peer;
@@ -262,6 +305,28 @@ class NodeRuntime {
   void admit_batches(std::vector<TxBatch> batches);
   // Queues one proposal re-check on the loop thread (collapses bursts).
   void nudge_proposal();
+  // --- Checkpoint writer + snapshot catch-up (loop thread unless noted) ----
+  // Cuts a checkpoint when the GC horizon advanced past the interval: the
+  // consistent capture and the segment roll happen here; serialization and
+  // the crash-atomic file write go to a worker (one in flight at a time).
+  void maybe_checkpoint();
+  // Completion posted back by the writer task: records the new horizon,
+  // caches the encoded bytes for serving, retires covered segments and old
+  // checkpoint files.
+  void finish_checkpoint(Round horizon, std::uint64_t keep_from,
+                         std::shared_ptr<const Bytes> encoded);
+  // Answers kCheckpointRequest with the latest encoded checkpoint, if any.
+  void serve_checkpoint(ValidatorId peer);
+  // Worker-side: decodes + verifies a received checkpoint, posts the install.
+  void verify_checkpoint_response(ValidatorId peer, Bytes payload);
+  // Installs a verified peer checkpoint into the core and persists it as our
+  // own recovery point; rebuilds the commit scanner (its replica no longer
+  // matches the installed DAG).
+  void install_peer_checkpoint(CheckpointData data);
+  // Scanner rebuild handshake: runs on the loop thread once no scan drain
+  // can be touching the old scanner (immediately when idle, else posted by
+  // the draining worker when it observes the stale flag).
+  void rebuild_commit_scanner();
   void tick();
   Bytes encode_block(const Block& block) const;
   // Sends our latest own block to `peer` (all peers when kAllPeers); its
@@ -279,7 +344,35 @@ class NodeRuntime {
   // Non-null iff wal_ is a GroupCommitWal (introspection + explicit shutdown
   // before the loop object dies: the writer posts acks through loop_).
   GroupCommitWal* group_wal_ = nullptr;
+  // Non-null iff the segmented layout is active: the SegmentedWal owned by
+  // wal_ (directly, or inside the group-commit decorator). Its internal
+  // mutex makes the loop thread's roll/retire safe against the WAL writer
+  // thread's appends.
+  SegmentedWal* seg_wal_ = nullptr;
   CommitHandler commit_handler_;
+
+  // Checkpoint subsystem (loop-thread state unless noted).
+  bool checkpointing_ = false;  // interval > 0 and the core can capture
+  // Armed when the core emits a checkpoint request, cleared by a successful
+  // install: kCheckpointResponse frames arriving outside that window are
+  // dropped BEFORE the (expensive) off-loop decode + verification — a peer
+  // must not be able to push unsolicited snapshots at healthy nodes.
+  bool catchup_request_outstanding_ = false;
+  std::unique_ptr<CheckpointStore> checkpoint_store_;  // null without wal_path
+  bool checkpoint_in_flight_ = false;
+  Round last_checkpoint_horizon_ = 0;
+  std::uint64_t checkpoint_seq_ = 0;
+  // Segment boundary recorded at the PREVIOUS completed cut. Retirement lags
+  // one checkpoint: recovery can fall back past a corrupt newest checkpoint
+  // to the previous one only if the segments from the previous cut's
+  // boundary still exist (mirrors CheckpointStore's keep-2 policy).
+  std::uint64_t checkpoint_keep_from_ = 0;
+  // Latest encoded checkpoint, served to catching-up peers. shared_ptr so
+  // the in-flight writer task and a concurrent serve never copy the blob.
+  std::shared_ptr<const Bytes> latest_checkpoint_bytes_;
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::atomic<std::uint64_t> snapshot_catchups_{0};
+  std::atomic<std::uint64_t> checkpoints_served_{0};
 
   EventLoop loop_;
   std::thread thread_;
@@ -329,6 +422,10 @@ class NodeRuntime {
   std::mutex commit_mutex_;
   std::vector<BlockPtr> pending_commit_blocks_;  // guarded by commit_mutex_
   bool commit_scan_scheduled_ = false;           // guarded by commit_mutex_
+  // Set (with the queue cleared) when a checkpoint install invalidated the
+  // scanner's replica; the active drain observes it, stops touching the
+  // scanner and posts rebuild_commit_scanner() to the loop thread.
+  bool commit_scanner_stale_ = false;            // guarded by commit_mutex_
   // Off-loop egress encoding. Unbounded like the commit queue: entries are
   // blocks this node itself decided to send (proposals, offers) or already
   // holds in its DAG (fetch responses, whose volume a peer caps at

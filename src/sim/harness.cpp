@@ -5,8 +5,11 @@
 
 #include "baselines/cordial_miners.h"
 #include "baselines/tusk.h"
+#include "checkpoint/checkpoint.h"
+#include "checkpoint/segmented_wal.h"
 #include "common/log.h"
 #include "core/commit_scanner.h"
+#include "serde/serde.h"
 #include "wal/wal.h"
 
 namespace mahimahi::sim {
@@ -98,9 +101,12 @@ struct SimHarness::Impl {
     down.assign(config.n, 0);
     mem_logs.resize(config.n);
     wals.resize(config.n);
+    seg_wals.assign(config.n, nullptr);
     wal_stages.resize(config.n);
     scanners.resize(config.n);
     scan_scheduled.assign(config.n, 0);
+    ckpts.resize(config.n);
+    ckpt_stores.resize(config.n);
     for (ValidatorId v = 0; v < config.n; ++v) {
       if (!alive(v)) {
         nodes.push_back(nullptr);
@@ -108,9 +114,33 @@ struct SimHarness::Impl {
       }
       nodes.push_back(make_node(v));
       scanners[v] = make_scanner(v);
-      if (!config.wal_dir.empty()) {
-        wals[v] = std::make_unique<FileWal>(wal_path(v));
+      if (!config.wal_dir.empty()) open_wal(v);
+    }
+  }
+
+  // Does this run model the checkpoint subsystem? Requires a horizon to cut
+  // at (gc_depth) and a core with the restore-capable default committer.
+  bool checkpointing_active(ValidatorId v) const {
+    return config.checkpoint_interval > 0 &&
+           options_for(config).gc_depth > 0 && nodes[v] != nullptr &&
+           nodes[v]->checkpoint_capable();
+  }
+
+  // Opens validator v's on-disk log in the layout this run models: rolling
+  // segments + a checkpoint store with checkpointing on, one monolithic
+  // FileWal otherwise.
+  void open_wal(ValidatorId v) {
+    if (config.checkpoint_interval > 0 && options_for(config).gc_depth > 0) {
+      SegmentedWalOptions options;
+      options.segment_bytes = config.wal_segment_bytes;
+      auto segmented = std::make_unique<SegmentedWal>(wal_path(v), options);
+      seg_wals[v] = segmented.get();
+      wals[v] = std::move(segmented);
+      if (ckpt_stores[v] == nullptr) {
+        ckpt_stores[v] = std::make_unique<CheckpointStore>(wal_path(v));
       }
+    } else {
+      wals[v] = std::make_unique<FileWal>(wal_path(v));
     }
   }
 
@@ -315,6 +345,105 @@ struct SimHarness::Impl {
       scanners[v]->ingest(actions.inserted);
       schedule_commit_scan(v);
     }
+
+    // Checkpoint & state sync: horizon notices travel like any small
+    // message; catch-up requests pull the serving peer's latest snapshot.
+    for (const auto& notice : actions.horizon_notices) {
+      schedule_small_message(
+          v, notice.peer, [this, from = v, to = notice.peer, h = notice.horizon] {
+            handle_actions(to, nodes[to]->on_peer_horizon(from, h, queue.now()));
+          });
+    }
+    for (const ValidatorId target : actions.checkpoint_requests) {
+      ++checkpoint_requests;
+      schedule_small_message(v, target,
+                             [this, v, target] { serve_checkpoint(target, v); });
+    }
+
+    // Commits may have advanced the GC horizon past the checkpoint interval.
+    maybe_cut_checkpoint(v);
+  }
+
+  // The deterministic checkpoint cut: capture the consistent state and roll
+  // the active segment NOW, complete (publish/persist/retire) a write-delay
+  // later. A crash in between drops the in-flight checkpoint — the
+  // completion event is epoch-guarded exactly like the group-commit flush.
+  void maybe_cut_checkpoint(ValidatorId v) {
+    if (!running(v) || !checkpointing_active(v)) return;
+    auto& state = ckpts[v];
+    if (state.in_flight) return;
+    const Round horizon = nodes[v]->dag().pruned_below();
+    if (horizon == 0 || horizon < state.last_horizon + config.checkpoint_interval) {
+      return;
+    }
+    CheckpointData data = nodes[v]->capture_checkpoint();
+    data.sequence = ++state.seq;
+    const std::uint64_t keep_from =
+        seg_wals[v] != nullptr ? seg_wals[v]->roll_segment() : 0;
+    state.in_flight = true;
+    auto encoded = std::make_shared<const Bytes>(encode_checkpoint(data));
+    queue.schedule_after(
+        config.checkpoint_write_delay,
+        [this, v, encoded, horizon, keep_from, seq = data.sequence,
+         epoch = wal_stages[v].epoch] {
+          if (wal_stages[v].epoch != epoch || !running(v)) return;  // crashed mid-write
+          auto& done = ckpts[v];
+          done.in_flight = false;
+          done.last_horizon = horizon;
+          done.latest = encoded;
+          if (ckpt_stores[v] != nullptr) {
+            ckpt_stores[v]->write(seq, {encoded->data(), encoded->size()});
+            ckpt_stores[v]->retire(2);
+          }
+          // One cut of retirement lag (see NodeRuntime::finish_checkpoint).
+          if (seg_wals[v] != nullptr) {
+            seg_wals[v]->retire_segments_below(done.keep_from);
+          }
+          done.keep_from = keep_from;
+          ++checkpoints_written;
+        });
+  }
+
+  // A catching-up validator asked `server` for its latest snapshot. The
+  // transfer pays sender-side bandwidth serialization on the snapshot bytes
+  // plus link latency, like a (large) block send.
+  void serve_checkpoint(ValidatorId server, ValidatorId client) {
+    const auto& blob = ckpts[server].latest;
+    if (blob == nullptr || !alive(client)) return;
+    const TimeMicros start = std::max(queue.now(), egress_free[server]);
+    egress_free[server] = start + transmission_delay(blob->size());
+    const TimeMicros arrival =
+        egress_free[server] + latency->sample(server, client, rng);
+    queue.schedule(arrival, [this, client, blob] {
+      if (!running(client)) return;
+      install_snapshot(client, *blob);
+    });
+  }
+
+  // The receiving side of snapshot catch-up: the real codec and verification
+  // over the wire bytes, then the core install and a scanner reseed (the
+  // replica predates the installed DAG).
+  void install_snapshot(ValidatorId client, const Bytes& encoded) {
+    CheckpointData data;
+    try {
+      data = decode_checkpoint({encoded.data(), encoded.size()});
+    } catch (const serde::SerdeError&) {
+      return;  // torn/corrupt snapshot: the requester retries elsewhere
+    }
+    ValidationOptions validation;
+    validation.verify_signature = config.verify_crypto;
+    validation.verify_coin_share = config.verify_crypto;
+    if (!verify_checkpoint(data, setup.committee, options_for(config), validation,
+                           verifier_cache.get())
+             .empty()) {
+      return;
+    }
+    const SlotId before = nodes[client]->committer().next_pending_slot();
+    Actions actions = nodes[client]->install_checkpoint(data, queue.now());
+    if (nodes[client]->committer().next_pending_slot() <= before) return;  // stale
+    ++snapshot_catchups;
+    scanners[client] = make_scanner(client);
+    handle_actions(client, std::move(actions));
   }
 
   void schedule_wal_flush(ValidatorId v) {
@@ -388,11 +517,15 @@ struct SimHarness::Impl {
     wal_stages[v].records.clear();
     wal_stages[v].gated_broadcasts.clear();
     wal_stages[v].flush_scheduled = false;
-    ++wal_stages[v].epoch;  // invalidate in-flight flush events
+    ++wal_stages[v].epoch;  // invalidate in-flight flush + checkpoint events
+    // An in-flight checkpoint cut dies with the process: its completion
+    // event is epoch-guarded, and the captured state was never published.
+    ckpts[v].in_flight = false;
     if (wals[v] != nullptr) {
       // Keep the file for replay; drop the open handle like a crash would.
       wals[v]->sync();
       wals[v].reset();
+      seg_wals[v] = nullptr;
     }
   }
 
@@ -418,12 +551,35 @@ struct SimHarness::Impl {
       }
     };
 
+    // Recovery prefers newest valid checkpoint + log-suffix replay: install
+    // first (it sets the horizon, so sub-horizon log records are skipped),
+    // then replay whatever the log still holds. Recovery from an older
+    // checkpoint (a newer one corrupted mid-write) degrades to more replay,
+    // never to divergence — the log records are a superset of every cut.
+    if (checkpointing_active(v)) {
+      std::optional<CheckpointData> recovered;
+      if (ckpt_stores[v] != nullptr) {
+        recovered = ckpt_stores[v]->load_newest_valid();
+      } else if (ckpts[v].latest != nullptr) {
+        recovered = decode_checkpoint({ckpts[v].latest->data(), ckpts[v].latest->size()});
+      }
+      if (recovered.has_value()) {
+        nodes[v]->install_checkpoint(*recovered, queue.now());
+        ckpts[v].last_horizon = recovered->horizon;
+        ckpts[v].seq = std::max(ckpts[v].seq, recovered->sequence);
+      }
+    }
+
     if (!config.wal_dir.empty()) {
       FileWal::Visitor visitor;
       visitor.on_block = [&](BlockPtr block, bool) { replay_one(std::move(block)); };
       visitor.on_commit = [](SlotId) {};
-      FileWal::replay(wal_path(v), visitor);
-      wals[v] = std::make_unique<FileWal>(wal_path(v));  // resume appends
+      if (config.checkpoint_interval > 0 && options_for(config).gc_depth > 0) {
+        SegmentedWal::replay(wal_path(v), visitor);
+      } else {
+        FileWal::replay(wal_path(v), visitor);
+      }
+      open_wal(v);  // resume appends
     } else {
       for (const auto& block : mem_logs[v]) replay_one(block);
     }
@@ -515,6 +671,9 @@ struct SimHarness::Impl {
     result.fetch_requests = fetch_requests;
     result.wal_replayed_blocks = wal_replayed_blocks;
     result.wal_groups_flushed = wal_groups_flushed;
+    result.checkpoints_written = checkpoints_written;
+    result.snapshot_catchups = snapshot_catchups;
+    result.checkpoint_requests = checkpoint_requests;
     result.equivocation_cells = count_equivocation_cells();
     if (config.record_sequences) {
       result.sequences = std::move(sequences);
@@ -553,8 +712,28 @@ struct SimHarness::Impl {
   // Parallel commit: per-validator replica scanner + pending-scan-event flag.
   std::vector<std::unique_ptr<CommitScanner>> scanners;
   std::vector<char> scan_scheduled;
-  std::vector<std::unique_ptr<FileWal>> wals;     // per validator, when wal_dir set
+  // Per validator, when wal_dir is set: monolithic FileWal, or SegmentedWal
+  // (seg_wals holds the downcast) when the run models checkpointing.
+  std::vector<std::unique_ptr<FramedWal>> wals;
+  std::vector<SegmentedWal*> seg_wals;
   std::vector<std::vector<BlockPtr>> mem_logs;    // in-memory WAL fallback
+  // Checkpoint model state. `latest` models the durable checkpoint store in
+  // in-memory runs (it survives crashes, like mem_logs); on-disk runs
+  // additionally persist through ckpt_stores.
+  struct CkptState {
+    std::shared_ptr<const Bytes> latest;  // encoded, completed checkpoint
+    std::uint64_t seq = 0;
+    Round last_horizon = 0;
+    bool in_flight = false;
+    // Segment boundary of the previous completed cut: retirement lags one
+    // checkpoint so recovery can fall back past a corrupt newest file.
+    std::uint64_t keep_from = 0;
+  };
+  std::vector<CkptState> ckpts;
+  std::vector<std::unique_ptr<CheckpointStore>> ckpt_stores;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t snapshot_catchups = 0;
+  std::uint64_t checkpoint_requests = 0;
   // Group-commit staging (SimConfig::wal_group_commit): records and gated
   // broadcast groups awaiting the deferred flush event.
   struct WalStage {

@@ -73,6 +73,24 @@ struct SimConfig {
   bool wal_group_commit = false;
   TimeMicros wal_flush_interval = millis(1);
 
+  // Deterministic model of the checkpoint subsystem (checkpoint/). Nonzero
+  // checkpoint_interval (with a gc_depth-bearing committer_override) cuts a
+  // checkpoint whenever a validator's GC horizon advances that many rounds:
+  // the consistent capture and (with wal_dir) the segment roll happen at the
+  // cut event, and the encoded snapshot becomes visible — installed as the
+  // validator's latest, written to its CheckpointStore, covered segments
+  // retired — only when a completion event fires checkpoint_write_delay
+  // later. A crash in between drops the in-flight checkpoint (epoch-guarded,
+  // like the group-commit flush): exactly what a real crash-during-
+  // checkpoint loses. Peers that request sub-horizon ancestors get horizon
+  // notices, and a stuck validator fetches + installs the serving peer's
+  // latest snapshot — the real codec and verification, over simulated links.
+  Round checkpoint_interval = 0;
+  TimeMicros checkpoint_write_delay = millis(5);
+  // Segment-roll budget of the on-disk layout (wal_dir runs); the sim uses
+  // smaller segments than the runtime default so tests exercise rolls.
+  std::uint64_t wal_segment_bytes = 256 * 1024;
+
   // Network. wan=false uses UniformLatency(uniform_latency).
   bool wan = true;
   TimeMicros uniform_latency = millis(50);
@@ -158,6 +176,9 @@ struct SimResult {
   std::uint64_t wal_replayed_blocks = 0;  // blocks replayed across all restarts
   std::uint64_t wal_groups_flushed = 0;   // non-empty group flushes (group commit)
   std::uint64_t mempool_rejected = 0;     // admission rejects at validator 0's pool
+  std::uint64_t checkpoints_written = 0;  // completed checkpoint cuts, all validators
+  std::uint64_t snapshot_catchups = 0;    // peer checkpoints installed
+  std::uint64_t checkpoint_requests = 0;  // catch-up requests sent
 
   // Max over surviving validators of (author, round) cells holding more
   // than one block — nonzero only if some author equivocated (configured

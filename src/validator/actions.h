@@ -39,17 +39,35 @@ struct Actions {
   // Drivers append these to the write-ahead log.
   std::vector<BlockPtr> inserted;
 
+  // A peer asked for ancestors we garbage-collected: tell it our GC horizon
+  // so it can stop retrying and switch to snapshot catch-up (the fetch path
+  // alone would stall it forever — nobody past the horizon can serve those
+  // refs).
+  struct HorizonNotice {
+    ValidatorId peer;
+    Round horizon;
+  };
+  std::vector<HorizonNotice> horizon_notices;
+
+  // We are stuck below a peer's GC horizon: ask it for its latest
+  // checkpoint. The driver answers with the serialized snapshot, verifies it
+  // and feeds it back through ValidatorCore::install_checkpoint.
+  std::vector<ValidatorId> checkpoint_requests;
+
   void merge(Actions&& other) {
     for (auto& b : other.broadcast) broadcast.push_back(std::move(b));
     for (auto& f : other.fetch_requests) fetch_requests.push_back(std::move(f));
     for (auto& r : other.responses) responses.push_back(std::move(r));
     for (auto& c : other.committed) committed.push_back(std::move(c));
     for (auto& i : other.inserted) inserted.push_back(std::move(i));
+    for (auto& h : other.horizon_notices) horizon_notices.push_back(h);
+    for (auto& p : other.checkpoint_requests) checkpoint_requests.push_back(p);
   }
 
   bool empty() const {
     return broadcast.empty() && fetch_requests.empty() && responses.empty() &&
-           committed.empty() && inserted.empty();
+           committed.empty() && inserted.empty() && horizon_notices.empty() &&
+           checkpoint_requests.empty();
   }
 };
 

@@ -77,6 +77,24 @@ struct ValidatorConfig {
   // pool (NodeRuntimeConfig::verify_threads = 0).
   bool egress_offload = true;
 
+  // --- Checkpoint & state sync (checkpoint/) --------------------------------
+  //
+  // Cut a checkpoint every time the GC horizon advances this many rounds
+  // past the previous cut (requires committer.gc_depth > 0 — without GC
+  // there is no horizon to cut at, and the log already bounds nothing).
+  // 0 = no checkpointing: drivers keep the monolithic WAL layout.
+  // Nonzero (with persistence configured) switches the driver to the
+  // segmented WAL + checkpoint store layout and enables snapshot catch-up
+  // serving.
+  Round checkpoint_interval = 0;
+  // Segment-roll byte budget of the segmented WAL layout (see
+  // checkpoint/segmented_wal.h); ignored while checkpoint_interval is 0.
+  std::uint64_t wal_segment_bytes = 4 << 20;
+  // Minimum spacing between snapshot catch-up requests, so a validator deep
+  // below everyone's horizon asks one peer at a time instead of fanning a
+  // multi-megabyte download out to the whole committee.
+  TimeMicros catchup_retry_delay = seconds(1);
+
   // Off-loop commit evaluation. When set (and no committer_factory
   // overrides the default committer), input handlers stop running the
   // commit-rule scan inline: the driver owns a core/commit_scanner.h replica

@@ -1,5 +1,6 @@
 #include "validator/validator.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "common/log.h"
@@ -20,10 +21,12 @@ ValidatorCore::ValidatorCore(const Committee& committee, crypto::Ed25519PrivateK
       mempool_(config.mempool_instance
                    ? config.mempool_instance
                    : std::make_shared<ShardedMempool>(config.mempool)) {
-  if (config_.parallel_commit && !config.committer_factory) {
-    // Without a factory override the committer is the split-capable default
-    // built above; custom commit rules keep the inline path.
-    split_committer_ = static_cast<Committer*>(committer_.get());
+  if (!config.committer_factory) {
+    // Without a factory override the committer is the split/restore-capable
+    // default built above; custom commit rules keep the inline path and
+    // cannot checkpoint.
+    default_committer_ = static_cast<Committer*>(committer_.get());
+    if (config_.parallel_commit) split_committer_ = default_committer_;
   }
   own_last_block_ = dag_.slot(0, config_.id).front();  // own genesis
   // Genesis blocks of every validator start as tips.
@@ -58,6 +61,13 @@ Actions ValidatorCore::recover_block(BlockPtr block) {
       last_proposed_round_ = block->round();
       own_last_block_ = block;
     }
+  }
+  if (block->round() < dag_.pruned_below()) {
+    // Below the horizon of a checkpoint installed before this replay: the
+    // record predates the cut and the checkpoint already summarizes it.
+    // Inserting it would plant a round below the pruned horizon that no
+    // later prune can reach.
+    return actions;
   }
   if (!dag_.parents_present(*block)) {
     // Possible when the pre-crash validator admitted this block through the
@@ -266,12 +276,155 @@ Actions ValidatorCore::on_fetch_request(const std::vector<BlockRef>& refs,
   Actions actions;
   Actions::BlockResponse response;
   response.peer = from;
+  bool below_horizon = false;
   for (const auto& ref : refs) {
     if (const BlockPtr block = dag_.get(ref.digest)) {
       if (block->round() > 0) response.blocks.push_back(block);
+    } else if (ref.round < dag_.pruned_below()) {
+      // We garbage-collected that history; no amount of retrying will ever
+      // get it from us. Tell the requester where our horizon stands so it
+      // can switch to snapshot catch-up instead of stalling forever.
+      below_horizon = true;
     }
   }
   if (!response.blocks.empty()) actions.responses.push_back(std::move(response));
+  if (below_horizon) {
+    actions.horizon_notices.push_back({from, dag_.pruned_below()});
+  }
+  return actions;
+}
+
+Actions ValidatorCore::on_peer_horizon(ValidatorId peer, Round horizon,
+                                       TimeMicros now) {
+  Actions actions;
+  if (default_committer_ == nullptr) return actions;  // cannot install → don't ask
+  if (horizon <= dag_.pruned_below()) return actions;  // peer not ahead of us
+  // Only worth a snapshot when we are actually stuck: some outstanding
+  // ancestor sits below the peer's horizon, so neither this peer nor anyone
+  // whose horizon also passed it can ever serve the fetch.
+  bool stuck = false;
+  for (const auto& ref : synchronizer_.outstanding()) {
+    if (ref.round < horizon) {
+      stuck = true;
+      break;
+    }
+  }
+  if (!stuck) return actions;
+  if (last_catchup_request_.has_value() &&
+      now - *last_catchup_request_ < config_.catchup_retry_delay) {
+    return actions;
+  }
+  last_catchup_request_ = now;
+  actions.checkpoint_requests.push_back(peer);
+  return actions;
+}
+
+CheckpointData ValidatorCore::capture_checkpoint() const {
+  CheckpointData data;
+  data.author = config_.id;
+  data.horizon = dag_.pruned_below();
+  data.head = committer_->next_pending_slot();
+  data.last_proposed_round = last_proposed_round_;
+  for (const SlotDecision& decision : committer_->decided_sequence()) {
+    data.decided.push_back({decision.slot, decision.leader, decision.kind,
+                            decision.via, decision.ref});
+  }
+  if (default_committer_ != nullptr) {
+    data.delivered = default_committer_->delivered_snapshot(data.horizon);
+  }
+  // The live suffix, round-ascending so installation inserts parents before
+  // children (a parent's round is strictly below its child's). Genesis is
+  // excluded: every validator constructs it locally.
+  for (Round r = std::max<Round>(1, data.horizon); r <= dag_.highest_round(); ++r) {
+    for (const BlockPtr& block : dag_.blocks_at(r)) data.blocks.push_back(block);
+  }
+  return data;
+}
+
+Actions ValidatorCore::install_checkpoint(const CheckpointData& data, TimeMicros now) {
+  Actions actions;
+  if (default_committer_ == nullptr) return actions;  // no restore path
+  if (data.head <= committer_->next_pending_slot()) return actions;  // not ahead
+
+  // Drop local state below the checkpoint's horizon. Pending blocks whose
+  // only missing parents fall below it unblock and insert, like any other
+  // horizon move.
+  if (data.horizon > dag_.pruned_below()) {
+    dag_.prune_below(data.horizon);
+    committer_->prune_below(data.horizon);
+    std::erase_if(tips_,
+                  [&data](const BlockRef& ref) { return ref.round < data.horizon; });
+    for (BlockPtr& unblocked : synchronizer_.prune_below(data.horizon)) {
+      inflight_fetches_.erase(unblocked->digest());
+      note_inserted(unblocked);
+      actions.inserted.push_back(std::move(unblocked));
+    }
+  }
+
+  // Install the DAG suffix through the synchronizer so parked descendants
+  // cascade. The suffix is round-ascending and the horizon is set, so
+  // nothing can report missing parents.
+  for (const BlockPtr& block : data.blocks) {
+    if (dag_.contains(block->digest())) continue;
+    if (block->author() == config_.id && block->round() > last_proposed_round_) {
+      // Our own pre-crash history, coming back to us via a peer's snapshot:
+      // restore the proposer round before anything can trigger a proposal.
+      last_proposed_round_ = block->round();
+      own_last_block_ = block;
+    }
+    auto outcome = synchronizer_.offer(block);
+    for (BlockPtr& inserted : outcome.inserted) {
+      inflight_fetches_.erase(inserted->digest());
+      note_inserted(inserted);
+      actions.inserted.push_back(std::move(inserted));
+    }
+  }
+
+  // Adopt the consumption state: the decided log with blocks re-resolved
+  // against the (just installed) DAG — commits below the horizon keep only
+  // their ref.
+  std::vector<SlotDecision> decided;
+  decided.reserve(data.decided.size());
+  for (const auto& d : data.decided) {
+    SlotDecision decision;
+    decision.slot = d.slot;
+    decision.leader = d.leader;
+    decision.kind = d.kind;
+    decision.via = d.via;
+    decision.final_decision = true;
+    if (d.kind == SlotDecision::Kind::kCommit) {
+      decision.ref = d.block;
+      decision.block = dag_.get(d.block.digest);
+    }
+    decided.push_back(std::move(decision));
+  }
+  default_committer_->restore(std::move(decided), data.head, data.delivered);
+
+  if (data.author == config_.id && data.last_proposed_round > last_proposed_round_) {
+    // Recovering from our own checkpoint: the proposer round it recorded may
+    // exceed the highest own block in the suffix (a proposal below the
+    // horizon with no successor above it).
+    last_proposed_round_ = data.last_proposed_round;
+  }
+
+  // Fetch bookkeeping for ancestry the install made moot (resolved by the
+  // suffix, or pruned with the horizon) would linger forever otherwise.
+  std::unordered_set<Digest, DigestHasher> still_missing;
+  for (const auto& ref : synchronizer_.outstanding()) still_missing.insert(ref.digest);
+  std::erase_if(inflight_fetches_, [&still_missing](const auto& entry) {
+    return !still_missing.contains(entry.first);
+  });
+
+  ++checkpoints_installed_;
+  last_catchup_request_.reset();  // a fresh stall may legitimately re-request
+
+  // The installed suffix may already decide slots past the head. Deliberately
+  // NO maybe_propose here: during the recovery-path install the driver
+  // discards these actions, and a proposal minted now would enter the DAG
+  // without ever being logged or broadcast — the next tick or input proposes
+  // instead, through the normal logged path.
+  (void)now;
+  commit_and_gc(actions);
   return actions;
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <set>
 
+#include "checkpoint/checkpoint.h"
 #include "client/metrics.h"
 #include "core/committer.h"
 #include "mempool/mempool.h"
@@ -88,6 +89,41 @@ class ValidatorCore {
   // commits that replaying reproduces.
   Actions recover_block(BlockPtr block);
 
+  // --- Checkpoint & state sync (checkpoint/) --------------------------------
+
+  // A peer told us its GC horizon after we requested ancestors below it.
+  // When we are genuinely stuck (some outstanding ancestor can never be
+  // served by anyone whose horizon passed it), emits a rate-limited
+  // Actions::checkpoint_requests entry.
+  Actions on_peer_horizon(ValidatorId peer, Round horizon, TimeMicros now);
+
+  // Serializes the consistent cut at the current GC horizon: consumption
+  // head, decided log, delivered marks, live DAG suffix, proposer round.
+  // The driver adds sequence and the application snapshot before encoding.
+  // Requires checkpoint_capable().
+  CheckpointData capture_checkpoint() const;
+
+  // Installs a verified checkpoint: prunes local state below its horizon,
+  // inserts the DAG suffix (returned via Actions::inserted so the driver
+  // logs it), adopts the decided log + head, and restores the proposer round
+  // from any own blocks it contains. Used both for recovery (newest local
+  // checkpoint before segment replay) and snapshot catch-up (a peer's
+  // checkpoint received off the wire — run checkpoint/checkpoint.h
+  // verify_checkpoint first). No-op when the checkpoint is not ahead of this
+  // validator or a custom committer_factory rule is active. In
+  // parallel-commit mode the driver must rebuild its scanner afterwards: the
+  // replica it fed no longer matches the installed DAG.
+  Actions install_checkpoint(const CheckpointData& data, TimeMicros now);
+
+  // Can this core capture/install checkpoints? True for the default
+  // (Mahi-Mahi) committer; custom committer_factory rules (e.g. the Tusk
+  // baseline) have no restore path.
+  bool checkpoint_capable() const { return default_committer_ != nullptr; }
+
+  // Checkpoints installed into this core (the recovery-path install and any
+  // snapshot catch-ups).
+  std::uint64_t checkpoints_installed() const { return checkpoints_installed_; }
+
   // --- Introspection ----------------------------------------------------------
 
   ValidatorId id() const { return config_.id; }
@@ -138,8 +174,11 @@ class ValidatorCore {
 
   Dag dag_;
   std::unique_ptr<CommitterBase> committer_;
-  // Non-null iff parallel commit is active: the owned committer_, downcast
-  // to the split-capable default type for apply_commit_decisions().
+  // Non-null iff no committer_factory override is set: the owned committer_,
+  // downcast to the default type, for the split/restore APIs.
+  Committer* default_committer_ = nullptr;
+  // Non-null iff parallel commit is active (default committer + the
+  // parallel_commit flag): apply_commit_decisions() consumes through it.
   Committer* split_committer_ = nullptr;
   Synchronizer synchronizer_;
   std::shared_ptr<ShardedMempool> mempool_;
@@ -164,6 +203,11 @@ class ValidatorCore {
   std::uint64_t blocks_rejected_ = 0;
   std::uint64_t equivocation_counter_ = 0;
   IngestStats ingest_stats_;
+
+  // Snapshot catch-up bookkeeping: last request time (rate limiting) and the
+  // number of live installs.
+  std::optional<TimeMicros> last_catchup_request_;
+  std::uint64_t checkpoints_installed_ = 0;
 };
 
 }  // namespace mahimahi

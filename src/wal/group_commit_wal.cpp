@@ -12,7 +12,7 @@ std::chrono::microseconds chrono_micros(TimeMicros t) {
 
 }  // namespace
 
-GroupCommitWal::GroupCommitWal(std::unique_ptr<FileWal> inner,
+GroupCommitWal::GroupCommitWal(std::unique_ptr<FramedWal> inner,
                                GroupCommitWalOptions options, AckExecutor ack_executor)
     : options_(options), ack_executor_(std::move(ack_executor)), inner_(std::move(inner)) {
   writer_ = std::thread([this] { writer_main(); });

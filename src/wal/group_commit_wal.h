@@ -1,4 +1,5 @@
-// Group-commit decorator over FileWal.
+// Group-commit decorator over a FramedWal layout (monolithic FileWal or the
+// checkpoint subsystem's SegmentedWal).
 //
 // The inline FileWal pays a write + sync on the appender's thread for every
 // insertion batch — on a deployed validator that thread is the event loop,
@@ -57,7 +58,7 @@ class GroupCommitWal : public Wal {
   // Runs a durability ack somewhere; null = on the writer thread.
   using AckExecutor = std::function<void(std::function<void()>)>;
 
-  GroupCommitWal(std::unique_ptr<FileWal> inner, GroupCommitWalOptions options,
+  GroupCommitWal(std::unique_ptr<FramedWal> inner, GroupCommitWalOptions options,
                  AckExecutor ack_executor = nullptr);
   // Drains every staged record (one final group) and joins the writer.
   ~GroupCommitWal() override;
@@ -88,7 +89,7 @@ class GroupCommitWal : public Wal {
   // Total micros the writer spent inside write + sync — the disk time that
   // no longer runs on the appender's thread.
   std::uint64_t flush_micros() const;
-  const FileWal& inner() const { return *inner_; }
+  const FramedWal& inner() const { return *inner_; }
 
  private:
   // Shared append body: blocks for staging space, copies the framed record
@@ -98,7 +99,7 @@ class GroupCommitWal : public Wal {
 
   const GroupCommitWalOptions options_;
   const AckExecutor ack_executor_;
-  std::unique_ptr<FileWal> inner_;
+  std::unique_ptr<FramedWal> inner_;
 
   mutable std::mutex mutex_;
   std::condition_variable writer_wake_;   // writer waits: work or stop

@@ -76,11 +76,19 @@ void FileWal::sync() {
 
 FileWal::ReplayResult FileWal::replay(const std::string& path, const Visitor& visitor,
                                       bool truncate_corrupt_tail) {
+  Bytes scratch;
+  return replay_with_scratch(path, visitor, truncate_corrupt_tail, scratch);
+}
+
+FileWal::ReplayResult FileWal::replay_with_scratch(const std::string& path,
+                                                   const Visitor& visitor,
+                                                   bool truncate_corrupt_tail,
+                                                   Bytes& scratch) {
   ReplayResult result;
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return result;  // absent log = empty log
 
-  Bytes payload;
+  Bytes& payload = scratch;
   for (;;) {
     std::uint8_t header[8];
     const std::size_t header_read = std::fread(header, 1, 8, file);
@@ -114,9 +122,15 @@ FileWal::ReplayResult FileWal::replay(const std::string& path, const Visitor& vi
       switch (type) {
         case WalRecordType::kOwnBlock:
         case WalRecordType::kReceivedBlock: {
-          const Bytes encoded = r.bytes();
-          auto block = std::make_shared<const Block>(
-              Block::deserialize({encoded.data(), encoded.size()}));
+          // Decode straight out of the scratch buffer: copying the
+          // length-prefixed block bytes into their own heap allocation per
+          // record made long replays allocation-bound.
+          const std::uint64_t encoded_len = r.varint();
+          if (encoded_len > r.remaining()) {
+            throw serde::SerdeError("block record length exceeds payload");
+          }
+          const BytesView encoded = r.raw(static_cast<std::size_t>(encoded_len));
+          auto block = std::make_shared<const Block>(Block::deserialize(encoded));
           if (visitor.on_block) {
             visitor.on_block(std::move(block), type == WalRecordType::kOwnBlock);
           }

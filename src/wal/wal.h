@@ -62,6 +62,18 @@ class Wal {
   }
 };
 
+// A WAL whose physical layout accepts pre-framed records verbatim. The two
+// layouts — FileWal (one monolithic file) and checkpoint/segmented_wal.h
+// (rolling segment files) — both implement this, and the group-commit
+// decorator stages records and lands whole groups through it, so group
+// commit composes with either layout.
+class FramedWal : public Wal {
+ public:
+  // Writes one pre-framed buffer (one or more records produced by the
+  // wal_encode_* helpers) verbatim.
+  virtual void append_framed(BytesView framed) = 0;
+};
+
 // No-op WAL for tests and the simulator. on_durable acks synchronously
 // (inherited default with a no-op sync): with nothing persisted there is
 // nothing to wait for.
@@ -72,7 +84,7 @@ class NullWal : public Wal {
   void sync() override {}
 };
 
-class FileWal : public Wal {
+class FileWal : public FramedWal {
  public:
   // Opens (creating or appending) the log at `path`. Throws on failure.
   // fsync_on_sync upgrades sync() from fflush (durable across a process
@@ -93,7 +105,7 @@ class FileWal : public Wal {
   // Writes one pre-framed buffer (one or more records produced by the
   // wal_encode_* helpers) verbatim. The group-commit writer uses this to
   // land a whole group as a single write.
-  void append_framed(BytesView framed);
+  void append_framed(BytesView framed) override;
 
   std::uint64_t bytes_written() const { return bytes_written_; }
 
@@ -114,6 +126,15 @@ class FileWal : public Wal {
   // prefix so subsequent appends produce a clean log.
   static ReplayResult replay(const std::string& path, const Visitor& visitor,
                              bool truncate_corrupt_tail = true);
+
+  // Same scan, but the record payload buffer is caller-supplied: replaying a
+  // multi-file log (the segmented layout) shares ONE scratch buffer across
+  // every file, so replay pays no per-record heap allocation once the buffer
+  // warmed up to the largest record. replay() wraps this with a local
+  // scratch.
+  static ReplayResult replay_with_scratch(const std::string& path,
+                                          const Visitor& visitor,
+                                          bool truncate_corrupt_tail, Bytes& scratch);
 
  private:
   std::string path_;

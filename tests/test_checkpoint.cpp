@@ -1,0 +1,598 @@
+// Checkpoint subsystem tests (checkpoint/): segmented WAL layout, snapshot
+// codec + store, capture/install equivalence, the catch-up handshake, and
+// the crash/recovery property at randomized kill points.
+//
+// The property under test is the subsystem's whole reason to exist: for any
+// kill point — mid-append (torn tail), mid-segment-roll, mid-checkpoint
+// (corrupt newest file) — recovery from newest-valid-checkpoint + segment
+// suffix reaches a state byte-identical (decided log, consumption head, app
+// state digest) to replaying the full monolithic log.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "app/kv_command.h"
+#include "app/kv_store.h"
+#include "checkpoint/checkpoint.h"
+#include "checkpoint/segmented_wal.h"
+#include "common/rng.h"
+#include "serde/serde.h"
+#include "sim/dag_builder.h"
+#include "validator/validator.h"
+#include "wal/wal.h"
+
+namespace mahimahi {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& tag) {
+  const auto dir = fs::path(::testing::TempDir()) /
+                   ("mahi_ckpt_" + tag + "_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+// Observer core (never proposes): its DAG and commit sequence are a pure
+// function of the delivered blocks, so any two recoveries of the same
+// durable prefix must agree exactly.
+ValidatorConfig observer_config(Round gc_depth) {
+  ValidatorConfig vc;
+  vc.observer = true;
+  vc.committer.gc_depth = gc_depth;
+  vc.validation.verify_signature = false;
+  vc.validation.verify_coin_share = false;
+  return vc;
+}
+
+// The deterministic workload: blocks of a fully-connected 4-validator DAG,
+// delivered round-ascending (one block per step).
+struct Workload {
+  Committee::TestSetup setup = Committee::make_test(4);  // same seed as DagBuilder
+  DagBuilder builder{4};
+  std::vector<BlockPtr> blocks;
+
+  explicit Workload(Round rounds) {
+    builder.build_fully_connected(rounds);
+    for (Round r = 1; r <= rounds; ++r) {
+      for (ValidatorId v = 0; v < 4; ++v) {
+        blocks.push_back(builder.dag().slot(r, v).front());
+      }
+    }
+  }
+
+  std::unique_ptr<ValidatorCore> make_core(Round gc_depth) const {
+    return std::make_unique<ValidatorCore>(setup.committee,
+                                           setup.keypairs[0].private_key,
+                                           observer_config(gc_depth));
+  }
+};
+
+// One synthetic app command per delivered block: the KvStore is then a pure
+// function of the delivered sequence — the state a checkpoint's app snapshot
+// must reproduce.
+void apply_commits(app::KvStore& kv, const Actions& actions) {
+  for (const auto& sub : actions.committed) {
+    for (const auto& block : sub.blocks) {
+      kv.apply(app::KvCommand::put(block->digest().hex(),
+                                   std::to_string(block->round())));
+    }
+  }
+}
+
+// Byte fingerprint of a decided log: slot, kind, leader, committed digest.
+// This is the "decided log byte-identity" the acceptance criterion compares.
+Bytes decided_fingerprint(const std::vector<SlotDecision>& log) {
+  serde::Writer w;
+  for (const SlotDecision& d : log) {
+    w.varint(d.slot.round);
+    w.u32(d.slot.leader_offset);
+    w.u8(static_cast<std::uint8_t>(d.kind));
+    w.u32(d.leader);
+    if (d.kind == SlotDecision::Kind::kCommit) w.digest(d.ref.digest);
+  }
+  return std::move(w).take();
+}
+
+constexpr Round kGcDepth = 8;
+constexpr Round kCkptInterval = 6;
+
+// Drives an observer through `steps` deliveries, mirroring every insertion
+// into BOTH layouts (monolithic FileWal at `mono_path`, SegmentedWal +
+// CheckpointStore at `seg_dir`) the way the runtime does: append + sync per
+// batch, checkpoint cut + segment roll when the horizon advances, retire
+// with one cut of lag. Cuts happen at step starts, so the log's final record
+// is always strictly after the newest cut (a torn tail never reaches into
+// checkpointed state).
+struct DriveResult {
+  std::unique_ptr<ValidatorCore> core;
+  app::KvStore kv;
+  std::uint64_t checkpoints = 0;
+};
+
+DriveResult drive(const Workload& load, std::size_t steps,
+                  const std::string& mono_path, const std::string& seg_dir) {
+  DriveResult out;
+  out.core = load.make_core(kGcDepth);
+  FileWal mono(mono_path);
+  SegmentedWalOptions seg_options;
+  seg_options.segment_bytes = 4096;  // small: every trial exercises rolls
+  SegmentedWal seg(seg_dir, seg_options);
+  CheckpointStore store(seg_dir);
+  std::uint64_t sequence = 0;
+  std::uint64_t keep_from_previous = 0;
+  Round last_horizon = 0;
+
+  for (std::size_t i = 0; i < steps && i < load.blocks.size(); ++i) {
+    const Round horizon = out.core->dag().pruned_below();
+    if (horizon > 0 && horizon >= last_horizon + kCkptInterval) {
+      CheckpointData data = out.core->capture_checkpoint();
+      data.sequence = ++sequence;
+      data.app_state = out.kv.snapshot_bytes();
+      data.app_digest = out.kv.state_digest();
+      const std::uint64_t keep_from = seg.roll_segment();
+      const Bytes encoded = encode_checkpoint(data);
+      store.write(data.sequence, {encoded.data(), encoded.size()});
+      store.retire(2);
+      seg.retire_segments_below(keep_from_previous);
+      keep_from_previous = keep_from;
+      last_horizon = horizon;
+      ++out.checkpoints;
+    }
+    const BlockPtr& block = load.blocks[i];
+    Actions actions = out.core->on_block(block, block->author(), 0);
+    for (const BlockPtr& inserted : actions.inserted) {
+      mono.append_block(*inserted, false);
+      seg.append_block(*inserted, false);
+    }
+    mono.sync();
+    seg.sync();
+    apply_commits(out.kv, actions);
+  }
+  return out;
+}
+
+DriveResult recover_monolithic(const Workload& load, const std::string& mono_path) {
+  DriveResult out;
+  out.core = load.make_core(kGcDepth);
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr block, bool) {
+    apply_commits(out.kv, out.core->recover_block(std::move(block)));
+  };
+  FileWal::replay(mono_path, visitor);
+  return out;
+}
+
+DriveResult recover_checkpointed(const Workload& load, const std::string& seg_dir) {
+  DriveResult out;
+  out.core = load.make_core(kGcDepth);
+  CheckpointStore store(seg_dir);
+  if (auto data = store.load_newest_valid()) {
+    out.kv = app::KvStore::restore({data->app_state.data(), data->app_state.size()});
+    // The snapshot must hash to the digest the writer recorded — the install
+    // is refused otherwise (state verification, not trust).
+    EXPECT_EQ(out.kv.state_digest(), data->app_digest);
+    out.core->install_checkpoint(*data, 0);
+    ++out.checkpoints;
+  }
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr block, bool) {
+    apply_commits(out.kv, out.core->recover_block(std::move(block)));
+  };
+  SegmentedWal::replay(seg_dir, visitor);
+  return out;
+}
+
+void expect_equivalent(const DriveResult& a, const DriveResult& b,
+                       const std::string& label) {
+  EXPECT_EQ(a.core->committer().next_pending_slot(),
+            b.core->committer().next_pending_slot())
+      << label;
+  EXPECT_EQ(decided_fingerprint(a.core->committer().decided_sequence()),
+            decided_fingerprint(b.core->committer().decided_sequence()))
+      << label;
+  EXPECT_EQ(a.kv.state_digest(), b.kv.state_digest()) << label;
+  EXPECT_EQ(a.core->dag().highest_round(), b.core->dag().highest_round()) << label;
+}
+
+// --- Segmented WAL layout ----------------------------------------------------
+
+TEST(SegmentedWal, ByteStreamMatchesMonolithicAndRolls) {
+  Workload load(10);
+  const std::string mono_path =
+      (fs::path(fresh_dir("bytes_mono")) / "log.wal").string();
+  const std::string seg_dir = fresh_dir("bytes_seg");
+
+  FileWal mono(mono_path);
+  SegmentedWalOptions options;
+  options.segment_bytes = 2048;
+  SegmentedWal seg(seg_dir, options);
+  for (const BlockPtr& block : load.blocks) {
+    mono.append_block(*block, false);
+    seg.append_block(*block, false);
+  }
+  mono.sync();
+  seg.sync();
+
+  ASSERT_GT(seg.active_segment(), 0u) << "budget should have forced rolls";
+
+  // Concatenating the segments reproduces the monolithic byte stream: the
+  // two layouts share the record framing exactly.
+  Bytes mono_bytes, seg_bytes;
+  {
+    std::ifstream in(mono_path, std::ios::binary);
+    mono_bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  for (std::uint64_t i = 0; i <= seg.active_segment(); ++i) {
+    std::ifstream in(SegmentedWal::segment_path(seg_dir, i), std::ios::binary);
+    seg_bytes.insert(seg_bytes.end(), std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+  }
+  EXPECT_EQ(mono_bytes, seg_bytes);
+
+  // Replay yields the same records in the same order.
+  std::vector<Digest> replayed;
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr block, bool) { replayed.push_back(block->digest()); };
+  const auto result = SegmentedWal::replay(seg_dir, visitor);
+  EXPECT_FALSE(result.corrupt_tail);
+  EXPECT_EQ(result.records, load.blocks.size());
+  ASSERT_EQ(replayed.size(), load.blocks.size());
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    EXPECT_EQ(replayed[i], load.blocks[i]->digest());
+  }
+}
+
+TEST(SegmentedWal, RetireUpdatesManifestAtomicallyAndReplaySkipsRetired) {
+  Workload load(12);
+  const std::string dir = fresh_dir("retire");
+  SegmentedWalOptions options;
+  options.segment_bytes = 2048;
+  auto seg = std::make_unique<SegmentedWal>(dir, options);
+  for (const BlockPtr& block : load.blocks) seg->append_block(*block, false);
+  const std::uint64_t boundary = seg->roll_segment();
+  ASSERT_GE(boundary, 2u);
+
+  seg->retire_segments_below(boundary);
+  EXPECT_EQ(seg->base_segment(), boundary);
+  EXPECT_EQ(seg->segments_retired(), boundary);
+  EXPECT_EQ(SegmentedWal::read_manifest(dir), boundary);
+  for (std::uint64_t i = 0; i < boundary; ++i) {
+    EXPECT_FALSE(fs::exists(SegmentedWal::segment_path(dir, i))) << i;
+  }
+
+  // A stale file below the manifest base (crash between manifest write and
+  // unlink) is ignored by replay.
+  {
+    std::ofstream stale(SegmentedWal::segment_path(dir, 0), std::ios::binary);
+    stale << "garbage that must never be parsed";
+  }
+  std::uint64_t replayed = 0;
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr, bool) { ++replayed; };
+  const auto result = SegmentedWal::replay(dir, visitor);
+  EXPECT_FALSE(result.corrupt_tail);
+  EXPECT_EQ(replayed, 0u);  // everything before the boundary was retired
+
+  // Appends continue cleanly after reopen (the layout survives restarts).
+  seg.reset();
+  SegmentedWal reopened(dir, options);
+  EXPECT_EQ(reopened.base_segment(), boundary);
+  reopened.append_block(*load.blocks[0], false);
+  reopened.sync();
+  replayed = 0;
+  SegmentedWal::replay(dir, visitor);
+  EXPECT_EQ(replayed, 1u);
+}
+
+TEST(SegmentedWal, TornTailOfActiveSegmentTruncates) {
+  Workload load(6);
+  const std::string dir = fresh_dir("torn");
+  SegmentedWalOptions options;
+  options.segment_bytes = 4096;
+  {
+    SegmentedWal seg(dir, options);
+    for (const BlockPtr& block : load.blocks) seg.append_block(*block, false);
+    seg.sync();
+  }
+  const auto indexes = SegmentedWal::list_segments(dir);
+  ASSERT_FALSE(indexes.empty());
+  const std::string active = SegmentedWal::segment_path(dir, indexes.back());
+  const auto size = fs::file_size(active);
+  fs::resize_file(active, size - 5);  // tear the last record
+
+  std::uint64_t replayed = 0;
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr, bool) { ++replayed; };
+  auto result = SegmentedWal::replay(dir, visitor);
+  EXPECT_TRUE(result.corrupt_tail);
+  EXPECT_EQ(result.records, load.blocks.size() - 1);
+
+  // The truncation left a clean boundary: a second replay is torn-free.
+  result = SegmentedWal::replay(dir, visitor);
+  EXPECT_FALSE(result.corrupt_tail);
+}
+
+TEST(SegmentedWal, CorruptMidLogSegmentStopsReplay) {
+  Workload load(12);
+  const std::string dir = fresh_dir("midcorrupt");
+  SegmentedWalOptions options;
+  options.segment_bytes = 2048;
+  {
+    SegmentedWal seg(dir, options);
+    for (const BlockPtr& block : load.blocks) seg.append_block(*block, false);
+    seg.sync();
+  }
+  ASSERT_GE(SegmentedWal::list_segments(dir).size(), 3u);
+  // Flip a payload byte in the middle of segment 1 (sealed, not last).
+  const std::string victim = SegmentedWal::segment_path(dir, 1);
+  {
+    std::fstream file(victim, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(static_cast<std::streamoff>(fs::file_size(victim) / 2));
+    file.put('\xff');
+  }
+  std::uint64_t replayed = 0;
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr, bool) { ++replayed; };
+  const auto result = SegmentedWal::replay(dir, visitor);
+  EXPECT_TRUE(result.corrupt_tail);
+  EXPECT_LT(replayed, load.blocks.size());
+  // Nothing past the damaged segment was visited (segment 0 + the clean
+  // prefix of segment 1 at most).
+  EXPECT_LE(result.segments, 2u);
+}
+
+// --- Checkpoint codec + store ------------------------------------------------
+
+TEST(Checkpoint, CodecRoundTripsACapturedCut) {
+  Workload load(24);
+  auto core = load.make_core(kGcDepth);
+  app::KvStore kv;
+  for (const BlockPtr& block : load.blocks) {
+    apply_commits(kv, core->on_block(block, block->author(), 0));
+  }
+  ASSERT_GT(core->dag().pruned_below(), 0u) << "GC must have advanced";
+
+  CheckpointData data = core->capture_checkpoint();
+  data.sequence = 7;
+  data.app_state = kv.snapshot_bytes();
+  data.app_digest = kv.state_digest();
+
+  const Bytes encoded = encode_checkpoint(data);
+  const CheckpointData decoded = decode_checkpoint({encoded.data(), encoded.size()});
+  EXPECT_EQ(decoded.sequence, 7u);
+  EXPECT_EQ(decoded.author, data.author);
+  EXPECT_EQ(decoded.horizon, data.horizon);
+  EXPECT_EQ(decoded.head, data.head);
+  EXPECT_EQ(decoded.decided.size(), data.decided.size());
+  EXPECT_EQ(decoded.delivered, data.delivered);
+  ASSERT_EQ(decoded.blocks.size(), data.blocks.size());
+  for (std::size_t i = 0; i < decoded.blocks.size(); ++i) {
+    EXPECT_EQ(decoded.blocks[i]->digest(), data.blocks[i]->digest());
+  }
+  EXPECT_EQ(decoded.app_digest, data.app_digest);
+  EXPECT_EQ(app::KvStore::restore({decoded.app_state.data(), decoded.app_state.size()})
+                .state_digest(),
+            kv.state_digest());
+
+  // The decoded cut passes semantic verification.
+  ValidationOptions validation;
+  validation.verify_signature = false;
+  validation.verify_coin_share = false;
+  const CommitterOptions shape = observer_config(kGcDepth).committer;
+  EXPECT_EQ(verify_checkpoint(decoded, load.setup.committee, shape, validation), "");
+
+  // A head the decided log does not account for slot-by-slot is rejected —
+  // an empty log cannot claim progress, and a gap in the chain is caught.
+  CheckpointData fabricated = decoded;
+  fabricated.decided.clear();
+  EXPECT_NE(verify_checkpoint(fabricated, load.setup.committee, shape, validation), "");
+  CheckpointData gapped = decoded;
+  ASSERT_GT(gapped.decided.size(), 2u);
+  gapped.decided.erase(gapped.decided.begin() + 1);
+  EXPECT_NE(verify_checkpoint(gapped, load.setup.committee, shape, validation), "");
+
+  // Any flipped payload byte is caught by the CRC frame.
+  Bytes corrupt = encoded;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  EXPECT_THROW(decode_checkpoint({corrupt.data(), corrupt.size()}), serde::SerdeError);
+}
+
+TEST(Checkpoint, StoreFallsBackPastCorruptNewest) {
+  Workload load(30);
+  const std::string dir = fresh_dir("store");
+  CheckpointStore store(dir);
+  auto core = load.make_core(kGcDepth);
+  app::KvStore kv;
+  std::uint64_t sequence = 0;
+  Round last_horizon = 0;
+  for (const BlockPtr& block : load.blocks) {
+    apply_commits(kv, core->on_block(block, block->author(), 0));
+    const Round horizon = core->dag().pruned_below();
+    if (horizon > 0 && horizon >= last_horizon + kCkptInterval) {
+      CheckpointData data = core->capture_checkpoint();
+      data.sequence = ++sequence;
+      const Bytes encoded = encode_checkpoint(data);
+      store.write(data.sequence, {encoded.data(), encoded.size()});
+      last_horizon = horizon;
+    }
+  }
+  ASSERT_GE(sequence, 2u);
+  auto newest = store.load_newest_valid();
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->sequence, sequence);
+
+  // Mid-checkpoint crash model: the newest file is torn. Loading falls back
+  // to the previous sequence instead of failing.
+  const std::string newest_path = CheckpointStore::checkpoint_path(dir, sequence);
+  fs::resize_file(newest_path, fs::file_size(newest_path) / 2);
+  auto fallback = store.load_newest_valid();
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->sequence, sequence - 1);
+
+  // retire() keeps the newest two files.
+  store.retire(2);
+  EXPECT_LE(CheckpointStore::list(dir).size(), 2u);
+}
+
+// --- Capture/install equivalence + catch-up handshake ------------------------
+
+TEST(Checkpoint, InstallReproducesTheCapturedValidatorAndKeepsAgreeing) {
+  Workload load(40);
+  auto source = load.make_core(kGcDepth);
+  app::KvStore kv;
+  const std::size_t split = 28 * 4;  // install mid-run, then keep feeding both
+  for (std::size_t i = 0; i < split; ++i) {
+    const BlockPtr& block = load.blocks[i];
+    apply_commits(kv, source->on_block(block, block->author(), 0));
+  }
+  ASSERT_GT(source->dag().pruned_below(), 0u);
+
+  CheckpointData data = source->capture_checkpoint();
+  data.app_state = kv.snapshot_bytes();
+  data.app_digest = kv.state_digest();
+  // Round-trip through the codec: install what the wire would carry.
+  const Bytes encoded = encode_checkpoint(data);
+  const CheckpointData wire = decode_checkpoint({encoded.data(), encoded.size()});
+
+  auto target = load.make_core(kGcDepth);
+  app::KvStore target_kv =
+      app::KvStore::restore({wire.app_state.data(), wire.app_state.size()});
+  ASSERT_EQ(target_kv.state_digest(), wire.app_digest);
+  Actions install = target->install_checkpoint(wire, 0);
+  EXPECT_FALSE(install.inserted.empty());
+  EXPECT_EQ(target->checkpoints_installed(), 1u);
+
+  EXPECT_EQ(target->committer().next_pending_slot(),
+            source->committer().next_pending_slot());
+  EXPECT_EQ(decided_fingerprint(target->committer().decided_sequence()),
+            decided_fingerprint(source->committer().decided_sequence()));
+  EXPECT_EQ(target->dag().highest_round(), source->dag().highest_round());
+  EXPECT_EQ(target->dag().pruned_below(), source->dag().pruned_below());
+
+  // From here on the two must stay in lockstep: same blocks in, same
+  // commits out (the installed delivered marks prevent re-delivery).
+  for (std::size_t i = split; i < load.blocks.size(); ++i) {
+    const BlockPtr& block = load.blocks[i];
+    apply_commits(kv, source->on_block(block, block->author(), 0));
+    apply_commits(target_kv, target->on_block(block, block->author(), 0));
+  }
+  EXPECT_EQ(decided_fingerprint(target->committer().decided_sequence()),
+            decided_fingerprint(source->committer().decided_sequence()));
+  EXPECT_EQ(target_kv.state_digest(), kv.state_digest());
+}
+
+TEST(Checkpoint, FetchBelowHorizonTriggersTheCatchupHandshake) {
+  Workload load(40);
+  auto ahead = load.make_core(kGcDepth);
+  for (const BlockPtr& block : load.blocks) {
+    ahead->on_block(block, block->author(), 0);
+  }
+  const Round horizon = ahead->dag().pruned_below();
+  ASSERT_GT(horizon, 1u);
+
+  // A late validator's ancestry fetch walk has descended to a block at the
+  // peer's horizon: the parents it now needs sit BELOW the horizon, which no
+  // caught-up peer still holds.
+  auto late = load.make_core(kGcDepth);
+  const BlockPtr at_horizon = load.builder.dag().slot(horizon, 0).front();
+  Actions actions = late->on_block(at_horizon, 1, 0);
+  ASSERT_FALSE(actions.fetch_requests.empty());
+
+  // The ahead peer cannot serve sub-horizon refs; it answers with a horizon
+  // notice instead of silence.
+  std::vector<BlockRef> below;
+  for (Round r = 1; r < horizon && below.size() < 3; ++r) {
+    below.push_back(load.builder.dag().slot(r, 0).front()->ref());
+  }
+  Actions reply = ahead->on_fetch_request(below, /*from=*/3, 0);
+  ASSERT_EQ(reply.horizon_notices.size(), 1u);
+  EXPECT_EQ(reply.horizon_notices[0].peer, 3u);
+  EXPECT_EQ(reply.horizon_notices[0].horizon, horizon);
+
+  // The notice makes the stuck validator request a snapshot — once per
+  // cooldown window, not per notice.
+  Actions request = late->on_peer_horizon(3, horizon, millis(10));
+  ASSERT_EQ(request.checkpoint_requests.size(), 1u);
+  EXPECT_EQ(request.checkpoint_requests[0], 3u);
+  EXPECT_TRUE(late->on_peer_horizon(3, horizon, millis(11)).checkpoint_requests.empty())
+      << "cooldown must rate-limit repeat requests";
+
+  // A validator that is NOT stuck (nothing outstanding below the horizon)
+  // never requests a snapshot.
+  auto fresh = load.make_core(kGcDepth);
+  EXPECT_TRUE(fresh->on_peer_horizon(3, horizon, 0).checkpoint_requests.empty());
+
+  // Install closes the loop: the late validator lands on the peer's state.
+  CheckpointData data = ahead->capture_checkpoint();
+  late->install_checkpoint(data, millis(20));
+  EXPECT_EQ(late->committer().next_pending_slot(),
+            ahead->committer().next_pending_slot());
+}
+
+// --- The crash/recovery property ---------------------------------------------
+
+TEST(CheckpointProperty, RandomKillPointsRecoverIdenticallyToFullReplay) {
+  Workload load(60);
+  Rng rng(20260726);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::string label = "trial " + std::to_string(trial);
+    const std::string mono_path =
+        (fs::path(fresh_dir("prop_mono_" + std::to_string(trial))) / "log.wal")
+            .string();
+    const std::string seg_dir = fresh_dir("prop_seg_" + std::to_string(trial));
+
+    // Kill point: anywhere past the first few steps, including immediately
+    // after a segment roll / checkpoint cut.
+    const std::size_t steps =
+        8 + static_cast<std::size_t>(rng.uniform(load.blocks.size() - 8));
+    const DriveResult writer = drive(load, steps, mono_path, seg_dir);
+
+    // Torn final write: remove the same few trailing bytes from both
+    // layouts (their byte streams share the final record). Skipped when the
+    // active segment is empty — a crash right after a roll tears nothing.
+    if (rng.uniform(2) == 0) {
+      const auto indexes = SegmentedWal::list_segments(seg_dir);
+      ASSERT_FALSE(indexes.empty()) << label;
+      const std::string active =
+          SegmentedWal::segment_path(seg_dir, indexes.back());
+      const std::uint64_t delta = 1 + rng.uniform(12);
+      if (fs::file_size(active) >= delta) {
+        fs::resize_file(active, fs::file_size(active) - delta);
+        fs::resize_file(mono_path, fs::file_size(mono_path) - delta);
+      }
+    }
+
+    // Mid-checkpoint kill: tear the newest checkpoint file; recovery must
+    // fall back to the previous cut (whose covering segments still exist —
+    // retirement lags one checkpoint).
+    if (writer.checkpoints > 0 && rng.uniform(3) == 0) {
+      const auto sequences = CheckpointStore::list(seg_dir);
+      ASSERT_FALSE(sequences.empty()) << label;
+      const std::string newest =
+          CheckpointStore::checkpoint_path(seg_dir, sequences.back());
+      fs::resize_file(newest, fs::file_size(newest) / 2);
+    }
+
+    const DriveResult full = recover_monolithic(load, mono_path);
+    const DriveResult fast = recover_checkpointed(load, seg_dir);
+    expect_equivalent(full, fast, label);
+
+    // And both recoveries continue identically on live input.
+    auto continue_feed = [&](const DriveResult& r) {
+      app::KvStore kv = r.kv;
+      for (std::size_t i = 0; i < load.blocks.size(); ++i) {
+        const BlockPtr& block = load.blocks[i];
+        apply_commits(kv, r.core->on_block(block, block->author(), 0));
+      }
+      return kv.state_digest();
+    };
+    EXPECT_EQ(continue_feed(full), continue_feed(fast)) << label;
+  }
+}
+
+}  // namespace
+}  // namespace mahimahi

@@ -164,7 +164,10 @@ class TcpClusterTest : public ::testing::Test {
     NodeRuntimeConfig config;
     config.validator.id = v;
     config.validator.committer = mahi_mahi_5(1);
-    config.validator.min_round_delay = millis(5);
+    config.validator.committer.gc_depth = gc_depth_;
+    config.validator.checkpoint_interval = checkpoint_interval_;
+    config.validator.wal_segment_bytes = 64 * 1024;
+    config.validator.min_round_delay = min_round_delay_;
     config.peers = addresses_;
     config.tick_interval = millis(10);
     config.wal_path = wal_path;
@@ -179,6 +182,10 @@ class TcpClusterTest : public ::testing::Test {
 
   // Worker-pool ingestion by default; tests may set 0 for the inline path.
   std::size_t verify_threads_ = 2;
+  // Checkpoint subsystem knobs (off by default — no behavior change).
+  Round gc_depth_ = 0;
+  Round checkpoint_interval_ = 0;
+  TimeMicros min_round_delay_ = millis(5);
   // Off-loop commit evaluation (scan on the worker pool, apply on the loop).
   bool parallel_commit_ = false;
   // Write-side offload knobs (egress offload is the production default).
@@ -537,6 +544,73 @@ TEST_F(TcpClusterTest, GroupCommitWalClusterCommitsAndRestartsCleanly) {
     EXPECT_GT(replay.records, 0u) << path;
     std::filesystem::remove(path);
   }
+}
+
+TEST_F(TcpClusterTest, CheckpointClusterLateJoinerCatchesUpViaSnapshot) {
+  // End-to-end snapshot catch-up over real sockets (and the TSan target for
+  // the checkpoint writer's cross-thread handoffs): three nodes run with GC
+  // + checkpointing until their horizons are far past genesis, then the
+  // fourth starts from nothing. Its ancestry walk dead-ends below everyone's
+  // horizon; the kHorizon / kCheckpointRequest / kCheckpointResponse
+  // handshake installs a verified snapshot and it rejoins consensus.
+  gc_depth_ = 20;
+  checkpoint_interval_ = 5;
+  min_round_delay_ = millis(10);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  std::vector<std::string> wal_dirs;
+  for (int i = 0; i < 4; ++i) {
+    auto path = dir / ("mahi_tcp_ckpt_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(i));
+    std::filesystem::remove_all(path);
+    wal_dirs.push_back(path.string());
+  }
+
+  auto nodes = make_cluster(wal_dirs);
+  for (ValidatorId v = 0; v < 3; ++v) nodes[v]->start();
+
+  // Keep load flowing so rounds (and the GC horizon) advance.
+  std::uint64_t batch_id = 9000;
+  const auto feed = [&] {
+    TxBatch batch;
+    batch.id = ++batch_id;
+    batch.count = 5;
+    nodes[0]->submit({batch});
+  };
+  feed();
+  ASSERT_TRUE(wait_for([&] {
+    feed();
+    return nodes[0]->highest_round() > 2 * gc_depth_ + 10 &&
+           nodes[0]->checkpoints_written() > 0;
+  })) << "cluster never built a checkpointable history; round "
+      << nodes[0]->highest_round();
+  ASSERT_TRUE(nodes[0]->segmented_wal_active());
+
+  // The late joiner starts from genesis, far below every peer's horizon.
+  nodes[3]->start();
+  EXPECT_TRUE(wait_for([&] {
+    feed();
+    return nodes[3]->snapshot_catchups() >= 1;
+  })) << "the snapshot handshake never completed";
+
+  // Installed state turns into live participation: the joiner tracks the
+  // cluster's rounds and delivers commits.
+  EXPECT_TRUE(wait_for([&] {
+    feed();
+    return nodes[3]->committed_blocks() > 0 &&
+           nodes[3]->highest_round() + gc_depth_ > nodes[0]->highest_round();
+  })) << "joiner installed a snapshot but never rejoined; joiner round "
+      << nodes[3]->highest_round() << " vs " << nodes[0]->highest_round();
+
+  // Someone served the snapshot, and the joiner persisted it as its own
+  // recovery point.
+  std::uint64_t served = 0;
+  for (ValidatorId v = 0; v < 3; ++v) served += nodes[v]->checkpoints_served();
+  EXPECT_GE(served, 1u);
+  EXPECT_FALSE(CheckpointStore::list(wal_dirs[3]).empty());
+
+  for (auto& node : nodes) node->stop();
+  for (const auto& path : wal_dirs) std::filesystem::remove_all(path);
 }
 
 TEST_F(TcpClusterTest, SurvivesNodeRestartWithWal) {

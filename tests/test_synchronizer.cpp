@@ -10,6 +10,7 @@
 
 #include "sim/dag_builder.h"
 #include "validator/synchronizer.h"
+#include "validator/validator.h"
 
 namespace mahimahi {
 namespace {
@@ -159,6 +160,79 @@ TEST_F(SynchronizerTest, PruneBelowDropsStalePendingBlocks) {
   EXPECT_TRUE(unblocked.empty());
   EXPECT_FALSE(sync.is_pending(stale->digest()));
   EXPECT_FALSE(dag_.contains(stale->digest()));
+}
+
+TEST_F(SynchronizerTest, AncestorBelowPeerHorizonStaysPendingForever) {
+  // The flip side of the GC exemption: OUR horizon exempts refs, but a ref
+  // below a PEER's horizon (while ours is still 0) is just a missing parent
+  // that no fetch will ever satisfy — the peer deleted it. The block parks,
+  // its refs stay outstanding, and nothing ages out: the synchronizer has no
+  // timeout and no give-up. This pins the stall that snapshot catch-up
+  // (checkpoint/, Actions::horizon_notices) exists to break.
+  build(4);
+  Synchronizer sync(dag_, 1000);
+  const auto block = block_at(3, 0);
+  sync.offer(block);
+  ASSERT_TRUE(sync.is_pending(block->digest()));
+  const std::size_t outstanding = sync.outstanding().size();
+  ASSERT_GT(outstanding, 0u);
+  // No matter how often the driver retries, the picture never changes.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_TRUE(sync.offer(block).missing.empty()) << "re-offer must not re-request";
+    EXPECT_TRUE(sync.is_pending(block->digest()));
+    EXPECT_EQ(sync.outstanding().size(), outstanding);
+  }
+}
+
+TEST(SynchronizerCatchup, CoreRetriesForeverBelowPeerHorizonWithoutSnapshots) {
+  // Two-core pin of today's catch-up failure mode, end to end: a validator
+  // whose ancestry walk descended to a peer's GC horizon keeps re-fetching
+  // sub-horizon refs on every tick — the peer serves nothing (it pruned
+  // them), the walk never completes, the committer head never moves. Only
+  // the horizon notice (dropped here on purpose, modeling pre-checkpoint
+  // behavior) leads out of the loop.
+  Committee::TestSetup setup = Committee::make_test(4);
+  DagBuilder builder(4);
+  builder.build_fully_connected(40);
+
+  ValidatorConfig config;
+  config.observer = true;
+  config.committer.gc_depth = 8;
+  config.validation.verify_signature = false;
+  config.validation.verify_coin_share = false;
+  ValidatorCore ahead(setup.committee, setup.keypairs[0].private_key, config);
+  ValidatorCore late(setup.committee, setup.keypairs[1].private_key, config);
+
+  for (Round r = 1; r <= 40; ++r) {
+    for (ValidatorId v = 0; v < 4; ++v) {
+      const BlockPtr block = builder.dag().slot(r, v).front();
+      ahead.on_block(block, v, 0);
+    }
+  }
+  const Round horizon = ahead.dag().pruned_below();
+  ASSERT_GT(horizon, 1u);
+
+  // The late validator holds a block at the horizon; its missing parents are
+  // below it. Drive fetch → (empty) response → tick retry for many cycles.
+  Actions actions = late.on_block(builder.dag().slot(horizon, 0).front(), 0, 0);
+  TimeMicros now = 0;
+  std::uint64_t retries = 0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (const auto& request : actions.fetch_requests) {
+      ++retries;
+      const Actions reply = ahead.on_fetch_request(request.refs, 1, now);
+      EXPECT_TRUE(reply.responses.empty()) << "peer cannot serve pruned history";
+      EXPECT_FALSE(reply.horizon_notices.empty()) << "peer must point at its horizon";
+      // Pre-checkpoint behavior: the notice goes nowhere.
+    }
+    now += config.fetch_retry_delay + 1;
+    actions = late.on_tick(now);
+  }
+  EXPECT_GT(retries, 5u) << "the walk must keep retrying";
+  EXPECT_EQ(late.committer().next_pending_slot().round, 1u) << "no progress, ever";
+  EXPECT_TRUE(late.dag().get(builder.dag().slot(horizon, 0).front()->digest()) ==
+              nullptr)
+      << "the parked block can never insert";
 }
 
 TEST_F(SynchronizerTest, OffersBelowHorizonReportNoSubHorizonMissing) {
