@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "common/crc32.h"
+#include "common/fsio.h"
 #include "common/log.h"
 #include "serde/serde.h"
 #include "validator/crypto_stage.h"
@@ -108,7 +109,16 @@ CheckpointData decode_checkpoint(BytesView encoded) {
   data.head = read_slot(r);
   data.last_proposed_round = r.varint();
 
+  // Element counts come off the wire (snapshot catch-up), so they are
+  // attacker-controlled: bound each against the bytes actually present
+  // (count * minimum encoded element size must fit in what remains) BEFORE
+  // reserving. A claimed 2^60 elements must be a SerdeError the caller
+  // already handles, not a std::length_error out of vector::reserve.
   const std::uint64_t decided_count = r.varint();
+  constexpr std::size_t kMinDecidedBytes = 11;  // slot(1+4) + leader(4) + kind + via
+  if (decided_count > r.remaining() / kMinDecidedBytes) {
+    throw serde::SerdeError("checkpoint: decided count exceeds payload");
+  }
   data.decided.reserve(decided_count);
   for (std::uint64_t i = 0; i < decided_count; ++i) {
     CheckpointData::DecidedSlot d;
@@ -129,6 +139,10 @@ CheckpointData decode_checkpoint(BytesView encoded) {
   }
 
   const std::uint64_t delivered_count = r.varint();
+  constexpr std::size_t kMinDeliveredBytes = 33;  // digest(32) + round varint(1)
+  if (delivered_count > r.remaining() / kMinDeliveredBytes) {
+    throw serde::SerdeError("checkpoint: delivered count exceeds payload");
+  }
   data.delivered.reserve(delivered_count);
   for (std::uint64_t i = 0; i < delivered_count; ++i) {
     const Digest digest = r.digest();
@@ -136,6 +150,9 @@ CheckpointData decode_checkpoint(BytesView encoded) {
   }
 
   const std::uint64_t block_count = r.varint();
+  if (block_count > r.remaining()) {  // each block costs at least its length varint
+    throw serde::SerdeError("checkpoint: block count exceeds payload");
+  }
   data.blocks.reserve(block_count);
   for (std::uint64_t i = 0; i < block_count; ++i) {
     const std::uint64_t block_len = r.varint();
@@ -226,32 +243,20 @@ std::vector<std::uint64_t> CheckpointStore::list(const std::string& dir) {
   std::vector<std::uint64_t> sequences;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.size() != 22 || !name.starts_with("ckpt-") || !name.ends_with(".ckpt")) {
-      continue;
-    }
-    std::uint64_t sequence = 0;
-    if (std::sscanf(name.c_str() + 5, "%12" SCNu64, &sequence) == 1) {
-      sequences.push_back(sequence);
-    }
+    const auto sequence = parse_indexed_name(entry.path().filename().string(),
+                                             "ckpt-", ".ckpt", /*pad_width=*/12);
+    if (sequence.has_value()) sequences.push_back(*sequence);
   }
   std::sort(sequences.begin(), sequences.end());
   return sequences;
 }
 
 void CheckpointStore::write(std::uint64_t sequence, BytesView encoded) {
-  const std::string path = checkpoint_path(dir_, sequence);
-  const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) throw std::runtime_error("CheckpointStore: cannot open " + tmp);
-  const bool ok = std::fwrite(encoded.data(), 1, encoded.size(), file) == encoded.size();
-  std::fflush(file);
-  ::fsync(::fileno(file));
-  std::fclose(file);
-  if (!ok) throw std::runtime_error("CheckpointStore: short write to " + tmp);
-  // The rename is the commit point: a crash before it leaves at most a tmp
-  // file, which no reader ever looks at.
-  std::filesystem::rename(tmp, path);
+  // The rename inside is the commit point: a crash before it leaves at most
+  // a tmp file, which no reader ever looks at. The helper also fsyncs the
+  // directory, so the rename itself survives power loss — the subsequent
+  // retirement of older checkpoints and WAL segments relies on it.
+  write_file_atomic(checkpoint_path(dir_, sequence), encoded, "CheckpointStore");
 }
 
 std::optional<std::pair<std::uint64_t, Bytes>> CheckpointStore::newest_valid_bytes()
@@ -269,9 +274,12 @@ std::optional<std::pair<std::uint64_t, Bytes>> CheckpointStore::newest_valid_byt
         std::fread(bytes.data(), 1, bytes.size(), file) == bytes.size();
     std::fclose(file);
     if (!read_ok) continue;
+    // std::exception, not just SerdeError: a corrupt file can also surface
+    // as an allocation failure (e.g. Block::deserialize on garbage), and
+    // recovery must fall back a checkpoint, not die.
     try {
       decode_checkpoint({bytes.data(), bytes.size()});  // CRC + shape gate
-    } catch (const serde::SerdeError& error) {
+    } catch (const std::exception& error) {
       MM_LOG(kWarn) << "CheckpointStore: falling back past corrupt checkpoint "
                     << *it << ": " << error.what();
       continue;

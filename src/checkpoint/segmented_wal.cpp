@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "common/fsio.h"
 #include "common/log.h"
 #include "serde/serde.h"
 
@@ -16,21 +17,6 @@ namespace {
 
 constexpr char kManifestName[] = "MANIFEST";
 constexpr std::uint32_t kManifestMagic = 0x4d4d5347;  // "MMSG"
-
-// fwrite + fflush + fsync + rename: the manifest must never be observed
-// half-written, and its content must hit the disk before any retired segment
-// is unlinked.
-void write_file_atomic(const std::string& path, BytesView content) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
-  if (file == nullptr) throw std::runtime_error("SegmentedWal: cannot open " + tmp);
-  const bool ok = std::fwrite(content.data(), 1, content.size(), file) == content.size();
-  std::fflush(file);
-  ::fsync(::fileno(file));
-  std::fclose(file);
-  if (!ok) throw std::runtime_error("SegmentedWal: short write to " + tmp);
-  std::filesystem::rename(tmp, path);
-}
 
 }  // namespace
 
@@ -60,14 +46,9 @@ std::vector<std::uint64_t> SegmentedWal::list_segments(const std::string& dir) {
   std::vector<std::uint64_t> indexes;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.size() != 16 || !name.starts_with("seg-") || !name.ends_with(".wal")) {
-      continue;
-    }
-    std::uint64_t index = 0;
-    if (std::sscanf(name.c_str() + 4, "%8" SCNu64, &index) == 1) {
-      indexes.push_back(index);
-    }
+    const auto index = parse_indexed_name(entry.path().filename().string(), "seg-",
+                                          ".wal", /*pad_width=*/8);
+    if (index.has_value()) indexes.push_back(*index);
   }
   std::sort(indexes.begin(), indexes.end());
   return indexes;
@@ -168,14 +149,23 @@ void SegmentedWal::retire_segments_below(std::uint64_t keep_from) {
   // Manifest first: once it is durable, replay never looks below keep_from,
   // so a crash between here and the unlinks only strands dead files.
   write_manifest_locked(keep_from);
+  bool removed_any = false;
   for (std::uint64_t index = base_index_; index < keep_from; ++index) {
     std::error_code ec;
-    if (std::filesystem::remove(segment_path(dir_, index), ec)) ++segments_retired_;
+    if (std::filesystem::remove(segment_path(dir_, index), ec)) {
+      ++segments_retired_;
+      removed_any = true;
+    }
     if (ec) {
       MM_LOG(kWarn) << "SegmentedWal: failed to retire segment " << index << ": "
                     << ec.message();
     }
   }
+  // Persist the unlinks too (the manifest rename above is already durable):
+  // a resurrected dead segment would be harmless to replay, but repeatedly
+  // losing the removals would defeat the disk-bound the retirement exists
+  // for.
+  if (removed_any) fsync_dir(dir_);
   base_index_ = keep_from;
 }
 
@@ -183,8 +173,10 @@ void SegmentedWal::write_manifest_locked(std::uint64_t base) {
   serde::Writer w;
   w.u32(kManifestMagic);
   w.varint(base);
+  // The shared helper fsyncs file AND directory: the manifest must be
+  // durably in place before any segment it retires is unlinked.
   write_file_atomic((std::filesystem::path(dir_) / kManifestName).string(),
-                    {w.data().data(), w.data().size()});
+                    {w.data().data(), w.data().size()}, "SegmentedWal");
 }
 
 std::uint64_t SegmentedWal::active_segment() const {

@@ -1,0 +1,80 @@
+#include "common/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace mahimahi {
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    MM_LOG(kWarn) << "fsync_dir: cannot open " << dir;
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) MM_LOG(kWarn) << "fsync_dir: fsync failed for " << dir;
+  return ok;
+}
+
+void write_file_atomic(const std::string& path, BytesView content, const char* who) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error(std::string(who) + ": cannot open " + tmp);
+  }
+  bool ok = std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  ok = std::fflush(file) == 0 && ok;
+  ok = ::fsync(::fileno(file)) == 0 && ok;
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error(std::string(who) + ": failed to write " + tmp);
+  }
+  // The rename is the commit point; the directory fsync makes it durable, so
+  // a later unlink of the content this file supersedes can never outlive it
+  // across power loss.
+  std::filesystem::rename(tmp, path);
+  fsync_dir(std::filesystem::path(path).parent_path().string());
+}
+
+std::optional<std::uint64_t> parse_indexed_name(const std::string& name,
+                                                std::string_view prefix,
+                                                std::string_view suffix,
+                                                unsigned pad_width) {
+  if (name.size() <= prefix.size() + suffix.size() || !name.starts_with(prefix) ||
+      !name.ends_with(suffix)) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.size() > 20 ||  // 2^64 has 20 decimal digits: longer cannot fit
+      !std::all_of(digits.begin(), digits.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    return std::nullopt;
+  }
+  const std::uint64_t value = std::strtoull(digits.c_str(), nullptr, 10);
+  // Round-trip gate: only names the canonical formatter itself produces are
+  // accepted. This rejects both unpadded strays (the formatter could never
+  // rebuild their path, so they would poison index-contiguity checks) and
+  // digit strings past 2^64-1 (strtoull saturates to ULLONG_MAX, whose
+  // rendering no longer matches the input).
+  char canonical[24];
+  std::snprintf(canonical, sizeof(canonical), "%0*" PRIu64,
+                static_cast<int>(pad_width), value);
+  if (digits != canonical) return std::nullopt;
+  return value;
+}
+
+}  // namespace mahimahi

@@ -1,0 +1,42 @@
+// Durable file-system primitives shared by the WAL segment manifest and the
+// checkpoint store: crash-atomic whole-file writes and directory fsync.
+//
+// POSIX only makes a rename (or unlink) durable once the containing
+// directory has itself been fsynced; without it a power loss can persist the
+// unlink of an old file while losing the rename that replaced it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace mahimahi {
+
+// fsyncs the directory entry list at `dir` so prior renames/unlinks inside
+// it survive power loss. Best-effort: returns false (and logs) when the
+// directory cannot be opened or the filesystem refuses directory fsync.
+bool fsync_dir(const std::string& dir);
+
+// Crash-atomic whole-file write: tmp file + fwrite + fflush + fsync +
+// rename + parent-directory fsync. Every step's result is checked; on any
+// failure the tmp file is removed and a std::runtime_error (prefixed with
+// `who`) is thrown — the destination is either the old content or the new,
+// never a torn mix.
+void write_file_atomic(const std::string& path, BytesView content, const char* who);
+
+// Parses the decimal index out of a `<prefix><digits><suffix>` file name
+// (e.g. "seg-00000042.wal" with pad_width 8). Accepts exactly the names the
+// canonical `%0<pad_width><PRIu64>` formatter produces: zero-padded to
+// pad_width, wider only once the index outgrows the padding (such files must
+// not become invisible to directory scans). Non-canonical strays — unpadded
+// digits the formatter could never reconstruct a path for, or digit strings
+// past 2^64 that strtoull would silently saturate — are rejected.
+std::optional<std::uint64_t> parse_indexed_name(const std::string& name,
+                                                std::string_view prefix,
+                                                std::string_view suffix,
+                                                unsigned pad_width);
+
+}  // namespace mahimahi

@@ -280,7 +280,14 @@ void NodeRuntime::on_peer_frame(ValidatorId peer, BytesView frame) {
         break;
       }
       case MessageType::kCheckpointResponse: {
-        if (!catchup_request_outstanding_) break;  // unsolicited: drop unread
+        // Solicited-window gate: only the peer we asked, and only ONE
+        // response per request — the window closes on receipt, not on
+        // install, so a response that fails verification cannot hold it
+        // open for an unlimited stream of multi-MB frames.
+        if (!catchup_request_outstanding_ || peer != catchup_request_peer_) {
+          break;  // unsolicited: drop unread
+        }
+        catchup_request_outstanding_ = false;
         const BytesView payload = r.raw(r.remaining());
         Bytes copy(payload.begin(), payload.end());
         if (verify_pool_) {
@@ -604,6 +611,7 @@ void NodeRuntime::perform(Actions&& actions) {
     w.u8(static_cast<std::uint8_t>(MessageType::kCheckpointRequest));
     send_to_peer(peer, {w.data().data(), w.data().size()});
     catchup_request_outstanding_ = true;
+    catchup_request_peer_ = peer;
   }
 
   for (const auto& response : actions.responses) {
@@ -767,7 +775,10 @@ void NodeRuntime::verify_checkpoint_response(ValidatorId peer, Bytes payload) {
     loop_.post([this, data = std::move(data)]() mutable {
       install_peer_checkpoint(std::move(data));
     });
-  } catch (const serde::SerdeError& error) {
+  } catch (const std::exception& error) {
+    // std::exception, not just SerdeError: a hostile frame can also surface
+    // as e.g. std::length_error from an allocation, and an uncaught throw on
+    // a verify-pool worker would terminate the process — a remote crash.
     MM_LOG(kWarn) << "v" << id() << " bad checkpoint frame from v" << peer << ": "
                   << error.what();
   }
@@ -777,7 +788,6 @@ void NodeRuntime::install_peer_checkpoint(CheckpointData data) {
   const SlotId before = core_->committer().next_pending_slot();
   Actions actions = core_->install_checkpoint(data, steady_now_micros());
   if (core_->committer().next_pending_slot() <= before) return;  // stale snapshot
-  catchup_request_outstanding_ = false;
   snapshot_catchups_.fetch_add(1, std::memory_order_relaxed);
   MM_LOG(kInfo) << "v" << id() << " installed snapshot from v" << data.author
                 << " (horizon r" << data.horizon << ", head r" << data.head.round

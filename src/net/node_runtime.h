@@ -353,11 +353,20 @@ class NodeRuntime {
 
   // Checkpoint subsystem (loop-thread state unless noted).
   bool checkpointing_ = false;  // interval > 0 and the core can capture
-  // Armed when the core emits a checkpoint request, cleared by a successful
-  // install: kCheckpointResponse frames arriving outside that window are
-  // dropped BEFORE the (expensive) off-loop decode + verification — a peer
-  // must not be able to push unsolicited snapshots at healthy nodes.
+  // Armed when the core emits a checkpoint request; records which peer was
+  // asked. kCheckpointResponse frames arriving outside that window —
+  // unsolicited, or from a peer other than the one asked — are dropped
+  // BEFORE the (expensive) off-loop decode + verification. The window
+  // closes on the FIRST response from the asked peer whatever its
+  // verification outcome (the core's rate-limited re-request path recovers
+  // from a bad or stale one), so one request buys at most one verification,
+  // never a stream; a re-request re-arms the window at the newly asked
+  // peer. Deliberately NO receive deadline: a snapshot transfer can outlast
+  // any fixed timeout, and a deadline shorter than the transfer would drop
+  // every retry identically — a livelock for exactly the far-behind
+  // validator that needs catch-up most.
   bool catchup_request_outstanding_ = false;
+  ValidatorId catchup_request_peer_ = 0;
   std::unique_ptr<CheckpointStore> checkpoint_store_;  // null without wal_path
   bool checkpoint_in_flight_ = false;
   Round last_checkpoint_horizon_ = 0;

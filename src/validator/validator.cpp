@@ -1,6 +1,7 @@
 #include "validator/validator.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_set>
 
 #include "common/log.h"
@@ -31,6 +32,20 @@ ValidatorCore::ValidatorCore(const Committee& committee, crypto::Ed25519PrivateK
   own_last_block_ = dag_.slot(0, config_.id).front();  // own genesis
   // Genesis blocks of every validator start as tips.
   for (const auto& block : dag_.blocks_at(0)) tips_.insert(block->ref());
+  author_highest_seen_.assign(committee_.size(), 0);
+}
+
+void ValidatorCore::note_author_round(ValidatorId author, Round round) {
+  if (author < author_highest_seen_.size()) {
+    author_highest_seen_[author] = std::max(author_highest_seen_[author], round);
+  }
+}
+
+Round ValidatorCore::credible_peer_horizon() const {
+  std::vector<Round> tops(author_highest_seen_);
+  const std::size_t f = committee_.f();
+  std::nth_element(tops.begin(), tops.begin() + f, tops.end(), std::greater<Round>());
+  return tops[f];  // the (f+1)-th largest: at least one honest author reached it
 }
 
 void ValidatorCore::note_inserted(const BlockPtr& block) {
@@ -43,6 +58,7 @@ void ValidatorCore::note_inserted(const BlockPtr& block) {
   // votes — observable as spurious skips of far-region leaders at wave
   // length 4.
   tips_.insert(block->ref());
+  note_author_round(block->author(), block->round());
 }
 
 Actions ValidatorCore::on_block(BlockPtr block, ValidatorId from, TimeMicros now) {
@@ -206,6 +222,9 @@ void ValidatorCore::admit(BlockPtr block, ValidatorId from, TimeMicros now,
   if (dag_.contains(block->digest()) || synchronizer_.is_pending(block->digest())) {
     return;
   }
+  // Parked blocks count toward the per-author round watermark too: a late
+  // joiner's view of the cluster head is EXACTLY its parked suffix.
+  note_author_round(block->author(), block->round());
   auto outcome = synchronizer_.offer(std::move(block));
   for (const auto& inserted : outcome.inserted) note_inserted(inserted);
 
@@ -298,13 +317,23 @@ Actions ValidatorCore::on_peer_horizon(ValidatorId peer, Round horizon,
                                        TimeMicros now) {
   Actions actions;
   if (default_committer_ == nullptr) return actions;  // cannot install → don't ask
+  // The notice is a bare claim any peer can send. Clamp it to the highest
+  // round f+1 distinct authors have shown us: an honest peer's horizon
+  // trails its committed head, which cannot be ahead of every honest author
+  // we have validated blocks from — so the excess of a fabricated horizon is
+  // discarded rather than believed.
+  horizon = std::min(horizon, credible_peer_horizon());
   if (horizon <= dag_.pruned_below()) return actions;  // peer not ahead of us
-  // Only worth a snapshot when we are actually stuck: some outstanding
-  // ancestor sits below the peer's horizon, so neither this peer nor anyone
-  // whose horizon also passed it can ever serve the fetch.
+  // Only worth a snapshot when we are actually stuck, and only on a refusal
+  // of one of OUR fetches: some ancestor we asked THIS peer for must sit
+  // below its horizon — then neither this peer nor anyone whose horizon also
+  // passed it can ever serve the fetch. A peer we never fetched from has
+  // nothing to refuse and cannot talk us into requesting its snapshot.
   bool stuck = false;
   for (const auto& ref : synchronizer_.outstanding()) {
-    if (ref.round < horizon) {
+    if (ref.round >= horizon) continue;
+    const auto it = inflight_fetches_.find(ref.digest);
+    if (it != inflight_fetches_.end() && it->second.peer == peer) {
       stuck = true;
       break;
     }

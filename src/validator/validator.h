@@ -92,8 +92,13 @@ class ValidatorCore {
   // --- Checkpoint & state sync (checkpoint/) --------------------------------
 
   // A peer told us its GC horizon after we requested ancestors below it.
-  // When we are genuinely stuck (some outstanding ancestor can never be
-  // served by anyone whose horizon passed it), emits a rate-limited
+  // The claim is treated as hostile until corroborated: it is clamped to the
+  // highest round f+1 distinct authors have reached in blocks we validated
+  // (an honest peer's horizon trails its head, and its head cannot outrun
+  // every honest author we hear from), and it only counts as a refusal when
+  // some ancestor we asked THIS peer for sits below the clamped horizon.
+  // When we are then genuinely stuck (no one whose horizon passed the
+  // ancestor can ever serve the fetch), emits a rate-limited
   // Actions::checkpoint_requests entry.
   Actions on_peer_horizon(ValidatorId peer, Round horizon, TimeMicros now);
 
@@ -167,6 +172,13 @@ class ValidatorCore {
   // when 0). Blocks unblocked by the horizon move are appended to
   // `actions.inserted` so the driver logs them.
   void maybe_gc(Actions& actions);
+  // Records `round` as reached by `author` (structurally + crypto valid
+  // blocks only, parked or inserted) for credible_peer_horizon().
+  void note_author_round(ValidatorId author, Round round);
+  // The highest round at least f+1 distinct authors have reached: an upper
+  // bound on any honest peer's GC horizon that a lone Byzantine author
+  // minting far-future blocks cannot inflate.
+  Round credible_peer_horizon() const;
 
   const Committee& committee_;
   crypto::Ed25519PrivateKey key_;
@@ -199,6 +211,10 @@ class ValidatorCore {
     TimeMicros asked_at;
   };
   std::unordered_map<Digest, FetchState, DigestHasher> inflight_fetches_;
+
+  // Highest round seen per author across validated blocks (parked or
+  // inserted); feeds credible_peer_horizon().
+  std::vector<Round> author_highest_seen_;
 
   std::uint64_t blocks_rejected_ = 0;
   std::uint64_t equivocation_counter_ = 0;

@@ -345,6 +345,28 @@ TEST(SegmentedWal, CorruptMidLogSegmentStopsReplay) {
   EXPECT_LE(result.segments, 2u);
 }
 
+TEST(SegmentedWal, ListSegmentsParsesAnyCanonicalIndexWidth) {
+  const std::string dir = fresh_dir("wide");
+  // Indexes are written zero-padded to 8 digits, but an index that outgrows
+  // the padding must stay visible to replay — a silently dropped file would
+  // truncate recovery mid-log. Non-canonical strays (unpadded digits that
+  // segment_path could never reopen, junk, overflow) must stay INVISIBLE:
+  // listing one would poison the replay contiguity check instead.
+  for (const char* name :
+       {"seg-00000007.wal", "seg-100000000.wal", "seg-123.wal", "seg-x1.wal",
+        "seg-.wal", "seg-99999999999999999999.wal",
+        "seg-999999999999999999999.wal"}) {
+    std::ofstream(fs::path(dir) / name).put('\0');
+  }
+  const auto indexes = SegmentedWal::list_segments(dir);
+  ASSERT_EQ(indexes.size(), 2u);
+  EXPECT_EQ(indexes[0], 7u);
+  EXPECT_EQ(indexes[1], 100000000u);
+  EXPECT_EQ(SegmentedWal::segment_path(dir, 100000000u),
+            (fs::path(dir) / "seg-100000000.wal").string())
+      << "every listed index must round-trip through the path formatter";
+}
+
 // --- Checkpoint codec + store ------------------------------------------------
 
 TEST(Checkpoint, CodecRoundTripsACapturedCut) {
@@ -399,6 +421,38 @@ TEST(Checkpoint, CodecRoundTripsACapturedCut) {
   Bytes corrupt = encoded;
   corrupt[corrupt.size() / 2] ^= 0x01;
   EXPECT_THROW(decode_checkpoint({corrupt.data(), corrupt.size()}), serde::SerdeError);
+}
+
+// A checkpoint frame that is well-formed up to the three element-count
+// varints, carrying the given counts with nothing behind them.
+Bytes frame_with_counts(std::uint64_t decided, std::uint64_t delivered,
+                        std::uint64_t blocks) {
+  serde::Writer w;
+  w.u32(0x4d4d434b);  // kCheckpointMagic
+  w.u8(1);            // kCheckpointVersion
+  w.u64(1);           // sequence
+  w.u32(0);           // author
+  w.varint(4);        // horizon
+  w.varint(4);        // head slot round
+  w.u32(0);           // head slot leader offset
+  w.varint(0);        // last_proposed_round
+  w.varint(decided);
+  w.varint(delivered);
+  w.varint(blocks);
+  return wal_frame_record({w.data().data(), w.data().size()});
+}
+
+TEST(Checkpoint, CodecRejectsAbsurdElementCountsAsDecodeErrors) {
+  // Checkpoints arrive off the wire, so the counts are attacker-controlled:
+  // a claimed 2^60 elements must fail the decode's bounds check as a
+  // SerdeError — not reach vector::reserve and throw std::length_error,
+  // which would escape a SerdeError-only handler.
+  const std::uint64_t absurd = std::uint64_t{1} << 60;
+  for (const Bytes& frame :
+       {frame_with_counts(absurd, 0, 0), frame_with_counts(0, absurd, 0),
+        frame_with_counts(0, 0, absurd)}) {
+    EXPECT_THROW(decode_checkpoint({frame.data(), frame.size()}), serde::SerdeError);
+  }
 }
 
 TEST(Checkpoint, StoreFallsBackPastCorruptNewest) {
@@ -494,13 +548,17 @@ TEST(Checkpoint, FetchBelowHorizonTriggersTheCatchupHandshake) {
   const Round horizon = ahead->dag().pruned_below();
   ASSERT_GT(horizon, 1u);
 
-  // A late validator's ancestry fetch walk has descended to a block at the
-  // peer's horizon: the parents it now needs sit BELOW the horizon, which no
-  // caught-up peer still holds.
+  // A late validator's ancestry fetch walk has descended to the peer's
+  // horizon: a full round parks (so f+1 distinct authors corroborate the
+  // cluster being there) and the parents it now needs sit BELOW the horizon,
+  // which no caught-up peer still holds. Every fetch went to peer 3.
   auto late = load.make_core(kGcDepth);
-  const BlockPtr at_horizon = load.builder.dag().slot(horizon, 0).front();
-  Actions actions = late->on_block(at_horizon, 1, 0);
-  ASSERT_FALSE(actions.fetch_requests.empty());
+  bool fetched = false;
+  for (ValidatorId v = 0; v < 4; ++v) {
+    const BlockPtr block = load.builder.dag().slot(horizon, v).front();
+    fetched |= !late->on_block(block, /*from=*/3, 0).fetch_requests.empty();
+  }
+  ASSERT_TRUE(fetched);
 
   // The ahead peer cannot serve sub-horizon refs; it answers with a horizon
   // notice instead of silence.
@@ -513,13 +571,27 @@ TEST(Checkpoint, FetchBelowHorizonTriggersTheCatchupHandshake) {
   EXPECT_EQ(reply.horizon_notices[0].peer, 3u);
   EXPECT_EQ(reply.horizon_notices[0].horizon, horizon);
 
-  // The notice makes the stuck validator request a snapshot — once per
-  // cooldown window, not per notice.
+  // A notice from a peer we never fetched from refuses nothing: it must not
+  // talk us into requesting ITS snapshot.
+  EXPECT_TRUE(late->on_peer_horizon(2, horizon, millis(9)).checkpoint_requests.empty())
+      << "only the refusing peer's notice may trigger a request";
+
+  // The refusing peer's notice makes the stuck validator request a snapshot
+  // — once per cooldown window, not per notice.
   Actions request = late->on_peer_horizon(3, horizon, millis(10));
   ASSERT_EQ(request.checkpoint_requests.size(), 1u);
   EXPECT_EQ(request.checkpoint_requests[0], 3u);
   EXPECT_TRUE(late->on_peer_horizon(3, horizon, millis(11)).checkpoint_requests.empty())
       << "cooldown must rate-limit repeat requests";
+
+  // A fabricated horizon is clamped to what f+1 distinct authors
+  // corroborate: a core that has seen only ONE author's blocks ignores even
+  // an enormous claim from the very peer it fetched from.
+  auto lone = load.make_core(kGcDepth);
+  lone->on_block(load.builder.dag().slot(horizon, 0).front(), /*from=*/3, 0);
+  EXPECT_TRUE(lone->on_peer_horizon(3, Round{1} << 40, millis(10))
+                  .checkpoint_requests.empty())
+      << "an uncorroborated horizon claim must be distrusted";
 
   // A validator that is NOT stuck (nothing outstanding below the horizon)
   // never requests a snapshot.
