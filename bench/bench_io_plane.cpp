@@ -1,0 +1,176 @@
+// I/O-plane comparison: the same 11-validator loopback TCP committee — group
+// commit + fsync WAL, verification inline on the loop thread — run once per
+// backend, measured in SYSCALLS PER COMMITTED BLOCK rather than wall time.
+//
+// Wall time on a loopback cluster mostly measures the scheduler; what the
+// io_uring plane actually changes is how many kernel entries each committed
+// block costs. The counters here come straight from the runtime's own
+// accounting (NodeRuntime::io_plane_report):
+//
+//   NetSyscallsPerBlock  data-plane entries — one recv/sendmsg per readiness
+//                        event on epoll, one io_uring_enter per loop tick
+//                        (covering every send, recv re-arm and cancel the
+//                        tick produced) on uring;
+//   WalSyscallsPerBlock  group-flush entries on the WAL writer thread —
+//                        write + fsync classically, one linked write→fsync
+//                        submission with the WAL ring;
+//   SyscallsPerBlock     the sum, the headline metric.
+//
+// Entries: BM_IoPlaneClusterEpoll always; BM_IoPlaneClusterUring only where
+// the kernel supports io_uring (registered from main(), so no skipped-entry
+// noise in the JSON). CI diffs the two with
+//   scripts/check_bench.py --compare SyscallsPerBlock Epoll Uring
+// which fails the push if the uring plane ever costs more syscalls per
+// committed block than epoll.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.h"
+#include "net/io_backend.h"
+#include "net/node_runtime.h"
+#include "types/committee.h"
+
+namespace {
+
+using namespace mahimahi;
+using namespace mahimahi::net;
+namespace fs = std::filesystem;
+
+constexpr ValidatorId kValidators = 11;      // 10+ peers per the acceptance bar
+constexpr std::uint64_t kTargetBlocks = 33;  // committed blocks per node (~3 waves)
+
+std::string bench_dir(const char* tag) {
+  return (fs::temp_directory_path() /
+          (std::string("mahi_bench_io_") + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+void io_plane_cluster_bench(benchmark::State& state, IoBackendKind kind) {
+  const std::string dir = bench_dir(to_string(kind));
+  for (auto _ : state) {
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    auto setup = Committee::make_test(kValidators);
+
+    // Pre-claim ephemeral ports so every node knows every peer's address
+    // before any of them starts.
+    std::vector<NodeAddress> addresses(kValidators);
+    {
+      EventLoop probe_loop;
+      std::vector<std::unique_ptr<TcpListener>> probes;
+      for (ValidatorId i = 0; i < kValidators; ++i) {
+        probes.push_back(
+            std::make_unique<TcpListener>(probe_loop, 0, [](TcpConnectionPtr) {}));
+        addresses[i].port = probes.back()->port();
+      }
+    }
+
+    // Co-located committee on a small machine: one shared verifier cache
+    // (every block verifies once, not 11 times) and inline verification, so
+    // the loop thread's work is dominated by the thing under test —
+    // multiplexing 20 sockets and feeding the WAL.
+    auto cache = std::make_shared<VerifierCache>();
+    std::vector<std::unique_ptr<NodeRuntime>> nodes;
+    for (ValidatorId v = 0; v < kValidators; ++v) {
+      NodeRuntimeConfig config;
+      config.validator.id = v;
+      config.validator.committer = mahi_mahi_5(1);
+      config.validator.min_round_delay = millis(10);
+      config.validator.signature_cache = cache;
+      config.validator.wal_group_commit = true;
+      config.validator.wal_fsync = true;
+      config.peers = addresses;
+      config.wal_path = dir + "/v" + std::to_string(v) + ".wal";
+      config.tick_interval = millis(10);
+      config.verify_threads = 0;
+      config.io_backend = kind;
+      nodes.push_back(std::make_unique<NodeRuntime>(
+          setup.committee, setup.keypairs[v].private_key, config));
+    }
+    for (auto& node : nodes) node->start();
+    if (nodes[0]->io_backend_kind() != kind) {
+      state.SkipWithError("requested backend did not materialize");
+      for (auto& node : nodes) node->stop();
+      break;
+    }
+    TxBatch batch;
+    batch.id = 7;
+    batch.count = 10;
+    nodes[0]->submit({batch});
+
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    bool done = false;
+    while (!done && std::chrono::steady_clock::now() < deadline) {
+      done = true;
+      for (auto& node : nodes) {
+        if (node->committed_blocks() < kTargetBlocks) {
+          done = false;
+          break;
+        }
+      }
+      if (!done) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    // Counters are read BEFORE stop(): shutdown drains and closes everything,
+    // and those teardown syscalls are not part of the steady-state cost.
+    std::uint64_t net_syscalls = 0;
+    std::uint64_t wal_syscalls = 0;
+    std::uint64_t blocks = 0;
+    bool ring_active = true;
+    for (auto& node : nodes) {
+      const auto report = node->io_plane_report();
+      net_syscalls += report.submit_syscalls;
+      wal_syscalls += report.wal_flush_syscalls;
+      blocks += node->committed_blocks();
+      ring_active = ring_active && report.wal_ring_active;
+    }
+    for (auto& node : nodes) node->stop();
+    nodes.clear();
+    fs::remove_all(dir);
+    if (!done) {
+      state.SkipWithError("cluster missed the commit target before the deadline");
+      break;
+    }
+
+    state.counters["Blocks"] = static_cast<double>(blocks);
+    state.counters["NetSyscallsPerBlock"] =
+        static_cast<double>(net_syscalls) / static_cast<double>(blocks);
+    state.counters["WalSyscallsPerBlock"] =
+        static_cast<double>(wal_syscalls) / static_cast<double>(blocks);
+    state.counters["SyscallsPerBlock"] =
+        static_cast<double>(net_syscalls + wal_syscalls) / static_cast<double>(blocks);
+    state.counters["WalRingActive"] =
+        kind == IoBackendKind::kUring && ring_active ? 1.0 : 0.0;
+    state.SetItemsProcessed(static_cast<std::int64_t>(blocks));
+  }
+}
+
+void BM_IoPlaneClusterEpoll(benchmark::State& state) {
+  io_plane_cluster_bench(state, IoBackendKind::kEpoll);
+}
+BENCHMARK(BM_IoPlaneClusterEpoll)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_IoPlaneClusterUring(benchmark::State& state) {
+  io_plane_cluster_bench(state, IoBackendKind::kUring);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (uring_backend_available()) {
+    benchmark::RegisterBenchmark("BM_IoPlaneClusterUring", BM_IoPlaneClusterUring)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -72,12 +72,30 @@ const Bytes& record_bytes() {
   return record;
 }
 
-void write_records(FramedWal& wal, std::size_t count) {
+// The replayed logs are built the way a production group-commit writer lands
+// them — whole groups through FramedWal::append_group_durable — so the build
+// exercises (and reports) each layout's group-flush syscall accounting. The
+// file bytes are identical to per-record appends either way.
+constexpr std::size_t kBuildGroupRecords = 64;
+
+struct LogBuildStats {
+  std::uint64_t groups = 0;
+  std::uint64_t syscalls = 0;  // kernel entries spent landing the groups
+};
+
+LogBuildStats write_records(FramedWal& wal, std::size_t count) {
   const Bytes& record = record_bytes();
+  Bytes group;
+  std::size_t staged = 0;
   for (std::size_t i = 0; i < count; ++i) {
-    wal.append_framed({record.data(), record.size()});
+    group.insert(group.end(), record.begin(), record.end());
+    if (++staged == kBuildGroupRecords || i + 1 == count) {
+      wal.append_group_durable({group.data(), group.size()});
+      group.clear();
+      staged = 0;
+    }
   }
-  wal.sync();
+  return {wal.groups_durable(), wal.group_flush_syscalls()};
 }
 
 // A real captured cut (30 fully-connected rounds, GC horizon active), so the
@@ -128,9 +146,10 @@ void BM_RecoveryReplayMonolithic(benchmark::State& state) {
   const auto records = static_cast<std::size_t>(state.range(0));
   const std::string dir = bench_dir("mono");
   const std::string path = (fs::path(dir) / "log.wal").string();
+  LogBuildStats build;
   {
     FileWal wal(path);
-    write_records(wal, records);
+    build = write_records(wal, records);
   }
   std::uint64_t replayed = 0;
   FileWal::Visitor visitor;
@@ -145,6 +164,10 @@ void BM_RecoveryReplayMonolithic(benchmark::State& state) {
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * records));
+  if (records > 0) {
+    state.counters["LogBuildSyscallsPerRecord"] =
+        static_cast<double>(build.syscalls) / static_cast<double>(records);
+  }
   if (state.iterations() > 0 && records > 0) {
     check_linear(state, "monolithic",
                  wall_ns / static_cast<double>(state.iterations() * records));
@@ -163,11 +186,12 @@ void BM_RecoveryReplayCheckpointSuffix(benchmark::State& state) {
   // IS the subsystem's value proposition.
   const auto records = static_cast<std::size_t>(state.range(0));
   const std::string dir = bench_dir("ckpt");
+  LogBuildStats build;
   {
     SegmentedWalOptions options;
     options.segment_bytes = 256 * 1024;
     SegmentedWal seg(dir, options);
-    write_records(seg, std::min(records, kSuffixRecords));
+    build = write_records(seg, std::min(records, kSuffixRecords));
     CheckpointStore store(dir);
     const Bytes& encoded = checkpoint_bytes();
     store.write(1, {encoded.data(), encoded.size()});
@@ -185,6 +209,10 @@ void BM_RecoveryReplayCheckpointSuffix(benchmark::State& state) {
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * std::min(records, kSuffixRecords)));
+  if (const std::size_t suffix = std::min(records, kSuffixRecords); suffix > 0) {
+    state.counters["LogBuildSyscallsPerRecord"] =
+        static_cast<double>(build.syscalls) / static_cast<double>(suffix);
+  }
   fs::remove_all(dir);
 }
 BENCHMARK(BM_RecoveryReplayCheckpointSuffix)

@@ -9,12 +9,26 @@ gate fails (exit 1) on:
   * an empty or missing "benchmarks" list,
   * entries that reported an error (error_occurred / error_message),
   * entries with a missing, non-finite or negative real_time,
-  * (with --expect NAME) no benchmark whose name contains NAME.
+  * (with --expect NAME) no benchmark whose name contains NAME,
+  * (with --compare COUNTER BASE TEST) a TEST-matching entry whose COUNTER
+    mean exceeds the BASE-matching entries' mean.
 
 So a bench that bit-rots into producing garbage — or a CI step whose filter
 matches nothing — fails the push instead of silently uploading junk.
 
+--compare is the I/O-plane regression gate: bench_io_plane reports
+SyscallsPerBlock for an epoll and (where the kernel allows) an io_uring run
+of the same cluster, and
+
+    check_bench.py bench_io_plane.json --compare SyscallsPerBlock Epoll Uring
+
+fails the push if the uring plane ever costs more syscalls per committed
+block than epoll. When no benchmark matches TEST, the comparison is skipped
+with a note — an epoll-only build (MAHIMAHI_IOURING=OFF, or a kernel that
+refuses rings) is not a regression.
+
 Usage: check_bench.py FILE.json [--expect NAME_SUBSTRING]...
+                      [--compare COUNTER BASE_SUBSTRING TEST_SUBSTRING]...
 """
 
 import argparse
@@ -38,6 +52,16 @@ def main() -> None:
         metavar="NAME_SUBSTRING",
         help="require at least one benchmark whose name contains this "
         "substring (repeatable)",
+    )
+    parser.add_argument(
+        "--compare",
+        action="append",
+        default=[],
+        nargs=3,
+        metavar=("COUNTER", "BASE_SUBSTRING", "TEST_SUBSTRING"),
+        help="fail when the mean of COUNTER over benchmarks matching "
+        "TEST_SUBSTRING exceeds the mean over those matching BASE_SUBSTRING; "
+        "skipped with a note when nothing matches TEST_SUBSTRING (repeatable)",
     )
     args = parser.parse_args()
 
@@ -74,6 +98,49 @@ def main() -> None:
         if not any(expect in name for name in names):
             shown = ", ".join(names[:10])
             fail(f"{args.file}: no benchmark matching '{expect}' (have: {shown})")
+
+    for counter, base_substr, test_substr in args.compare:
+        def counter_values(substring: str) -> list:
+            values = []
+            for entry in benchmarks:
+                if entry.get("run_type") == "aggregate":
+                    continue
+                if substring not in entry.get("name", ""):
+                    continue
+                value = entry.get(counter)
+                if (
+                    not isinstance(value, (int, float))
+                    or isinstance(value, bool)
+                    or not math.isfinite(value)
+                ):
+                    fail(f"{entry['name']}: bad {counter} {value!r}")
+                values.append(value)
+            return values
+
+        test_values = counter_values(test_substr)
+        if not test_values:
+            print(
+                f"check_bench: note: no benchmark matching '{test_substr}' "
+                f"carries {counter}; comparison skipped"
+            )
+            continue
+        base_values = counter_values(base_substr)
+        if not base_values:
+            fail(
+                f"{args.file}: --compare {counter}: nothing matching "
+                f"'{base_substr}' carries the counter"
+            )
+        base_mean = sum(base_values) / len(base_values)
+        test_mean = sum(test_values) / len(test_values)
+        if test_mean > base_mean:
+            fail(
+                f"{counter}: '{test_substr}' mean {test_mean:.3f} exceeds "
+                f"'{base_substr}' mean {base_mean:.3f}"
+            )
+        print(
+            f"check_bench: OK: {counter}: '{test_substr}' {test_mean:.3f} <= "
+            f"'{base_substr}' {base_mean:.3f}"
+        )
 
     print(f"check_bench: OK: {args.file}: {len(names)} benchmark entries")
 

@@ -10,6 +10,7 @@
 #include "common/fsio.h"
 #include "common/log.h"
 #include "serde/serde.h"
+#include "wal/wal_ring.h"
 
 namespace mahimahi {
 
@@ -131,6 +132,38 @@ void SegmentedWal::sync() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::fflush(file_);
   if (options_.fsync_on_sync) ::fsync(::fileno(file_));
+}
+
+void SegmentedWal::attach_wal_ring(WalUring* ring) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_ = ring;
+}
+
+bool SegmentedWal::wal_ring_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_ != nullptr && options_.fsync_on_sync;
+}
+
+void SegmentedWal::append_group_durable(BytesView group) {
+  // Held across the I/O, like sync(): the checkpoint writer must not roll or
+  // retire segments under a landing group.
+  std::lock_guard<std::mutex> lock(mutex_);
+  groups_durable_.fetch_add(1, std::memory_order_relaxed);
+  if (ring_ != nullptr && options_.fsync_on_sync) {
+    roll_if_over_budget_locked(group.size());
+    std::fflush(file_);  // order stdio-buffered bytes ahead of the ring write
+    const std::uint64_t spent = ring_->append_fsync(::fileno(file_), group);
+    group_flush_syscalls_.fetch_add(spent, std::memory_order_relaxed);
+    active_bytes_ += group.size();
+    ++active_records_;
+    bytes_written_ += group.size();
+    return;
+  }
+  write_locked(group);
+  std::fflush(file_);
+  if (options_.fsync_on_sync) ::fsync(::fileno(file_));
+  group_flush_syscalls_.fetch_add(options_.fsync_on_sync ? 2 : 1,
+                                  std::memory_order_relaxed);
 }
 
 std::uint64_t SegmentedWal::roll_segment() {

@@ -26,6 +26,7 @@
 // while the group-commit writer thread is appending groups.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
@@ -61,6 +62,19 @@ class SegmentedWal : public FramedWal {
   void append_commit(SlotId slot) override;
   void sync() override;
   void append_framed(BytesView framed) override;
+
+  // With an attached ring (and fsync_on_sync set), lands the group as one
+  // linked write→fsync submission into the active segment — after the usual
+  // roll check, so segment budgets behave exactly as on the classic path.
+  void append_group_durable(BytesView group) override;
+  void attach_wal_ring(WalUring* ring) override;
+  bool wal_ring_active() const override;
+  std::uint64_t group_flush_syscalls() const override {
+    return group_flush_syscalls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t groups_durable() const override {
+    return groups_durable_.load(std::memory_order_relaxed);
+  }
 
   // Seals the active segment and opens the next index (no-op on an empty
   // active segment). The checkpoint writer calls this at the cut: every
@@ -118,6 +132,9 @@ class SegmentedWal : public FramedWal {
   std::uint64_t active_records_ = 0;    // records appended to it this session
   std::uint64_t bytes_written_ = 0;     // this session, across segments
   std::uint64_t segments_retired_ = 0;
+  WalUring* ring_ = nullptr;            // non-owning; see attach_wal_ring
+  std::atomic<std::uint64_t> group_flush_syscalls_{0};
+  std::atomic<std::uint64_t> groups_durable_{0};
 };
 
 }  // namespace mahimahi

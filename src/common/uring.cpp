@@ -1,0 +1,321 @@
+#include "common/uring.h"
+
+#if MAHIMAHI_IOURING
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace mahimahi {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, void* arg, unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+unsigned load_acquire(const unsigned* ptr) {
+  return std::atomic_ref<const unsigned>(*ptr).load(std::memory_order_acquire);
+}
+
+void store_release(unsigned* ptr, unsigned value) {
+  std::atomic_ref<unsigned>(*ptr).store(value, std::memory_order_release);
+}
+
+}  // namespace
+
+// The SQE array slot. Alias of the UAPI struct so the header can forward-
+// declare without dragging <linux/io_uring.h> into every includer.
+struct MiniUring::SqeSlot : io_uring_sqe {};
+
+bool MiniUring::cqe_has_buffer(std::uint32_t flags) {
+  return (flags & IORING_CQE_F_BUFFER) != 0;
+}
+
+bool MiniUring::cqe_has_more(std::uint32_t flags) {
+  return (flags & IORING_CQE_F_MORE) != 0;
+}
+
+std::uint16_t MiniUring::cqe_buffer_id(std::uint32_t flags) {
+  return static_cast<std::uint16_t>(flags >> IORING_CQE_BUFFER_SHIFT);
+}
+
+MiniUring::MiniUring(unsigned entries) {
+  io_uring_params params{};
+  // CQ 4x the SQ: a multishot recv produces completions without consuming
+  // submission slots, so the CQ needs headroom beyond the SQ depth. (With
+  // IORING_FEAT_NODROP — every kernel new enough for multishot recv — an
+  // overflow would stall, not lose, completions; the headroom keeps it off
+  // the slow path.)
+  params.flags = IORING_SETUP_CQSIZE;
+  params.cq_entries = entries * 4;
+  ring_fd_ = sys_io_uring_setup(entries, &params);
+  if (ring_fd_ < 0) throw std::runtime_error("io_uring_setup failed");
+
+  sq_entries_ = params.sq_entries;
+  sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  single_mmap_ = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap_) {
+    sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_, cq_ring_bytes_);
+  }
+
+  sq_ring_ = static_cast<std::uint8_t*>(
+      ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING));
+  cq_ring_ = single_mmap_
+                 ? sq_ring_
+                 : static_cast<std::uint8_t*>(
+                       ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                              MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING));
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<std::uint8_t*>(::mmap(nullptr, sqes_bytes_,
+                                            PROT_READ | PROT_WRITE,
+                                            MAP_SHARED | MAP_POPULATE, ring_fd_,
+                                            IORING_OFF_SQES));
+  if (sq_ring_ == MAP_FAILED || cq_ring_ == MAP_FAILED || sqes_ == MAP_FAILED) {
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+    throw std::runtime_error("io_uring ring mmap failed");
+  }
+
+  sq_khead_ = reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.head);
+  sq_ktail_ = reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.tail);
+  sq_kflags_ = reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.flags);
+  sq_array_ = reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.array);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.ring_mask);
+  sq_local_tail_ = *sq_ktail_;
+
+  cq_khead_ = reinterpret_cast<unsigned*>(cq_ring_ + params.cq_off.head);
+  cq_ktail_ = reinterpret_cast<unsigned*>(cq_ring_ + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq_ring_ + params.cq_off.ring_mask);
+  cqes_ = cq_ring_ + params.cq_off.cqes;
+}
+
+MiniUring::~MiniUring() {
+  if (buf_ring_ != nullptr) ::munmap(buf_ring_, buf_ring_bytes_);
+  delete[] pool_;
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_ != nullptr && !single_mmap_) ::munmap(cq_ring_, cq_ring_bytes_);
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+MiniUring::SqeSlot* MiniUring::next_sqe(std::uint64_t user_data) {
+  if (sq_local_tail_ - load_acquire(sq_khead_) >= sq_entries_) return nullptr;
+  const unsigned index = sq_local_tail_ & sq_mask_;
+  auto* sqe = reinterpret_cast<SqeSlot*>(sqes_ + index * sizeof(io_uring_sqe));
+  std::memset(sqe, 0, sizeof(io_uring_sqe));
+  sqe->user_data = user_data;
+  sq_array_[index] = index;
+  ++sq_local_tail_;
+  return sqe;
+}
+
+bool MiniUring::prep_sendmsg(int fd, const msghdr* msg, std::uint64_t user_data) {
+  SqeSlot* sqe = next_sqe(user_data);
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_SENDMSG;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(msg);
+  sqe->msg_flags = MSG_NOSIGNAL;
+  return true;
+}
+
+bool MiniUring::prep_recv_multishot(int fd, std::uint16_t buf_group,
+                                    std::uint64_t user_data) {
+  SqeSlot* sqe = next_sqe(user_data);
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = fd;
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = buf_group;
+  // len 0 + buffer select: each completion fills one pool buffer.
+  return true;
+}
+
+bool MiniUring::prep_write(int fd, const void* data, unsigned len,
+                           std::uint64_t user_data, bool link) {
+  SqeSlot* sqe = next_sqe(user_data);
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_WRITE;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(data);
+  sqe->len = len;
+  sqe->off = static_cast<std::uint64_t>(-1);  // write(2) semantics: file position
+  if (link) sqe->flags = IOSQE_IO_LINK;
+  return true;
+}
+
+bool MiniUring::prep_fsync(int fd, std::uint64_t user_data) {
+  SqeSlot* sqe = next_sqe(user_data);
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_FSYNC;
+  sqe->fd = fd;
+  return true;
+}
+
+bool MiniUring::prep_cancel(std::uint64_t target_user_data, std::uint64_t user_data) {
+  SqeSlot* sqe = next_sqe(user_data);
+  if (sqe == nullptr) return false;
+  sqe->opcode = IORING_OP_ASYNC_CANCEL;
+  sqe->fd = -1;
+  sqe->addr = target_user_data;
+  return true;
+}
+
+int MiniUring::submit(unsigned wait_for) {
+  store_release(sq_ktail_, sq_local_tail_);
+  const unsigned to_submit = sq_local_tail_ - load_acquire(sq_khead_);
+  unsigned flags = 0;
+  if (wait_for > 0) flags |= IORING_ENTER_GETEVENTS;
+  // A CQ overflow parks completions inside the kernel until the next
+  // GETEVENTS enter flushes them into the ring.
+  if (load_acquire(sq_kflags_) & IORING_SQ_CQ_OVERFLOW) flags |= IORING_ENTER_GETEVENTS;
+  if (to_submit == 0 && flags == 0) return 0;  // nothing to do, no syscall
+  for (;;) {
+    const int rc = sys_io_uring_enter(ring_fd_, to_submit, wait_for, flags);
+    ++enter_syscalls_;
+    if (rc >= 0) return rc;
+    if (errno != EINTR) return -errno;
+  }
+}
+
+std::size_t MiniUring::reap(Cqe* out, std::size_t max) {
+  unsigned head = *cq_khead_;  // only this thread advances it
+  const unsigned tail = load_acquire(cq_ktail_);
+  std::size_t count = 0;
+  while (head != tail && count < max) {
+    const auto* cqe =
+        reinterpret_cast<const io_uring_cqe*>(cqes_ + (head & cq_mask_) * sizeof(io_uring_cqe));
+    out[count].user_data = cqe->user_data;
+    out[count].res = cqe->res;
+    out[count].flags = cqe->flags;
+    ++count;
+    ++head;
+  }
+  if (count > 0) store_release(cq_khead_, head);
+  return count;
+}
+
+bool MiniUring::register_buffer_pool(unsigned count, unsigned size) {
+  static_assert(sizeof(io_uring_buf) == 16, "provided-buffer ring ABI");
+  buf_ring_bytes_ = count * sizeof(io_uring_buf);
+  buf_ring_ = static_cast<std::uint8_t*>(::mmap(nullptr, buf_ring_bytes_,
+                                                PROT_READ | PROT_WRITE,
+                                                MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+  if (buf_ring_ == MAP_FAILED) {
+    buf_ring_ = nullptr;
+    return false;
+  }
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(buf_ring_);
+  reg.ring_entries = count;
+  reg.bgid = 0;
+  if (sys_io_uring_register(ring_fd_, IORING_REGISTER_PBUF_RING, &reg, 1) < 0) {
+    ::munmap(buf_ring_, buf_ring_bytes_);
+    buf_ring_ = nullptr;
+    return false;
+  }
+  pool_ = new std::uint8_t[static_cast<std::size_t>(count) * size];
+  pool_buffers_ = count;
+  pool_buffer_bytes_ = size;
+  buf_ring_tail_ = 0;
+  for (unsigned id = 0; id < count; ++id) {
+    recycle_buffer(static_cast<std::uint16_t>(id));
+  }
+  return true;
+}
+
+std::uint8_t* MiniUring::buffer(std::uint16_t id) {
+  return pool_ + static_cast<std::size_t>(id) * pool_buffer_bytes_;
+}
+
+void MiniUring::recycle_buffer(std::uint16_t id) {
+  auto* entries = reinterpret_cast<io_uring_buf*>(buf_ring_);
+  io_uring_buf& slot = entries[buf_ring_tail_ & (pool_buffers_ - 1)];
+  slot.addr = reinterpret_cast<std::uint64_t>(buffer(id));
+  slot.len = pool_buffer_bytes_;
+  slot.bid = id;
+  ++buf_ring_tail_;
+  // The tail the kernel reads lives in the reserved fields of entry 0
+  // (io_uring_buf_ring ABI: u64 + u32 + u16, then the u16 tail).
+  auto* tail = reinterpret_cast<std::uint16_t*>(buf_ring_ + 14);
+  std::atomic_ref<std::uint16_t>(*tail).store(buf_ring_tail_, std::memory_order_release);
+}
+
+namespace {
+
+// One-shot runtime probe. Everything the I/O plane submits must be
+// supported: SENDMSG/WRITE/FSYNC/ASYNC_CANCEL by opcode probe, multishot
+// recv by kernel generation (IORING_OP_SEND_ZC shipped in the same release,
+// 6.0, and IS probeable — RECV's multishot flag is not), and the
+// provided-buffer ring by actually registering one.
+bool probe_uring() {
+  try {
+    MiniUring ring(8);
+    constexpr unsigned kProbeOps = 64;
+    // Flat byte buffer: io_uring_probe ends in a flexible array, which C++
+    // cannot embed in another aggregate.
+    std::vector<std::uint8_t> mem(sizeof(io_uring_probe) +
+                                      kProbeOps * sizeof(io_uring_probe_op),
+                                  0);
+    if (sys_io_uring_register(ring.ring_fd(), IORING_REGISTER_PROBE, mem.data(),
+                              kProbeOps) < 0) {
+      return false;
+    }
+    const auto* ops =
+        reinterpret_cast<const io_uring_probe_op*>(mem.data() + sizeof(io_uring_probe));
+    const auto supported = [ops](unsigned op) {
+      return op < kProbeOps && (ops[op].flags & IO_URING_OP_SUPPORTED) != 0;
+    };
+    if (!supported(IORING_OP_SENDMSG) || !supported(IORING_OP_RECV) ||
+        !supported(IORING_OP_WRITE) || !supported(IORING_OP_FSYNC) ||
+        !supported(IORING_OP_ASYNC_CANCEL) || !supported(IORING_OP_SEND_ZC)) {
+      return false;
+    }
+    MiniUring pool_probe(8);
+    return pool_probe.register_buffer_pool(8, 4096);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool uring_runtime_supported() {
+  static const bool supported = probe_uring();
+  return supported;
+}
+
+}  // namespace mahimahi
+
+#else  // !MAHIMAHI_IOURING
+
+namespace mahimahi {
+
+bool uring_runtime_supported() { return false; }
+
+}  // namespace mahimahi
+
+#endif  // MAHIMAHI_IOURING

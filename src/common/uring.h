@@ -1,0 +1,146 @@
+// Minimal raw-syscall io_uring wrapper — no liburing dependency.
+//
+// The io_uring I/O plane (net/uring_backend.h for the socket data plane,
+// wal/wal_ring.h for WAL group flushes) needs exactly four kernel
+// facilities: a submission/completion ring pair, batched io_uring_enter, a
+// provided-buffer ring for multishot recv, and linked SQEs for write→fsync
+// pairs. The toolchain bakes in the kernel UAPI header but not liburing, and
+// this repo's style is from-scratch subsystems anyway (see the hand-rolled
+// crypto) — so this wraps the raw ABI from <linux/io_uring.h> directly:
+// io_uring_setup + mmap'd rings + atomic head/tail publishing, ~300 lines.
+//
+// Thread contract: one MiniUring belongs to ONE thread (the event loop's, or
+// the WAL writer's). Nothing here locks.
+//
+// Compiled to stubs when the CMake option MAHIMAHI_IOURING is off or the
+// UAPI header is absent; uring_runtime_supported() is then constant false
+// and every caller falls back to the classic epoll/write+fsync path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+struct msghdr;  // <sys/socket.h>
+
+namespace mahimahi {
+
+// True when the wrapper is compiled in AND a runtime probe succeeded:
+// io_uring_setup works (not seccomp-blocked or sysctl-disabled), the opcodes
+// the I/O plane uses are supported, and a provided-buffer ring registers.
+// Cached after the first call; safe from any thread.
+bool uring_runtime_supported();
+
+#if MAHIMAHI_IOURING
+
+class MiniUring {
+ public:
+  // A reaped completion. `flags` carries the provided-buffer id for recv
+  // completions (see cqe_buffer_id / cqe_has_buffer / cqe_has_more).
+  struct Cqe {
+    std::uint64_t user_data = 0;
+    std::int32_t res = 0;
+    std::uint32_t flags = 0;
+  };
+
+  static bool cqe_has_buffer(std::uint32_t flags);
+  static bool cqe_has_more(std::uint32_t flags);  // multishot op still armed
+  static std::uint16_t cqe_buffer_id(std::uint32_t flags);
+
+  // `entries` is the SQ depth (rounded up to a power of two by the kernel);
+  // the CQ is sized 4x deeper so a burst of multishot-recv completions
+  // between reaps does not overflow. Throws std::runtime_error on failure —
+  // callers that want a fallback probe uring_runtime_supported() first.
+  explicit MiniUring(unsigned entries);
+  ~MiniUring();
+
+  MiniUring(const MiniUring&) = delete;
+  MiniUring& operator=(const MiniUring&) = delete;
+
+  int ring_fd() const { return ring_fd_; }
+
+  // --- SQE preparation -------------------------------------------------------
+  // Each returns false when the submission queue is full (caller submits and
+  // retries). Prepared entries reach the kernel only at the next submit().
+
+  // Gathered socket send; `msg` (and its iovec array) must stay alive until
+  // the completion is reaped.
+  bool prep_sendmsg(int fd, const msghdr* msg, std::uint64_t user_data);
+  // Multishot recv with buffer selection from `buf_group`: one SQE produces a
+  // completion per arriving chunk until cancelled or the pool runs dry.
+  bool prep_recv_multishot(int fd, std::uint16_t buf_group, std::uint64_t user_data);
+  // File write at the current file position (offset -1, write(2) semantics).
+  // With `link`, the NEXT prepared SQE runs only after this one succeeds in
+  // full — the write→fsync durability pair.
+  bool prep_write(int fd, const void* data, unsigned len, std::uint64_t user_data,
+                  bool link);
+  bool prep_fsync(int fd, std::uint64_t user_data);
+  // Cancels the in-flight op carrying `target_user_data`.
+  bool prep_cancel(std::uint64_t target_user_data, std::uint64_t user_data);
+
+  // Unsubmitted prepared entries.
+  unsigned pending_sqes() const { return sq_local_tail_ - *sq_khead_; }
+
+  // --- submission / completion ----------------------------------------------
+
+  // One io_uring_enter covering everything prepared since the last call;
+  // wait_for > 0 additionally blocks until that many completions exist (the
+  // same single syscall does both). Returns entries consumed by the kernel,
+  // or a negative errno. EINTR is retried internally.
+  int submit(unsigned wait_for = 0);
+
+  // Drains up to `max` completions into `out`; pure shared-memory reads, no
+  // syscall. Returns the count.
+  std::size_t reap(Cqe* out, std::size_t max);
+
+  // --- provided-buffer pool (multishot-recv ingress) -------------------------
+
+  // Registers one pool (buffer group 0) of `count` buffers (power of two) of
+  // `size` bytes each. False when the kernel lacks PBUF_RING.
+  bool register_buffer_pool(unsigned count, unsigned size);
+  std::uint8_t* buffer(std::uint16_t id);
+  unsigned buffer_size() const { return pool_buffer_bytes_; }
+  // Returns a consumed buffer to the kernel.
+  void recycle_buffer(std::uint16_t id);
+
+  // Kernel entries made by submit() — THE data-plane syscall count.
+  std::uint64_t enter_syscalls() const { return enter_syscalls_; }
+
+ private:
+  struct SqeSlot;  // io_uring_sqe, kept out of the header
+  SqeSlot* next_sqe(std::uint64_t user_data);
+
+  int ring_fd_ = -1;
+  // Submission ring (shared with the kernel).
+  std::uint8_t* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  unsigned* sq_khead_ = nullptr;
+  unsigned* sq_ktail_ = nullptr;
+  unsigned* sq_kflags_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned sq_local_tail_ = 0;  // entries prepared, not yet published
+  std::uint8_t* sqes_ = nullptr;
+  std::size_t sqes_bytes_ = 0;
+  // Completion ring.
+  std::uint8_t* cq_ring_ = nullptr;
+  std::size_t cq_ring_bytes_ = 0;
+  unsigned* cq_khead_ = nullptr;
+  unsigned* cq_ktail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  std::uint8_t* cqes_ = nullptr;
+  bool single_mmap_ = false;
+  // Provided-buffer ring + its backing pool.
+  std::uint8_t* buf_ring_ = nullptr;
+  std::size_t buf_ring_bytes_ = 0;
+  std::uint8_t* pool_ = nullptr;
+  unsigned pool_buffers_ = 0;
+  unsigned pool_buffer_bytes_ = 0;
+  std::uint16_t buf_ring_tail_ = 0;
+
+  std::uint64_t enter_syscalls_ = 0;
+};
+
+#endif  // MAHIMAHI_IOURING
+
+}  // namespace mahimahi

@@ -11,7 +11,7 @@
 
 namespace mahimahi::net {
 
-EventLoop::EventLoop() {
+EventLoop::EventLoop(IoBackendKind backend) : backend_(make_io_backend(backend)) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1 failed");
   wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
@@ -21,6 +21,8 @@ EventLoop::EventLoop() {
     while (::read(wakeup_fd_, &value, sizeof(value)) > 0) {
     }
   });
+  // After the epoll set exists: a completion backend registers its ring fd.
+  backend_->attach(*this);
 }
 
 EventLoop::~EventLoop() {
@@ -124,11 +126,17 @@ void EventLoop::run() {
   loop_thread_id_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   epoll_event events[64];
   while (!stop_requested_.load(std::memory_order_relaxed)) {
+    // Tick boundary: everything the last iteration prepared (sends, recv
+    // re-arms, cancels) goes to the kernel in one batched submission before
+    // the loop blocks. No-op on the readiness backend.
+    backend_->flush();
     const int count = ::epoll_wait(epoll_fd_, events, 64, next_timeout_ms());
+    wait_syscalls_.fetch_add(1, std::memory_order_relaxed);
     if (count < 0 && errno != EINTR) {
       MM_LOG(kError) << "epoll_wait failed: " << std::strerror(errno);
       break;
     }
+    const TimeMicros busy_start = steady_now_micros();
     for (int i = 0; i < count; ++i) {
       const int fd = events[i].data.fd;
       const auto it = fd_callbacks_.find(fd);
@@ -139,6 +147,7 @@ void EventLoop::run() {
     }
     fire_due_timers();
     drain_posted();
+    busy_micros_.fetch_add(steady_now_micros() - busy_start, std::memory_order_relaxed);
   }
   loop_thread_id_.store(std::thread::id{}, std::memory_order_relaxed);
   running_.store(false);

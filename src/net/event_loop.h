@@ -4,11 +4,19 @@
 // thread-safe task queue (eventfd wakeup) for cross-thread posts. Each
 // NodeRuntime owns one loop running on its own thread — the C++ analogue of
 // the paper's one-tokio-runtime-per-validator setup.
+//
+// The loop also owns the I/O backend (io_backend.h) that decides how
+// connection bytes move. epoll_wait stays the multiplexing primitive either
+// way; under the io_uring backend it watches the ring fd instead of the
+// sockets, and the loop flushes the backend's submission queue once per
+// iteration right before blocking — the tick boundary that batches every
+// send/recv prepared this iteration into one kernel entry.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "net/io_backend.h"
 
 namespace mahimahi::net {
 
@@ -24,7 +33,10 @@ class EventLoop {
   using FdCallback = std::function<void(std::uint32_t epoll_events)>;
   using Task = std::function<void()>;
 
-  EventLoop();
+  // `backend` defaults to the classic readiness path so raw loop users (sim,
+  // tools, tests) keep seed behavior; NodeRuntime passes its configured kind
+  // (kAuto resolves to io_uring when the kernel supports it).
+  explicit EventLoop(IoBackendKind backend = IoBackendKind::kEpoll);
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
@@ -57,10 +69,31 @@ class EventLoop {
 
   bool running() const { return running_.load(std::memory_order_relaxed); }
 
+  // The data-plane backend (never null). Connections route their I/O through
+  // it; kind() tells callers which path is live after kAuto resolution.
+  IoBackend& io_backend() { return *backend_; }
+  const IoBackend& io_backend() const { return *backend_; }
+  IoBackendKind io_backend_kind() const { return backend_->kind(); }
+
+  // Multiplexing cost: epoll_wait calls made by run(). Identical in kind
+  // under both backends, so it is reported separately from the backend's
+  // data-plane submit_syscalls.
+  std::uint64_t wait_syscalls() const {
+    return wait_syscalls_.load(std::memory_order_relaxed);
+  }
+  // Time the loop thread spent executing callbacks/timers/posted tasks (not
+  // blocked in epoll_wait). The "bounded loop-thread time" metric for
+  // committee-scale smoke tests.
+  TimeMicros busy_micros() const { return busy_micros_.load(std::memory_order_relaxed); }
+
  private:
   void drain_posted();
   void fire_due_timers();
   int next_timeout_ms() const;
+
+  std::unique_ptr<IoBackend> backend_;
+  std::atomic<std::uint64_t> wait_syscalls_{0};
+  std::atomic<TimeMicros> busy_micros_{0};
 
   int epoll_fd_ = -1;
   int wakeup_fd_ = -1;

@@ -1,0 +1,52 @@
+#include "net/io_backend.h"
+
+#include "common/log.h"
+#include "common/uring.h"
+#if MAHIMAHI_IOURING
+#include "net/uring_backend.h"
+#endif
+
+namespace mahimahi::net {
+
+const char* to_string(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kEpoll:
+      return "epoll";
+    case IoBackendKind::kUring:
+      return "io_uring";
+    case IoBackendKind::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+bool uring_backend_available() { return uring_runtime_supported(); }
+
+std::unique_ptr<IoBackend> make_io_backend(IoBackendKind kind) {
+  if (kind == IoBackendKind::kAuto) {
+    kind = uring_backend_available() ? IoBackendKind::kUring : IoBackendKind::kEpoll;
+  }
+#if MAHIMAHI_IOURING
+  if (kind == IoBackendKind::kUring) {
+    if (uring_runtime_supported()) {
+      try {
+        return std::make_unique<UringBackend>();
+      } catch (const std::exception& error) {
+        MM_LOG(kWarn) << "io_uring backend failed to initialize (" << error.what()
+                      << "); falling back to epoll";
+      }
+    } else {
+      MM_LOG(kWarn) << "io_uring backend requested but the kernel probe failed; "
+                       "falling back to epoll";
+    }
+  }
+#else
+  if (kind == IoBackendKind::kUring) {
+    MM_LOG(kWarn) << "io_uring backend compiled out (MAHIMAHI_IOURING=OFF); "
+                     "falling back to epoll";
+  }
+#endif
+  return std::make_unique<EpollBackend>();
+}
+
+}  // namespace mahimahi::net

@@ -1,0 +1,141 @@
+// Pluggable I/O backend for the event loop's socket data plane.
+//
+// The loop itself stays an epoll reactor either way — timers, cross-thread
+// posts, listener accepts, and async connects always ride epoll readiness.
+// What the backend decides is how CONNECTION BYTES move:
+//
+//   EpollBackend  readiness-driven (the classic path, always available).
+//                 TcpConnection registers its fd with epoll and pays one
+//                 recv()/sendmsg() syscall per operation.
+//   UringBackend  completion-driven (net/uring_backend.h, compiled behind
+//                 MAHIMAHI_IOURING). Connections get NO epoll registration:
+//                 ingress is a multishot recv into a registered-buffer pool,
+//                 egress is send SQEs, and everything queued during one loop
+//                 iteration reaches the kernel through a single
+//                 io_uring_enter at the tick boundary. The ring fd itself is
+//                 the only thing epoll watches.
+//
+// Both backends move byte-identical wire frames (equivalence-tested); the
+// difference is syscalls per operation, which both count into IoPlaneStats —
+// the counter pair (submit_syscalls vs ops) behind the syscalls-per-
+// committed-block metric in NodeRuntime and bench_io_plane.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits.h>
+#include <memory>
+
+struct iovec;  // <sys/uio.h>
+
+namespace mahimahi::net {
+
+class EventLoop;
+class TcpConnection;
+
+enum class IoBackendKind {
+  kEpoll,  // readiness: one data-plane syscall per operation
+  kUring,  // completion: one io_uring_enter per tick's worth of operations
+  kAuto,   // kUring when compiled in and the kernel cooperates, else kEpoll
+};
+
+const char* to_string(IoBackendKind kind);
+
+// True when the uring backend is compiled in AND the running kernel passes
+// the runtime probe (common/uring.h). What kAuto resolves on.
+bool uring_backend_available();
+
+// Gather cap for one batched send: the epoll path's sendmsg iovec array and
+// the uring path's per-send-SQE gather both size against it. Derived from
+// IOV_MAX (1024 on Linux) instead of the old hardcoded 16 — a burst of small
+// frames to one peer now collapses into one operation almost regardless of
+// burst size — and clamped so a pathological libc value cannot explode
+// stack/flight buffers.
+inline constexpr std::size_t kMaxGatherIovecs = IOV_MAX < 1024 ? IOV_MAX : 1024;
+
+// Data-plane syscall accounting: kernel entries actually made vs logical
+// operations completed. The epoll backend pays one entry per operation by
+// construction; the uring backend amortizes one entry over everything a tick
+// submitted. epoll_wait itself is the loop's multiplexing cost — identical
+// under both backends, counted by EventLoop, deliberately NOT in here.
+struct IoPlaneStats {
+  std::uint64_t submit_syscalls = 0;  // recv/sendmsg calls, or io_uring_enter calls
+  std::uint64_t send_ops = 0;         // gathered sends completed
+  std::uint64_t recv_ops = 0;         // reads that delivered bytes
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  virtual IoBackendKind kind() const = 0;
+  const char* name() const { return to_string(kind()); }
+
+  // True when the data plane is completion-driven: connections skip epoll
+  // registration and the conn_* hooks below drive their I/O.
+  virtual bool completion_driven() const = 0;
+
+  // Called once by the owning loop after its epoll set exists; a completion
+  // backend registers its ring fd here.
+  virtual void attach(EventLoop& loop) { (void)loop; }
+
+  // Tick boundary: submit everything queued since the last call (at most a
+  // handful of io_uring_enter calls, usually one). The loop calls this right
+  // before blocking in epoll_wait, so no prepared operation ever sleeps. A
+  // readiness backend queues nothing and this is a no-op.
+  virtual void flush() {}
+
+  // --- completion-driven connection hooks (no-ops on readiness backends) ---
+  // Arm ingress for a started connection / cancel its in-flight operations
+  // on close / kick egress submission when its write queue became non-empty.
+  virtual void conn_register(TcpConnection& conn) { (void)conn; }
+  virtual void conn_unregister(TcpConnection& conn) { (void)conn; }
+  virtual void conn_flush(TcpConnection& conn) { (void)conn; }
+
+  // Counter bumps — loop thread; relaxed atomics so any thread may read.
+  void note_submit_syscalls(std::uint64_t count = 1) {
+    submit_syscalls_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void note_send_op(std::uint64_t bytes) {
+    send_ops_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void note_recv_op(std::uint64_t bytes) {
+    recv_ops_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  IoPlaneStats stats() const {
+    IoPlaneStats out;
+    out.submit_syscalls = submit_syscalls_.load(std::memory_order_relaxed);
+    out.send_ops = send_ops_.load(std::memory_order_relaxed);
+    out.recv_ops = recv_ops_.load(std::memory_order_relaxed);
+    out.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    out.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> submit_syscalls_{0};
+  std::atomic<std::uint64_t> send_ops_{0};
+  std::atomic<std::uint64_t> recv_ops_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+};
+
+// The classic readiness path: pure counters — TcpConnection keeps making its
+// own recv/sendmsg syscalls and reports them here.
+class EpollBackend final : public IoBackend {
+ public:
+  IoBackendKind kind() const override { return IoBackendKind::kEpoll; }
+  bool completion_driven() const override { return false; }
+};
+
+// Resolves kAuto and never fails: kUring falls back to epoll (with a warn
+// log) when the backend is compiled out or the kernel refuses the ring.
+std::unique_ptr<IoBackend> make_io_backend(IoBackendKind kind);
+
+}  // namespace mahimahi::net

@@ -32,7 +32,7 @@ std::size_t ingest_batch_cap(std::size_t max_batch, TimeMicros latency_budget,
 
 NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey key,
                          NodeRuntimeConfig config)
-    : committee_(committee), config_(std::move(config)) {
+    : committee_(committee), config_(std::move(config)), loop_(config_.io_backend) {
   if (config_.verify_threads == 0) {
     // Inline (serial) ingestion has no workers to host the commit scan.
     config_.validator.parallel_commit = false;
@@ -93,6 +93,9 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
     if (config_.validator.wal_group_commit) {
       GroupCommitWalOptions wal_options;
       wal_options.flush_interval = config_.validator.wal_flush_interval;
+      // One I/O plane: when the loop's data plane resolved to io_uring, the
+      // WAL writer gets its own ring too (linked write→fsync per group).
+      wal_options.use_io_uring = loop_.io_backend_kind() == IoBackendKind::kUring;
       // Durability acks run on the loop thread: they release gated proposal
       // broadcasts, which touch loop-owned connection state.
       auto group = std::make_unique<GroupCommitWal>(
@@ -458,6 +461,25 @@ IngestStats NodeRuntime::ingest_stats() const {
   stats.verified = core_verified_.load(std::memory_order_relaxed);
   stats.preverified = core_preverified_.load(std::memory_order_relaxed);
   return stats;
+}
+
+NodeRuntime::IoPlaneReport NodeRuntime::io_plane_report() const {
+  IoPlaneReport report;
+  const IoPlaneStats stats = loop_.io_backend().stats();
+  report.backend = loop_.io_backend().name();
+  report.submit_syscalls = stats.submit_syscalls;
+  report.send_ops = stats.send_ops;
+  report.recv_ops = stats.recv_ops;
+  report.bytes_sent = stats.bytes_sent;
+  report.bytes_received = stats.bytes_received;
+  report.wait_syscalls = loop_.wait_syscalls();
+  report.loop_busy_micros = static_cast<std::uint64_t>(loop_.busy_micros());
+  if (group_wal_ != nullptr) {
+    report.wal_flush_syscalls = group_wal_->group_flush_syscalls();
+    report.wal_groups = group_wal_->groups_flushed();
+    report.wal_ring_active = group_wal_->wal_ring_active();
+  }
+  return report;
 }
 
 Bytes NodeRuntime::encode_block(const Block& block) const {

@@ -129,6 +129,12 @@ struct NodeRuntimeConfig {
   // drops the incoming frame — safe, since anti-entropy re-offers and the
   // synchronizer's fetch path re-deliver anything that matters.
   std::size_t max_pending_verify_frames = 10'000;
+  // I/O backend for the event loop's socket data plane AND (via the WAL
+  // writer's own ring) group flushes. kAuto resolves to io_uring when the
+  // kernel supports it and falls back to epoll otherwise — both backends
+  // move byte-identical wire frames and WAL files, so this only changes
+  // syscalls per operation, never behavior.
+  IoBackendKind io_backend = IoBackendKind::kAuto;
 };
 
 class NodeRuntime {
@@ -216,6 +222,27 @@ class NodeRuntime {
   std::uint64_t wal_flush_micros() const {
     return group_wal_ ? group_wal_->flush_micros() : 0;
   }
+  // I/O-plane accounting (thread-safe): the syscalls-per-committed-block
+  // numerator. submit_syscalls counts data-plane kernel entries
+  // (recv/sendmsg on epoll, io_uring_enter on uring); wait_syscalls counts
+  // the loop's epoll_wait multiplexing, identical in kind under both
+  // backends; wal_flush_syscalls counts group-flush entries on the WAL
+  // writer thread. Divide by committed_blocks() for the bench metric.
+  struct IoPlaneReport {
+    const char* backend = "";
+    std::uint64_t submit_syscalls = 0;
+    std::uint64_t send_ops = 0;
+    std::uint64_t recv_ops = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t wait_syscalls = 0;
+    std::uint64_t loop_busy_micros = 0;
+    std::uint64_t wal_flush_syscalls = 0;
+    std::uint64_t wal_groups = 0;
+    bool wal_ring_active = false;
+  };
+  IoPlaneReport io_plane_report() const;
+  IoBackendKind io_backend_kind() const { return loop_.io_backend_kind(); }
   // Checkpoint subsystem introspection (thread-safe).
   bool checkpointing_active() const { return checkpointing_; }
   bool segmented_wal_active() const { return seg_wal_ != nullptr; }

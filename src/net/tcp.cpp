@@ -19,6 +19,11 @@ namespace mahimahi::net {
 
 namespace {
 
+// Recv chunk size for the readiness path, and the threshold past which the
+// partial-frame buffer compacts its consumed prefix (large enough that a
+// compaction amortizes over many frames, small enough to bound slack).
+constexpr std::size_t kIngressChunkBytes = 64 * 1024;
+
 void set_non_blocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
@@ -33,7 +38,11 @@ void set_no_delay(int fd) {
 
 // --- TcpConnection -----------------------------------------------------------
 
-TcpConnection::TcpConnection(EventLoop& loop, int fd) : loop_(loop), fd_(fd) {
+TcpConnection::TcpConnection(EventLoop& loop, int fd)
+    : loop_(loop),
+      backend_(loop.io_backend()),
+      completion_driven_(backend_.completion_driven()),
+      fd_(fd) {
   set_non_blocking(fd_);
   set_no_delay(fd_);
 }
@@ -51,6 +60,12 @@ void TcpConnection::start(FrameHandler on_frame, CloseHandler on_close) {
   on_close_ = std::move(on_close);
   if (registered_) return;  // re-binding handlers (e.g. after a handshake)
   registered_ = true;
+  if (completion_driven_) {
+    // No epoll registration: the backend arms a multishot recv and delivers
+    // bytes via ingress_bytes(); egress goes through conn_flush().
+    backend_.conn_register(*this);
+    return;
+  }
   auto self = shared_from_this();
   loop_.add_fd(fd_, EPOLLIN, [self](std::uint32_t events) { self->handle_events(events); });
 }
@@ -67,12 +82,18 @@ void TcpConnection::handle_events(std::uint32_t events) {
 }
 
 void TcpConnection::handle_readable() {
-  std::uint8_t chunk[64 * 1024];
+  // Reusable per-connection scratch: one 64 KiB heap chunk for the life of
+  // the connection instead of a per-call stack buffer.
+  if (ingress_scratch_.empty()) ingress_scratch_.resize(kIngressChunkBytes);
   for (;;) {
-    const ssize_t received = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t received =
+        ::recv(fd_, ingress_scratch_.data(), ingress_scratch_.size(), 0);
+    backend_.note_submit_syscalls();
     if (received > 0) {
       bytes_received_ += static_cast<std::uint64_t>(received);
-      read_buffer_.insert(read_buffer_.end(), chunk, chunk + received);
+      backend_.note_recv_op(static_cast<std::uint64_t>(received));
+      read_buffer_.insert(read_buffer_.end(), ingress_scratch_.data(),
+                          ingress_scratch_.data() + received);
       continue;
     }
     if (received == 0) {  // orderly shutdown
@@ -84,29 +105,61 @@ void TcpConnection::handle_readable() {
     close();
     return;
   }
+  parse_buffered();
+}
 
-  // Parse complete frames.
-  std::size_t offset = 0;
-  while (read_buffer_.size() - offset >= 4) {
+bool TcpConnection::parse_frames(const std::uint8_t* data, std::size_t size,
+                                 std::size_t& offset) {
+  while (size - offset >= 4) {
     std::uint32_t length;
-    std::memcpy(&length, read_buffer_.data() + offset, 4);
+    std::memcpy(&length, data + offset, 4);
     if (length > kMaxFrameBytes) {
       MM_LOG(kWarn) << "oversized frame (" << length << " bytes); closing connection";
       close();
-      return;
+      return false;
     }
-    if (read_buffer_.size() - offset - 4 < length) break;
+    if (size - offset - 4 < length) break;
     if (on_frame_) {
       // Copy before invoking: the handler may rebind on_frame_ (handshake
       // identification), which would otherwise destroy the closure that is
       // currently executing.
       const FrameHandler handler = on_frame_;
-      handler({read_buffer_.data() + offset + 4, length});
+      handler({data + offset + 4, length});
     }
-    if (closed()) return;  // handler may close
+    if (closed()) return false;  // handler may close
     offset += 4 + length;
   }
-  if (offset > 0) read_buffer_.erase(read_buffer_.begin(), read_buffer_.begin() + offset);
+  return true;
+}
+
+void TcpConnection::parse_buffered() {
+  std::size_t offset = read_consumed_;
+  if (!parse_frames(read_buffer_.data(), read_buffer_.size(), offset)) return;
+  read_consumed_ = offset;
+  if (read_consumed_ == read_buffer_.size()) {
+    read_buffer_.clear();  // O(1), keeps capacity for the next burst
+    read_consumed_ = 0;
+  } else if (read_consumed_ >= kIngressChunkBytes) {
+    read_buffer_.erase(read_buffer_.begin(),
+                       read_buffer_.begin() + static_cast<std::ptrdiff_t>(read_consumed_));
+    read_consumed_ = 0;
+  }
+}
+
+void TcpConnection::ingress_bytes(const std::uint8_t* data, std::size_t size) {
+  bytes_received_ += size;
+  if (read_buffer_.size() == read_consumed_) {
+    // Fast path: no partial frame buffered — parse straight out of the
+    // backend's buffer and copy only a trailing fragment, if any.
+    read_buffer_.clear();
+    read_consumed_ = 0;
+    std::size_t offset = 0;
+    if (!parse_frames(data, size, offset)) return;
+    if (offset < size) read_buffer_.assign(data + offset, data + size);
+    return;
+  }
+  read_buffer_.insert(read_buffer_.end(), data, data + size);
+  parse_buffered();
 }
 
 void TcpConnection::send_frame(BytesView payload) {
@@ -120,34 +173,61 @@ void TcpConnection::send_frame(SharedFrame payload) {
   std::memcpy(pending.header.data(), &length, 4);
   pending.payload = std::move(payload);
   write_queue_.push_back(std::move(pending));
+  if (completion_driven_) {
+    backend_.conn_flush(*this);  // arm a send SQE unless one is in flight
+    return;
+  }
   handle_writable();  // opportunistic immediate flush
+}
+
+std::size_t TcpConnection::gather_unsent(iovec* iov, std::size_t max) const {
+  std::size_t count = 0;
+  for (const PendingWrite& pending : write_queue_) {
+    if (count + 2 > max) break;
+    std::size_t skip = pending.sent;
+    if (skip < pending.header.size()) {
+      iov[count++] = {const_cast<std::uint8_t*>(pending.header.data() + skip),
+                      pending.header.size() - skip};
+      skip = 0;
+    } else {
+      skip -= pending.header.size();
+    }
+    if (skip < pending.payload->size()) {
+      iov[count++] = {const_cast<std::uint8_t*>(pending.payload->data() + skip),
+                      pending.payload->size() - skip};
+    }
+  }
+  return count;
+}
+
+void TcpConnection::retire_sent(std::size_t count) {
+  bytes_sent_ += count;
+  while (count > 0 && !write_queue_.empty()) {
+    PendingWrite& head = write_queue_.front();
+    const std::size_t total = head.header.size() + head.payload->size();
+    const std::size_t take = std::min(count, total - head.sent);
+    head.sent += take;
+    count -= take;
+    if (head.sent == total) write_queue_.pop_front();
+  }
+  // Zero-payload edge case: a fully-sent head contributes no iovecs, so pop
+  // it even when no bytes were attributed to it.
+  while (!write_queue_.empty()) {
+    const PendingWrite& head = write_queue_.front();
+    if (head.sent < head.header.size() + head.payload->size()) break;
+    write_queue_.pop_front();
+  }
 }
 
 void TcpConnection::handle_writable() {
   while (!write_queue_.empty()) {
-    // Gather the queue head into one writev: each pending frame contributes
+    // Gather the queue head into one sendmsg: each pending frame contributes
     // its unsent header and payload slices, so a burst of small frames costs
     // one syscall instead of one per frame, and no frame is ever copied into
-    // a connection-private buffer.
-    std::array<iovec, 16> iov;
-    std::size_t iov_count = 0;
-    for (const PendingWrite& pending : write_queue_) {
-      if (iov_count + 2 > iov.size()) break;
-      std::size_t skip = pending.sent;
-      if (skip < pending.header.size()) {
-        iov[iov_count++] = {
-            const_cast<std::uint8_t*>(pending.header.data() + skip),
-            pending.header.size() - skip};
-        skip = 0;
-      } else {
-        skip -= pending.header.size();
-      }
-      if (skip < pending.payload->size()) {
-        iov[iov_count++] = {
-            const_cast<std::uint8_t*>(pending.payload->data() + skip),
-            pending.payload->size() - skip};
-      }
-    }
+    // a connection-private buffer. Capped by the same constant that sizes
+    // the uring backend's send batches.
+    std::array<iovec, kMaxGatherIovecs> iov;
+    const std::size_t iov_count = gather_unsent(iov.data(), iov.size());
     if (iov_count == 0) {  // fully-sent head (empty payload edge case)
       write_queue_.pop_front();
       continue;
@@ -157,6 +237,7 @@ void TcpConnection::handle_writable() {
     message.msg_iov = iov.data();
     message.msg_iovlen = iov_count;
     const ssize_t sent = ::sendmsg(fd_, &message, MSG_NOSIGNAL);
+    backend_.note_submit_syscalls();
     if (sent < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
@@ -164,18 +245,8 @@ void TcpConnection::handle_writable() {
       return;
     }
     if (sent == 0) break;  // defensive: never spin on a zero-byte send
-    bytes_sent_ += static_cast<std::uint64_t>(sent);
-
-    // Retire fully-sent frames from the head.
-    std::size_t remaining = static_cast<std::size_t>(sent);
-    while (remaining > 0) {
-      PendingWrite& head = write_queue_.front();
-      const std::size_t total = head.header.size() + head.payload->size();
-      const std::size_t take = std::min(remaining, total - head.sent);
-      head.sent += take;
-      remaining -= take;
-      if (head.sent == total) write_queue_.pop_front();
-    }
+    backend_.note_send_op(static_cast<std::uint64_t>(sent));
+    retire_sent(static_cast<std::size_t>(sent));
   }
   if (write_queue_.empty()) {
     if (want_write_) {
@@ -199,7 +270,13 @@ void TcpConnection::close() {
   // function returns. In the destructor path the lock yields nullptr, but
   // handlers are already cleared there.
   const TcpConnectionPtr guard = weak_from_this().lock();
-  loop_.remove_fd(fd_);
+  if (completion_driven_ && registered_) {
+    // Before the fd goes away: cancels the multishot recv and, if a send is
+    // still in flight, adopts the write queue until its completion lands.
+    backend_.conn_unregister(*this);
+  } else if (!completion_driven_ && registered_) {
+    loop_.remove_fd(fd_);
+  }
   ::close(fd_);
   fd_ = -1;
   if (on_close_) {

@@ -1,8 +1,16 @@
-// Framed, non-blocking TCP transport over the epoll loop.
+// Framed, non-blocking TCP transport over the event loop.
 //
 // Wire format per frame: [u32 length][payload]; the payload's first byte is
 // a message type (see node_runtime.h). Connections buffer partial reads and
 // writes; oversized frames kill the connection (peer protocol violation).
+//
+// A connection moves its bytes through the loop's IoBackend. On the classic
+// epoll backend it registers its fd and makes its own recv/sendmsg syscalls
+// on readiness; on the io_uring backend it registers with the backend
+// instead, which arms a multishot recv and drains the write queue via send
+// SQEs — the connection then only parses ingress bytes handed to it and
+// exposes its queue through the gather/retire API below. Both paths emit
+// byte-identical wire frames.
 #pragma once
 
 #include <array>
@@ -14,6 +22,8 @@
 
 #include "common/bytes.h"
 #include "net/event_loop.h"
+
+struct iovec;  // <sys/uio.h>
 
 namespace mahimahi::net {
 
@@ -34,6 +44,17 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   using FrameHandler = std::function<void(BytesView frame)>;
   using CloseHandler = std::function<void()>;
 
+  // One queued outbound frame: the 4-byte length prefix plus a refcounted,
+  // immutable payload. `sent` counts bytes of (header + payload) already on
+  // the wire, so a partial send resumes mid-frame. Public because the uring
+  // backend adopts a closing connection's queue while a send completion is
+  // still in flight (the SQE's iovecs point into these elements).
+  struct PendingWrite {
+    std::array<std::uint8_t, 4> header;
+    SharedFrame payload;
+    std::size_t sent = 0;
+  };
+
   // Takes ownership of the (already non-blocking) socket fd.
   TcpConnection(EventLoop& loop, int fd);
   ~TcpConnection();
@@ -41,7 +62,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
 
-  // Registers with the loop; handlers fire on the loop thread.
+  // Registers with the loop/backend; handlers fire on the loop thread.
   void start(FrameHandler on_frame, CloseHandler on_close);
 
   // Queues a frame (length prefix added). Loop thread only. The BytesView
@@ -52,30 +73,51 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   void close();
   bool closed() const { return fd_ < 0; }
+  int fd() const { return fd_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
 
- private:
-  // One queued outbound frame: the 4-byte length prefix plus a refcounted,
-  // immutable payload. `sent` counts bytes of (header + payload) already on
-  // the wire, so a partial send resumes mid-frame.
-  struct PendingWrite {
-    std::array<std::uint8_t, 4> header;
-    SharedFrame payload;
-    std::size_t sent = 0;
-  };
+  // --- completion-backend API (loop thread; used by UringBackend) ------------
 
+  // Fills `iov` (capacity `max`) with the queue's unsent header/payload
+  // slices, exactly as the epoll gather path would. Returns the count.
+  std::size_t gather_unsent(iovec* iov, std::size_t max) const;
+  // Accounts `count` wire bytes as sent and pops fully-sent frames.
+  void retire_sent(std::size_t count);
+  bool has_pending_writes() const { return !write_queue_.empty(); }
+  // Appends received bytes and parses/dispatches complete frames. May close
+  // the connection (oversized frame, or the handler closes it).
+  void ingress_bytes(const std::uint8_t* data, std::size_t size);
+  // Hands the queue to a zombie holder so in-flight SQE iovecs stay valid
+  // after the connection goes away (deque move preserves element addresses).
+  std::deque<PendingWrite> release_write_queue() { return std::move(write_queue_); }
+
+ private:
   void handle_events(std::uint32_t events);
   void handle_readable();
   void handle_writable();
   void update_interest();
+  // Dispatches complete frames in data[offset, size); advances `offset` past
+  // them. Returns false when the connection closed mid-parse.
+  bool parse_frames(const std::uint8_t* data, std::size_t size, std::size_t& offset);
+  // Runs parse_frames over read_buffer_/read_consumed_ and compacts.
+  void parse_buffered();
 
   EventLoop& loop_;
+  IoBackend& backend_;
+  // Cached backend mode: completion-driven connections never touch epoll.
+  const bool completion_driven_;
   int fd_;
   bool registered_ = false;
   FrameHandler on_frame_;
   CloseHandler on_close_;
+  // Persistent ingress state: recv lands in the reusable scratch chunk (no
+  // 64 KiB stack buffer, allocated once per connection), partial frames
+  // accumulate in read_buffer_, and read_consumed_ tracks the parsed prefix
+  // so consumption is O(1) instead of an erase-memmove per readable event.
+  Bytes ingress_scratch_;
   Bytes read_buffer_;
+  std::size_t read_consumed_ = 0;
   std::deque<PendingWrite> write_queue_;
   bool want_write_ = false;
   std::uint64_t bytes_sent_ = 0;

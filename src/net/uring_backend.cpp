@@ -1,0 +1,230 @@
+#include "net/uring_backend.h"
+
+#if MAHIMAHI_IOURING
+
+#include <sys/epoll.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "net/event_loop.h"
+
+namespace mahimahi::net {
+
+namespace {
+// user_data for operations whose completions carry no state to dispatch
+// (async-cancels). Real operation ids start at 1 and never collide.
+constexpr std::uint64_t kIgnoredOp = 0;
+}  // namespace
+
+UringBackend::UringBackend() : UringBackend(Options()) {}
+
+UringBackend::UringBackend(Options options) : ring_(options.sq_entries) {
+  if (!ring_.register_buffer_pool(options.pool_buffers, options.buffer_bytes)) {
+    throw std::runtime_error("UringBackend: provided-buffer pool registration failed");
+  }
+}
+
+UringBackend::~UringBackend() {
+  // Drop the owned connections outside the maps: each destructor's close()
+  // re-enters conn_unregister, which must find a valid (already-empty) map.
+  std::unordered_map<TcpConnection*, std::unique_ptr<ConnState>> conns;
+  conns.swap(conns_);
+  ops_.clear();
+  zombies_.clear();
+}
+
+void UringBackend::attach(EventLoop& loop) {
+  // Completions wake the loop through the ring fd, exactly like socket
+  // readiness used to. Level-triggered: stays readable while CQEs pend.
+  loop.add_fd(ring_.ring_fd(), EPOLLIN, [this](std::uint32_t) { reap_and_dispatch(); });
+}
+
+void UringBackend::submit_prepared() {
+  if (ring_.pending_sqes() == 0) return;
+  const std::uint64_t before = ring_.enter_syscalls();
+  const int rc = ring_.submit();
+  note_submit_syscalls(ring_.enter_syscalls() - before);
+  if (rc < 0) MM_LOG(kWarn) << "io_uring submit failed: " << (-rc);
+}
+
+template <typename Prep>
+bool UringBackend::prep_or_submit(Prep&& prep) {
+  if (prep()) return true;
+  submit_prepared();  // SQ full: push the batch out and retry once
+  return prep();
+}
+
+void UringBackend::flush() {
+  // Dispatching completions can prepare follow-up SQEs (recv re-arms, the
+  // next send for a still-non-empty queue), so drain to quiescence — bounded
+  // defensively; anything left rides the next tick.
+  for (int round = 0; round < 8 && ring_.pending_sqes() > 0; ++round) {
+    submit_prepared();
+    reap_and_dispatch();
+  }
+}
+
+void UringBackend::conn_register(TcpConnection& conn) {
+  auto state = std::make_unique<ConnState>();
+  state->conn = conn.shared_from_this();
+  state->fd = conn.fd();
+  ConnState* raw = state.get();
+  conns_.emplace(&conn, std::move(state));
+  arm_recv(*raw);
+  if (conn.has_pending_writes()) arm_send(*raw, conn);
+}
+
+void UringBackend::conn_unregister(TcpConnection& conn) {
+  const auto it = conns_.find(&conn);
+  if (it == conns_.end()) return;
+  std::unique_ptr<ConnState> state = std::move(it->second);
+  conns_.erase(it);
+  if (state->recv_op != 0) {
+    prep_or_submit([&] { return ring_.prep_cancel(state->recv_op, kIgnoredOp); });
+    ops_.erase(state->recv_op);
+    state->recv_op = 0;
+  }
+  if (state->send_op != 0) {
+    // The send SQE's iovecs point into the connection's write queue: adopt
+    // the queue and keep the state as a zombie until the completion lands.
+    prep_or_submit([&] { return ring_.prep_cancel(state->send_op, kIgnoredOp); });
+    state->zombie = true;
+    state->orphaned = conn.release_write_queue();
+    state->conn.reset();  // the connection is closing; only the bytes outlive it
+    zombies_.push_back(std::move(state));
+  }
+}
+
+void UringBackend::conn_flush(TcpConnection& conn) {
+  const auto it = conns_.find(&conn);
+  if (it == conns_.end()) return;
+  ConnState& state = *it->second;
+  if (state.send_op != 0) return;  // in flight; its completion re-arms
+  arm_send(state, conn);
+}
+
+void UringBackend::arm_recv(ConnState& state) {
+  const std::uint64_t op = next_op_id_++;
+  if (!prep_or_submit([&] { return ring_.prep_recv_multishot(state.fd, 0, op); })) {
+    MM_LOG(kWarn) << "io_uring SQ full; recv not armed on fd " << state.fd;
+    return;
+  }
+  state.recv_op = op;
+  ops_.emplace(op, std::make_pair(&state, OpType::kRecv));
+}
+
+void UringBackend::arm_send(ConnState& state, TcpConnection& conn) {
+  state.iov.resize(kMaxGatherIovecs);
+  const std::size_t count = conn.gather_unsent(state.iov.data(), state.iov.size());
+  if (count == 0) return;
+  state.msg = msghdr{};
+  state.msg.msg_iov = state.iov.data();
+  state.msg.msg_iovlen = count;
+  const std::uint64_t op = next_op_id_++;
+  if (!prep_or_submit([&] { return ring_.prep_sendmsg(state.fd, &state.msg, op); })) {
+    MM_LOG(kWarn) << "io_uring SQ full; send deferred on fd " << state.fd;
+    return;  // retried by the next conn_flush for this connection
+  }
+  state.send_op = op;
+  ops_.emplace(op, std::make_pair(&state, OpType::kSend));
+}
+
+void UringBackend::destroy_zombie(ConnState* state) {
+  for (auto it = zombies_.begin(); it != zombies_.end(); ++it) {
+    if (it->get() == state) {
+      zombies_.erase(it);
+      return;
+    }
+  }
+}
+
+void UringBackend::reap_and_dispatch() {
+  MiniUring::Cqe cqes[64];
+  for (;;) {
+    const std::size_t count = ring_.reap(cqes, 64);
+    if (count == 0) return;
+    for (std::size_t i = 0; i < count; ++i) dispatch(cqes[i]);
+  }
+}
+
+void UringBackend::dispatch(const MiniUring::Cqe& cqe) {
+  const bool has_buffer = MiniUring::cqe_has_buffer(cqe.flags);
+  const std::uint16_t buffer_id = has_buffer ? MiniUring::cqe_buffer_id(cqe.flags) : 0;
+
+  const auto it = ops_.find(cqe.user_data);
+  if (it == ops_.end()) {
+    // Cancels, and stragglers of already-unregistered connections. The pool
+    // buffer goes back to the kernel regardless of who consumed it.
+    if (has_buffer) ring_.recycle_buffer(buffer_id);
+    return;
+  }
+  ConnState* state = it->second.first;
+  const OpType type = it->second.second;
+
+  if (type == OpType::kSend) {
+    ops_.erase(it);
+    state->send_op = 0;
+    if (state->zombie) {
+      destroy_zombie(state);  // drops the orphaned queue; frames are freed
+      return;
+    }
+    const TcpConnectionPtr conn = state->conn;
+    if (conn == nullptr || conn->closed()) return;
+    if (cqe.res < 0) {
+      if (cqe.res == -EAGAIN || cqe.res == -EINTR) {
+        arm_send(*state, *conn);  // spurious; io_uring normally retries itself
+        return;
+      }
+      conn->close();  // unregisters; no send in flight, so no zombie
+      return;
+    }
+    if (cqe.res > 0) {
+      note_send_op(static_cast<std::uint64_t>(cqe.res));
+      conn->retire_sent(static_cast<std::size_t>(cqe.res));
+    }
+    if (conn->has_pending_writes()) arm_send(*state, *conn);
+    return;
+  }
+
+  // type == OpType::kRecv
+  const bool still_armed = MiniUring::cqe_has_more(cqe.flags);
+  if (!still_armed) {
+    // Erase before any reentrant call: `it` does not survive them.
+    ops_.erase(it);
+    state->recv_op = 0;
+  }
+  const TcpConnectionPtr conn = state->conn;
+  if (cqe.res > 0) {
+    note_recv_op(static_cast<std::uint64_t>(cqe.res));
+    if (conn != nullptr && !conn->closed()) {
+      // May reenter: the frame handler can close this connection (destroying
+      // `state`) or queue sends. Only `conn` is safe to touch afterwards.
+      conn->ingress_bytes(ring_.buffer(buffer_id), static_cast<std::size_t>(cqe.res));
+    }
+    if (has_buffer) ring_.recycle_buffer(buffer_id);
+    if (!still_armed && conn != nullptr && !conn->closed()) {
+      const auto live = conns_.find(conn.get());
+      if (live != conns_.end()) arm_recv(*live->second);
+    }
+    return;
+  }
+  if (has_buffer) ring_.recycle_buffer(buffer_id);
+  if (cqe.res == -ENOBUFS) {
+    // Pool momentarily dry (it refills as this reap batch recycles); the
+    // multishot terminated, so re-arm.
+    if (conn != nullptr && !conn->closed()) {
+      const auto live = conns_.find(conn.get());
+      if (live != conns_.end()) arm_recv(*live->second);
+    }
+    return;
+  }
+  if (cqe.res == -ECANCELED) return;  // our own cancel on close
+  // res == 0: orderly peer shutdown; other negatives: hard socket errors.
+  if (conn != nullptr && !conn->closed()) conn->close();
+}
+
+}  // namespace mahimahi::net
+
+#endif  // MAHIMAHI_IOURING

@@ -1,0 +1,109 @@
+// Completion-driven socket data plane over io_uring (common/uring.h).
+//
+// One ring per event loop, three operation kinds:
+//   ingress  one multishot recv SQE per connection, armed at registration;
+//            each arriving chunk completes into a registered-buffer-pool
+//            slot, gets parsed via TcpConnection::ingress_bytes, and the
+//            buffer is recycled to the kernel. The SQE stays armed across
+//            completions (re-armed only on pool exhaustion or errors).
+//   egress   at most one gathered send SQE per connection in flight; its
+//            iovecs view the connection's write queue (same gather as the
+//            epoll path, capped by kMaxGatherIovecs). Completion retires
+//            sent bytes and re-arms while the queue is non-empty.
+//   cancel   async-cancel SQEs issued when a connection closes with
+//            operations still in flight.
+//
+// Nothing here makes a syscall per operation: prepared SQEs sit in the
+// submission queue until EventLoop::run() calls flush() at the tick
+// boundary — one io_uring_enter then covers every send, re-arm, and cancel
+// the iteration produced. The ring fd is registered with the loop's epoll
+// set, so completions wake the loop exactly like socket readiness used to.
+//
+// Lifetime subtlety: an in-flight send SQE points into the connection's
+// PendingWrite elements. A connection closing with a send outstanding
+// therefore hands its write queue to a "zombie" state the backend keeps
+// until that completion lands (deque move preserves element addresses).
+#pragma once
+
+#include "net/io_backend.h"
+
+#if MAHIMAHI_IOURING
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/uring.h"
+#include "net/tcp.h"
+
+namespace mahimahi::net {
+
+class UringBackend final : public IoBackend {
+ public:
+  struct Options {
+    unsigned sq_entries = 256;     // CQ is 4x deeper (see MiniUring)
+    unsigned pool_buffers = 64;    // provided-buffer pool for multishot recv
+    unsigned buffer_bytes = 16 * 1024;
+  };
+
+  // Throws std::runtime_error when the ring or buffer pool cannot be set up;
+  // make_io_backend catches and falls back to epoll.
+  UringBackend();
+  explicit UringBackend(Options options);
+  ~UringBackend() override;
+
+  IoBackendKind kind() const override { return IoBackendKind::kUring; }
+  bool completion_driven() const override { return true; }
+  void attach(EventLoop& loop) override;
+  void flush() override;
+  void conn_register(TcpConnection& conn) override;
+  void conn_unregister(TcpConnection& conn) override;
+  void conn_flush(TcpConnection& conn) override;
+
+ private:
+  enum class OpType { kRecv, kSend, kCancel };
+
+  struct ConnState {
+    // Strong: registration owns the connection, exactly like the epoll
+    // path's fd callback capturing `self`. Released at conn_unregister
+    // (close() holds its own guard ref across the teardown).
+    TcpConnectionPtr conn;
+    int fd = -1;
+    std::uint64_t recv_op = 0;  // user_data of the armed multishot recv, 0 = none
+    std::uint64_t send_op = 0;  // user_data of the in-flight send, 0 = none
+    // Send SQE views: must stay alive until the completion is reaped.
+    std::vector<iovec> iov;
+    msghdr msg{};
+    // Set when the connection unregistered with a send still in flight; the
+    // adopted queue keeps the iovec targets alive until the CQE lands.
+    bool zombie = false;
+    std::deque<TcpConnection::PendingWrite> orphaned;
+  };
+
+  void reap_and_dispatch();
+  void dispatch(const MiniUring::Cqe& cqe);
+  void arm_recv(ConnState& state);
+  void arm_send(ConnState& state, TcpConnection& conn);
+  // Preps via `prep`, submitting once to drain a full SQ if needed.
+  template <typename Prep>
+  bool prep_or_submit(Prep&& prep);
+  void submit_prepared();
+  void destroy_zombie(ConnState* state);
+
+  MiniUring ring_;
+  // Live states keyed by connection identity; zombies keep closing states
+  // alive until their in-flight send completes.
+  std::unordered_map<TcpConnection*, std::unique_ptr<ConnState>> conns_;
+  std::vector<std::unique_ptr<ConnState>> zombies_;
+  // In-flight operations by user_data. Cancel entries carry no state.
+  std::unordered_map<std::uint64_t, std::pair<ConnState*, OpType>> ops_;
+  std::uint64_t next_op_id_ = 1;  // 0 reserved: "don't dispatch"
+};
+
+}  // namespace mahimahi::net
+
+#endif  // MAHIMAHI_IOURING

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "wal/wal_ring.h"
+
 namespace mahimahi {
 
 namespace {
@@ -15,6 +17,13 @@ std::chrono::microseconds chrono_micros(TimeMicros t) {
 GroupCommitWal::GroupCommitWal(std::unique_ptr<FramedWal> inner,
                                GroupCommitWalOptions options, AckExecutor ack_executor)
     : options_(options), ack_executor_(std::move(ack_executor)), inner_(std::move(inner)) {
+  if (options_.use_io_uring) {
+    // Set up before the writer starts: the ring is created here but driven
+    // only by the writer thread. nullptr (unsupported kernel / compiled out)
+    // leaves the classic write+fsync path attached.
+    wal_ring_ = WalUring::create();
+    if (wal_ring_ != nullptr) inner_->attach_wal_ring(wal_ring_.get());
+  }
   writer_ = std::thread([this] { writer_main(); });
 }
 
@@ -129,10 +138,11 @@ void GroupCommitWal::writer_main() {
       flush_requested_ = false;
       lock.unlock();
 
-      // One write + one sync for the whole group, off the appender's thread.
+      // One durable landing for the whole group, off the appender's thread:
+      // write + sync classically, or a single linked write→fsync submission
+      // when the layout has the WAL ring attached.
       const TimeMicros start = steady_now_micros();
-      inner_->append_framed({group.data(), group.size()});
-      inner_->sync();
+      inner_->append_group_durable({group.data(), group.size()});
       const TimeMicros spent = steady_now_micros() - start;
 
       lock.lock();

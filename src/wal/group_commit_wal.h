@@ -51,6 +51,11 @@ struct GroupCommitWalOptions {
   // appender) once the buffer holds this much — an unbounded buffer would
   // hide a dying disk until the process OOMs.
   std::size_t max_staged_bytes = 64 << 20;
+  // Land groups through a WAL submission ring (wal/wal_ring.h): one linked
+  // write→fsync io_uring pair per group instead of the write + fsync syscall
+  // pair. Silently ignored when the ring is compiled out or the kernel
+  // refuses it — the classic path is always correct, just costlier.
+  bool use_io_uring = false;
 };
 
 class GroupCommitWal : public Wal {
@@ -89,6 +94,11 @@ class GroupCommitWal : public Wal {
   // Total micros the writer spent inside write + sync — the disk time that
   // no longer runs on the appender's thread.
   std::uint64_t flush_micros() const;
+  // True when groups land through the WAL ring (use_io_uring requested AND
+  // the ring came up AND the layout fsyncs).
+  bool wal_ring_active() const { return inner_->wal_ring_active(); }
+  // Syscalls spent landing groups (see FramedWal::group_flush_syscalls).
+  std::uint64_t group_flush_syscalls() const { return inner_->group_flush_syscalls(); }
   const FramedWal& inner() const { return *inner_; }
 
  private:
@@ -99,6 +109,9 @@ class GroupCommitWal : public Wal {
 
   const GroupCommitWalOptions options_;
   const AckExecutor ack_executor_;
+  // Declared before inner_ (destroyed after it): the layout holds a raw
+  // pointer to the ring. Driven only by the writer thread.
+  std::unique_ptr<WalUring> wal_ring_;
   std::unique_ptr<FramedWal> inner_;
 
   mutable std::mutex mutex_;

@@ -9,6 +9,7 @@
 #include "common/crc32.h"
 #include "common/log.h"
 #include "serde/serde.h"
+#include "wal/wal_ring.h"
 
 namespace mahimahi {
 
@@ -72,6 +73,27 @@ void FileWal::append_commit(SlotId slot) {
 void FileWal::sync() {
   std::fflush(file_);
   if (fsync_on_sync_) ::fsync(::fileno(file_));
+  sync_syscalls_.fetch_add(fsync_on_sync_ ? 2 : 1, std::memory_order_relaxed);
+}
+
+bool FileWal::wal_ring_active() const { return ring_ != nullptr && fsync_on_sync_; }
+
+void FileWal::append_group_durable(BytesView group) {
+  groups_durable_.fetch_add(1, std::memory_order_relaxed);
+  if (wal_ring_active()) {
+    // Any stdio-buffered bytes must hit the fd before the ring write lands
+    // behind them (O_APPEND orders the two at the kernel). In steady state
+    // the stdio buffer is empty and this flush is free.
+    std::fflush(file_);
+    const std::uint64_t spent = ring_->append_fsync(::fileno(file_), group);
+    group_flush_syscalls_.fetch_add(spent, std::memory_order_relaxed);
+    bytes_written_ += group.size();
+    return;
+  }
+  append_framed(group);
+  sync();
+  // fflush issues the write; fsync is the second entry when enabled.
+  group_flush_syscalls_.fetch_add(fsync_on_sync_ ? 2 : 1, std::memory_order_relaxed);
 }
 
 FileWal::ReplayResult FileWal::replay(const std::string& path, const Visitor& visitor,

@@ -19,6 +19,7 @@
 // contract) gate the send on on_durable() and work with either.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -28,6 +29,8 @@
 #include "types/block.h"
 
 namespace mahimahi {
+
+class WalUring;  // wal/wal_ring.h
 
 enum class WalRecordType : std::uint8_t {
   kReceivedBlock = 1,
@@ -72,6 +75,29 @@ class FramedWal : public Wal {
   // Writes one pre-framed buffer (one or more records produced by the
   // wal_encode_* helpers) verbatim.
   virtual void append_framed(BytesView framed) = 0;
+
+  // Lands one group durably: on return the bytes are written and synced.
+  // Semantically identical to append_framed + sync — the default is exactly
+  // that — but overridable so a layout with an attached WAL ring
+  // (wal/wal_ring.h) can land the group as one linked write→fsync
+  // submission. The group-commit writer flushes through this seam.
+  virtual void append_group_durable(BytesView group) {
+    append_framed(group);
+    sync();
+  }
+
+  // Adopts a (non-owning) submission ring for group flushes; nullptr
+  // detaches. Call before concurrent appends start. Layouts that cannot use
+  // a ring ignore it.
+  virtual void attach_wal_ring(WalUring* ring) { (void)ring; }
+  virtual bool wal_ring_active() const { return false; }
+
+  // Syscall accounting for the group-flush path: kernel entries spent inside
+  // append_group_durable (write/fsync classically, ring enters otherwise)
+  // and groups landed. The pair behind the syscalls-per-committed-block
+  // columns in bench_wal/bench_io_plane.
+  virtual std::uint64_t group_flush_syscalls() const { return 0; }
+  virtual std::uint64_t groups_durable() const { return 0; }
 };
 
 // No-op WAL for tests and the simulator. on_durable acks synchronously
@@ -107,7 +133,27 @@ class FileWal : public FramedWal {
   // land a whole group as a single write.
   void append_framed(BytesView framed) override;
 
+  // With an attached ring (and fsync_on_sync set), lands the group as one
+  // linked write→fsync submission — byte-identical to the classic path, one
+  // syscall instead of two. Falls back to append_framed + sync otherwise.
+  void append_group_durable(BytesView group) override;
+  void attach_wal_ring(WalUring* ring) override { ring_ = ring; }
+  bool wal_ring_active() const override;
+  std::uint64_t group_flush_syscalls() const override {
+    return group_flush_syscalls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t groups_durable() const override {
+    return groups_durable_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t bytes_written() const { return bytes_written_; }
+
+  // Kernel entries spent inside sync(): fflush's write, plus the fsync when
+  // fsync_on_sync is set. The inline-append half of the syscalls-per-record
+  // accounting (the group-flush half lives in group_flush_syscalls()).
+  std::uint64_t sync_syscalls() const {
+    return sync_syscalls_.load(std::memory_order_relaxed);
+  }
 
   // Replay visitor: called per intact record in log order.
   struct Visitor {
@@ -141,6 +187,10 @@ class FileWal : public FramedWal {
   std::FILE* file_ = nullptr;
   bool fsync_on_sync_ = false;
   std::uint64_t bytes_written_ = 0;
+  WalUring* ring_ = nullptr;  // non-owning; see attach_wal_ring
+  std::atomic<std::uint64_t> sync_syscalls_{0};
+  std::atomic<std::uint64_t> group_flush_syscalls_{0};
+  std::atomic<std::uint64_t> groups_durable_{0};
 };
 
 }  // namespace mahimahi

@@ -12,6 +12,7 @@
 #include "validator/validator.h"
 #include "wal/group_commit_wal.h"
 #include "wal/wal.h"
+#include "wal/wal_ring.h"
 
 namespace mahimahi {
 namespace {
@@ -234,6 +235,61 @@ TEST_F(WalTest, GroupCommitLogIsByteIdenticalToInlineLog) {
     EXPECT_EQ(slurp(inline_path), slurp(group_path)) << "trial " << trial;
     std::filesystem::remove(inline_path);
     std::filesystem::remove(group_path);
+  }
+}
+
+TEST_F(WalTest, UringGroupFlushLogIsByteIdenticalToClassicLog) {
+  // Same property as above, one layer down: a group-commit WAL landing
+  // groups through the io_uring write→fsync path must produce byte-for-byte
+  // the log of a classic (write + fsync) group-commit WAL, whatever the
+  // flush boundaries. Recovery and the torn-tail model carry over unchanged.
+  if (!WalUring::supported()) GTEST_SKIP() << "io_uring unavailable";
+  Rng rng(43);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto classic_path = path_.string() + ".classic";
+    const auto uring_path = path_.string() + ".uring";
+    std::filesystem::remove(classic_path);
+    std::filesystem::remove(uring_path);
+    {
+      GroupCommitWalOptions options;
+      options.flush_interval = static_cast<TimeMicros>(rng.uniform(3) * 200);
+      options.group_byte_budget = 1 + rng.uniform(4096);
+      GroupCommitWal classic(
+          std::make_unique<FileWal>(classic_path, /*fsync_on_sync=*/true), options);
+      options.use_io_uring = true;
+      GroupCommitWal uring(
+          std::make_unique<FileWal>(uring_path, /*fsync_on_sync=*/true), options);
+      ASSERT_TRUE(uring.wal_ring_active());
+
+      const int records = 8 + static_cast<int>(rng.uniform(25));
+      for (int i = 0; i < records; ++i) {
+        if (rng.uniform(4) == 0) {
+          const SlotId slot{rng.uniform(100), static_cast<std::uint32_t>(rng.uniform(3))};
+          classic.append_commit(slot);
+          uring.append_commit(slot);
+        } else {
+          const Block block = make_block(static_cast<ValidatorId>(rng.uniform(4)),
+                                         2000 * trial + i);
+          const bool own = rng.uniform(2) == 0;
+          classic.append_block(block, own);
+          uring.append_block(block, own);
+        }
+        if (rng.uniform(8) == 0) {
+          classic.sync();
+          uring.sync();
+        }
+      }
+      classic.sync();
+      uring.sync();
+      // The ring path really ran, and spent fewer kernel entries than the
+      // classic path's write + fsync per group would have.
+      EXPECT_GE(uring.groups_flushed(), 1u);
+      EXPECT_GT(uring.group_flush_syscalls(), 0u);
+      EXPECT_LT(uring.group_flush_syscalls(), 2 * uring.groups_flushed());
+    }
+    EXPECT_EQ(slurp(classic_path), slurp(uring_path)) << "trial " << trial;
+    std::filesystem::remove(classic_path);
+    std::filesystem::remove(uring_path);
   }
 }
 
