@@ -11,7 +11,10 @@ gate fails (exit 1) on:
   * entries with a missing, non-finite or negative real_time,
   * (with --expect NAME) no benchmark whose name contains NAME,
   * (with --compare COUNTER BASE TEST) a TEST-matching entry whose COUNTER
-    mean exceeds the BASE-matching entries' mean.
+    mean exceeds the BASE-matching entries' mean,
+  * (with --max-ns NAME NANOS) NAME-matching entries whose mean real_time
+    exceeds NANOS nanoseconds — the absolute hot-path overhead gate
+    (bench_obs: a metrics-registry record must stay under 50 ns).
 
 So a bench that bit-rots into producing garbage — or a CI step whose filter
 matches nothing — fails the push instead of silently uploading junk.
@@ -29,6 +32,7 @@ refuses rings) is not a regression.
 
 Usage: check_bench.py FILE.json [--expect NAME_SUBSTRING]...
                       [--compare COUNTER BASE_SUBSTRING TEST_SUBSTRING]...
+                      [--max-ns NAME_SUBSTRING NANOS]...
 """
 
 import argparse
@@ -62,6 +66,16 @@ def main() -> None:
         help="fail when the mean of COUNTER over benchmarks matching "
         "TEST_SUBSTRING exceeds the mean over those matching BASE_SUBSTRING; "
         "skipped with a note when nothing matches TEST_SUBSTRING (repeatable)",
+    )
+    parser.add_argument(
+        "--max-ns",
+        action="append",
+        default=[],
+        nargs=2,
+        metavar=("NAME_SUBSTRING", "NANOS"),
+        help="fail when the mean real_time (converted to ns) over benchmarks "
+        "matching NAME_SUBSTRING exceeds NANOS, or when nothing matches "
+        "(repeatable)",
     )
     args = parser.parse_args()
 
@@ -140,6 +154,38 @@ def main() -> None:
         print(
             f"check_bench: OK: {counter}: '{test_substr}' {test_mean:.3f} <= "
             f"'{base_substr}' {base_mean:.3f}"
+        )
+
+    # google-benchmark reports real_time in the entry's time_unit (ns unless a
+    # bench opted into Unit(kMicrosecond) etc.); normalize before gating.
+    to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+    for name_substr, nanos_text in args.max_ns:
+        try:
+            limit_ns = float(nanos_text)
+        except ValueError:
+            fail(f"--max-ns {name_substr}: bad nanosecond limit {nanos_text!r}")
+        times = []
+        for entry in benchmarks:
+            if entry.get("run_type") == "aggregate":
+                continue
+            if name_substr not in entry.get("name", ""):
+                continue
+            unit = entry.get("time_unit", "ns")
+            if unit not in to_ns:
+                fail(f"{entry['name']}: unknown time_unit {unit!r}")
+            times.append(entry["real_time"] * to_ns[unit])
+        if not times:
+            fail(f"{args.file}: --max-ns: no benchmark matching '{name_substr}'")
+        mean_ns = sum(times) / len(times)
+        if mean_ns > limit_ns:
+            fail(
+                f"--max-ns: '{name_substr}' mean {mean_ns:.1f} ns exceeds "
+                f"limit {limit_ns:.1f} ns"
+            )
+        print(
+            f"check_bench: OK: '{name_substr}' mean {mean_ns:.1f} ns <= "
+            f"{limit_ns:.1f} ns"
         )
 
     print(f"check_bench: OK: {args.file}: {len(names)} benchmark entries")

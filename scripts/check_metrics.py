@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-format scrape of the admin endpoint.
+
+CI's cluster smoke step runs examples/observability_demo, curls one of the
+ADMIN_PORT=N endpoints it prints, and feeds the scrape to this gate. The gate
+fails (exit 1) on:
+
+  * an empty scrape,
+  * lines that are neither comments nor `name{labels} value` samples,
+  * a sample line whose value does not parse as a finite number,
+  * a histogram whose cumulative `le` buckets decrease or whose +Inf bucket
+    disagrees with its _count sample,
+  * (with --require NAME) no sample whose metric name is exactly NAME or
+    NAME plus a histogram suffix (_bucket/_sum/_count) — the "one scrape
+    covers the whole pipeline" acceptance check names the stage histograms
+    and the finality histogram here.
+
+So an exporter change that emits lines Prometheus would reject — or drops a
+pipeline stage from the scrape — fails the push, not the dashboard.
+
+Usage: check_metrics.py FILE [--require NAME]...
+       curl -s http://127.0.0.1:$PORT/metrics | check_metrics.py - --require ...
+"""
+
+import argparse
+import math
+import re
+import sys
+
+# `name{labels} value` or `name value`; names per Prometheus data model.
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>\S+)$"
+)
+LE = re.compile(r'le="(?P<le>[^"]+)"')
+HIST_SUFFIX = ("_bucket", "_sum", "_count")
+
+
+def fail(message: str) -> None:
+    print(f"check_metrics: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text: str):
+    if text == "+Inf":
+        return math.inf
+    try:
+        value = float(text)
+    except ValueError:
+        return None
+    return value if math.isfinite(value) else None
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="scrape file, or - for stdin")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="require a sample named NAME, or NAME plus a histogram suffix "
+        "(repeatable)",
+    )
+    args = parser.parse_args()
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            fail(str(error))
+
+    names = set()
+    # name -> list of (le_bound, cumulative_count) in emission order.
+    buckets = {}
+    counts = {}
+    samples = 0
+    for line_number, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = SAMPLE.match(line)
+        if not match:
+            fail(f"line {line_number}: not a valid sample line: {line!r}")
+        name = match.group("name")
+        value = parse_value(match.group("value"))
+        if value is None:
+            fail(f"line {line_number}: bad sample value in: {line!r}")
+        names.add(name)
+        samples += 1
+        if name.endswith("_bucket"):
+            le_match = LE.search(match.group("labels") or "")
+            if not le_match:
+                fail(f"line {line_number}: _bucket sample without an le label")
+            bound = parse_value(le_match.group("le"))
+            if bound is None:
+                fail(f"line {line_number}: bad le bound in: {line!r}")
+            buckets.setdefault(name[: -len("_bucket")], []).append((bound, value))
+        elif name.endswith("_count"):
+            counts[name[: -len("_count")]] = value
+
+    if samples == 0:
+        fail("scrape holds no samples")
+
+    for hist, series in sorted(buckets.items()):
+        cumulative = -1.0
+        for bound, count in series:
+            if count < cumulative:
+                fail(f"{hist}: le={bound} bucket {count} decreases (cumulative)")
+            cumulative = count
+        if series[-1][0] != math.inf:
+            fail(f"{hist}: bucket series does not end at le=+Inf")
+        if hist in counts and series[-1][1] != counts[hist]:
+            fail(
+                f"{hist}: +Inf bucket {series[-1][1]} != _count {counts[hist]}"
+            )
+
+    for required in args.require:
+        if required in names:
+            continue
+        if any(required + suffix in names for suffix in HIST_SUFFIX):
+            continue
+        shown = ", ".join(sorted(names)[:10])
+        fail(f"no sample named '{required}' (have: {shown}, ...)")
+
+    print(
+        f"check_metrics: OK: {samples} samples, {len(names)} series, "
+        f"{len(buckets)} histograms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -25,10 +25,32 @@ const char* level_name(LogLevel level) {
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
+namespace {
+thread_local std::string g_context;
+}  // namespace
+
+void set_log_context(std::string context) { g_context = std::move(context); }
+const std::string& log_context() { return g_context; }
+
 namespace detail {
+std::string format_line(LogLevel level, const std::string& message) {
+  std::string line = "[";
+  line += level_name(level);
+  line += "]";
+  if (!g_context.empty()) {
+    line += " [";
+    line += g_context;
+    line += "]";
+  }
+  line += " ";
+  line += message;
+  return line;
+}
+
 void log_line(LogLevel level, const std::string& message) {
+  const std::string line = format_line(level, message);
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 }  // namespace detail
 

@@ -14,8 +14,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+// Per-thread log context, prepended to every line this thread logs:
+//
+//   [WARN ] [v3/wal] group flush fell behind ...
+//
+// Multi-validator cluster tests run dozens of loop/worker/writer threads in
+// one process; the context ("v3", "v3/wk", "v3/wal") makes interleaved lines
+// attributable. Empty (the default) prints the bare legacy format. Set it
+// once at thread start (NodeRuntime loop, WorkerPool workers, the WAL writer
+// do); it is thread-local, so there is nothing to unset.
+void set_log_context(std::string context);
+const std::string& log_context();
+
 namespace detail {
 void log_line(LogLevel level, const std::string& message);
+// The exact line log_line prints (sans trailing newline); split out so tests
+// can assert the format without capturing stderr.
+std::string format_line(LogLevel level, const std::string& message);
 }  // namespace detail
 
 // Usage: MM_LOG(kInfo) << "committed " << n << " blocks";

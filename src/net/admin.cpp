@@ -1,0 +1,92 @@
+#include "net/admin.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mahimahi::net {
+
+namespace {
+
+// A scrape request is one line plus a handful of headers; anything larger is
+// not a scraper.
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+
+std::string http_response(int status, const char* reason, const std::string& content_type,
+                          const std::string& body) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, reason, content_type.c_str(), body.size());
+  return std::string(head) + body;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(EventLoop& loop, std::uint16_t port, Renderer renderer)
+    : loop_(loop), renderer_(std::move(renderer)) {
+  listener_ = std::make_unique<TcpListener>(
+      loop_, port, [this](TcpConnectionPtr connection) { on_connection(std::move(connection)); });
+}
+
+AdminServer::~AdminServer() {
+  // Close every live scrape connection; close() runs the close handler,
+  // which erases from connections_, so iterate over a snapshot.
+  std::vector<TcpConnectionPtr> open;
+  open.reserve(connections_.size());
+  for (auto& [key, pending] : connections_) open.push_back(pending.connection);
+  for (auto& connection : open) connection->close();
+}
+
+void AdminServer::on_connection(TcpConnectionPtr connection) {
+  TcpConnection* key = connection.get();
+  Pending& pending = connections_[key];
+  pending.connection = connection;
+  connection->start_raw(
+      [this, key](BytesView bytes) { on_bytes(key, bytes); },
+      [this, key]() { connections_.erase(key); });
+}
+
+void AdminServer::on_bytes(TcpConnection* key, BytesView bytes) {
+  auto it = connections_.find(key);
+  if (it == connections_.end()) return;
+  Pending& pending = it->second;
+  if (pending.responded) return;  // trailing bytes after the request: ignore
+  pending.request.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  if (pending.request.size() > kMaxRequestBytes) {
+    pending.connection->close();  // erases `pending` via the close handler
+    return;
+  }
+  // A request is complete at the end of its header block.
+  if (pending.request.find("\r\n\r\n") == std::string::npos &&
+      pending.request.find("\n\n") == std::string::npos)
+    return;
+  const std::size_t line_end = pending.request.find_first_of("\r\n");
+  const std::string response = respond(pending.request.substr(0, line_end));
+  pending.responded = true;
+  // Respond, then wait for the peer's close (Connection: close tells it to).
+  // The peer's EOF tears the connection down through the normal close path.
+  pending.connection->send_raw(make_shared_frame(Bytes(response.begin(), response.end())));
+}
+
+std::string AdminServer::respond(const std::string& request_line) {
+  // "GET <path> HTTP/1.x" — method and path are all we look at.
+  if (request_line.rfind("GET ", 0) != 0)
+    return http_response(405, "Method Not Allowed", "text/plain", "only GET is served\n");
+  const std::size_t path_start = 4;
+  const std::size_t path_end = request_line.find(' ', path_start);
+  const std::string path = request_line.substr(
+      path_start, path_end == std::string::npos ? std::string::npos : path_end - path_start);
+  std::string content_type = "text/plain; charset=utf-8";
+  std::optional<std::string> body = renderer_(path, content_type);
+  if (!body.has_value())
+    return http_response(404, "Not Found", "text/plain", "unknown path: " + path + "\n");
+  return http_response(200, "OK", content_type, *body);
+}
+
+}  // namespace mahimahi::net

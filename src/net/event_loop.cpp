@@ -147,7 +147,9 @@ void EventLoop::run() {
     }
     fire_due_timers();
     drain_posted();
-    busy_micros_.fetch_add(steady_now_micros() - busy_start, std::memory_order_relaxed);
+    const TimeMicros busy_end = steady_now_micros();
+    busy_micros_.fetch_add(busy_end - busy_start, std::memory_order_relaxed);
+    if (tick_observer_) tick_observer_(busy_end - busy_start, busy_end);
   }
   loop_thread_id_.store(std::thread::id{}, std::memory_order_relaxed);
   running_.store(false);

@@ -86,6 +86,13 @@ class EventLoop {
   // committee-scale smoke tests.
   TimeMicros busy_micros() const { return busy_micros_.load(std::memory_order_relaxed); }
 
+  // Observer invoked on the loop thread after every iteration with that
+  // tick's busy slice and end stamp — the loop-stall watchdog's feed
+  // (obs/watchdog.h). Set before run(); not thread-safe against a running
+  // loop.
+  using TickObserver = std::function<void(TimeMicros busy_micros, TimeMicros now)>;
+  void set_tick_observer(TickObserver observer) { tick_observer_ = std::move(observer); }
+
  private:
   void drain_posted();
   void fire_due_timers();
@@ -94,6 +101,7 @@ class EventLoop {
   std::unique_ptr<IoBackend> backend_;
   std::atomic<std::uint64_t> wait_syscalls_{0};
   std::atomic<TimeMicros> busy_micros_{0};
+  TickObserver tick_observer_;
 
   int epoll_fd_ = -1;
   int wakeup_fd_ = -1;

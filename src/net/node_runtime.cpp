@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/log.h"
+#include "obs/export.h"
 #include "serde/serde.h"
 #include "validator/crypto_stage.h"
 
@@ -32,11 +33,64 @@ std::size_t ingest_batch_cap(std::size_t max_batch, TimeMicros latency_budget,
 
 NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey key,
                          NodeRuntimeConfig config)
-    : committee_(committee), config_(std::move(config)), loop_(config_.io_backend) {
+    : committee_(committee),
+      config_(std::move(config)),
+      registry_("validator=\"" + std::to_string(config_.validator.id) + "\""),
+      tracer_(registry_),
+      watchdog_(registry_, obs::LoopWatchdogOptions{config_.loop_stall_budget},
+                "v" + std::to_string(config_.validator.id)),
+      loop_(config_.io_backend) {
   if (config_.verify_threads == 0) {
     // Inline (serial) ingestion has no workers to host the commit scan.
     config_.validator.parallel_commit = false;
   }
+  // Metric handles first: the recovery path below already writes some of
+  // them. Creation is the only locked step; every later touch is a relaxed
+  // atomic on a stable object.
+  committed_tx_ = &registry_.counter("mm_committed_transactions_total",
+                                     "Transactions in committed sub-DAGs");
+  committed_blocks_ =
+      &registry_.counter("mm_committed_blocks_total", "Blocks in committed sub-DAGs");
+  highest_round_ = &registry_.gauge("mm_highest_round", "Highest round in the local DAG");
+  decode_errors_ = &registry_.counter("mm_decode_errors_total",
+                                      "Block frames that failed to decode");
+  verify_frames_dropped_ =
+      &registry_.counter("mm_verify_frames_dropped_total",
+                         "Frames shed because the verify queue was full");
+  submit_rejected_ = &registry_.counter(
+      "mm_submit_rejected_total", "Local submit() batches the mempool rejected");
+  egress_frames_encoded_ = &registry_.counter(
+      "mm_egress_frames_encoded_total", "Outbound block frames encoded once and fanned out");
+  commit_scans_ =
+      &registry_.counter("mm_commit_scans_total", "Off-loop commit-rule scans");
+  commit_batches_applied_ = &registry_.counter("mm_commit_batches_applied_total",
+                                               "Decision batches applied on the loop thread");
+  commit_apply_micros_ = &registry_.counter(
+      "mm_commit_apply_micros_total", "Loop-thread micros spent applying decision batches");
+  checkpoints_written_ =
+      &registry_.counter("mm_checkpoints_written_total", "Checkpoints cut and persisted");
+  snapshot_catchups_ = &registry_.counter("mm_snapshot_catchups_total",
+                                          "Peer checkpoints verified and installed");
+  checkpoints_served_ = &registry_.counter("mm_checkpoints_served_total",
+                                           "Checkpoint responses sent to catching-up peers");
+  worker_structurally_rejected_ =
+      &registry_.counter("mm_ingest_worker_structural_rejects_total",
+                         "Blocks failing structural validation on the verify workers");
+  worker_crypto_rejected_ =
+      &registry_.counter("mm_ingest_worker_crypto_rejects_total",
+                         "Blocks failing crypto verification on the verify workers");
+  core_structurally_rejected_ = &registry_.gauge(
+      "mm_ingest_core_structural_rejects", "Core ingest stats mirror: structural rejects");
+  core_crypto_rejected_ = &registry_.gauge("mm_ingest_core_crypto_rejects",
+                                           "Core ingest stats mirror: crypto rejects");
+  core_cache_hits_ = &registry_.gauge("mm_ingest_core_cache_hits",
+                                      "Core ingest stats mirror: verifier-cache hits");
+  core_verified_ =
+      &registry_.gauge("mm_ingest_core_verified", "Core ingest stats mirror: verified blocks");
+  core_preverified_ = &registry_.gauge("mm_ingest_core_preverified",
+                                       "Core ingest stats mirror: preverified blocks");
+  loop_.set_tick_observer(
+      [this](TimeMicros busy, TimeMicros now) { watchdog_.observe_tick(busy, now); });
   core_ = std::make_unique<ValidatorCore>(committee_, key, config_.validator);
   // Share the core's pool (built or adopted by the ValidatorCore ctor):
   // clients and workers admit into it concurrently, the core drains it when
@@ -89,10 +143,11 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
       }
       layout = std::make_unique<FileWal>(config_.wal_path, config_.validator.wal_fsync);
     }
-    highest_round_.store(core_->dag().highest_round(), std::memory_order_relaxed);
+    highest_round_->set(static_cast<std::int64_t>(core_->dag().highest_round()));
     if (config_.validator.wal_group_commit) {
       GroupCommitWalOptions wal_options;
       wal_options.flush_interval = config_.validator.wal_flush_interval;
+      wal_options.log_context = "v" + std::to_string(id()) + "/wal";
       // One I/O plane: when the loop's data plane resolved to io_uring, the
       // WAL writer gets its own ring too (linked write→fsync per group).
       wal_options.use_io_uring = loop_.io_backend_kind() == IoBackendKind::kUring;
@@ -113,7 +168,8 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
   }
   outgoing_.resize(committee_.size());
   if (config_.verify_threads > 0) {
-    verify_pool_ = std::make_unique<WorkerPool>(config_.verify_threads);
+    verify_pool_ = std::make_unique<WorkerPool>(config_.verify_threads,
+                                                "v" + std::to_string(id()) + "/wk");
   }
   if (core_->parallel_commit_active()) {
     // Seed the scanner from the post-recovery DAG and consumption head; the
@@ -121,6 +177,82 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
     commit_scanner_ = std::make_unique<CommitScanner>(
         core_->dag(), core_->committer().next_pending_slot(), committee_,
         config_.validator.committer);
+  }
+  // Constructor tail: every bespoke-counter source (io backend, mempool,
+  // group WAL) now exists, so the scrape-time bridges can bind to them.
+  register_callback_metrics();
+}
+
+void NodeRuntime::register_callback_metrics() {
+  // I/O plane: the backend's own atomics stay where they are; dump() reads
+  // them through these thin callbacks. The io_plane_report() accessor keeps
+  // reading the same sources directly, so benches see identical numbers.
+  registry_.counter_fn(
+      "mm_io_submit_syscalls_total",
+      [this] { return loop_.io_backend().stats().submit_syscalls; },
+      "Data-plane kernel entries (recv/sendmsg on epoll, io_uring_enter on uring)");
+  registry_.counter_fn(
+      "mm_io_send_ops_total", [this] { return loop_.io_backend().stats().send_ops; },
+      "Data-plane send operations completed");
+  registry_.counter_fn(
+      "mm_io_recv_ops_total", [this] { return loop_.io_backend().stats().recv_ops; },
+      "Data-plane receive operations completed");
+  registry_.counter_fn(
+      "mm_io_bytes_sent_total", [this] { return loop_.io_backend().stats().bytes_sent; },
+      "Bytes sent on the consensus TCP plane");
+  registry_.counter_fn(
+      "mm_io_bytes_received_total",
+      [this] { return loop_.io_backend().stats().bytes_received; },
+      "Bytes received on the consensus TCP plane");
+  registry_.counter_fn(
+      "mm_loop_wait_syscalls_total", [this] { return loop_.wait_syscalls(); },
+      "epoll_wait multiplexing calls made by the event loop");
+  registry_.counter_fn(
+      "mm_loop_busy_micros_total",
+      [this] { return static_cast<std::uint64_t>(loop_.busy_micros()); },
+      "Loop-thread micros spent outside the poll wait");
+  registry_.gauge_fn(
+      "mm_verify_cost_ewma_micros",
+      [this] {
+        return static_cast<std::int64_t>(verify_cost_ewma_.load(std::memory_order_relaxed));
+      },
+      "EWMA of per-block decode+verify cost driving the adaptive ingest batch");
+  registry_.counter_fn(
+      "mm_mempool_accepted_total", [this] { return mempool_->stats().accepted; },
+      "Transaction batches admitted into the shared mempool");
+  registry_.counter_fn(
+      "mm_mempool_duplicate_total", [this] { return mempool_->stats().duplicate; },
+      "Batches rejected as duplicates");
+  registry_.counter_fn(
+      "mm_mempool_client_quota_total", [this] { return mempool_->stats().client_quota; },
+      "Batches rejected by the per-client byte quota");
+  registry_.counter_fn(
+      "mm_mempool_shard_full_total", [this] { return mempool_->stats().shard_full; },
+      "Batches rejected because the client's shard was at its cap");
+  registry_.counter_fn(
+      "mm_mempool_pool_full_total", [this] { return mempool_->stats().pool_full; },
+      "Batches rejected by the global byte cap");
+  if (group_wal_ != nullptr) {
+    registry_.counter_fn(
+        "mm_wal_groups_flushed_total", [this] { return group_wal_->groups_flushed(); },
+        "WAL write+sync groups landed by the writer thread");
+    registry_.counter_fn(
+        "mm_wal_records_appended_total", [this] { return group_wal_->records_appended(); },
+        "Records staged into the group-commit WAL");
+    registry_.counter_fn(
+        "mm_wal_records_flushed_total", [this] { return group_wal_->records_flushed(); },
+        "Records made durable by a group flush");
+    registry_.counter_fn(
+        "mm_wal_flush_micros_total", [this] { return group_wal_->flush_micros(); },
+        "Micros the WAL writer spent inside group flushes");
+    registry_.counter_fn(
+        "mm_wal_flush_syscalls_total",
+        [this] { return group_wal_->group_flush_syscalls(); },
+        "Kernel entries for group flushes (write+fsync, or one linked uring submit)");
+    registry_.gauge_fn(
+        "mm_wal_ring_active",
+        [this] { return static_cast<std::int64_t>(group_wal_->wal_ring_active() ? 1 : 0); },
+        "1 when the WAL writer flushes through its own io_uring");
   }
 }
 
@@ -147,6 +279,26 @@ void NodeRuntime::stop() {
 }
 
 void NodeRuntime::loop_main() {
+  set_log_context("v" + std::to_string(id()));
+  if (config_.admin_port >= 0) {
+    // Before the consensus listener: start() spins on listen_port_, so the
+    // admin port must already be published when that gate opens.
+    admin_ = std::make_unique<AdminServer>(
+        loop_, static_cast<std::uint16_t>(config_.admin_port),
+        [this](std::string_view path,
+               std::string& content_type) -> std::optional<std::string> {
+          if (path == "/metrics" || path == "/") {
+            content_type = "text/plain; version=0.0.4; charset=utf-8";
+            return obs::render_prometheus(registry_.dump());
+          }
+          if (path == "/metrics.json") {
+            content_type = "application/json";
+            return obs::render_json(registry_.dump());
+          }
+          return std::nullopt;
+        });
+    admin_port_.store(admin_->port(), std::memory_order_relaxed);
+  }
   listener_ = std::make_unique<TcpListener>(
       loop_, config_.peers[id()].port,
       [this](TcpConnectionPtr connection) { on_unidentified_connection(connection); });
@@ -164,6 +316,7 @@ void NodeRuntime::loop_main() {
   for (auto& connection : pending_incoming_) {
     if (connection) connection->close();
   }
+  admin_.reset();
   listener_.reset();
   wal_->sync();
 }
@@ -320,10 +473,10 @@ void NodeRuntime::enqueue_block_frame(ValidatorId peer, Bytes payload) {
       // Overload shedding: a peer outrunning verification throughput must
       // not grow the queue without bound. Anti-entropy and the fetch path
       // re-deliver dropped blocks once the backlog clears.
-      verify_frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      verify_frames_dropped_->add();
       return;
     }
-    pending_frames_.push_back(RawFrame{peer, std::move(payload)});
+    pending_frames_.push_back(RawFrame{peer, std::move(payload), steady_now_micros()});
     if (!verify_scheduled_) {
       verify_scheduled_ = true;
       schedule = true;
@@ -390,18 +543,23 @@ std::size_t NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
       block = std::make_shared<const Block>(
           Block::deserialize({frame.payload.data(), frame.payload.size()}));
     } catch (const serde::SerdeError& error) {
-      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      decode_errors_->add();
       MM_LOG(kWarn) << "v" << id() << " bad block frame from v" << frame.peer << ": "
                     << error.what();
       continue;
     }
+    // Decode span starts at the loop thread's receive stamp, so it includes
+    // the verify-queue wait — the number that grows first under overload.
+    const TimeMicros decoded_at = steady_now_micros();
+    tracer_.record_stage(obs::Stage::kDecode, decoded_at - frame.received_at);
     // Already retained by the core (anti-entropy re-offer) or duplicated
     // within this very batch: skip before the crypto stage.
     if (!in_batch.insert(block->digest()).second) continue;
     if (forwarded_digests_.contains(block->digest())) continue;
     const BlockValidity structural = validate_block_structure(*block, committee_);
+    tracer_.record_stage(obs::Stage::kStructural, steady_now_micros() - decoded_at);
     if (structural != BlockValidity::kValid) {
-      worker_structurally_rejected_.fetch_add(1, std::memory_order_relaxed);
+      worker_structurally_rejected_->add();
       MM_LOG(kDebug) << "v" << id() << " rejected block from v" << frame.peer << ": "
                      << to_string(structural);
       continue;
@@ -415,15 +573,23 @@ std::size_t NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
   // co-located runtime already verified), batched coin-share checks, one
   // RLC signature batch with bisecting fallback. Safe off-thread: the
   // committee is immutable and the cache internally locked.
+  const TimeMicros crypto_start = steady_now_micros();
   const CryptoStageResult stage =
       run_crypto_stage(blocks, committee_, config_.validator.validation,
                        config_.validator.signature_cache.get());
+  if (!blocks.empty()) {
+    // Batch-amortized: record the per-block mean, weighted by the batch size.
+    tracer_.record_stage(
+        obs::Stage::kCryptoVerify,
+        (steady_now_micros() - crypto_start) / static_cast<TimeMicros>(blocks.size()),
+        blocks.size());
+  }
 
   std::vector<IngestBlock> items;
   items.reserve(blocks.size());
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     if (stage.verdicts[i] != BlockValidity::kValid) {
-      worker_crypto_rejected_.fetch_add(1, std::memory_order_relaxed);
+      worker_crypto_rejected_->add();
       MM_LOG(kDebug) << "v" << id() << " rejected block from v" << senders[i] << ": "
                      << to_string(stage.verdicts[i]);
       continue;
@@ -441,8 +607,14 @@ std::size_t NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
   std::vector<Digest> digests;
   digests.reserve(items.size());
   for (const auto& item : items) digests.push_back(item.block->digest());
-  loop_.post([this, items = std::move(items), digests = std::move(digests)]() mutable {
-    perform(core_->on_blocks(std::move(items), steady_now_micros()));
+  const TimeMicros verified_at = steady_now_micros();
+  loop_.post([this, items = std::move(items), digests = std::move(digests),
+              verified_at]() mutable {
+    const TimeMicros picked_up = steady_now_micros();
+    tracer_.record_stage(obs::Stage::kInsertQueue, picked_up - verified_at,
+                         digests.size());
+    perform(core_->on_blocks(std::move(items), picked_up));
+    tracer_.record_stage(obs::Stage::kDagInsert, steady_now_micros() - picked_up);
     for (const auto& digest : digests) {
       if (core_->knows_block(digest)) forwarded_digests_.insert(digest);
     }
@@ -453,13 +625,13 @@ std::size_t NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
 IngestStats NodeRuntime::ingest_stats() const {
   IngestStats stats;
   stats.structurally_rejected =
-      core_structurally_rejected_.load(std::memory_order_relaxed) +
-      worker_structurally_rejected_.load(std::memory_order_relaxed);
-  stats.crypto_rejected = core_crypto_rejected_.load(std::memory_order_relaxed) +
-                          worker_crypto_rejected_.load(std::memory_order_relaxed);
-  stats.cache_hits = core_cache_hits_.load(std::memory_order_relaxed);
-  stats.verified = core_verified_.load(std::memory_order_relaxed);
-  stats.preverified = core_preverified_.load(std::memory_order_relaxed);
+      static_cast<std::uint64_t>(core_structurally_rejected_->value()) +
+      worker_structurally_rejected_->value();
+  stats.crypto_rejected = static_cast<std::uint64_t>(core_crypto_rejected_->value()) +
+                          worker_crypto_rejected_->value();
+  stats.cache_hits = static_cast<std::uint64_t>(core_cache_hits_->value());
+  stats.verified = static_cast<std::uint64_t>(core_verified_->value());
+  stats.preverified = static_cast<std::uint64_t>(core_preverified_->value());
   return stats;
 }
 
@@ -521,7 +693,7 @@ void NodeRuntime::dispatch_egress(std::vector<EgressItem> items) {
   // block and fan the shared frame out.
   for (const auto& item : items) {
     const SharedFrame frame = make_shared_frame(encode_block(*item.block));
-    egress_frames_encoded_.fetch_add(1, std::memory_order_relaxed);
+    egress_frames_encoded_->add();
     send_shared(item.target, frame);
   }
 }
@@ -562,7 +734,7 @@ void NodeRuntime::encode_pending_egress() {
       // Pure CPU over immutable blocks: safe off-thread, exactly like the
       // verify stage's decode.
       sends.emplace_back(item.target, make_shared_frame(encode_block(*item.block)));
-      egress_frames_encoded_.fetch_add(1, std::memory_order_relaxed);
+      egress_frames_encoded_->add();
     }
     loop_.post([this, sends = std::move(sends)] {
       for (const auto& [target, frame] : sends) send_shared(target, frame);
@@ -574,15 +746,32 @@ void NodeRuntime::perform(Actions&& actions) {
   // The sans-IO core and everything here run exclusively on the loop
   // thread; workers only decode/verify, scan commits, and encode egress.
   assert(loop_.in_loop_thread());
+  const TimeMicros perform_now = steady_now_micros();
   for (const auto& block : actions.inserted) {
     wal_->append_block(*block, block->author() == id());
+    // Insert stamp: opens the commit-wait span closed by sub_dag_committed.
+    tracer_.block_inserted(block->digest(), perform_now);
   }
   if (!actions.inserted.empty()) {
     // Inline WAL: make the batch durable now, exactly as before. Group
     // commit skips this — records ride the writer's interval/budget flushes,
     // and the only send that must wait for durability (the own-proposal
     // broadcast below) is gated on the ack instead.
-    if (group_wal_ == nullptr) wal_->sync();
+    if (group_wal_ == nullptr) {
+      wal_->sync();
+      // The whole batch became durable together: each block waited the full
+      // sync duration.
+      tracer_.record_stage(obs::Stage::kWalDurable, steady_now_micros() - perform_now,
+                           actions.inserted.size());
+    } else {
+      // Group path: the span closes when the writer's durability ack posts
+      // back to the loop thread.
+      wal_->on_durable([this, appended_at = perform_now,
+                        count = actions.inserted.size()] {
+        tracer_.record_stage(obs::Stage::kWalDurable,
+                             steady_now_micros() - appended_at, count);
+      });
+    }
     // Parallel commit: the insertion stream feeds the worker-side replica;
     // the scan it triggers posts decisions back through
     // apply_commit_decisions.
@@ -646,22 +835,30 @@ void NodeRuntime::perform(Actions&& actions) {
   }
 
   for (const auto& sub_dag : actions.committed) {
-    committed_blocks_.fetch_add(sub_dag.blocks.size(), std::memory_order_relaxed);
-    committed_tx_.fetch_add(sub_dag.transaction_count(), std::memory_order_relaxed);
-    if (commit_handler_) commit_handler_(sub_dag);
+    committed_blocks_->add(sub_dag.blocks.size());
+    committed_tx_->add(sub_dag.transaction_count());
+    // Closes the per-block commit-wait spans and records finality for every
+    // client-stamped batch, weighted by transaction count.
+    tracer_.sub_dag_committed(sub_dag, steady_now_micros());
+    if (commit_handler_) {
+      const TimeMicros execute_start = steady_now_micros();
+      commit_handler_(sub_dag);
+      tracer_.record_stage(obs::Stage::kExecute, steady_now_micros() - execute_start,
+                           sub_dag.blocks.size());
+    }
   }
-  highest_round_.store(core_->dag().highest_round(), std::memory_order_relaxed);
+  highest_round_->set(static_cast<std::int64_t>(core_->dag().highest_round()));
 
   // Commits may have moved the GC horizon past the checkpoint interval.
   maybe_checkpoint();
 
   // Publish the core's pipeline counters for thread-safe reads.
   const IngestStats& stats = core_->ingest_stats();
-  core_structurally_rejected_.store(stats.structurally_rejected, std::memory_order_relaxed);
-  core_crypto_rejected_.store(stats.crypto_rejected, std::memory_order_relaxed);
-  core_cache_hits_.store(stats.cache_hits, std::memory_order_relaxed);
-  core_verified_.store(stats.verified, std::memory_order_relaxed);
-  core_preverified_.store(stats.preverified, std::memory_order_relaxed);
+  core_structurally_rejected_->set(static_cast<std::int64_t>(stats.structurally_rejected));
+  core_crypto_rejected_->set(static_cast<std::int64_t>(stats.crypto_rejected));
+  core_cache_hits_->set(static_cast<std::int64_t>(stats.cache_hits));
+  core_verified_->set(static_cast<std::int64_t>(stats.verified));
+  core_preverified_->set(static_cast<std::int64_t>(stats.preverified));
 }
 
 void NodeRuntime::enqueue_commit_blocks(const std::vector<BlockPtr>& blocks) {
@@ -701,16 +898,19 @@ void NodeRuntime::scan_pending_commits() {
       }
       blocks.swap(pending_commit_blocks_);
     }
+    const TimeMicros scan_start = steady_now_micros();
     commit_scanner_->ingest(blocks);
     std::vector<SlotDecision> decisions = commit_scanner_->scan();
-    commit_scans_.fetch_add(1, std::memory_order_relaxed);
+    tracer_.record_stage(obs::Stage::kCommitScan, steady_now_micros() - scan_start);
+    commit_scans_->add();
     if (decisions.empty()) continue;
     loop_.post([this, decisions = std::move(decisions)] {
       const TimeMicros start = steady_now_micros();
       perform(core_->apply_commit_decisions(decisions, start));
-      commit_apply_micros_.fetch_add(steady_now_micros() - start,
-                                     std::memory_order_relaxed);
-      commit_batches_applied_.fetch_add(1, std::memory_order_relaxed);
+      const TimeMicros elapsed = steady_now_micros() - start;
+      tracer_.record_stage(obs::Stage::kApply, elapsed);
+      commit_apply_micros_->add(static_cast<std::uint64_t>(elapsed));
+      commit_batches_applied_->add();
     });
   }
 }
@@ -764,7 +964,7 @@ void NodeRuntime::finish_checkpoint(Round horizon, std::uint64_t keep_from,
     last_checkpoint_horizon_ = horizon;
     latest_checkpoint_bytes_ = std::move(encoded);
   }
-  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  checkpoints_written_->add();
   // Only now — with the checkpoint durable — can segments retire, and even
   // then with one cut of lag: recovery may fall back past a corrupt newest
   // checkpoint, which needs the segments from the PREVIOUS cut's boundary.
@@ -779,7 +979,7 @@ void NodeRuntime::serve_checkpoint(ValidatorId peer) {
   w.u8(static_cast<std::uint8_t>(MessageType::kCheckpointResponse));
   w.raw({latest_checkpoint_bytes_->data(), latest_checkpoint_bytes_->size()});
   send_to_peer(peer, {w.data().data(), w.data().size()});
-  checkpoints_served_.fetch_add(1, std::memory_order_relaxed);
+  checkpoints_served_->add();
 }
 
 void NodeRuntime::verify_checkpoint_response(ValidatorId peer, Bytes payload) {
@@ -810,7 +1010,7 @@ void NodeRuntime::install_peer_checkpoint(CheckpointData data) {
   const SlotId before = core_->committer().next_pending_slot();
   Actions actions = core_->install_checkpoint(data, steady_now_micros());
   if (core_->committer().next_pending_slot() <= before) return;  // stale snapshot
-  snapshot_catchups_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_catchups_->add();
   MM_LOG(kInfo) << "v" << id() << " installed snapshot from v" << data.author
                 << " (horizon r" << data.horizon << ", head r" << data.head.round
                 << ")";
@@ -954,7 +1154,7 @@ void NodeRuntime::admit_batches(std::vector<TxBatch> batches) {
     if (!admitted(verdict)) ++rejected;
   }
   if (rejected > 0) {
-    submit_rejected_.fetch_add(rejected, std::memory_order_relaxed);
+    submit_rejected_->add(rejected);
     MM_LOG(kWarn) << "v" << id() << " mempool rejected " << rejected << "/"
                   << submitted << " submitted batches (backpressure)";
   }

@@ -74,9 +74,13 @@
 #include "checkpoint/checkpoint.h"
 #include "checkpoint/segmented_wal.h"
 #include "core/commit_scanner.h"
+#include "net/admin.h"
 #include "net/event_loop.h"
 #include "net/tcp.h"
 #include "net/worker_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "validator/validator.h"
 #include "wal/group_commit_wal.h"
 #include "wal/wal.h"
@@ -135,6 +139,15 @@ struct NodeRuntimeConfig {
   // move byte-identical wire frames and WAL files, so this only changes
   // syscalls per operation, never behavior.
   IoBackendKind io_backend = IoBackendKind::kAuto;
+  // Admin/metrics HTTP endpoint (GET /metrics Prometheus text, /metrics.json)
+  // served from the loop thread on the TCP plane, loopback only. -1 =
+  // disabled (default); 0 = bind an ephemeral port (read it back via
+  // admin_port()); otherwise the port to bind.
+  int admin_port = -1;
+  // Loop-stall watchdog: an event-loop tick whose busy slice exceeds this
+  // budget counts as a stall (mm_loop_stalls_total) and logs a rate-limited
+  // warning. The tick histogram and max-stall gauge record regardless.
+  TimeMicros loop_stall_budget = millis(250);
 };
 
 class NodeRuntime {
@@ -168,27 +181,30 @@ class NodeRuntime {
   // The shared admission pool, for clients that want per-batch verdicts.
   const std::shared_ptr<ShardedMempool>& mempool_handle() const { return mempool_; }
 
-  // Thread-safe counters.
-  std::uint64_t committed_transactions() const {
-    return committed_tx_.load(std::memory_order_relaxed);
+  // The validator's metrics registry: every counter below lives in it, plus
+  // the lifecycle-stage and finality histograms and the loop watchdog. Dump
+  // it (thread-safe) or scrape the admin endpoint for the same view.
+  obs::Registry& metrics_registry() { return registry_; }
+  const obs::Registry& metrics_registry() const { return registry_; }
+  // The admin endpoint's bound port once start() returned (-1 when
+  // config.admin_port was -1).
+  int admin_port() const { return admin_port_.load(std::memory_order_relaxed); }
+
+  // Thread-safe counters — thin reads of the registry metrics.
+  std::uint64_t committed_transactions() const { return committed_tx_->value(); }
+  std::uint64_t committed_blocks() const { return committed_blocks_->value(); }
+  Round highest_round() const {
+    return static_cast<Round>(highest_round_->value());
   }
-  std::uint64_t committed_blocks() const {
-    return committed_blocks_.load(std::memory_order_relaxed);
-  }
-  Round highest_round() const { return highest_round_.load(std::memory_order_relaxed); }
 
   // Combined ingestion-pipeline counters: the worker stages (structural and
   // crypto rejects during off-thread verification) plus the core's own
   // stages, mirrored after every loop-thread step. Thread-safe.
   IngestStats ingest_stats() const;
   // Frames that failed to decode as blocks (malformed wire bytes).
-  std::uint64_t decode_errors() const {
-    return decode_errors_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t decode_errors() const { return decode_errors_->value(); }
   // Frames dropped because the verify queue was full (overload shedding).
-  std::uint64_t verify_frames_dropped() const {
-    return verify_frames_dropped_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t verify_frames_dropped() const { return verify_frames_dropped_->value(); }
   // Admission-control counters of the shared mempool (thread-safe).
   MempoolStats mempool_stats() const { return mempool_->stats(); }
   // Parallel-committer introspection (thread-safe). Scans run on the worker
@@ -196,15 +212,9 @@ class NodeRuntime {
   // commit work left on the loop thread (serial mode pays the whole scan
   // there instead, inside ValidatorCore::on_blocks).
   bool parallel_commit_active() const { return commit_scanner_ != nullptr; }
-  std::uint64_t commit_scans() const {
-    return commit_scans_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t commit_batches_applied() const {
-    return commit_batches_applied_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t commit_apply_micros() const {
-    return commit_apply_micros_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t commit_scans() const { return commit_scans_->value(); }
+  std::uint64_t commit_batches_applied() const { return commit_batches_applied_->value(); }
+  std::uint64_t commit_apply_micros() const { return commit_apply_micros_->value(); }
   // Egress/WAL write-side introspection (thread-safe). With egress offload
   // the encode counter advances on the worker pool; inline encodes (no pool,
   // or egress_offload off) count too, so the counter always means "outbound
@@ -212,9 +222,7 @@ class NodeRuntime {
   bool egress_offload_active() const {
     return verify_pool_ != nullptr && config_.validator.egress_offload;
   }
-  std::uint64_t egress_frames_encoded() const {
-    return egress_frames_encoded_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t egress_frames_encoded() const { return egress_frames_encoded_->value(); }
   bool wal_group_commit_active() const { return group_wal_ != nullptr; }
   std::uint64_t wal_groups_flushed() const {
     return group_wal_ ? group_wal_->groups_flushed() : 0;
@@ -246,21 +254,13 @@ class NodeRuntime {
   // Checkpoint subsystem introspection (thread-safe).
   bool checkpointing_active() const { return checkpointing_; }
   bool segmented_wal_active() const { return seg_wal_ != nullptr; }
-  std::uint64_t checkpoints_written() const {
-    return checkpoints_written_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t checkpoints_written() const { return checkpoints_written_->value(); }
   // Snapshot catch-ups completed: peer checkpoints verified and installed.
-  std::uint64_t snapshot_catchups() const {
-    return snapshot_catchups_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t checkpoints_served() const {
-    return checkpoints_served_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t snapshot_catchups() const { return snapshot_catchups_->value(); }
+  std::uint64_t checkpoints_served() const { return checkpoints_served_->value(); }
   // Batches this runtime's submit() path rejected (subset view of
   // mempool_stats(), attributable to local clients).
-  std::uint64_t submit_rejected() const {
-    return submit_rejected_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t submit_rejected() const { return submit_rejected_->value(); }
 
   ValidatorId id() const { return config_.validator.id; }
   std::uint16_t listen_port() const { return listen_port_.load(); }
@@ -278,6 +278,8 @@ class NodeRuntime {
   struct RawFrame {
     ValidatorId peer;
     Bytes payload;  // serialized block, type byte stripped
+    // Loop-thread receive stamp: start of the block's lifecycle trace.
+    TimeMicros received_at = 0;
   };
 
   // One outbound block awaiting encode + fan-out. kAllPeers broadcasts.
@@ -361,8 +363,18 @@ class NodeRuntime {
   static constexpr ValidatorId kAllPeers = ~0u;
   void offer_latest_block(ValidatorId peer);
 
+  // Registers every callback metric that bridges pre-existing bespoke
+  // counters (io-plane stats, mempool stats, WAL/loop introspection) into
+  // registry_. Constructor tail, after those sources exist.
+  void register_callback_metrics();
+
   const Committee& committee_;
   NodeRuntimeConfig config_;
+  // Declared before every consumer: the tracer, watchdog, and all the metric
+  // handles below point into it. Destroyed last among them (reverse order).
+  obs::Registry registry_;
+  obs::LifecycleTracer tracer_;
+  obs::LoopWatchdog watchdog_;
   // Shared with the core (ValidatorConfig::mempool_instance): submissions
   // are admitted on client/worker threads, drains happen on the loop thread.
   std::shared_ptr<ShardedMempool> mempool_;
@@ -406,22 +418,26 @@ class NodeRuntime {
   // Latest encoded checkpoint, served to catching-up peers. shared_ptr so
   // the in-flight writer task and a concurrent serve never copy the blob.
   std::shared_ptr<const Bytes> latest_checkpoint_bytes_;
-  std::atomic<std::uint64_t> checkpoints_written_{0};
-  std::atomic<std::uint64_t> snapshot_catchups_{0};
-  std::atomic<std::uint64_t> checkpoints_served_{0};
+  obs::Counter* checkpoints_written_;
+  obs::Counter* snapshot_catchups_;
+  obs::Counter* checkpoints_served_;
 
   EventLoop loop_;
   std::thread thread_;
   std::unique_ptr<TcpListener> listener_;
+  // Admin/metrics endpoint (config.admin_port >= 0): created on the loop
+  // thread before the consensus listener, torn down there too.
+  std::unique_ptr<AdminServer> admin_;
+  std::atomic<int> admin_port_{-1};
   std::vector<TcpConnectionPtr> outgoing_;  // index = peer id
   std::vector<TcpConnectionPtr> pending_incoming_;
   std::atomic<std::uint16_t> listen_port_{0};
   bool ticking_ = false;
   TimeMicros last_resync_ = 0;
 
-  std::atomic<std::uint64_t> committed_tx_{0};
-  std::atomic<std::uint64_t> committed_blocks_{0};
-  std::atomic<Round> highest_round_{0};
+  obs::Counter* committed_tx_;
+  obs::Counter* committed_blocks_;
+  obs::Gauge* highest_round_;
 
   // Off-loop verification pipeline.
   std::unique_ptr<WorkerPool> verify_pool_;
@@ -437,9 +453,9 @@ class NodeRuntime {
   // (bad crypto, synchronizer back-pressure) stays re-deliverable.
   // VerifierCache is internally locked.
   VerifierCache forwarded_digests_;
-  std::atomic<std::uint64_t> decode_errors_{0};
-  std::atomic<std::uint64_t> verify_frames_dropped_{0};
-  std::atomic<std::uint64_t> submit_rejected_{0};
+  obs::Counter* decode_errors_;
+  obs::Counter* verify_frames_dropped_;
+  obs::Counter* submit_rejected_;
   // Client submissions awaiting worker-side admission; the single-drain
   // discipline (submit_scheduled_) keeps them in arrival order.
   std::mutex submit_mutex_;
@@ -470,22 +486,24 @@ class NodeRuntime {
   std::mutex egress_mutex_;
   std::vector<EgressItem> pending_egress_;  // guarded by egress_mutex_
   bool egress_scheduled_ = false;           // guarded by egress_mutex_
-  std::atomic<std::uint64_t> egress_frames_encoded_{0};
-  std::atomic<std::uint64_t> commit_scans_{0};
-  std::atomic<std::uint64_t> commit_batches_applied_{0};
-  std::atomic<std::uint64_t> commit_apply_micros_{0};
+  obs::Counter* egress_frames_encoded_;
+  obs::Counter* commit_scans_;
+  obs::Counter* commit_batches_applied_;
+  obs::Counter* commit_apply_micros_;
   // EWMA of per-block decode+verify cost (micros), written by the single
-  // active verify drain, read when sizing the next batch.
+  // active verify drain, read when sizing the next batch. Stays a bespoke
+  // atomic (control state, not a metric); a gauge_fn bridges it for scrapes.
   std::atomic<TimeMicros> verify_cost_ewma_{0};
-  std::atomic<std::uint64_t> worker_structurally_rejected_{0};
-  std::atomic<std::uint64_t> worker_crypto_rejected_{0};
+  obs::Counter* worker_structurally_rejected_;
+  obs::Counter* worker_crypto_rejected_;
   // Mirror of the core's IngestStats, refreshed on the loop thread after
-  // every step so ingest_stats() never races the core.
-  std::atomic<std::uint64_t> core_structurally_rejected_{0};
-  std::atomic<std::uint64_t> core_crypto_rejected_{0};
-  std::atomic<std::uint64_t> core_cache_hits_{0};
-  std::atomic<std::uint64_t> core_verified_{0};
-  std::atomic<std::uint64_t> core_preverified_{0};
+  // every step so ingest_stats() never races the core. Gauges, not counters:
+  // each refresh overwrites with the core's absolute value.
+  obs::Gauge* core_structurally_rejected_;
+  obs::Gauge* core_crypto_rejected_;
+  obs::Gauge* core_cache_hits_;
+  obs::Gauge* core_verified_;
+  obs::Gauge* core_preverified_;
 };
 
 }  // namespace mahimahi::net

@@ -70,6 +70,14 @@ void TcpConnection::start(FrameHandler on_frame, CloseHandler on_close) {
   loop_.add_fd(fd_, EPOLLIN, [self](std::uint32_t events) { self->handle_events(events); });
 }
 
+void TcpConnection::start_raw(RawHandler on_bytes, CloseHandler on_close) {
+  raw_ = true;
+  on_raw_ = std::move(on_bytes);
+  // Registration and close handling are identical to framed mode; only the
+  // parse/dispatch step differs.
+  start(nullptr, std::move(on_close));
+}
+
 void TcpConnection::handle_events(std::uint32_t events) {
   if (closed()) return;
   if (events & (EPOLLHUP | EPOLLERR)) {
@@ -133,6 +141,21 @@ bool TcpConnection::parse_frames(const std::uint8_t* data, std::size_t size,
 }
 
 void TcpConnection::parse_buffered() {
+  if (raw_) {
+    if (read_buffer_.size() == read_consumed_) return;
+    // Hand the whole unconsumed buffer to the raw handler. Detach it first:
+    // the handler may send_raw or close, and must not observe a buffer it is
+    // currently being handed a view into.
+    Bytes chunk;
+    chunk.swap(read_buffer_);
+    const std::size_t offset = read_consumed_;
+    read_consumed_ = 0;
+    if (on_raw_) {
+      const RawHandler handler = on_raw_;
+      handler({chunk.data() + offset, chunk.size() - offset});
+    }
+    return;
+  }
   std::size_t offset = read_consumed_;
   if (!parse_frames(read_buffer_.data(), read_buffer_.size(), offset)) return;
   read_consumed_ = offset;
@@ -148,6 +171,13 @@ void TcpConnection::parse_buffered() {
 
 void TcpConnection::ingress_bytes(const std::uint8_t* data, std::size_t size) {
   bytes_received_ += size;
+  if (raw_) {
+    if (on_raw_) {
+      const RawHandler handler = on_raw_;
+      handler({data, size});
+    }
+    return;
+  }
   if (read_buffer_.size() == read_consumed_) {
     // Fast path: no partial frame buffered — parse straight out of the
     // backend's buffer and copy only a trailing fragment, if any.
@@ -180,17 +210,30 @@ void TcpConnection::send_frame(SharedFrame payload) {
   handle_writable();  // opportunistic immediate flush
 }
 
+void TcpConnection::send_raw(SharedFrame payload) {
+  if (closed() || payload == nullptr || payload->empty()) return;
+  PendingWrite pending;
+  pending.header_len = 0;  // no length prefix: bytes go out exactly as given
+  pending.payload = std::move(payload);
+  write_queue_.push_back(std::move(pending));
+  if (completion_driven_) {
+    backend_.conn_flush(*this);
+    return;
+  }
+  handle_writable();
+}
+
 std::size_t TcpConnection::gather_unsent(iovec* iov, std::size_t max) const {
   std::size_t count = 0;
   for (const PendingWrite& pending : write_queue_) {
     if (count + 2 > max) break;
     std::size_t skip = pending.sent;
-    if (skip < pending.header.size()) {
+    if (skip < pending.header_len) {
       iov[count++] = {const_cast<std::uint8_t*>(pending.header.data() + skip),
-                      pending.header.size() - skip};
+                      pending.header_len - skip};
       skip = 0;
     } else {
-      skip -= pending.header.size();
+      skip -= pending.header_len;
     }
     if (skip < pending.payload->size()) {
       iov[count++] = {const_cast<std::uint8_t*>(pending.payload->data() + skip),
@@ -204,7 +247,7 @@ void TcpConnection::retire_sent(std::size_t count) {
   bytes_sent_ += count;
   while (count > 0 && !write_queue_.empty()) {
     PendingWrite& head = write_queue_.front();
-    const std::size_t total = head.header.size() + head.payload->size();
+    const std::size_t total = head.header_len + head.payload->size();
     const std::size_t take = std::min(count, total - head.sent);
     head.sent += take;
     count -= take;
@@ -214,7 +257,7 @@ void TcpConnection::retire_sent(std::size_t count) {
   // it even when no bytes were attributed to it.
   while (!write_queue_.empty()) {
     const PendingWrite& head = write_queue_.front();
-    if (head.sent < head.header.size() + head.payload->size()) break;
+    if (head.sent < head.header_len + head.payload->size()) break;
     write_queue_.pop_front();
   }
 }

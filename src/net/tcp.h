@@ -43,14 +43,19 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   using FrameHandler = std::function<void(BytesView frame)>;
   using CloseHandler = std::function<void()>;
+  using RawHandler = std::function<void(BytesView bytes)>;
 
   // One queued outbound frame: the 4-byte length prefix plus a refcounted,
   // immutable payload. `sent` counts bytes of (header + payload) already on
   // the wire, so a partial send resumes mid-frame. Public because the uring
   // backend adopts a closing connection's queue while a send completion is
   // still in flight (the SQE's iovecs point into these elements).
+  // header_len is 4 for framed writes and 0 for raw-mode writes (send_raw);
+  // the gather/retire paths read it instead of header.size(), which is how
+  // both backends emit unframed bytes without any uring-side changes.
   struct PendingWrite {
     std::array<std::uint8_t, 4> header;
+    std::uint8_t header_len = 4;
     SharedFrame payload;
     std::size_t sent = 0;
   };
@@ -65,11 +70,21 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   // Registers with the loop/backend; handlers fire on the loop thread.
   void start(FrameHandler on_frame, CloseHandler on_close);
 
+  // Raw (unframed) mode: ingress bytes are delivered to on_bytes exactly as
+  // received — no [u32 length] framing, no frame-size cap — and egress goes
+  // through send_raw(). The admin/metrics HTTP endpoint runs on this; the
+  // consensus plane never does. Choose start() or start_raw() once, before
+  // any bytes move; there is no switching a live connection.
+  void start_raw(RawHandler on_bytes, CloseHandler on_close);
+
   // Queues a frame (length prefix added). Loop thread only. The BytesView
   // overload copies the payload once; the SharedFrame overload only bumps a
   // refcount — use it when one encoded frame fans out to several peers.
   void send_frame(BytesView payload);
   void send_frame(SharedFrame payload);
+
+  // Queues bytes with no length prefix (raw mode). Loop thread only.
+  void send_raw(SharedFrame payload);
 
   void close();
   bool closed() const { return fd_ < 0; }
@@ -109,7 +124,9 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   const bool completion_driven_;
   int fd_;
   bool registered_ = false;
+  bool raw_ = false;
   FrameHandler on_frame_;
+  RawHandler on_raw_;
   CloseHandler on_close_;
   // Persistent ingress state: recv lands in the reusable scratch chunk (no
   // 64 KiB stack buffer, allocated once per connection), partial frames

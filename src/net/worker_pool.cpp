@@ -1,8 +1,11 @@
 #include "net/worker_pool.h"
 
+#include "common/log.h"
+
 namespace mahimahi::net {
 
-WorkerPool::WorkerPool(std::size_t threads) {
+WorkerPool::WorkerPool(std::size_t threads, std::string log_context)
+    : log_context_(std::move(log_context)) {
   threads_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     threads_.emplace_back([this] { worker_main(); });
@@ -34,6 +37,7 @@ void WorkerPool::stop() {
 }
 
 void WorkerPool::worker_main() {
+  if (!log_context_.empty()) set_log_context(log_context_);
   for (;;) {
     Task task;
     {

@@ -15,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -24,7 +25,9 @@ class WorkerPool {
  public:
   using Task = std::function<void()>;
 
-  explicit WorkerPool(std::size_t threads);
+  // log_context, when non-empty, becomes each worker thread's MM_LOG context
+  // (see common/log.h) so cluster-test log lines are attributable.
+  explicit WorkerPool(std::size_t threads, std::string log_context = "");
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -40,6 +43,7 @@ class WorkerPool {
  private:
   void worker_main();
 
+  std::string log_context_;
   std::mutex mutex_;
   std::condition_variable wake_;
   std::deque<Task> queue_;

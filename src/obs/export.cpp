@@ -1,0 +1,178 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mahimahi::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+// `{validator="3"}` or empty; `{validator="3",le="7"}` with an extra pair.
+std::string label_block(const std::string& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Index one past the last non-empty bucket (0 for an all-empty histogram).
+std::size_t trimmed_bucket_count(const HistogramSnapshot& h) {
+  std::size_t end = h.buckets.size();
+  while (end > 0 && h.buckets[end - 1] == 0) --end;
+  return end;
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& entry : snapshot.entries) {
+    if (!entry.help.empty()) {
+      out += "# HELP ";
+      out += entry.name;
+      out += " ";
+      out += entry.help;
+      out += "\n";
+    }
+    out += "# TYPE ";
+    out += entry.name;
+    switch (entry.kind) {
+      case MetricKind::kCounter: {
+        out += " counter\n";
+        out += entry.name;
+        out += label_block(snapshot.labels);
+        out += " ";
+        append_u64(out, entry.value);
+        out += "\n";
+        break;
+      }
+      case MetricKind::kGauge: {
+        out += " gauge\n";
+        out += entry.name;
+        out += label_block(snapshot.labels);
+        out += " ";
+        append_i64(out, entry.gauge_value);
+        out += "\n";
+        break;
+      }
+      case MetricKind::kHistogram: {
+        out += " histogram\n";
+        const HistogramSnapshot& h = entry.histogram;
+        const std::size_t end = trimmed_bucket_count(h);
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < end; ++i) {
+          cumulative += h.buckets[i];
+          std::string le = "le=\"";
+          append_u64(le, bucket_upper_bound(i));
+          le += "\"";
+          out += entry.name;
+          out += "_bucket";
+          out += label_block(snapshot.labels, le);
+          out += " ";
+          append_u64(out, cumulative);
+          out += "\n";
+        }
+        out += entry.name;
+        out += "_bucket";
+        out += label_block(snapshot.labels, "le=\"+Inf\"");
+        out += " ";
+        append_u64(out, cumulative);
+        out += "\n";
+        out += entry.name;
+        out += "_sum";
+        out += label_block(snapshot.labels);
+        out += " ";
+        append_u64(out, h.sum);
+        out += "\n";
+        out += entry.name;
+        out += "_count";
+        out += label_block(snapshot.labels);
+        out += " ";
+        append_u64(out, cumulative);
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const MetricsSnapshot& snapshot) {
+  std::string counters, gauges, histograms;
+  for (const auto& entry : snapshot.entries) {
+    switch (entry.kind) {
+      case MetricKind::kCounter: {
+        if (!counters.empty()) counters += ",";
+        counters += "\"" + json_escape(entry.name) + "\":";
+        append_u64(counters, entry.value);
+        break;
+      }
+      case MetricKind::kGauge: {
+        if (!gauges.empty()) gauges += ",";
+        gauges += "\"" + json_escape(entry.name) + "\":";
+        append_i64(gauges, entry.gauge_value);
+        break;
+      }
+      case MetricKind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        const HistogramSnapshot& h = entry.histogram;
+        histograms += "\"" + json_escape(entry.name) + "\":{\"count\":";
+        append_u64(histograms, h.count());
+        histograms += ",\"sum\":";
+        append_u64(histograms, h.sum);
+        histograms += ",\"buckets\":[";
+        bool first = true;
+        const std::size_t end = trimmed_bucket_count(h);
+        for (std::size_t i = 0; i < end; ++i) {
+          if (h.buckets[i] == 0) continue;
+          if (!first) histograms += ",";
+          first = false;
+          histograms += "[";
+          append_u64(histograms, bucket_upper_bound(i));
+          histograms += ",";
+          append_u64(histograms, h.buckets[i]);
+          histograms += "]";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  std::string out = "{\"labels\":\"" + json_escape(snapshot.labels) + "\"";
+  out += ",\"counters\":{" + counters + "}";
+  out += ",\"gauges\":{" + gauges + "}";
+  out += ",\"histograms\":{" + histograms + "}}";
+  return out;
+}
+
+}  // namespace mahimahi::obs

@@ -1,0 +1,32 @@
+// Renderers for MetricsSnapshot: Prometheus text exposition format and JSON.
+//
+// Both renderers are pure functions of the snapshot — deterministic output
+// for deterministic input (the exporter golden tests and the sim harness rely
+// on this). The admin endpoint (net/admin.h) serves them over HTTP; benches
+// and the sim consume dump()/render directly with no socket involved.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace mahimahi::obs {
+
+// Prometheus text exposition format, version 0.0.4.
+//
+//   # HELP mm_committed_blocks_total Blocks committed...
+//   # TYPE mm_committed_blocks_total counter
+//   mm_committed_blocks_total{validator="3"} 1234
+//
+// Histograms emit cumulative le buckets with exact integer bounds (2^i - 1),
+// trimmed after the last non-empty bucket, then the +Inf bucket, _sum and
+// _count. snapshot.labels is rendered into every sample line.
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+// One JSON object: {"labels":{...},"counters":{...},"gauges":{...},
+// "histograms":{name:{"count":..,"sum":..,"buckets":[[le,count],...]}}}.
+// Keys are sorted (snapshot order); buckets list only non-empty buckets as
+// [inclusive upper bound, per-bucket count] pairs.
+std::string render_json(const MetricsSnapshot& snapshot);
+
+}  // namespace mahimahi::obs

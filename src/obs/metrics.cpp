@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mahimahi::obs {
+
+namespace detail {
+
+std::size_t shard_index() {
+  // Threads take stripes round-robin; the mask keeps the id in range once
+  // more threads than stripes have been born (they then share).
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return index;
+}
+
+}  // namespace detail
+
+std::uint64_t HistogramSnapshot::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the target sample, 1-based; p=0 maps to the first sample.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p * static_cast<double>(n) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return bucket_upper_bound(i);
+  }
+  return bucket_upper_bound(buckets.size() - 1);
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(std::string_view name) const {
+  for (const Entry& entry : entries)
+    if (entry.name == name) return &entry;
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  const Entry* entry = find(name);
+  return entry != nullptr && entry->kind == MetricKind::kCounter ? entry->value : 0;
+}
+
+std::int64_t MetricsSnapshot::gauge_value(std::string_view name) const {
+  const Entry* entry = find(name);
+  return entry != nullptr && entry->kind == MetricKind::kGauge ? entry->gauge_value : 0;
+}
+
+HistogramSnapshot MetricsSnapshot::histogram(std::string_view name) const {
+  const Entry* entry = find(name);
+  return entry != nullptr && entry->kind == MetricKind::kHistogram ? entry->histogram
+                                                                   : HistogramSnapshot{};
+}
+
+Registry::Registry(std::string labels) : labels_(std::move(labels)) {}
+
+Registry::Metric& Registry::emplace(const std::string& name, MetricKind kind,
+                                    const std::string& help) {
+  auto [it, inserted] = metrics_.try_emplace(name);
+  Metric& metric = it->second;
+  if (inserted) {
+    metric.kind = kind;
+    metric.help = help;
+  } else if (metric.kind != kind) {
+    throw std::logic_error("obs: metric '" + name + "' re-registered with a different kind");
+  }
+  return metric;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Metric& metric = emplace(name, MetricKind::kCounter, help);
+  if (metric.counter_callback)
+    throw std::logic_error("obs: metric '" + name + "' is a callback counter");
+  if (!metric.counter) metric.counter = std::make_unique<Counter>();
+  return *metric.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Metric& metric = emplace(name, MetricKind::kGauge, help);
+  if (metric.gauge_callback)
+    throw std::logic_error("obs: metric '" + name + "' is a callback gauge");
+  if (!metric.gauge) metric.gauge = std::make_unique<Gauge>();
+  return *metric.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Metric& metric = emplace(name, MetricKind::kHistogram, help);
+  if (!metric.histogram) metric.histogram = std::make_unique<Histogram>();
+  return *metric.histogram;
+}
+
+void Registry::counter_fn(const std::string& name, std::function<std::uint64_t()> fn,
+                          const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Metric& metric = emplace(name, MetricKind::kCounter, help);
+  if (metric.counter)
+    throw std::logic_error("obs: metric '" + name + "' is already a plain counter");
+  metric.counter_callback = std::move(fn);
+}
+
+void Registry::gauge_fn(const std::string& name, std::function<std::int64_t()> fn,
+                        const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Metric& metric = emplace(name, MetricKind::kGauge, help);
+  if (metric.gauge) throw std::logic_error("obs: metric '" + name + "' is already a plain gauge");
+  metric.gauge_callback = std::move(fn);
+}
+
+MetricsSnapshot Registry::dump() const {
+  MetricsSnapshot out;
+  out.labels = labels_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.entries.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {  // std::map: sorted by name
+    MetricsSnapshot::Entry entry;
+    entry.name = name;
+    entry.help = metric.help;
+    entry.kind = metric.kind;
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        entry.value = metric.counter_callback ? metric.counter_callback()
+                      : metric.counter       ? metric.counter->value()
+                                             : 0;
+        break;
+      case MetricKind::kGauge:
+        entry.gauge_value = metric.gauge_callback ? metric.gauge_callback()
+                            : metric.gauge        ? metric.gauge->value()
+                                                  : 0;
+        break;
+      case MetricKind::kHistogram:
+        if (metric.histogram) entry.histogram = metric.histogram->snapshot();
+        break;
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace mahimahi::obs

@@ -1,0 +1,29 @@
+#include "obs/watchdog.h"
+
+#include "common/log.h"
+
+namespace mahimahi::obs {
+
+LoopWatchdog::LoopWatchdog(Registry& registry, LoopWatchdogOptions options, std::string tag)
+    : options_(options),
+      tag_(std::move(tag)),
+      tick_busy_micros_(&registry.histogram("mm_loop_tick_busy_micros",
+                                            "Busy time per event-loop tick, microseconds")),
+      max_stall_micros_(&registry.gauge("mm_loop_max_stall_micros",
+                                        "Longest single event-loop tick seen, microseconds")),
+      stalls_(&registry.counter("mm_loop_stalls_total",
+                                "Event-loop ticks that exceeded the stall budget")) {}
+
+void LoopWatchdog::observe_tick(TimeMicros busy_micros, TimeMicros now) {
+  tick_busy_micros_->record(busy_micros);
+  max_stall_micros_->update_max(busy_micros);
+  if (busy_micros <= options_.stall_budget) return;
+  stalls_->add();
+  if (warned_ && now - last_warn_ < options_.warn_interval) return;
+  warned_ = true;
+  last_warn_ = now;
+  MM_LOG(kWarn) << "loop stall: " << tag_ << " tick busy " << busy_micros << "us exceeds budget "
+                << options_.stall_budget << "us (" << stalls_->value() << " stalls total)";
+}
+
+}  // namespace mahimahi::obs

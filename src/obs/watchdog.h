@@ -1,0 +1,53 @@
+// Loop-stall watchdog: per-tick busy-time histogram, a max-stall high-water
+// gauge, and a rate-limited warning when one event-loop tick exceeds its
+// budget.
+//
+// The event loop calls observe_tick() once per iteration with the busy slice
+// (time spent outside the poll wait) — the single number that tells you
+// whether some callback is squatting on the I/O thread. observe_tick() is a
+// histogram record plus two relaxed loads on the happy path; the warn branch
+// only fires past the budget and is rate-limited so a pathological workload
+// warns once a second instead of flooding stderr.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+
+namespace mahimahi::obs {
+
+struct LoopWatchdogOptions {
+  // A tick busier than this is a stall. 50-validator cluster smokes run whole
+  // commit batches through callbacks, so the default is generous; latency
+  // deployments tighten it.
+  TimeMicros stall_budget = millis(250);
+  // Minimum spacing between MM_LOG(kWarn) lines.
+  TimeMicros warn_interval = seconds(1);
+};
+
+class LoopWatchdog {
+ public:
+  // `tag` names the loop in the warn line (e.g. "v3"). Metrics registered:
+  // mm_loop_tick_busy_micros (histogram), mm_loop_max_stall_micros (gauge),
+  // mm_loop_stalls_total (counter).
+  LoopWatchdog(Registry& registry, LoopWatchdogOptions options, std::string tag);
+
+  // Called by the observed loop after each iteration; `now` is the tick's end
+  // stamp in the driver's clock domain.
+  void observe_tick(TimeMicros busy_micros, TimeMicros now);
+
+  std::uint64_t stalls() const { return stalls_->value(); }
+
+ private:
+  LoopWatchdogOptions options_;
+  std::string tag_;
+  Histogram* tick_busy_micros_;
+  Gauge* max_stall_micros_;
+  Counter* stalls_;
+  TimeMicros last_warn_ = 0;
+  bool warned_ = false;
+};
+
+}  // namespace mahimahi::obs

@@ -9,6 +9,7 @@
 #include "checkpoint/segmented_wal.h"
 #include "common/log.h"
 #include "core/commit_scanner.h"
+#include "obs/trace.h"
 #include "serde/serde.h"
 #include "wal/wal.h"
 
@@ -303,8 +304,16 @@ struct SimHarness::Impl {
       }
     }
 
+    // Validator 0's lifecycle spans: insert stamps open the commit-wait
+    // breakdown that record_commits closes, all in virtual time.
+    if (v == 0) {
+      for (const auto& block : actions.inserted) {
+        tracer.block_inserted(block->digest(), queue.now());
+      }
+    }
+
     for (auto& request : actions.fetch_requests) {
-      ++fetch_requests;
+      fetch_requests->add();
       const ValidatorId peer = request.peer;
       if (!alive(peer)) continue;
       schedule_small_message(v, peer, [this, v, peer, refs = std::move(request.refs)] {
@@ -355,7 +364,7 @@ struct SimHarness::Impl {
           });
     }
     for (const ValidatorId target : actions.checkpoint_requests) {
-      ++checkpoint_requests;
+      checkpoint_requests->add();
       schedule_small_message(v, target,
                              [this, v, target] { serve_checkpoint(target, v); });
     }
@@ -400,7 +409,7 @@ struct SimHarness::Impl {
             seg_wals[v]->retire_segments_below(done.keep_from);
           }
           done.keep_from = keep_from;
-          ++checkpoints_written;
+          checkpoints_written->add();
         });
   }
 
@@ -441,7 +450,7 @@ struct SimHarness::Impl {
     const SlotId before = nodes[client]->committer().next_pending_slot();
     Actions actions = nodes[client]->install_checkpoint(data, queue.now());
     if (nodes[client]->committer().next_pending_slot() <= before) return;  // stale
-    ++snapshot_catchups;
+    snapshot_catchups->add();
     scanners[client] = make_scanner(client);
     handle_actions(client, std::move(actions));
   }
@@ -468,7 +477,7 @@ struct SimHarness::Impl {
     } else {
       for (const auto& [block, own] : stage.records) mem_logs[v].push_back(block);
     }
-    if (!stage.records.empty()) ++wal_groups_flushed;
+    if (!stage.records.empty()) wal_groups_flushed->add();
     stage.records.clear();
     const auto gated = std::move(stage.gated_broadcasts);
     stage.gated_broadcasts.clear();
@@ -491,6 +500,9 @@ struct SimHarness::Impl {
 
   void record_commits(ValidatorId v, const CommittedSubDag& sub_dag) {
     const TimeMicros now = queue.now();
+    // Validator 0's view: per-block commit-wait spans and the transaction-
+    // weighted finality histogram, deterministic in virtual time.
+    if (v == 0) tracer.sub_dag_committed(sub_dag, now);
     if (config.record_sequences) {
       for (const auto& block : sub_dag.blocks) sequences[v].push_back(block->ref());
     }
@@ -501,7 +513,7 @@ struct SimHarness::Impl {
         if (batch.submitted_at >= config.warmup && in_window(now)) {
           latency_recorder.record(now - batch.submitted_at, batch.count);
         }
-        if (in_window(now)) committed_tx += batch.count;
+        if (in_window(now)) committed_tx->add(batch.count);
       }
     }
   }
@@ -539,7 +551,7 @@ struct SimHarness::Impl {
 
     const auto replay_one = [this, v](BlockPtr block) {
       Actions actions = nodes[v]->recover_block(std::move(block));
-      ++wal_replayed_blocks;
+      wal_replayed_blocks->add();
       // Replayed commits were already counted before the crash: refresh the
       // recorded sequence but leave throughput/latency metrics untouched.
       if (config.record_sequences) {
@@ -613,7 +625,7 @@ struct SimHarness::Impl {
       batch.submitted_at = queue.now();
       batch.count = static_cast<std::uint32_t>(count);
       batch.tx_bytes = config.tx_bytes;
-      if (in_window(queue.now())) submitted_tx += count;
+      if (in_window(queue.now())) submitted_tx->add(count);
       batches.push_back(std::move(batch));
     }
     if (!batches.empty()) {
@@ -647,8 +659,10 @@ struct SimHarness::Impl {
 
     SimResult result;
     const double window_s = to_seconds(config.duration - config.warmup);
-    result.committed_tps = window_s > 0 ? committed_tx / window_s : 0;
-    result.submitted_tps = window_s > 0 ? submitted_tx / window_s : 0;
+    result.committed_tps =
+        window_s > 0 ? static_cast<double>(committed_tx->value()) / window_s : 0;
+    result.submitted_tps =
+        window_s > 0 ? static_cast<double>(submitted_tx->value()) / window_s : 0;
     result.avg_latency_s = latency_recorder.mean_seconds();
     result.p50_latency_s = latency_recorder.percentile_seconds(50);
     result.p95_latency_s = latency_recorder.percentile_seconds(95);
@@ -668,13 +682,14 @@ struct SimHarness::Impl {
     if (reporter < config.n) {
       result.mempool_rejected = nodes[reporter]->mempool().stats().rejected();
     }
-    result.fetch_requests = fetch_requests;
-    result.wal_replayed_blocks = wal_replayed_blocks;
-    result.wal_groups_flushed = wal_groups_flushed;
-    result.checkpoints_written = checkpoints_written;
-    result.snapshot_catchups = snapshot_catchups;
-    result.checkpoint_requests = checkpoint_requests;
+    result.fetch_requests = fetch_requests->value();
+    result.wal_replayed_blocks = wal_replayed_blocks->value();
+    result.wal_groups_flushed = wal_groups_flushed->value();
+    result.checkpoints_written = checkpoints_written->value();
+    result.snapshot_catchups = snapshot_catchups->value();
+    result.checkpoint_requests = checkpoint_requests->value();
     result.equivocation_cells = count_equivocation_cells();
+    result.metrics = registry.dump();
     if (config.record_sequences) {
       result.sequences = std::move(sequences);
     }
@@ -731,9 +746,6 @@ struct SimHarness::Impl {
   };
   std::vector<CkptState> ckpts;
   std::vector<std::unique_ptr<CheckpointStore>> ckpt_stores;
-  std::uint64_t checkpoints_written = 0;
-  std::uint64_t snapshot_catchups = 0;
-  std::uint64_t checkpoint_requests = 0;
   // Group-commit staging (SimConfig::wal_group_commit): records and gated
   // broadcast groups awaiting the deferred flush event.
   struct WalStage {
@@ -743,15 +755,34 @@ struct SimHarness::Impl {
     std::uint64_t epoch = 0;  // bumped at crash; stale events no-op
   };
   std::vector<WalStage> wal_stages;
-  std::uint64_t wal_groups_flushed = 0;
-  std::uint64_t wal_replayed_blocks = 0;
   std::shared_ptr<VerifierCache> verifier_cache;  // shared when verify_crypto
 
   LatencyRecorder latency_recorder;
   std::vector<std::vector<BlockRef>> sequences;
-  std::uint64_t committed_tx = 0;
-  std::uint64_t submitted_tx = 0;
-  std::uint64_t fetch_requests = 0;
+
+  // One registry per run, dumped into SimResult::metrics at the end. Every
+  // stamp the tracer sees is virtual time, so the whole dump is a pure
+  // function of (config, seed). The tracer follows validator 0 only: block
+  // digests are committee-global, so tracking every validator's inserts in
+  // one table would cross-talk the commit-wait spans.
+  obs::Registry registry{"sim=\"1\""};
+  obs::LifecycleTracer tracer{registry};
+  obs::Counter* committed_tx = &registry.counter(
+      "mm_committed_transactions_total", "Origin-side committed transactions (in-window)");
+  obs::Counter* submitted_tx = &registry.counter("mm_submitted_transactions_total",
+                                                 "Transactions injected (in-window)");
+  obs::Counter* fetch_requests =
+      &registry.counter("mm_fetch_requests_total", "Synchronizer fetches, all validators");
+  obs::Counter* checkpoints_written =
+      &registry.counter("mm_checkpoints_written_total", "Completed checkpoint cuts");
+  obs::Counter* snapshot_catchups =
+      &registry.counter("mm_snapshot_catchups_total", "Peer checkpoints installed");
+  obs::Counter* checkpoint_requests =
+      &registry.counter("mm_checkpoint_requests_total", "Catch-up requests sent");
+  obs::Counter* wal_groups_flushed =
+      &registry.counter("mm_wal_groups_flushed_total", "Non-empty group flushes");
+  obs::Counter* wal_replayed_blocks =
+      &registry.counter("mm_wal_replayed_blocks_total", "Blocks replayed across restarts");
 };
 
 SimHarness::SimHarness(SimConfig config) : impl_(std::make_unique<Impl>(std::move(config))) {}

@@ -21,6 +21,7 @@
 
 #include "client/metrics.h"
 #include "core/options.h"
+#include "obs/metrics.h"
 #include "sim/adversary.h"
 #include "sim/event_queue.h"
 #include "sim/latency.h"
@@ -184,6 +185,12 @@ struct SimResult {
   // than one block — nonzero only if some author equivocated (configured
   // equivocators, or a recovery bug re-proposing a logged round).
   std::uint64_t equivocation_cells = 0;
+
+  // Full dump of the run's metrics registry: every counter above plus the
+  // lifecycle-stage histograms (validator 0's commit-wait breakdown and the
+  // transaction-weighted finality histogram, stamped in virtual time — the
+  // dump is deterministic for a fixed config and seed).
+  obs::MetricsSnapshot metrics;
 
   // Per-validator delivered sequences (only if record_sequences was set).
   std::vector<std::vector<BlockRef>> sequences;

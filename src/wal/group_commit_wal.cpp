@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/log.h"
 #include "wal/wal_ring.h"
 
 namespace mahimahi {
@@ -112,6 +113,7 @@ std::uint64_t GroupCommitWal::flush_micros() const {
 }
 
 void GroupCommitWal::writer_main() {
+  if (!options_.log_context.empty()) set_log_context(options_.log_context);
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     writer_wake_.wait(lock, [this] {

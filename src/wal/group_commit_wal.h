@@ -56,6 +56,9 @@ struct GroupCommitWalOptions {
   // pair. Silently ignored when the ring is compiled out or the kernel
   // refuses it — the classic path is always correct, just costlier.
   bool use_io_uring = false;
+  // Non-empty: the writer thread's MM_LOG context (see common/log.h), e.g.
+  // "v3/wal" — makes its lines attributable in multi-validator cluster logs.
+  std::string log_context;
 };
 
 class GroupCommitWal : public Wal {

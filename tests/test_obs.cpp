@@ -1,0 +1,369 @@
+// Observability layer tests: histogram bucket math, cross-thread shard
+// merging, registry + callback metrics, exporter golden output, lifecycle
+// tracer semantics (commit-wait spans, finality weighting, FIFO eviction),
+// the loop-stall watchdog, the lazily-sorted LatencyRecorder, structured log
+// context, and deterministic sim-time spans end to end.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "client/metrics.h"
+#include "common/log.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "sim/harness.h"
+#include "types/block.h"
+#include "validator/validator.h"
+
+namespace mahimahi {
+namespace {
+
+using obs::bucket_upper_bound;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::kHistogramBuckets;
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // bucket_of is bit_width: bucket 0 holds only 0, bucket i >= 1 holds
+  // [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  for (std::size_t i = 1; i < kHistogramBuckets - 1; ++i) {
+    // Both edges of every bucket land in it; the upper bound is inclusive.
+    EXPECT_EQ(Histogram::bucket_of(1ull << (i - 1)), i) << i;
+    EXPECT_EQ(Histogram::bucket_of(bucket_upper_bound(i)), i) << i;
+  }
+  // Values past the last bucket's range saturate into it.
+  EXPECT_EQ(Histogram::bucket_of(~0ull), kHistogramBuckets - 1);
+  EXPECT_EQ(bucket_upper_bound(0), 0u);
+  EXPECT_EQ(bucket_upper_bound(1), 1u);
+  EXPECT_EQ(bucket_upper_bound(4), 15u);
+}
+
+TEST(ObsHistogram, RecordWeightAndNegativeClamp) {
+  Histogram h;
+  h.record(5, 3);    // bucket 3, weight 3
+  h.record(-17);     // clamps to 0 -> bucket 0
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 4u);
+  EXPECT_EQ(snap.buckets[3], 3u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.sum, 15u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 15.0 / 4.0);
+}
+
+TEST(ObsHistogram, PercentileWalksCumulative) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);   // bucket 4, ub 15
+  for (int i = 0; i < 10; ++i) h.record(100);  // bucket 7, ub 127
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.percentile(0.50), 15u);
+  EXPECT_EQ(snap.percentile(0.90), 15u);
+  EXPECT_EQ(snap.percentile(0.95), 127u);
+  EXPECT_EQ(snap.percentile(1.0), 127u);
+  EXPECT_EQ(HistogramSnapshot{}.percentile(0.5), 0u);
+}
+
+TEST(ObsHistogram, MergeIsElementwiseAddition) {
+  Histogram a, b;
+  a.record(3);
+  b.record(3);
+  b.record(1000, 2);
+  HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_EQ(merged.buckets[2], 2u);
+  EXPECT_EQ(merged.sum, 3u + 3u + 2000u);
+}
+
+TEST(ObsRegistry, CrossThreadShardMerge) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("c");
+  obs::Histogram& histogram = registry.histogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        histogram.record(i % 64);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every shard's contribution survives the merge, whatever stripe each
+  // thread landed on.
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(histogram.snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, SameNameReturnsSameMetricKindClashThrows) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("x");
+  obs::Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_THROW(registry.gauge("x"), std::logic_error);
+}
+
+TEST(ObsRegistry, GaugeSemantics) {
+  obs::Registry registry;
+  obs::Gauge& gauge = registry.gauge("g");
+  gauge.set(-5);
+  EXPECT_EQ(gauge.value(), -5);
+  gauge.add(15);
+  EXPECT_EQ(gauge.value(), 10);
+  gauge.update_max(7);  // lower: no effect
+  EXPECT_EQ(gauge.value(), 10);
+  gauge.update_max(42);
+  EXPECT_EQ(gauge.value(), 42);
+}
+
+TEST(ObsRegistry, CallbackMetricsEvaluateAtDump) {
+  obs::Registry registry;
+  std::uint64_t source = 7;
+  registry.counter_fn("bridged_total", [&] { return source; });
+  registry.gauge_fn("bridged_gauge", [&] { return static_cast<std::int64_t>(-3); });
+  source = 9;  // dump must see the value at dump time, not registration time
+  const obs::MetricsSnapshot snap = registry.dump();
+  EXPECT_EQ(snap.counter_value("bridged_total"), 9u);
+  EXPECT_EQ(snap.gauge_value("bridged_gauge"), -3);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  obs::Registry registry("validator=\"3\"");
+  registry.counter("mm_b_total", "A counter").add(5);
+  registry.gauge("mm_c_gauge").set(-2);
+  obs::Histogram& h = registry.histogram("mm_a_micros", "A histogram");
+  h.record(0);
+  h.record(3, 2);
+  const std::string text = obs::render_prometheus(registry.dump());
+  // std::map order: mm_a_micros, mm_b_total, mm_c_gauge. Buckets trim after
+  // the last non-empty one (bucket 2, ub 3), then +Inf.
+  const std::string expected =
+      "# HELP mm_a_micros A histogram\n"
+      "# TYPE mm_a_micros histogram\n"
+      "mm_a_micros_bucket{validator=\"3\",le=\"0\"} 1\n"
+      "mm_a_micros_bucket{validator=\"3\",le=\"1\"} 1\n"
+      "mm_a_micros_bucket{validator=\"3\",le=\"3\"} 3\n"
+      "mm_a_micros_bucket{validator=\"3\",le=\"+Inf\"} 3\n"
+      "mm_a_micros_sum{validator=\"3\"} 6\n"
+      "mm_a_micros_count{validator=\"3\"} 3\n"
+      "# HELP mm_b_total A counter\n"
+      "# TYPE mm_b_total counter\n"
+      "mm_b_total{validator=\"3\"} 5\n"
+      "# TYPE mm_c_gauge gauge\n"
+      "mm_c_gauge{validator=\"3\"} -2\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ObsExport, PrometheusNoLabels) {
+  obs::Registry registry;
+  registry.counter("plain_total").add(1);
+  EXPECT_EQ(obs::render_prometheus(registry.dump()),
+            "# TYPE plain_total counter\nplain_total 1\n");
+}
+
+TEST(ObsExport, JsonGolden) {
+  obs::Registry registry("validator=\"3\"");
+  registry.counter("mm_b_total").add(5);
+  registry.gauge("mm_c_gauge").set(-2);
+  obs::Histogram& h = registry.histogram("mm_a_micros");
+  h.record(0);
+  h.record(3, 2);
+  const std::string expected =
+      "{\"labels\":\"validator=\\\"3\\\"\","
+      "\"counters\":{\"mm_b_total\":5},"
+      "\"gauges\":{\"mm_c_gauge\":-2},"
+      "\"histograms\":{\"mm_a_micros\":{\"count\":3,\"sum\":6,"
+      "\"buckets\":[[0,1],[3,2]]}}}";
+  EXPECT_EQ(obs::render_json(registry.dump()), expected);
+}
+
+// ----- Lifecycle tracer ------------------------------------------------------
+
+class ObsTracerTest : public ::testing::Test {
+ protected:
+  ObsTracerTest() : setup_(Committee::make_test(4)) {}
+
+  BlockPtr make_block(ValidatorId author, std::uint64_t marker,
+                      TimeMicros submitted_at = 0, std::uint32_t count = 1) {
+    std::vector<BlockRef> refs;
+    for (ValidatorId v = 0; v < 4; ++v) {
+      refs.push_back(Block::genesis(v, setup_.committee.coin()).ref());
+    }
+    TxBatch batch;
+    batch.id = marker;
+    batch.submitted_at = submitted_at;
+    batch.count = count;
+    return std::make_shared<const Block>(
+        Block::make(author, 1, refs, {batch},
+                    setup_.committee.coin().share(author, 1),
+                    setup_.keypairs[author].private_key));
+  }
+
+  CommittedSubDag make_sub_dag(std::vector<BlockPtr> blocks) {
+    CommittedSubDag sub_dag;
+    sub_dag.slot = SlotId{1, 0};
+    sub_dag.leader = blocks.back();
+    sub_dag.blocks = std::move(blocks);
+    return sub_dag;
+  }
+
+  Committee::TestSetup setup_;
+};
+
+TEST_F(ObsTracerTest, CommitWaitAndFinalitySpans) {
+  obs::Registry registry;
+  obs::LifecycleTracer tracer(registry);
+  BlockPtr block = make_block(0, 1, /*submitted_at=*/100, /*count=*/10);
+  tracer.block_inserted(block->digest(), 1'000);
+  tracer.sub_dag_committed(make_sub_dag({block}), 5'000);
+
+  const obs::MetricsSnapshot snap = registry.dump();
+  const HistogramSnapshot wait = snap.histogram("mm_stage_commit_wait_micros");
+  EXPECT_EQ(wait.count(), 1u);
+  EXPECT_EQ(wait.sum, 4'000u);  // 5000 - 1000
+  // Finality weighted by the batch's transaction count.
+  const HistogramSnapshot finality = snap.histogram("mm_finality_micros");
+  EXPECT_EQ(finality.count(), 10u);
+  EXPECT_EQ(finality.sum, 10u * 4'900u);  // 5000 - 100 each
+  EXPECT_EQ(tracer.nonmonotonic(), 0u);
+  EXPECT_EQ(snap.counter_value("mm_trace_nonmonotonic_total"), 0u);
+}
+
+TEST_F(ObsTracerTest, UnstampedBatchesSkipFinality) {
+  obs::Registry registry;
+  obs::LifecycleTracer tracer(registry);
+  // submitted_at == 0: drivers that do not stamp (the TCP runtime's wire
+  // path) must not pollute finality with bogus epoch-start deltas.
+  tracer.sub_dag_committed(make_sub_dag({make_block(0, 1, 0)}), 5'000);
+  const obs::MetricsSnapshot snap = registry.dump();
+  EXPECT_EQ(snap.histogram("mm_finality_micros").count(), 0u);
+  EXPECT_EQ(snap.counter_value("mm_trace_finality_unstamped_total"), 1u);
+}
+
+TEST_F(ObsTracerTest, NonMonotonicStampsClampAndCount) {
+  obs::Registry registry;
+  obs::LifecycleTracer tracer(registry);
+  tracer.record_stage(obs::Stage::kDecode, -5);
+  EXPECT_EQ(tracer.nonmonotonic(), 1u);
+  const HistogramSnapshot decode =
+      registry.dump().histogram("mm_stage_decode_micros");
+  EXPECT_EQ(decode.count(), 1u);
+  EXPECT_EQ(decode.buckets[0], 1u);  // clamped to 0
+  // A commit stamped before the batch's submit stamp clamps too.
+  BlockPtr block = make_block(0, 2, /*submitted_at=*/9'000);
+  tracer.sub_dag_committed(make_sub_dag({block}), 5'000);
+  EXPECT_GE(tracer.nonmonotonic(), 2u);
+}
+
+TEST_F(ObsTracerTest, CommittedWithoutInsertStampIsSkipped) {
+  obs::Registry registry;
+  obs::LifecycleTracer tracer(registry);
+  // No block_inserted call: commit-wait has no opening stamp and records
+  // nothing (re-delivered or recovered blocks).
+  tracer.sub_dag_committed(make_sub_dag({make_block(0, 3)}), 5'000);
+  EXPECT_EQ(registry.dump().histogram("mm_stage_commit_wait_micros").count(), 0u);
+}
+
+TEST(ObsTracerEviction, InsertTableIsFifoBounded) {
+  obs::Registry registry;
+  obs::LifecycleTracer tracer(registry);
+  // Synthetic digests: the table must cap at 2^16 without leaking.
+  for (std::uint32_t i = 0; i < (1u << 16) + 100; ++i) {
+    Digest d{};
+    std::memcpy(d.bytes.data(), &i, sizeof(i));
+    tracer.block_inserted(d, i);
+  }
+  // The oldest 100 aged out; a commit touching one of them records nothing.
+  SUCCEED();
+}
+
+// ----- Watchdog --------------------------------------------------------------
+
+TEST(ObsWatchdog, StallsPastBudgetCountAndRatchet) {
+  obs::Registry registry;
+  obs::LoopWatchdogOptions options;
+  options.stall_budget = 100;
+  options.warn_interval = 1'000'000;
+  obs::LoopWatchdog watchdog(registry, options, "test");
+  watchdog.observe_tick(50, 1'000);   // under budget
+  watchdog.observe_tick(500, 2'000);  // stall
+  watchdog.observe_tick(300, 3'000);  // stall, smaller
+  EXPECT_EQ(watchdog.stalls(), 2u);
+  const obs::MetricsSnapshot snap = registry.dump();
+  EXPECT_EQ(snap.counter_value("mm_loop_stalls_total"), 2u);
+  EXPECT_EQ(snap.gauge_value("mm_loop_max_stall_micros"), 500);
+  EXPECT_EQ(snap.histogram("mm_loop_tick_busy_micros").count(), 3u);
+}
+
+// ----- LatencyRecorder (lazy sort) -------------------------------------------
+
+TEST(LatencyRecorderTest, PercentilesResortAfterNewSamples) {
+  LatencyRecorder recorder;
+  recorder.record(3'000'000, 1);
+  recorder.record(1'000'000, 1);
+  recorder.record(2'000'000, 1);
+  // First read sorts lazily.
+  EXPECT_DOUBLE_EQ(recorder.percentile_seconds(50), 2.0);
+  EXPECT_DOUBLE_EQ(recorder.percentile_seconds(100), 3.0);
+  // A new out-of-order sample must invalidate the cached sort.
+  recorder.record(500'000, 1);
+  EXPECT_DOUBLE_EQ(recorder.percentile_seconds(25), 0.5);
+  EXPECT_DOUBLE_EQ(recorder.percentile_seconds(50), 1.0);
+  EXPECT_EQ(recorder.count(), 4u);
+  // Weighted samples count per transaction.
+  LatencyRecorder weighted;
+  weighted.record(1'000'000, 9);
+  weighted.record(2'000'000, 1);
+  EXPECT_DOUBLE_EQ(weighted.percentile_seconds(50), 1.0);
+  EXPECT_DOUBLE_EQ(weighted.percentile_seconds(95), 2.0);
+}
+
+// ----- Structured log context ------------------------------------------------
+
+TEST(LogContext, FormatLinePrependsContext) {
+  set_log_context("");
+  EXPECT_EQ(detail::format_line(LogLevel::kWarn, "plain"), "[WARN ] plain");
+  set_log_context("v3/wal");
+  EXPECT_EQ(detail::format_line(LogLevel::kInfo, "hello"), "[INFO ] [v3/wal] hello");
+  set_log_context("");
+}
+
+// ----- Deterministic sim-time spans ------------------------------------------
+
+TEST(ObsSimSpans, MonotonicAndDeterministic) {
+  sim::SimConfig config;
+  config.n = 4;
+  config.wan = false;
+  config.load_tps = 500;
+  config.duration = seconds(8);
+  config.warmup = seconds(2);
+  config.seed = 7;
+  const sim::SimResult a = sim::run_simulation(config);
+  // Virtual-time stamps can never run backwards, and every committed batch
+  // carries a sim submit stamp, so finality is populated and exact.
+  EXPECT_EQ(a.metrics.counter_value("mm_trace_nonmonotonic_total"), 0u);
+  EXPECT_GT(a.metrics.histogram("mm_finality_micros").count(), 0u);
+  EXPECT_GT(a.metrics.histogram("mm_stage_commit_wait_micros").count(), 0u);
+  EXPECT_EQ(a.metrics.counter_value("mm_committed_transactions_total"),
+            static_cast<std::uint64_t>(a.committed_tps * 6.0 + 0.5));
+  // Same config, same seed: the whole dump is reproducible byte for byte.
+  const sim::SimResult b = sim::run_simulation(config);
+  EXPECT_EQ(obs::render_json(a.metrics), obs::render_json(b.metrics));
+}
+
+}  // namespace
+}  // namespace mahimahi
