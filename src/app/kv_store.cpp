@@ -21,6 +21,16 @@ bool KvStore::apply(const KvCommand& command) {
   return false;
 }
 
+void KvStore::apply_resolved(const KvCommand& command, bool changes_state) {
+  if (!changes_state) return;  // no-op Delete (absent key) or Noop
+  if (command.op == KvCommand::Op::kPut) {
+    entries_[command.key] = command.value;
+  } else {
+    entries_.erase(command.key);
+  }
+  ++version_;
+}
+
 std::optional<std::string> KvStore::get(const std::string& key) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;

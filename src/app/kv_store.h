@@ -23,6 +23,14 @@ class KvStore {
   // same value still counts as a change to `version`).
   bool apply(const KvCommand& command);
 
+  // Parallel-execution support (exec/engine.cpp): applies a command whose
+  // state-change outcome a worker pre-resolved against the pre-wave state.
+  // `changes_state` must equal what apply() would have returned at this
+  // serial position — the wave invariants guarantee it (no same-wave writer
+  // shares this command's key), and the digest-equivalence property tests
+  // would catch a violation as a version mismatch.
+  void apply_resolved(const KvCommand& command, bool changes_state);
+
   std::optional<std::string> get(const std::string& key) const;
   std::size_t size() const { return entries_.size(); }
   // Number of state-changing commands applied (Noop and no-op Deletes are

@@ -5,19 +5,12 @@
 
 namespace mahimahi::app {
 
-namespace {
-
-// Content identity of a batch: id plus payload. Two submissions of the same
-// command batch (client resubmission to a different validator) collide here;
-// distinct commands never do (up to hash collisions).
 Digest batch_identity(const TxBatch& batch) {
   serde::Writer w;
   w.u64(batch.id);
   w.bytes({batch.payload.data(), batch.payload.size()});
   return crypto::Blake2b::hash256({w.data().data(), w.data().size()});
 }
-
-}  // namespace
 
 std::uint64_t ReplicatedKv::apply_subdag(const CommittedSubDag& subdag) {
   std::uint64_t applied = 0;

@@ -14,8 +14,15 @@
 
 #include "app/kv_store.h"
 #include "core/decision.h"
+#include "types/transaction.h"
 
 namespace mahimahi::app {
+
+// Content identity of a batch: id plus payload. Two submissions of the same
+// command batch (client resubmission to a different validator) collide here;
+// distinct commands never do (up to hash collisions). Shared with the
+// parallel executor (exec/) so both apply paths deduplicate identically.
+Digest batch_identity(const TxBatch& batch);
 
 class ReplicatedKv {
  public:

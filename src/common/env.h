@@ -1,0 +1,22 @@
+// Environment-tunable test knobs.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace mahimahi {
+
+// Iteration count for randomized property tests: `base` by default,
+// overridden by the MAHIMAHI_PROPERTY_ITERS environment variable. The
+// nightly CI job raises it to run extended sweeps with the same binaries;
+// unparsable or zero values fall back to `base`.
+inline std::uint64_t property_iters(std::uint64_t base) {
+  const char* env = std::getenv("MAHIMAHI_PROPERTY_ITERS");
+  if (env == nullptr || *env == '\0') return base;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || parsed == 0) return base;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace mahimahi

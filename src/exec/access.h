@@ -1,0 +1,81 @@
+// Access sets: the conflict vocabulary of the parallel execution subsystem.
+//
+// Two committed transactions may execute in the same wave (exec/plan.h) only
+// if their access sets are disjoint in the read/write sense: neither writes a
+// key the other reads or writes. The set is *declared* by the client on the
+// TxBatch when it knows its keys, *derived* from the payload for KV command
+// lists, and *opaque* — conservatively conflicting with everything — for any
+// non-empty payload the executor cannot interpret. Opaque is always safe:
+// an opaque transaction forms its own wave, so its effects land in exactly
+// the serial position the commit order gave it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/kv_command.h"
+#include "types/transaction.h"
+
+namespace mahimahi::exec {
+
+struct AccessSet {
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+  // Conservative class: conflicts with every other transaction (unknown
+  // payload, or a declared set the payload escaped). reads/writes are
+  // ignored while set.
+  bool opaque = false;
+
+  bool touches_nothing() const { return !opaque && reads.empty() && writes.empty(); }
+};
+
+// Derives the access set of a decoded KV command list: every Put/Delete key
+// is a write (KV commands are blind writes — they read nothing).
+inline AccessSet derive_kv_access(const std::vector<app::KvCommand>& commands) {
+  AccessSet access;
+  access.writes.reserve(commands.size());
+  for (const app::KvCommand& cmd : commands) {
+    if (cmd.op == app::KvCommand::Op::kNoop) continue;
+    access.writes.push_back(cmd.key);
+  }
+  return access;
+}
+
+// True when every non-noop command key is covered by `declared.writes` — the
+// enforcement check that keeps a mis-declared batch out of a parallel wave.
+inline bool declared_covers(const AccessSet& declared,
+                            const std::vector<app::KvCommand>& commands) {
+  if (declared.opaque) return true;
+  for (const app::KvCommand& cmd : commands) {
+    if (cmd.op == app::KvCommand::Op::kNoop) continue;
+    bool covered = false;
+    for (const std::string& key : declared.writes) {
+      if (key == cmd.key) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+// Pairwise conflict test (the scheduler uses per-key index maps instead of
+// calling this n^2 times; tests use it as the ground truth for the wave
+// invariant).
+inline bool conflicts(const AccessSet& a, const AccessSet& b) {
+  if (a.opaque || b.opaque) return true;
+  auto intersects = [](const std::vector<std::string>& xs,
+                       const std::vector<std::string>& ys) {
+    for (const std::string& x : xs) {
+      for (const std::string& y : ys) {
+        if (x == y) return true;
+      }
+    }
+    return false;
+  };
+  return intersects(a.writes, b.writes) || intersects(a.writes, b.reads) ||
+         intersects(a.reads, b.writes);
+}
+
+}  // namespace mahimahi::exec

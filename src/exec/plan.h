@@ -1,0 +1,84 @@
+// Execution planning: from a committed sub-DAG to dependency waves.
+//
+// The plan is built in two stages with very different concurrency contracts:
+//
+//   decode_batch()  — pure function of the batch bytes (payload decode,
+//                     content-identity hash, access-set derivation and
+//                     declared-set enforcement). Safe to run per-batch on a
+//                     worker pool; the engine fans it out.
+//   build_plan()    — serial and deterministic: deduplicates in committed
+//                     order against the replica's executed-batch set, then
+//                     partitions the survivors into waves.
+//
+// Wave invariants (tests/test_execution.cpp asserts these against the
+// pairwise exec::conflicts() ground truth):
+//
+//   1. Two transactions in the same wave never conflict (no write/write or
+//      read/write overlap; opaque transactions sit in singleton barriers).
+//   2. If transaction A precedes B in committed order and they conflict,
+//      A's wave is strictly smaller than B's.
+//
+// Together these make wave-ordered apply serial-equivalent: every effect a
+// transaction can observe (a write to one of its keys by a committed
+// predecessor) lands in an earlier wave, and reorderings within a wave are
+// invisible because same-wave transactions touch disjoint state. That is the
+// early-delivery safety argument: a transaction's inputs are settled the
+// moment its wave is reached, so its finality ack may fire when the wave
+// retires, before later waves of the same commit batch execute.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "app/kv_command.h"
+#include "core/decision.h"
+#include "crypto/digest.h"
+#include "exec/access.h"
+#include "types/transaction.h"
+
+namespace mahimahi::exec {
+
+// Why a batch carries no commands into the merge. Skipped batches are still
+// delivered (they get a finality stamp with their wave); they just apply
+// nothing — exactly the branches app::ReplicatedKv takes on the same bytes.
+enum class Skip : std::uint8_t {
+  kNone = 0,
+  kFiller,     // empty payload: bandwidth-accounting filler, no identity
+  kDuplicate,  // content identity already executed (client resubmission)
+  kMalformed,  // KV magic but corrupt payload (counted, never poisons state)
+};
+
+struct ExecTxn {
+  // Borrowed from the sub-DAG's blocks; the plan must not outlive them.
+  const TxBatch* batch = nullptr;
+  Digest identity{};  // app::batch_identity; meaningless for kFiller
+  std::vector<app::KvCommand> commands;
+  AccessSet access;
+  Skip skip = Skip::kNone;
+  std::uint32_t wave = 0;
+  // Declared sets did not cover the decoded commands: demoted to opaque.
+  bool access_violation = false;
+};
+
+struct Plan {
+  std::vector<ExecTxn> txns;                      // committed order
+  std::vector<std::vector<std::uint32_t>> waves;  // txn indices, wave order
+  // Batches whose wave was pushed past the earliest admissible one by a
+  // conflict with a committed predecessor.
+  std::uint64_t conflict_delayed = 0;
+};
+
+// Stage 1 (parallel-safe): decode, hash, derive + enforce access.
+// Never sets Skip::kDuplicate — dedup needs committed order (stage 2).
+ExecTxn decode_batch(const TxBatch& batch);
+
+// Serial convenience: every batch of every block, sub-DAG order.
+std::vector<ExecTxn> decode_subdag(const CommittedSubDag& subdag);
+
+// Stage 2 (serial, deterministic): dedup against — and extend — `executed`,
+// then assign waves. `txns` must be in committed order.
+Plan build_plan(std::vector<ExecTxn> txns,
+                std::unordered_set<Digest, DigestHasher>& executed);
+
+}  // namespace mahimahi::exec

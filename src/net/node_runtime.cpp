@@ -99,13 +99,27 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
   checkpointing_ = config_.validator.checkpoint_interval > 0 &&
                    config_.validator.committer.gc_depth > 0 &&
                    core_->checkpoint_capable();
+  if (config_.validator.execute_app) {
+    // Before recovery: replayed commits must reach the state machine too.
+    exec::ExecutionEngine::Options exec_options;
+    exec_options.threads = config_.validator.execution_threads;
+    exec_engine_ = std::make_unique<exec::ExecutionEngine>(
+        exec_options,
+        [this](const exec::WaveDelivery& wave) { on_wave_delivered(wave); });
+  }
   if (!config_.wal_path.empty()) {
     // Recovery before the WAL is reopened for append. The segmented layout
     // (checkpointing active) prefers newest-valid-checkpoint + segment-
     // suffix replay; the monolithic layout replays the whole file.
     FileWal::Visitor visitor;
     visitor.on_block = [this](BlockPtr block, bool) {
-      core_->recover_block(std::move(block));
+      Actions actions = core_->recover_block(std::move(block));
+      if (exec_engine_ != nullptr) {
+        // Replay commits apply serially inline (ISSUE contract: the recovery
+        // path never runs parallel waves) with no delivery callbacks — the
+        // original run already stamped these batches' finality.
+        for (const auto& sub_dag : actions.committed) exec_engine_->replay(sub_dag);
+      }
     };
     std::unique_ptr<FramedWal> layout;
     if (checkpointing_) {
@@ -116,6 +130,11 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
         checkpoint_seq_ = data.sequence;
         last_checkpoint_horizon_ = data.horizon;
         core_->install_checkpoint(data, 0);  // recovery: actions are moot
+        if (exec_engine_ != nullptr && !data.app_state.empty()) {
+          // The cut's app snapshot stands in for every sub-horizon commit;
+          // the segment-suffix replay below lands the rest on top of it.
+          exec_engine_->install_snapshot({data.app_state.data(), data.app_state.size()});
+        }
         latest_checkpoint_bytes_ =
             std::make_shared<const Bytes>(std::move(newest->second));
         MM_LOG(kInfo) << "v" << id() << " recovered checkpoint " << data.sequence
@@ -253,6 +272,49 @@ void NodeRuntime::register_callback_metrics() {
         "mm_wal_ring_active",
         [this] { return static_cast<std::int64_t>(group_wal_->wal_ring_active() ? 1 : 0); },
         "1 when the WAL writer flushes through its own io_uring");
+  }
+  if (exec_engine_ != nullptr) {
+    // Execution engine: stats() copies a mutex-guarded snapshot the merge
+    // thread refreshes per wave, so scrapes never race the store.
+    registry_.counter_fn(
+        "mm_exec_subdags_total", [this] { return exec_engine_->stats().subdags; },
+        "Committed sub-DAGs fully executed and retired");
+    registry_.counter_fn(
+        "mm_exec_waves_total", [this] { return exec_engine_->stats().waves; },
+        "Dependency waves merged into the replicated state");
+    registry_.counter_fn(
+        "mm_exec_batches_executed_total",
+        [this] { return exec_engine_->stats().batches_executed; },
+        "Batches that applied state-machine commands");
+    registry_.counter_fn(
+        "mm_exec_commands_total",
+        [this] { return exec_engine_->stats().commands_applied; },
+        "KV commands applied to the replicated store");
+    registry_.counter_fn(
+        "mm_exec_parallel_batches_total",
+        [this] { return exec_engine_->stats().parallel_batches; },
+        "Batches executed in a wave alongside non-conflicting peers");
+    registry_.counter_fn(
+        "mm_exec_conflict_delayed_total",
+        [this] { return exec_engine_->stats().conflict_delayed; },
+        "Batches pushed past the earliest wave by declared conflicts");
+    registry_.counter_fn(
+        "mm_exec_early_deliveries_total",
+        [this] { return exec_engine_->stats().early_deliveries; },
+        "Batches delivered before their sub-DAG's last wave retired");
+    registry_.counter_fn(
+        "mm_exec_dedup_total", [this] { return exec_engine_->stats().deduplicated; },
+        "Committed batches skipped as already-executed duplicates");
+    registry_.counter_fn(
+        "mm_exec_malformed_total", [this] { return exec_engine_->stats().malformed; },
+        "Committed batches whose KV payload failed to decode");
+    registry_.counter_fn(
+        "mm_exec_opaque_total", [this] { return exec_engine_->stats().opaque; },
+        "Batches executed under the conservative conflicts-with-all class");
+    registry_.counter_fn(
+        "mm_exec_access_violations_total",
+        [this] { return exec_engine_->stats().access_violations; },
+        "Batches whose payload escaped its declared access set (demoted to opaque)");
   }
 }
 
@@ -838,13 +900,27 @@ void NodeRuntime::perform(Actions&& actions) {
     committed_blocks_->add(sub_dag.blocks.size());
     committed_tx_->add(sub_dag.transaction_count());
     // Closes the per-block commit-wait spans and records finality for every
-    // client-stamped batch, weighted by transaction count.
-    tracer_.sub_dag_committed(sub_dag, steady_now_micros());
+    // client-stamped batch, weighted by transaction count — unless the
+    // execution engine owns finality, in which case the stamps fire per
+    // retired wave (on_wave_delivered) and only the commit-wait spans close
+    // here.
+    const TimeMicros committed_at = steady_now_micros();
+    tracer_.sub_dag_committed(sub_dag, committed_at,
+                              /*record_finality=*/exec_engine_ == nullptr);
     if (commit_handler_) {
       const TimeMicros execute_start = steady_now_micros();
       commit_handler_(sub_dag);
-      tracer_.record_stage(obs::Stage::kExecute, steady_now_micros() - execute_start,
-                           sub_dag.blocks.size());
+      if (exec_engine_ == nullptr) {
+        // Without an engine the handler IS the execution stage; with one the
+        // kExecute span is recorded at wave retirement instead.
+        tracer_.record_stage(obs::Stage::kExecute, steady_now_micros() - execute_start,
+                             sub_dag.blocks.size());
+      }
+    }
+    if (exec_engine_ != nullptr) {
+      // Single-drain handoff to the merge thread (inline apply when
+      // execution_threads == 0); commit order is preserved by the queue.
+      exec_engine_->execute(sub_dag, committed_at);
     }
   }
   highest_round_->set(static_cast<std::int64_t>(core_->dag().highest_round()));
@@ -859,6 +935,20 @@ void NodeRuntime::perform(Actions&& actions) {
   core_cache_hits_->set(static_cast<std::int64_t>(stats.cache_hits));
   core_verified_->set(static_cast<std::int64_t>(stats.verified));
   core_preverified_->set(static_cast<std::int64_t>(stats.preverified));
+}
+
+void NodeRuntime::on_wave_delivered(const exec::WaveDelivery& wave) {
+  // Merge-thread context when execution_threads > 0 (loop thread otherwise):
+  // only thread-safe tracer paths here — batch_delivered and record_stage
+  // never touch the loop-owned insert-stamp table.
+  const TimeMicros now = steady_now_micros();
+  for (const exec::Delivery& delivery : wave.batches) {
+    tracer_.batch_delivered(delivery.submitted_at, delivery.count, now);
+  }
+  if (wave.subdag_complete) {
+    tracer_.record_stage(obs::Stage::kExecute, now - wave.enqueued_at,
+                         std::max<std::uint32_t>(wave.block_count, 1));
+  }
 }
 
 void NodeRuntime::enqueue_commit_blocks(const std::vector<BlockPtr>& blocks) {
@@ -927,6 +1017,13 @@ void NodeRuntime::maybe_checkpoint() {
   // suffix. Rolling the segment at the same instant gives the retire
   // boundary: every record of the cut is now in a sealed segment.
   CheckpointData data = core_->capture_checkpoint();
+  if (exec_engine_ != nullptr) {
+    // The engine was fed exactly the commits of this cut; app_snapshot()
+    // drains, so the snapshot is the cut's replicated state (and catch-up
+    // receivers restore the state machine instead of replaying it).
+    data.app_state = exec_engine_->app_snapshot();
+    data.app_digest = exec_engine_->state_digest();
+  }
   data.sequence = ++checkpoint_seq_;
   const std::uint64_t keep_from = seg_wal_ != nullptr ? seg_wal_->roll_segment() : 0;
   checkpoint_in_flight_ = true;
@@ -1011,6 +1108,11 @@ void NodeRuntime::install_peer_checkpoint(CheckpointData data) {
   Actions actions = core_->install_checkpoint(data, steady_now_micros());
   if (core_->committer().next_pending_slot() <= before) return;  // stale snapshot
   snapshot_catchups_->add();
+  if (exec_engine_ != nullptr && !data.app_state.empty()) {
+    // State jump: replace the replica's app state with the cut's snapshot.
+    // Commits the install emits below resume execution from this point.
+    exec_engine_->install_snapshot({data.app_state.data(), data.app_state.size()});
+  }
   MM_LOG(kInfo) << "v" << id() << " installed snapshot from v" << data.author
                 << " (horizon r" << data.horizon << ", head r" << data.head.round
                 << ")";

@@ -74,6 +74,7 @@
 #include "checkpoint/checkpoint.h"
 #include "checkpoint/segmented_wal.h"
 #include "core/commit_scanner.h"
+#include "exec/engine.h"
 #include "net/admin.h"
 #include "net/event_loop.h"
 #include "net/tcp.h"
@@ -262,6 +263,25 @@ class NodeRuntime {
   // mempool_stats(), attributable to local clients).
   std::uint64_t submit_rejected() const { return submit_rejected_->value(); }
 
+  // --- Execution subsystem (ValidatorConfig::execute_app, exec/) ----------
+  //
+  // When active, every committed sub-DAG feeds a deterministic KV execution
+  // engine: parallel waves with execution_threads > 0, serial inline apply
+  // otherwise, and `mm_exec_*` counters in the registry. Finality stamps
+  // (mm_finality_micros) then fire at execution-delivery time per retired
+  // wave instead of at commit time.
+  bool execution_active() const { return exec_engine_ != nullptr; }
+  // Drains the engine (every commit enqueued so far fully retires) and
+  // returns the replicated state digest. Thread-safe; blocks the caller,
+  // never the loop thread. Digest of an empty store when inactive.
+  Digest app_state_digest() {
+    return exec_engine_ ? exec_engine_->state_digest() : app::KvStore{}.state_digest();
+  }
+  // Scrape-safe snapshot of the engine's counters (zeros when inactive).
+  exec::ExecStats execution_stats() const {
+    return exec_engine_ ? exec_engine_->stats() : exec::ExecStats{};
+  }
+
   ValidatorId id() const { return config_.validator.id; }
   std::uint16_t listen_port() const { return listen_port_.load(); }
 
@@ -368,6 +388,13 @@ class NodeRuntime {
   // registry_. Constructor tail, after those sources exist.
   void register_callback_metrics();
 
+  // Execution-delivery callback: finality stamps per retired wave and the
+  // kExecute span when the sub-DAG completes. Runs on the engine's merge
+  // thread (execution_threads > 0) or inline on the loop thread — every
+  // record it makes is thread-safe (histograms/counters only, never the
+  // tracer's stamp table).
+  void on_wave_delivered(const exec::WaveDelivery& wave);
+
   const Committee& committee_;
   NodeRuntimeConfig config_;
   // Declared before every consumer: the tracer, watchdog, and all the metric
@@ -389,6 +416,11 @@ class NodeRuntime {
   // thread's appends.
   SegmentedWal* seg_wal_ = nullptr;
   CommitHandler commit_handler_;
+  // Execution engine (ValidatorConfig::execute_app): fed on the loop thread
+  // from the commit path; applies on its merge thread (execution_threads > 0)
+  // or inline. Its delivery callback touches only thread-safe observability
+  // surfaces (see on_wave_delivered).
+  std::unique_ptr<exec::ExecutionEngine> exec_engine_;
 
   // Checkpoint subsystem (loop-thread state unless noted).
   bool checkpointing_ = false;  // interval > 0 and the core can capture

@@ -49,7 +49,8 @@ void LifecycleTracer::block_inserted(const Digest& digest, TimeMicros now) {
   }
 }
 
-void LifecycleTracer::sub_dag_committed(const CommittedSubDag& sub_dag, TimeMicros now) {
+void LifecycleTracer::sub_dag_committed(const CommittedSubDag& sub_dag, TimeMicros now,
+                                        bool record_finality) {
   for (const BlockPtr& block : sub_dag.blocks) {
     auto it = inserted_at_.find(block->digest());
     if (it != inserted_at_.end()) {
@@ -59,19 +60,25 @@ void LifecycleTracer::sub_dag_committed(const CommittedSubDag& sub_dag, TimeMicr
       // commits exactly once, so the stamp is spent.
       inserted_at_.erase(it);
     }
+    if (!record_finality) continue;
     for (const TxBatch& batch : block->batches()) {
-      if (batch.submitted_at <= 0) {
-        finality_skipped_->add(batch.count == 0 ? 1 : batch.count);
-        continue;
-      }
-      const std::uint64_t weight = batch.count == 0 ? 1 : batch.count;
-      if (now < batch.submitted_at) {
-        nonmonotonic_->add(weight);
-        finality_micros_->record(0, weight);
-      } else {
-        finality_micros_->record(now - batch.submitted_at, weight);
-      }
+      batch_delivered(batch.submitted_at, batch.count, now);
     }
+  }
+}
+
+void LifecycleTracer::batch_delivered(TimeMicros submitted_at, std::uint32_t count,
+                                      TimeMicros now) {
+  const std::uint64_t weight = count == 0 ? 1 : count;
+  if (submitted_at <= 0) {
+    finality_skipped_->add(weight);
+    return;
+  }
+  if (now < submitted_at) {
+    nonmonotonic_->add(weight);
+    finality_micros_->record(0, weight);
+  } else {
+    finality_micros_->record(now - submitted_at, weight);
   }
 }
 

@@ -73,11 +73,22 @@ class LifecycleTracer {
   void block_inserted(const Digest& digest, TimeMicros now);
 
   // Loop-thread only: one committed sub-dag. Records kCommitWait per block
-  // (for blocks whose insert stamp is still tracked) and the end-to-end
+  // (for blocks whose insert stamp is still tracked) and — unless the driver
+  // owns an execution engine (record_finality = false) — the end-to-end
   // finality histogram from each batch's submitted_at stamp, weighted by the
   // batch's transaction count. Batches with submitted_at == 0 (unstamped
-  // drivers) are skipped.
-  void sub_dag_committed(const CommittedSubDag& sub_dag, TimeMicros now);
+  // drivers) are skipped. With an engine, finality moves to delivery time:
+  // batch_delivered() fires per retired execution wave instead.
+  void sub_dag_committed(const CommittedSubDag& sub_dag, TimeMicros now,
+                         bool record_finality = true);
+
+  // Thread-safe (histogram and counter records only — no stamp-table
+  // access): one batch's finality stamp at execution-delivery time. Called
+  // from the execution engine's delivery context, which is the merge thread
+  // when execution_threads > 0 — that is why this path must not touch
+  // inserted_at_.
+  void batch_delivered(TimeMicros submitted_at, std::uint32_t count,
+                       TimeMicros now);
 
   std::uint64_t nonmonotonic() const { return nonmonotonic_->value(); }
 

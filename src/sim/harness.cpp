@@ -7,8 +7,11 @@
 #include "baselines/tusk.h"
 #include "checkpoint/checkpoint.h"
 #include "checkpoint/segmented_wal.h"
+#include "client/kv_batches.h"
 #include "common/log.h"
 #include "core/commit_scanner.h"
+#include "exec/access.h"
+#include "exec/engine.h"
 #include "obs/trace.h"
 #include "serde/serde.h"
 #include "wal/wal.h"
@@ -108,6 +111,8 @@ struct SimHarness::Impl {
     scan_scheduled.assign(config.n, 0);
     ckpts.resize(config.n);
     ckpt_stores.resize(config.n);
+    execs.resize(config.n);
+    exec_epochs.assign(config.n, 0);
     for (ValidatorId v = 0; v < config.n; ++v) {
       if (!alive(v)) {
         nodes.push_back(nullptr);
@@ -116,6 +121,7 @@ struct SimHarness::Impl {
       nodes.push_back(make_node(v));
       scanners[v] = make_scanner(v);
       if (!config.wal_dir.empty()) open_wal(v);
+      if (config.execute_app) execs[v] = std::make_unique<ExecNode>();
     }
   }
 
@@ -386,6 +392,13 @@ struct SimHarness::Impl {
       return;
     }
     CheckpointData data = nodes[v]->capture_checkpoint();
+    if (config.execute_app && execs[v] != nullptr) {
+      // ExecutionEngine::drain() analogue: force pending waves through so the
+      // snapshot covers exactly the decided prefix captured above.
+      drain_exec(v);
+      data.app_state = execs[v]->executor.snapshot_bytes();
+      data.app_digest = execs[v]->executor.state_digest();
+    }
     data.sequence = ++state.seq;
     const std::uint64_t keep_from =
         seg_wals[v] != nullptr ? seg_wals[v]->roll_segment() : 0;
@@ -452,6 +465,20 @@ struct SimHarness::Impl {
     if (nodes[client]->committer().next_pending_slot() <= before) return;  // stale
     snapshot_catchups->add();
     scanners[client] = make_scanner(client);
+    if (config.execute_app && execs[client] != nullptr && !data.app_state.empty()) {
+      // State jump: in-flight and queued sub-DAGs are all below the new
+      // horizon (the core just skipped past them), so drop them and restore
+      // the store. The serial reference restarts from the same base. Must
+      // precede handle_actions — any commits the install unblocks execute on
+      // top of the snapshot.
+      ++exec_epochs[client];
+      auto& ex = *execs[client];
+      ex.pending.clear();
+      ex.plan.reset();
+      ex.executor.install_snapshot({data.app_state.data(), data.app_state.size()});
+      ex.ref_base = data.app_state;
+      ex.log.clear();
+    }
     handle_actions(client, std::move(actions));
   }
 
@@ -501,8 +528,15 @@ struct SimHarness::Impl {
   void record_commits(ValidatorId v, const CommittedSubDag& sub_dag) {
     const TimeMicros now = queue.now();
     // Validator 0's view: per-block commit-wait spans and the transaction-
-    // weighted finality histogram, deterministic in virtual time.
-    if (v == 0) tracer.sub_dag_committed(sub_dag, now);
+    // weighted finality histogram, deterministic in virtual time. With the
+    // execution model on, finality moves to wave-delivery time
+    // (exec_run_wave) — only the commit-wait spans close here.
+    if (v == 0) tracer.sub_dag_committed(sub_dag, now, !config.execute_app);
+    if (config.execute_app && execs[v] != nullptr) {
+      execs[v]->log.push_back(sub_dag);
+      execs[v]->pending.push_back(sub_dag);
+      exec_pump(v);
+    }
     if (config.record_sequences) {
       for (const auto& block : sub_dag.blocks) sequences[v].push_back(block->ref());
     }
@@ -514,6 +548,110 @@ struct SimHarness::Impl {
           latency_recorder.record(now - batch.submitted_at, batch.count);
         }
         if (in_window(now)) committed_tx->add(batch.count);
+      }
+    }
+  }
+
+  // --- Execution model (SimConfig::execute_app) ----------------------------
+  //
+  // One SerialExecutor per validator, driven by virtual-time wave events:
+  // sub-DAGs execute strictly in commit order (one in flight per validator),
+  // each wave retiring execution_wave_delay after the previous one. The
+  // events are observational — nothing feeds back into consensus — so wave
+  // timing never perturbs the DAG, only delivery stamps and exec counters.
+
+  // Pops pending sub-DAGs until one yields a non-empty plan; true when a
+  // plan is in flight afterwards.
+  bool exec_plan_next(ValidatorId v) {
+    auto& ex = *execs[v];
+    while (!ex.pending.empty()) {
+      ex.current = std::move(ex.pending.front());
+      ex.pending.pop_front();
+      ex.plan.emplace(ex.executor.plan(ex.current));
+      if (ex.plan->waves.empty()) {
+        ex.executor.note_empty_subdag();
+        ex.plan.reset();
+        continue;
+      }
+      ex.next_wave = 0;
+      ex.delivered.assign(ex.plan->txns.size(), 0);
+      return true;
+    }
+    return false;
+  }
+
+  // Applies the in-flight plan's next wave; true when that retired the
+  // sub-DAG. Checks the early-delivery safety invariant against the pairwise
+  // ground truth before applying: nothing in this wave may conflict with a
+  // still-unsettled plan-order predecessor.
+  bool exec_run_wave(ValidatorId v) {
+    auto& ex = *execs[v];
+    const std::size_t wave = ex.next_wave++;
+    const bool last = wave + 1 == ex.plan->waves.size();
+    for (const std::uint32_t i : ex.plan->waves[wave]) {
+      for (std::uint32_t j = 0; j < i; ++j) {
+        if (!ex.delivered[j] &&
+            exec::conflicts(ex.plan->txns[j].access, ex.plan->txns[i].access)) {
+          ++exec_order_violations_;
+        }
+      }
+    }
+    const auto deliveries = ex.executor.apply_wave(*ex.plan, wave, last);
+    for (const std::uint32_t i : ex.plan->waves[wave]) ex.delivered[i] = 1;
+    ++exec_waves_;
+    const TimeMicros now = queue.now();
+    for (const auto& delivery : deliveries) {
+      if (delivery.early) ++exec_early_;
+      if (v == 0) tracer.batch_delivered(delivery.submitted_at, delivery.count, now);
+    }
+    if (last) ex.plan.reset();
+    return last;
+  }
+
+  // Starts execution when idle: inline to completion with a zero wave delay
+  // (the zero-worker model), by scheduled wave events otherwise.
+  void exec_pump(ValidatorId v) {
+    auto& ex = *execs[v];
+    if (ex.plan.has_value()) return;  // the in-flight sub-DAG's events drive on
+    if (config.execution_wave_delay == 0) {
+      while (exec_plan_next(v)) {
+        while (!exec_run_wave(v)) {
+        }
+      }
+      return;
+    }
+    if (exec_plan_next(v)) {
+      queue.schedule_after(config.execution_wave_delay, [this, v, epoch = exec_epochs[v]] {
+        exec_wave_event(v, epoch);
+      });
+    }
+  }
+
+  void exec_wave_event(ValidatorId v, std::uint64_t epoch) {
+    if (epoch != exec_epochs[v] || !running(v) || execs[v] == nullptr) return;
+    if (!execs[v]->plan.has_value()) return;
+    if (exec_run_wave(v)) {
+      exec_pump(v);
+      return;
+    }
+    queue.schedule_after(config.execution_wave_delay,
+                         [this, v, epoch] { exec_wave_event(v, epoch); });
+  }
+
+  // Forces every enqueued sub-DAG through at the current instant — the sim
+  // analogue of ExecutionEngine::drain(), used at checkpoint cuts and run
+  // end. Scheduled wave events go stale via the epoch bump.
+  void drain_exec(ValidatorId v) {
+    if (!config.execute_app || execs[v] == nullptr) return;
+    auto& ex = *execs[v];
+    if (!ex.plan.has_value() && ex.pending.empty()) return;
+    ++exec_epochs[v];
+    if (ex.plan.has_value()) {
+      while (!exec_run_wave(v)) {
+      }
+    }
+    while (exec_plan_next(v)) {
+      while (!exec_run_wave(v)) {
       }
     }
   }
@@ -533,6 +671,10 @@ struct SimHarness::Impl {
     // An in-flight checkpoint cut dies with the process: its completion
     // event is epoch-guarded, and the captured state was never published.
     ckpts[v].in_flight = false;
+    // The executor (mid-wave state included) dies with the process; restart
+    // rebuilds it from checkpoint + log replay. Scheduled wave events stale.
+    ++exec_epochs[v];
+    execs[v].reset();
     if (wals[v] != nullptr) {
       // Keep the file for replay; drop the open handle like a crash would.
       wals[v]->sync();
@@ -549,6 +691,8 @@ struct SimHarness::Impl {
     // recorded sequence restarts from scratch too (replay repopulates it).
     if (config.record_sequences) sequences[v].clear();
 
+    if (config.execute_app) execs[v] = std::make_unique<ExecNode>();
+
     const auto replay_one = [this, v](BlockPtr block) {
       Actions actions = nodes[v]->recover_block(std::move(block));
       wal_replayed_blocks->add();
@@ -559,6 +703,15 @@ struct SimHarness::Impl {
           for (const auto& block_ptr : sub.blocks) {
             sequences[v].push_back(block_ptr->ref());
           }
+        }
+      }
+      // Replayed commits reach the state machine serially inline (the
+      // ISSUE contract: recovery never runs parallel waves) with no
+      // delivery stamps — the pre-crash run already stamped them.
+      if (config.execute_app && execs[v] != nullptr) {
+        for (const auto& sub : actions.committed) {
+          execs[v]->log.push_back(sub);
+          execs[v]->executor.apply_subdag(sub);
         }
       }
     };
@@ -579,6 +732,14 @@ struct SimHarness::Impl {
         nodes[v]->install_checkpoint(*recovered, queue.now());
         ckpts[v].last_horizon = recovered->horizon;
         ckpts[v].seq = std::max(ckpts[v].seq, recovered->sequence);
+        if (config.execute_app && !recovered->app_state.empty()) {
+          // The cut's app snapshot stands in for every sub-horizon commit;
+          // the log-suffix replay below lands the rest on top. The serial
+          // reference rebuilds from the same base.
+          execs[v]->executor.install_snapshot(
+              {recovered->app_state.data(), recovered->app_state.size()});
+          execs[v]->ref_base = recovered->app_state;
+        }
       }
     }
 
@@ -615,16 +776,32 @@ struct SimHarness::Impl {
     for (std::uint32_t client = 0; client < clients; ++client) {
       const std::uint64_t count = rng.poisson(mean);
       if (count == 0) continue;
+      const std::uint64_t sequence = batch_seq[v][client]++;
       TxBatch batch;
+      if (config.execute_app) {
+        // Real encoded KV commands with declared write sets, so execution
+        // does real work and the conflict knob shapes the waves. The private
+        // keyspace is per (validator, client) stream.
+        client::KvWorkload workload;
+        workload.conflict_percent = config.kv_conflict_percent;
+        workload.hot_keys = config.kv_hot_keys;
+        workload.value_bytes = config.kv_value_bytes;
+        workload.commands_per_batch =
+            static_cast<std::uint32_t>(std::min<std::uint64_t>(count, 128));
+        batch = client::synth_kv_batch(
+            workload, static_cast<std::uint64_t>(v) * 256 + client, sequence, rng,
+            queue.now());
+      } else {
+        batch.submitted_at = queue.now();
+        batch.tx_bytes = config.tx_bytes;
+      }
       // Id layout: origin validator in the top bits (commit attribution),
       // client stream in bits [32, 40) (the sharded mempool's client key),
-      // per-stream sequence below.
+      // per-stream sequence below. Overrides synth_kv_batch's stream id.
       batch.id = (static_cast<std::uint64_t>(v) << kOriginShift) |
                  (static_cast<std::uint64_t>(client) << ShardedMempool::kClientKeyShift) |
-                 batch_seq[v][client]++;
-      batch.submitted_at = queue.now();
+                 sequence;
       batch.count = static_cast<std::uint32_t>(count);
-      batch.tx_bytes = config.tx_bytes;
       if (in_window(queue.now())) submitted_tx->add(count);
       batches.push_back(std::move(batch));
     }
@@ -689,6 +866,30 @@ struct SimHarness::Impl {
     result.snapshot_catchups = snapshot_catchups->value();
     result.checkpoint_requests = checkpoint_requests->value();
     result.equivocation_cells = count_equivocation_cells();
+    if (config.execute_app) {
+      result.app_digests.assign(config.n, Digest{});
+      for (ValidatorId v = 0; v < config.n; ++v) {
+        if (!running(v) || execs[v] == nullptr) continue;
+        drain_exec(v);
+        result.app_digests[v] = execs[v]->executor.state_digest();
+        // Wave scheduling is an ordering optimization, never a semantics
+        // change: re-apply the validator's recorded commit stream serially
+        // (from its last installed snapshot base) and demand byte-identical
+        // state.
+        exec::SerialExecutor reference;
+        if (!execs[v]->ref_base.empty()) {
+          reference.install_snapshot(
+              {execs[v]->ref_base.data(), execs[v]->ref_base.size()});
+        }
+        for (const auto& sub : execs[v]->log) reference.apply_subdag(sub);
+        if (!(reference.state_digest() == result.app_digests[v])) {
+          ++result.exec_serial_mismatches;
+        }
+      }
+      result.exec_waves = exec_waves_;
+      result.exec_early_deliveries = exec_early_;
+      result.exec_order_violations = exec_order_violations_;
+    }
     result.metrics = registry.dump();
     if (config.record_sequences) {
       result.sequences = std::move(sequences);
@@ -755,6 +956,24 @@ struct SimHarness::Impl {
     std::uint64_t epoch = 0;  // bumped at crash; stale events no-op
   };
   std::vector<WalStage> wal_stages;
+  // Execution model (execute_app): per-validator executor + wave-event state.
+  // `plan` points into `current`'s blocks, so the sub-DAG stays alive beside
+  // it. `log`/`ref_base` feed the run-end serial-equivalence self-check.
+  struct ExecNode {
+    exec::SerialExecutor executor;
+    std::deque<CommittedSubDag> pending;  // committed, not yet planned
+    CommittedSubDag current;              // sub-DAG the in-flight plan covers
+    std::optional<exec::Plan> plan;
+    std::size_t next_wave = 0;
+    std::vector<char> delivered;          // per plan-txn settled flag
+    Bytes ref_base;                       // last installed snapshot (or empty)
+    std::vector<CommittedSubDag> log;     // commit stream since ref_base
+  };
+  std::vector<std::unique_ptr<ExecNode>> execs;
+  std::vector<std::uint64_t> exec_epochs;  // survives crashes; stales events
+  std::uint64_t exec_waves_ = 0;
+  std::uint64_t exec_early_ = 0;
+  std::uint64_t exec_order_violations_ = 0;
   std::shared_ptr<VerifierCache> verifier_cache;  // shared when verify_crypto
 
   LatencyRecorder latency_recorder;

@@ -160,6 +160,30 @@ struct SimConfig {
   // Record every validator's delivered block sequence (for agreement
   // checks in tests; costs memory at scale, so off by default).
   bool record_sequences = false;
+
+  // --- Execution (exec/) ---------------------------------------------------
+  //
+  // Deterministic model of ValidatorConfig::execute_app: every validator owns
+  // an exec::SerialExecutor fed by its commit stream. Committed sub-DAGs are
+  // planned into dependency waves and applied by virtual-time wave events,
+  // serialized per validator; validator 0's finality histogram
+  // (mm_finality_micros) then stamps at wave-delivery time instead of commit
+  // time — early waves stamp before their sub-DAG retires, the
+  // early-delivery win. Injected load switches from opaque filler to real
+  // encoded KV batches (client/kv_batches.h) so execution does real work.
+  bool execute_app = false;
+  // Virtual time between consecutive wave retirements of one sub-DAG.
+  // 0 = the whole sub-DAG applies inline at the commit instant — the
+  // zero-worker model: identical state, and every wave (early flags
+  // included) stamps at the commit instant, so early delivery carries no
+  // latency win.
+  TimeMicros execution_wave_delay = 0;
+  // KV workload shape (execute_app runs only): the chance a command targets
+  // the shared hot keyspace instead of the stream's private keys — the
+  // declared-conflict rate between concurrently committed batches.
+  std::uint32_t kv_conflict_percent = 25;
+  std::uint32_t kv_hot_keys = 4;
+  std::uint32_t kv_value_bytes = 16;
 };
 
 struct SimResult {
@@ -185,6 +209,22 @@ struct SimResult {
   // than one block — nonzero only if some author equivocated (configured
   // equivocators, or a recovery bug re-proposing a logged round).
   std::uint64_t equivocation_cells = 0;
+
+  // Execution model results (execute_app runs; empty/zero otherwise). Every
+  // running validator's executor is force-drained at run end before its
+  // digest is taken.
+  std::vector<Digest> app_digests;        // per validator; down = zero digest
+  std::uint64_t exec_waves = 0;           // waves applied, all validators
+  std::uint64_t exec_early_deliveries = 0;  // batches delivered pre-retirement
+  // Wave events that would have delivered a batch while a conflicting
+  // plan-order predecessor was still unsettled. The early-delivery safety
+  // invariant: must stay 0.
+  std::uint64_t exec_order_violations = 0;
+  // Validators whose wave-scheduled executor state diverged from a serial
+  // re-apply of their own recorded commit stream (snapshot base included).
+  // Must stay 0: wave scheduling is an ordering optimization, not a
+  // semantics change.
+  std::uint64_t exec_serial_mismatches = 0;
 
   // Full dump of the run's metrics registry: every counter above plus the
   // lifecycle-stage histograms (validator 0's commit-wait breakdown and the

@@ -10,7 +10,10 @@
 // Latency metrics weight each batch sample by `count`.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/time.h"
@@ -24,6 +27,17 @@ struct TxBatch {
   std::uint32_t count = 1;         // transactions represented by this batch
   std::uint32_t tx_bytes = 512;    // bytes per transaction
   Bytes payload;                   // optional real payload
+
+  // Declared access sets for conflict-aware parallel execution (exec/).
+  // A client that knows which keys its commands touch declares them here so
+  // the execution scheduler can place the batch without decoding the payload
+  // first. Both empty = undeclared: the executor derives the sets itself for
+  // KV payloads and treats any other non-empty payload as conflicting with
+  // everything (exec/access.h). Declared sets are enforced at execution time
+  // — a KV batch whose commands escape its declaration is demoted to the
+  // conservative conflict class, never executed in parallel.
+  std::vector<std::string> read_keys;
+  std::vector<std::string> write_keys;
 
   bool operator==(const TxBatch&) const = default;
 
@@ -40,6 +54,8 @@ struct TxBatch {
     w.u32(count);
     w.u32(tx_bytes);
     w.bytes({payload.data(), payload.size()});
+    serialize_keys(w, read_keys);
+    serialize_keys(w, write_keys);
   }
 
   static TxBatch deserialize(serde::Reader& r) {
@@ -49,7 +65,28 @@ struct TxBatch {
     b.count = r.u32();
     b.tx_bytes = r.u32();
     b.payload = r.bytes();
+    b.read_keys = deserialize_keys(r);
+    b.write_keys = deserialize_keys(r);
     return b;
+  }
+
+ private:
+  static void serialize_keys(serde::Writer& w, const std::vector<std::string>& keys) {
+    w.varint(keys.size());
+    for (const std::string& key : keys) w.bytes(as_bytes_view(key));
+  }
+
+  static std::vector<std::string> deserialize_keys(serde::Reader& r) {
+    const std::uint64_t n = r.varint();
+    std::vector<std::string> keys;
+    // Reserve is capped: a hostile length prefix must not pre-allocate
+    // unbounded memory (the loop below still fails fast on truncated input).
+    keys.reserve(std::min<std::uint64_t>(n, 1024));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Bytes raw = r.bytes();
+      keys.emplace_back(raw.begin(), raw.end());
+    }
+    return keys;
   }
 };
 

@@ -106,6 +106,22 @@ struct ValidatorConfig {
   // runs single-threaded before any driver thread exists.
   bool parallel_commit = false;
 
+  // --- Execution (exec/) ---------------------------------------------------
+  //
+  // Drivers' policy, like the offload knobs above: when set, the driver owns
+  // a deterministic KV execution engine fed by the commit stream — committed
+  // batches apply to the replicated state machine, finality stamps move from
+  // commit time to execution-delivery time, and `mm_exec_*` counters appear
+  // in the registry. Off = commits are handed to the commit handler only
+  // (the pre-execution behaviour).
+  bool execute_app = false;
+  // Worker threads for conflict-aware parallel execution: per-batch decode
+  // and per-wave effect preparation fan out to this many workers while a
+  // dedicated merge thread applies waves in committed order (exec/engine.h).
+  // 0 = serial inline apply on the commit path — always the WAL-replay path
+  // regardless of this setting.
+  std::size_t execution_threads = 0;
+
   // Minimum spacing between own proposals. 0 = advance as soon as a 2f+1
   // quorum for the previous round exists (pure asynchronous pace).
   TimeMicros min_round_delay = 0;

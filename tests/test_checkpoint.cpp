@@ -17,6 +17,7 @@
 #include "app/kv_store.h"
 #include "checkpoint/checkpoint.h"
 #include "checkpoint/segmented_wal.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "serde/serde.h"
 #include "sim/dag_builder.h"
@@ -610,7 +611,7 @@ TEST(Checkpoint, FetchBelowHorizonTriggersTheCatchupHandshake) {
 TEST(CheckpointProperty, RandomKillPointsRecoverIdenticallyToFullReplay) {
   Workload load(60);
   Rng rng(20260726);
-  for (int trial = 0; trial < 10; ++trial) {
+  for (int trial = 0; trial < static_cast<int>(property_iters(10)); ++trial) {
     const std::string label = "trial " + std::to_string(trial);
     const std::string mono_path =
         (fs::path(fresh_dir("prop_mono_" + std::to_string(trial))) / "log.wal")

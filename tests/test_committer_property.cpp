@@ -13,6 +13,7 @@
 #include <optional>
 #include <set>
 
+#include "common/env.h"
 #include "core/commit_scanner.h"
 #include "core/committer.h"
 #include "sim/dag_builder.h"
@@ -145,7 +146,7 @@ TEST_P(CommitterProperty, ViewsDeliverPrefixConsistentSequences) {
   const CommitterOptions options{.wave_length = params.wave_length,
                                  .leaders_per_round = params.leaders};
 
-  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+  for (std::uint64_t seed = 1; seed <= property_iters(3); ++seed) {
     const auto global = build_global_dag(params, seed);
     if (::testing::Test::HasFatalFailure()) return;
     Rng rng(seed * 1000 + 17);
@@ -250,7 +251,7 @@ TEST_P(CommitterProperty, SplitEvaluationMatchesSerial) {
   const CommitterOptions options{.wave_length = params.wave_length,
                                  .leaders_per_round = params.leaders};
 
-  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+  for (std::uint64_t seed = 1; seed <= property_iters(3); ++seed) {
     const auto global = build_global_dag(params, seed * 7 + 1);
     if (::testing::Test::HasFatalFailure()) return;
     Rng rng(seed * 131 + 5);
