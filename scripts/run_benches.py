@@ -78,12 +78,21 @@ BENCHES: List[Bench] = [
                 "--compare", "SyscallsPerRecord", "BM_WalGroupDurableFsync/",
                 "BM_WalGroupDurableFsyncUring")),
 
-    # Monolithic replay vs checkpoint + segment-suffix; the bench fails
-    # itself on superlinear per-record replay time.
+    # Monolithic replay vs checkpoint + segment-suffix, plus catch-up
+    # transfer (full-cut re-send vs delta-chain links). The benches fail
+    # themselves on superlinear per-record replay time and on delta
+    # catch-up bytes that grow with history length (error_occurred entries
+    # fail the gate); the compare additionally pins the delta chain's mean
+    # CatchupBytes under the monolithic re-send's.
     Bench(name="recovery", binary="bench_recovery",
-          filter="BM_RecoveryReplay", min_time="0.05",
+          filter="BM_Recovery", min_time="0.05",
           gate=("--expect", "BM_RecoveryReplayMonolithic",
-                "--expect", "BM_RecoveryReplayCheckpointSuffix")),
+                "--expect", "BM_RecoveryReplayCheckpointSuffix",
+                "--expect", "BM_RecoveryCatchupMonolithic",
+                "--expect", "BM_RecoveryCatchupDeltaChain",
+                "--compare", "CatchupBytes",
+                "BM_RecoveryCatchupMonolithic",
+                "BM_RecoveryCatchupDeltaChain")),
 
     # Syscalls per committed block on a real 11-validator committee
     # (Iterations(1): one cluster run per backend — no min_time). The uring

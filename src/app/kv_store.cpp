@@ -10,10 +10,12 @@ bool KvStore::apply(const KvCommand& command) {
     case KvCommand::Op::kPut:
       entries_[command.key] = command.value;
       ++version_;
+      touched_.insert(command.key);
       return true;
     case KvCommand::Op::kDelete:
       if (entries_.erase(command.key) == 0) return false;
       ++version_;
+      touched_.insert(command.key);
       return true;
     case KvCommand::Op::kNoop:
       return false;
@@ -29,6 +31,7 @@ void KvStore::apply_resolved(const KvCommand& command, bool changes_state) {
     entries_.erase(command.key);
   }
   ++version_;
+  touched_.insert(command.key);
 }
 
 std::optional<std::string> KvStore::get(const std::string& key) const {
@@ -67,6 +70,37 @@ KvStore KvStore::restore(BytesView snapshot) {
   }
   r.expect_done();
   return store;
+}
+
+Bytes KvStore::delta_bytes() const {
+  serde::Writer w;
+  w.u64(version_);
+  w.varint(touched_.size());
+  for (const auto& key : touched_) {  // std::set: sorted, deterministic
+    w.bytes(as_bytes_view(key));
+    const auto it = entries_.find(key);
+    w.u8(it != entries_.end() ? 1 : 0);
+    if (it != entries_.end()) w.bytes(as_bytes_view(it->second));
+  }
+  return std::move(w).take();
+}
+
+void KvStore::apply_delta(BytesView delta) {
+  serde::Reader r(delta);
+  const std::uint64_t version = r.u64();
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Bytes key_bytes = r.bytes();
+    std::string key(key_bytes.begin(), key_bytes.end());
+    if (r.u8() != 0) {
+      const Bytes value = r.bytes();
+      entries_[std::move(key)] = std::string(value.begin(), value.end());
+    } else {
+      entries_.erase(key);
+    }
+  }
+  r.expect_done();
+  version_ = version;
 }
 
 }  // namespace mahimahi::app

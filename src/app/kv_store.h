@@ -5,11 +5,19 @@
 // into one hash, which is how the tests and examples check that validators
 // executing the same committed sequence reach identical states (the whole
 // point of Byzantine Atomic Broadcast, §2.1).
+//
+// Delta snapshots (checkpoint/delta.h): the store tracks which keys changed
+// since the last clear_delta_window(); delta_bytes() serializes only those
+// keys (present-with-value or absent), so an incremental checkpoint carries
+// the touched working set instead of the full state. apply_delta() on the
+// previous full state reproduces the current one exactly — including
+// `version`, so state_digest() equality is the cross-check.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "app/kv_command.h"
@@ -46,10 +54,33 @@ class KvStore {
   Bytes snapshot_bytes() const;
   static KvStore restore(BytesView snapshot);
 
+  // --- Delta snapshots (incremental checkpoints) ---------------------------
+
+  // Keys whose state changed since the last clear_delta_window() (no-op
+  // Deletes and Noops do not count — they changed nothing).
+  std::size_t touched_count() const { return touched_.size(); }
+
+  // Serializes `version` plus each touched key with its current outcome
+  // (present + value, or absent). Deterministic (keys sorted). Does NOT
+  // clear the window — pair with clear_delta_window() once the delta is
+  // safely handed off.
+  Bytes delta_bytes() const;
+
+  // Starts a fresh delta window (after a base or delta cut was taken).
+  void clear_delta_window() { touched_.clear(); }
+
+  // Applies a delta_bytes() record produced on top of this exact state:
+  // overwrites/erases the carried keys and adopts the carried version. A
+  // restore-path operation — the receiving store's own delta window is left
+  // untouched. Throws serde::SerdeError on malformed input.
+  void apply_delta(BytesView delta);
+
   const std::map<std::string, std::string>& entries() const { return entries_; }
 
  private:
   std::map<std::string, std::string> entries_;
+  // Sorted so delta_bytes() is deterministic without an extra sort.
+  std::set<std::string> touched_;
   std::uint64_t version_ = 0;
 };
 

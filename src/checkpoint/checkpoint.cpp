@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "checkpoint/cert.h"
+#include "checkpoint/delta.h"
 #include "common/crc32.h"
 #include "common/fsio.h"
 #include "common/log.h"
@@ -239,16 +241,58 @@ std::string CheckpointStore::checkpoint_path(const std::string& dir,
   return (std::filesystem::path(dir) / name).string();
 }
 
-std::vector<std::uint64_t> CheckpointStore::list(const std::string& dir) {
+std::string CheckpointStore::delta_path(const std::string& dir,
+                                        std::uint64_t sequence) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "dlta-%012" PRIu64 ".dlta", sequence);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+std::string CheckpointStore::cert_path(const std::string& dir,
+                                       std::uint64_t sequence) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "cert-%012" PRIu64 ".cert", sequence);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+namespace {
+
+std::vector<std::uint64_t> list_indexed(const std::string& dir,
+                                        std::string_view prefix,
+                                        std::string_view suffix) {
   std::vector<std::uint64_t> sequences;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
     const auto sequence = parse_indexed_name(entry.path().filename().string(),
-                                             "ckpt-", ".ckpt", /*pad_width=*/12);
+                                             prefix, suffix, /*pad_width=*/12);
     if (sequence.has_value()) sequences.push_back(*sequence);
   }
   std::sort(sequences.begin(), sequences.end());
   return sequences;
+}
+
+std::optional<Bytes> read_whole_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  Bytes bytes(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const bool read_ok =
+      std::fread(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  std::fclose(file);
+  if (!read_ok) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> CheckpointStore::list(const std::string& dir) {
+  return list_indexed(dir, "ckpt-", ".ckpt");
+}
+
+std::vector<std::uint64_t> CheckpointStore::list_deltas(const std::string& dir) {
+  return list_indexed(dir, "dlta-", ".dlta");
 }
 
 void CheckpointStore::write(std::uint64_t sequence, BytesView encoded) {
@@ -259,49 +303,143 @@ void CheckpointStore::write(std::uint64_t sequence, BytesView encoded) {
   write_file_atomic(checkpoint_path(dir_, sequence), encoded, "CheckpointStore");
 }
 
+void CheckpointStore::write_delta(std::uint64_t sequence, BytesView encoded) {
+  write_file_atomic(delta_path(dir_, sequence), encoded, "CheckpointStore");
+}
+
+void CheckpointStore::write_cert(std::uint64_t sequence, BytesView encoded) {
+  write_file_atomic(cert_path(dir_, sequence), encoded, "CheckpointStore");
+}
+
 std::optional<std::pair<std::uint64_t, Bytes>> CheckpointStore::newest_valid_bytes()
     const {
   auto sequences = list(dir_);
   for (auto it = sequences.rbegin(); it != sequences.rend(); ++it) {
-    const std::string path = checkpoint_path(dir_, *it);
-    std::FILE* file = std::fopen(path.c_str(), "rb");
-    if (file == nullptr) continue;
-    std::fseek(file, 0, SEEK_END);
-    const long size = std::ftell(file);
-    std::fseek(file, 0, SEEK_SET);
-    Bytes bytes(size > 0 ? static_cast<std::size_t>(size) : 0);
-    const bool read_ok =
-        std::fread(bytes.data(), 1, bytes.size(), file) == bytes.size();
-    std::fclose(file);
-    if (!read_ok) continue;
+    auto bytes = read_whole_file(checkpoint_path(dir_, *it));
+    if (!bytes.has_value()) continue;
     // std::exception, not just SerdeError: a corrupt file can also surface
     // as an allocation failure (e.g. Block::deserialize on garbage), and
     // recovery must fall back a checkpoint, not die.
     try {
-      decode_checkpoint({bytes.data(), bytes.size()});  // CRC + shape gate
+      decode_checkpoint({bytes->data(), bytes->size()});  // CRC + shape gate
     } catch (const std::exception& error) {
       MM_LOG(kWarn) << "CheckpointStore: falling back past corrupt checkpoint "
                     << *it << ": " << error.what();
       continue;
     }
-    return std::make_pair(*it, std::move(bytes));
+    return std::make_pair(*it, std::move(*bytes));
   }
   return std::nullopt;
 }
 
+std::vector<CheckpointStore::ChainLink> CheckpointStore::newest_valid_chain()
+    const {
+  const auto bases = list(dir_);
+  const auto deltas = list_deltas(dir_);
+  const auto load_cert = [&](std::uint64_t sequence) -> Bytes {
+    auto bytes = read_whole_file(cert_path(dir_, sequence));
+    if (!bytes.has_value()) return {};
+    try {
+      decode_checkpoint_certificate({bytes->data(), bytes->size()});
+    } catch (const std::exception&) {
+      return {};  // a corrupt sidecar degrades to "uncertified", never fails
+    }
+    return std::move(*bytes);
+  };
+
+  for (auto it = bases.rbegin(); it != bases.rend(); ++it) {
+    auto base_bytes = read_whole_file(checkpoint_path(dir_, *it));
+    if (!base_bytes.has_value()) continue;
+    std::uint64_t prev_sequence = *it;
+    SlotId prev_head;
+    try {
+      prev_head = decode_checkpoint({base_bytes->data(), base_bytes->size()}).head;
+    } catch (const std::exception& error) {
+      MM_LOG(kWarn) << "CheckpointStore: falling back past corrupt checkpoint "
+                    << *it << ": " << error.what();
+      continue;
+    }
+
+    std::vector<ChainLink> chain;
+    chain.push_back({*it, std::move(*base_bytes), load_cert(*it)});
+    for (std::uint64_t seq = *it + 1;
+         std::binary_search(deltas.begin(), deltas.end(), seq); ++seq) {
+      auto delta_bytes = read_whole_file(delta_path(dir_, seq));
+      if (!delta_bytes.has_value()) break;
+      try {
+        const CheckpointDelta delta =
+            decode_checkpoint_delta({delta_bytes->data(), delta_bytes->size()});
+        if (delta.base_sequence != *it || delta.prev_sequence != prev_sequence ||
+            delta.prev_head != prev_head) {
+          break;  // stray link from another lineage
+        }
+        prev_head = delta.head;
+      } catch (const std::exception& error) {
+        // A torn delta tail truncates the chain here: the shorter chain plus
+        // WAL segment replay still reconstructs a consistent state.
+        MM_LOG(kWarn) << "CheckpointStore: truncating chain at corrupt delta "
+                      << seq << ": " << error.what();
+        break;
+      }
+      prev_sequence = seq;
+      chain.push_back({seq, std::move(*delta_bytes), load_cert(seq)});
+    }
+    return chain;
+  }
+  return {};
+}
+
 std::optional<CheckpointData> CheckpointStore::load_newest_valid() const {
-  auto newest = newest_valid_bytes();
-  if (!newest.has_value()) return std::nullopt;
-  return decode_checkpoint({newest->second.data(), newest->second.size()});
+  auto chain = newest_valid_chain();
+  while (!chain.empty()) {
+    try {
+      CheckpointData data =
+          decode_checkpoint({chain[0].record.data(), chain[0].record.size()});
+      for (std::size_t i = 1; i < chain.size(); ++i) {
+        apply_checkpoint_delta(
+            data, decode_checkpoint_delta(
+                      {chain[i].record.data(), chain[i].record.size()}));
+      }
+      return data;
+    } catch (const std::exception& error) {
+      // Linkage passed but replay failed (e.g. malformed app delta): drop
+      // the newest link and retry with the shorter chain.
+      MM_LOG(kWarn) << "CheckpointStore: chain replay failed, shortening: "
+                    << error.what();
+      chain.pop_back();
+    }
+  }
+  return std::nullopt;
 }
 
 void CheckpointStore::retire(std::size_t keep) {
-  auto sequences = list(dir_);
-  if (sequences.size() <= keep) return;
-  for (std::size_t i = 0; i + keep < sequences.size(); ++i) {
+  const auto bases = list(dir_);
+  if (bases.size() <= keep) return;
+  const auto deltas = list_deltas(dir_);
+  // Chains are grouped by base: every delta sequence below the oldest kept
+  // base belongs to a retired chain. Unlink retired deltas (newest first)
+  // BEFORE any base: at every intermediate crash point the newest surviving
+  // chain is still loadable — a base whose delta tail is gone is a valid
+  // one-link chain, and no live delta ever outlives its base.
+  const std::uint64_t keep_from = bases[bases.size() - keep];
+  const auto unlink = [](const std::string& path) {
     std::error_code ec;
-    std::filesystem::remove(checkpoint_path(dir_, sequences[i]), ec);
+    std::filesystem::remove(path, ec);
+  };
+  for (auto it = deltas.rbegin(); it != deltas.rend(); ++it) {
+    if (*it >= keep_from) continue;
+    unlink(delta_path(dir_, *it));
+    unlink(cert_path(dir_, *it));
   }
+  for (auto it = bases.rbegin(); it != bases.rend(); ++it) {
+    if (*it >= keep_from) continue;
+    unlink(checkpoint_path(dir_, *it));
+    unlink(cert_path(dir_, *it));
+  }
+  // One directory fsync covers the whole batch of unlinks (common/fsio):
+  // after power loss either view is consistent, since unlink order above
+  // keeps every prefix loadable.
+  fsync_dir(dir_);
 }
 
 }  // namespace mahimahi

@@ -88,38 +88,66 @@ CheckpointData decode_checkpoint(BytesView encoded);
 // Known trust gap: decisions BELOW the horizon are unverifiable without the
 // pruned history — the receiver trusts the serving committee member for
 // them (mitigated by only requesting when provably stuck, and only from
-// committee peers). Certified checkpoints (threshold-signed cuts) are the
-// ROADMAP follow-up that closes it.
+// committee peers). Threshold-certified cuts (checkpoint/cert.h) close it:
+// a chain whose every link carries a 2f+1 certificate over the cut's
+// decided-log and app digests needs no below-horizon trust. This check
+// remains the structural floor both paths share.
 std::string verify_checkpoint(const CheckpointData& data, const Committee& committee,
                               const CommitterOptions& options,
                               const ValidationOptions& validation,
                               VerifierCache* cache = nullptr);
 
-// Directory of `ckpt-<sequence>.ckpt` files with crash-atomic writes and
-// corruption fallback on load. One store typically shares the segmented
-// WAL's directory.
+// Directory of `ckpt-<sequence>.ckpt` base files, `dlta-<sequence>.dlta`
+// delta links (checkpoint/delta.h) and `cert-<sequence>.cert` certificate
+// sidecars (checkpoint/cert.h), with crash-atomic writes and corruption
+// fallback on load. One store typically shares the segmented WAL's
+// directory. Sequences are writer-global: a chain is one base plus the
+// contiguous run of delta sequences after it, up to the next base.
 class CheckpointStore {
  public:
   explicit CheckpointStore(std::string dir);
 
-  // Writes `encoded` (an encode_checkpoint result) as checkpoint `sequence`:
-  // tmp file, fsync, rename. Throws on I/O failure.
+  // Writes `encoded` (an encode_checkpoint result) as base checkpoint
+  // `sequence`: tmp file, fsync, rename. Throws on I/O failure.
   void write(std::uint64_t sequence, BytesView encoded);
+  // Same contract for a delta link (encode_checkpoint_delta) and a
+  // certificate sidecar (encode_checkpoint_certificate).
+  void write_delta(std::uint64_t sequence, BytesView encoded);
+  void write_cert(std::uint64_t sequence, BytesView encoded);
 
-  // Newest checkpoint that decodes cleanly; corrupt newer files are skipped
-  // (recovery falls back a checkpoint on corruption). nullopt when none.
+  struct ChainLink {
+    std::uint64_t sequence = 0;
+    Bytes record;  // base (first link) or delta record bytes
+    Bytes cert;    // certificate sidecar bytes; empty = none on disk
+  };
+  // The newest base that decodes cleanly plus the contiguous run of
+  // decoding, correctly linking deltas after it. A torn or corrupt delta
+  // truncates the chain there (recovery falls back to a shorter chain and
+  // more WAL replay); a corrupt base falls back to the previous base's
+  // chain. Empty when no base loads.
+  std::vector<ChainLink> newest_valid_chain() const;
+
+  // Newest reconstructable cut: the newest valid chain with its deltas
+  // applied. nullopt when none.
   std::optional<CheckpointData> load_newest_valid() const;
 
-  // Raw encoded bytes of the newest valid checkpoint, for serving snapshot
-  // catch-up without a re-encode.
+  // Raw encoded bytes of the newest valid BASE checkpoint (ignores deltas),
+  // for serving legacy single-record catch-up without a re-encode.
   std::optional<std::pair<std::uint64_t, Bytes>> newest_valid_bytes() const;
 
-  // Keeps the newest `keep` checkpoint files, deletes older ones (at least
-  // one fallback survives with keep >= 2).
+  // Keeps the newest `keep` CHAINS (base + its deltas + their cert
+  // sidecars), deletes older ones (at least one whole fallback chain
+  // survives with keep >= 2). Within a retired chain the delta links are
+  // unlinked before their base, so a crash mid-retire can never leave live
+  // deltas whose base is gone; the directory is fsynced at the end
+  // (common/fsio) so the unlinks are durable.
   void retire(std::size_t keep = 2);
 
   static std::vector<std::uint64_t> list(const std::string& dir);
+  static std::vector<std::uint64_t> list_deltas(const std::string& dir);
   static std::string checkpoint_path(const std::string& dir, std::uint64_t sequence);
+  static std::string delta_path(const std::string& dir, std::uint64_t sequence);
+  static std::string cert_path(const std::string& dir, std::uint64_t sequence);
 
   const std::string& dir() const { return dir_; }
 

@@ -56,6 +56,16 @@ struct CommitterOptions {
   bool is_propose_round(Round r) const {
     return r >= first_slot_round && (r - first_slot_round) % wave_stride == 0;
   }
+
+  // The first leader slot at or after round `r`: offset 0 of the first
+  // propose round >= max(r, first_slot_round). Canonical-cut boundaries
+  // (checkpoint/cert.h) are defined with this, so every validator maps a
+  // cut index to the same slot.
+  SlotId first_slot_at_or_after(Round r) const {
+    Round target = r < first_slot_round ? first_slot_round : r;
+    const Round steps = (target - first_slot_round + wave_stride - 1) / wave_stride;
+    return SlotId{first_slot_round + steps * wave_stride, 0};
+  }
 };
 
 // Canonical configurations used across examples, tests and benches.

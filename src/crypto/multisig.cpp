@@ -1,0 +1,43 @@
+#include "crypto/multisig.h"
+
+#include <algorithm>
+
+namespace mahimahi::crypto {
+
+bool multisig_verify(const Multisig& multisig, BytesView message,
+                     std::span<const Ed25519PublicKey> keys,
+                     std::uint32_t threshold) {
+  if (multisig.shares.size() < threshold) return false;
+  std::vector<Ed25519BatchItem> items;
+  items.reserve(multisig.shares.size());
+  std::uint32_t previous = 0;
+  bool first = true;
+  for (const auto& share : multisig.shares) {
+    if (share.signer >= keys.size()) return false;
+    // Sorted-and-distinct doubles as the duplicate check: any repeat or
+    // out-of-order share makes the certificate non-canonical.
+    if (!first && share.signer <= previous) return false;
+    previous = share.signer;
+    first = false;
+    items.push_back({keys[share.signer], message, share.signature});
+  }
+  const std::vector<std::uint8_t> verdicts =
+      ed25519_verify_each({items.data(), items.size()});
+  return std::all_of(verdicts.begin(), verdicts.end(),
+                     [](std::uint8_t ok) { return ok != 0; });
+}
+
+bool MultisigCollector::add(std::uint32_t signer,
+                            const Ed25519Signature& signature) {
+  const auto it = std::lower_bound(
+      shares_.begin(), shares_.end(), signer,
+      [](const MultisigShare& s, std::uint32_t id) { return s.signer < id; });
+  if (it != shares_.end() && it->signer == signer) return false;  // duplicate
+  const bool was_complete = complete();
+  shares_.insert(it, MultisigShare{signer, signature});
+  return !was_complete && complete();
+}
+
+Multisig MultisigCollector::certificate() const { return Multisig{shares_}; }
+
+}  // namespace mahimahi::crypto

@@ -1,0 +1,70 @@
+// Threshold multisignatures over ed25519: M-of-N share collection and
+// aggregate verification.
+//
+// Not an aggregate-signature scheme (no key or signature compression): a
+// "multisig" here is the explicit set of per-signer ed25519 signatures over
+// one message, carried with the signer indices. That is exactly what the
+// checkpoint certificates need — the committee is small (n = 3f+1), the
+// verifier holds every public key, and the batch verifier
+// (ed25519_verify_each) amortizes the per-share cost — without inventing new
+// cryptography. A scheme with compression (BLS, MuSig2) could replace the
+// representation behind this interface without touching callers.
+//
+// The collector is plain bookkeeping: callers verify each share's signature
+// BEFORE adding it (verification needs the message and key context the
+// collector deliberately does not hold). Duplicate signers are ignored, so a
+// Byzantine validator re-sending its share cannot inflate the count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/ed25519.h"
+
+namespace mahimahi::crypto {
+
+struct MultisigShare {
+  std::uint32_t signer = 0;
+  Ed25519Signature signature;
+  auto operator<=>(const MultisigShare&) const = default;
+};
+
+// An aggregate: at least `threshold` shares from distinct signers, sorted by
+// signer index (the canonical encoding order).
+struct Multisig {
+  std::vector<MultisigShare> shares;
+};
+
+// True iff `multisig` carries >= threshold shares from distinct in-range
+// signers and EVERY carried share verifies over `message` against
+// keys[signer]. All-or-nothing on purpose: a certificate padded with junk
+// shares is an attack artifact, not a degraded certificate — reject it
+// rather than count the valid subset.
+bool multisig_verify(const Multisig& multisig, BytesView message,
+                     std::span<const Ed25519PublicKey> keys,
+                     std::uint32_t threshold);
+
+// Accumulates verified shares for one message until a threshold is reached.
+class MultisigCollector {
+ public:
+  explicit MultisigCollector(std::uint32_t threshold) : threshold_(threshold) {}
+
+  // Records a (caller-verified) share. Returns true exactly once: on the add
+  // that reaches the threshold. Duplicate signers are ignored.
+  bool add(std::uint32_t signer, const Ed25519Signature& signature);
+
+  bool complete() const { return count() >= threshold_; }
+  std::size_t count() const { return shares_.size(); }
+  std::uint32_t threshold() const { return threshold_; }
+
+  // The aggregate (shares sorted by signer). Meaningful once complete().
+  Multisig certificate() const;
+
+ private:
+  std::uint32_t threshold_;
+  std::vector<MultisigShare> shares_;  // kept sorted by signer
+};
+
+}  // namespace mahimahi::crypto

@@ -222,6 +222,18 @@ Bytes ExecutionEngine::app_snapshot() {
   return serial_.snapshot_bytes();
 }
 
+Bytes ExecutionEngine::app_delta_snapshot() {
+  drain();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return serial_.take_app_delta();
+}
+
+void ExecutionEngine::clear_app_delta_window() {
+  drain();
+  std::lock_guard<std::mutex> lock(mutex_);
+  serial_.store_.clear_delta_window();
+}
+
 void ExecutionEngine::install_snapshot(BytesView snapshot) {
   drain();
   std::lock_guard<std::mutex> lock(mutex_);

@@ -115,6 +115,15 @@ class SerialExecutor {
     executed_.clear();
   }
 
+  // Delta-cut support: the store's touched-key record since the last take,
+  // consumed (the window restarts empty). checkpoint/delta.h carries it as
+  // the app_delta of an incremental cut.
+  Bytes take_app_delta() {
+    Bytes delta = store_.delta_bytes();
+    store_.clear_delta_window();
+    return delta;
+  }
+
   const app::KvStore& store() const { return store_; }
   Digest state_digest() const { return store_.state_digest(); }
   const ExecStats& stats() const { return stats_; }
@@ -167,6 +176,15 @@ class ExecutionEngine {
   // the engine was fed exactly the decided prefix of the cut, so the drained
   // store is the cut's app state.
   Bytes app_snapshot();
+
+  // drain() + consume the touched-key window (delta cuts). The drain
+  // barrier makes the window exactly the keys the decided prefix touched
+  // since the previous take.
+  Bytes app_delta_snapshot();
+
+  // drain() + restart the touched-key window without reading it (base cuts:
+  // the full snapshot subsumes the window).
+  void clear_app_delta_window();
 
   // drain() + replace the store from a checkpoint's app snapshot (recovery
   // and snapshot catch-up installs).

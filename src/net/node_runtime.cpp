@@ -12,6 +12,27 @@
 
 namespace mahimahi::net {
 
+namespace {
+
+// Cut-certificate share admission window around next_cut_index_: shares for
+// boundaries further behind can no longer form a certificate this node would
+// attach; indices further ahead would let a hostile peer grow per-boundary
+// state without bound. The past window also bounds pending_cuts_ retention.
+constexpr std::uint64_t kCertPastWindow = 16;
+constexpr std::uint64_t kCertFutureWindow = 64;
+
+// Smallest cut index whose canonical boundary slot is at or past min_slot.
+std::uint64_t first_cut_index_at_or_after(SlotId min_slot, Round interval,
+                                          const CommitterOptions& options) {
+  std::uint64_t k = std::max<std::uint64_t>(
+      std::uint64_t{1}, min_slot.round / std::max<Round>(interval, 1));
+  while (k > 1 && !(cut_boundary_slot(k - 1, interval, options) < min_slot)) --k;
+  while (cut_boundary_slot(k, interval, options) < min_slot) ++k;
+  return k;
+}
+
+}  // namespace
+
 std::size_t ingest_batch_cap(std::size_t max_batch, TimeMicros latency_budget,
                              TimeMicros ewma_per_block) {
   std::size_t cap = max_batch == 0 ? std::numeric_limits<std::size_t>::max() : max_batch;
@@ -35,6 +56,7 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
                          NodeRuntimeConfig config)
     : committee_(committee),
       config_(std::move(config)),
+      key_(key),
       registry_("validator=\"" + std::to_string(config_.validator.id) + "\""),
       tracer_(registry_),
       watchdog_(registry_, obs::LoopWatchdogOptions{config_.loop_stall_budget},
@@ -73,6 +95,19 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
                                           "Peer checkpoints verified and installed");
   checkpoints_served_ = &registry_.counter("mm_checkpoints_served_total",
                                            "Checkpoint responses sent to catching-up peers");
+  checkpoint_delta_cuts_ = &registry_.counter(
+      "mm_checkpoint_delta_cuts_total", "Checkpoint cuts persisted as delta links");
+  checkpoint_certs_ = &registry_.counter(
+      "mm_checkpoint_certs_total", "Checkpoint certificates formed (2f+1 shares)");
+  cert_shares_rejected_ = &registry_.counter(
+      "mm_checkpoint_cert_shares_rejected_total",
+      "Cut-certificate shares rejected (bad signature or payload mismatch)");
+  certified_installs_ = &registry_.counter(
+      "mm_checkpoint_certified_installs_total",
+      "Snapshot catch-ups installed from a fully certified chain");
+  uncertified_installs_ = &registry_.counter(
+      "mm_checkpoint_uncertified_installs_total",
+      "Snapshot catch-ups installed via the legacy uncertified trust path");
   worker_structurally_rejected_ =
       &registry_.counter("mm_ingest_worker_structural_rejects_total",
                          "Blocks failing structural validation on the verify workers");
@@ -99,6 +134,8 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
   checkpointing_ = config_.validator.checkpoint_interval > 0 &&
                    config_.validator.committer.gc_depth > 0 &&
                    core_->checkpoint_capable();
+  certifying_ = config_.validator.checkpoint_interval > 0 &&
+                config_.validator.checkpoint_certify;
   if (config_.validator.execute_app) {
     // Before recovery: replayed commits must reach the state machine too.
     exec::ExecutionEngine::Options exec_options;
@@ -125,21 +162,53 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
     if (checkpointing_) {
       // wal_path is a directory here: segments + checkpoints side by side.
       checkpoint_store_ = std::make_unique<CheckpointStore>(config_.wal_path);
-      if (auto newest = checkpoint_store_->newest_valid_bytes()) {
-        auto data = decode_checkpoint({newest->second.data(), newest->second.size()});
-        checkpoint_seq_ = data.sequence;
-        last_checkpoint_horizon_ = data.horizon;
-        core_->install_checkpoint(data, 0);  // recovery: actions are moot
-        if (exec_engine_ != nullptr && !data.app_state.empty()) {
-          // The cut's app snapshot stands in for every sub-horizon commit;
-          // the segment-suffix replay below lands the rest on top of it.
-          exec_engine_->install_snapshot({data.app_state.data(), data.app_state.size()});
+      auto chain = checkpoint_store_->newest_valid_chain();
+      if (!chain.empty()) {
+        if (auto recovered = checkpoint_store_->load_newest_valid()) {
+          auto data = std::move(*recovered);
+          // load_newest_valid may have truncated a torn delta tail; keep only
+          // the links that actually contributed to the recovered cut.
+          while (!chain.empty() && chain.back().sequence > data.sequence) {
+            chain.pop_back();
+          }
+          checkpoint_seq_ = data.sequence;
+          last_checkpoint_horizon_ = data.horizon;
+          chain_base_seq_ = chain.front().sequence;
+          for (auto& link : chain) {
+            ChainLinkRt rt;
+            rt.sequence = link.sequence;
+            rt.record = std::make_shared<const Bytes>(std::move(link.record));
+            if (!link.cert.empty()) {
+              // Sidecars already decode-gated by newest_valid_chain; the cut
+              // index keys cert attachment after a restart.
+              try {
+                rt.cert = std::make_shared<const Bytes>(std::move(link.cert));
+                rt.cut_index = decode_checkpoint_certificate(
+                                   {rt.cert->data(), rt.cert->size()})
+                                   .payload.cut_index;
+              } catch (const serde::SerdeError&) {
+                rt.cert.reset();
+              }
+            }
+            chain_links_.push_back(std::move(rt));
+          }
+          latest_checkpoint_bytes_ = chain_links_.front().record;
+          core_->install_checkpoint(data, 0);  // recovery: actions are moot
+          if (exec_engine_ != nullptr && !data.app_state.empty()) {
+            // The cut's app snapshot stands in for every sub-horizon commit;
+            // the segment-suffix replay below lands the rest on top of it.
+            exec_engine_->install_snapshot(
+                {data.app_state.data(), data.app_state.size()});
+          }
+          MM_LOG(kInfo) << "v" << id() << " recovered checkpoint " << data.sequence
+                        << " (horizon r" << data.horizon << ", "
+                        << chain_links_.size() << "-link chain, "
+                        << data.blocks.size() << " suffix blocks)";
+          // The diff base for the next delta cut. The app snapshot travels
+          // inside; the touched-key window restarts empty, which is exactly
+          // the delta since this recovered state.
+          last_cut_data_ = std::make_shared<const CheckpointData>(std::move(data));
         }
-        latest_checkpoint_bytes_ =
-            std::make_shared<const Bytes>(std::move(newest->second));
-        MM_LOG(kInfo) << "v" << id() << " recovered checkpoint " << data.sequence
-                      << " (horizon r" << data.horizon << ", "
-                      << data.blocks.size() << " suffix blocks)";
       }
       const auto replay = SegmentedWal::replay(config_.wal_path, visitor);
       if (replay.records > 0) {
@@ -184,6 +253,21 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
     // No persistence: NullWal acks durability synchronously, so
     // wal_group_commit without a wal_path cannot wedge the proposal path.
     wal_ = std::make_unique<NullWal>();
+  }
+  if (checkpointing_ || certifying_) {
+    // First boundary to cross: at or past the replayed consumption head (a
+    // boundary the replay already passed cannot be cut — the execution
+    // engine has been fed beyond it) and strictly past the recovered cut.
+    const Round interval = config_.validator.checkpoint_interval;
+    next_cut_index_ = first_cut_index_at_or_after(
+        core_->committer().next_pending_slot(), interval,
+        config_.validator.committer);
+    while (last_cut_data_ != nullptr &&
+           !(last_cut_data_->head < cut_boundary_slot(
+                                        next_cut_index_, interval,
+                                        config_.validator.committer))) {
+      ++next_cut_index_;
+    }
   }
   outgoing_.resize(committee_.size());
   if (config_.verify_threads > 0) {
@@ -516,6 +600,29 @@ void NodeRuntime::on_peer_frame(ValidatorId peer, BytesView frame) {
           });
         } else {
           verify_checkpoint_response(peer, std::move(copy));
+        }
+        break;
+      }
+      case MessageType::kCertShare: {
+        if (!certifying_) break;
+        on_cert_share(decode_cut_share(r.raw(r.remaining())));
+        break;
+      }
+      case MessageType::kCheckpointChain: {
+        // Same solicited-window gate as kCheckpointResponse: one chain per
+        // request, only from the peer we asked.
+        if (!catchup_request_outstanding_ || peer != catchup_request_peer_) {
+          break;  // unsolicited: drop unread
+        }
+        catchup_request_outstanding_ = false;
+        const BytesView payload = r.raw(r.remaining());
+        Bytes copy(payload.begin(), payload.end());
+        if (verify_pool_) {
+          verify_pool_->submit([this, peer, copy = std::move(copy)]() mutable {
+            verify_chain_response(peer, std::move(copy));
+          });
+        } else {
+          verify_chain_response(peer, std::move(copy));
         }
         break;
       }
@@ -897,6 +1004,10 @@ void NodeRuntime::perform(Actions&& actions) {
   }
 
   for (const auto& sub_dag : actions.committed) {
+    // Boundary crossings fire BEFORE this sub-DAG reaches execution: at the
+    // crossing of B_k the engine has been fed exactly the commits with
+    // slot < B_k, which is what makes the cut's app digest canonical.
+    handle_cut_boundaries(sub_dag.slot, actions);
     committed_blocks_->add(sub_dag.blocks.size());
     committed_tx_->add(sub_dag.transaction_count());
     // Closes the per-block commit-wait spans and records finality for every
@@ -925,8 +1036,9 @@ void NodeRuntime::perform(Actions&& actions) {
   }
   highest_round_->set(static_cast<std::int64_t>(core_->dag().highest_round()));
 
-  // Commits may have moved the GC horizon past the checkpoint interval.
-  maybe_checkpoint();
+  // The consumption head may have crossed boundaries past the last committed
+  // sub-DAG's slot (skip decisions consume slots without delivering).
+  handle_cut_boundaries(core_->committer().next_pending_slot(), actions);
 
   // Publish the core's pipeline counters for thread-safe reads.
   const IngestStats& stats = core_->ingest_stats();
@@ -1005,43 +1117,161 @@ void NodeRuntime::scan_pending_commits() {
   }
 }
 
-void NodeRuntime::maybe_checkpoint() {
-  if (!checkpointing_ || checkpoint_in_flight_) return;
-  const Round horizon = core_->dag().pruned_below();
-  if (horizon == 0 ||
-      horizon < last_checkpoint_horizon_ + config_.validator.checkpoint_interval) {
-    return;
+void NodeRuntime::handle_cut_boundaries(SlotId watermark, const Actions& actions) {
+  if (!checkpointing_ && !certifying_) return;
+  const Round interval = config_.validator.checkpoint_interval;
+  for (;;) {
+    const SlotId boundary =
+        cut_boundary_slot(next_cut_index_, interval, config_.validator.committer);
+    if (watermark < boundary) break;
+    cross_cut_boundary(next_cut_index_, boundary, actions);
+    ++next_cut_index_;
   }
+  // Boundaries more than a window behind can no longer form or serve a
+  // certificate here; drop their share state.
+  while (!pending_cuts_.empty() &&
+         pending_cuts_.begin()->first + kCertPastWindow < next_cut_index_) {
+    pending_cuts_.erase(pending_cuts_.begin());
+  }
+}
+
+void NodeRuntime::cross_cut_boundary(std::uint64_t cut_index, SlotId boundary,
+                                     const Actions& actions) {
+  // Fold the decided log up to the boundary. These entries are the agreed
+  // sequence, so every honest validator folds the identical prefix here —
+  // that is what makes the payload digest below aggregatable.
+  const auto& log = core_->committer().decided_sequence();
+  while (decided_folded_ < log.size() && log[decided_folded_].slot < boundary) {
+    const SlotDecision& d = log[decided_folded_];
+    decided_hasher_.fold(
+        CheckpointData::DecidedSlot{d.slot, d.leader, d.kind, d.via, d.ref});
+    ++decided_folded_;
+  }
+  CutPayload payload;
+  payload.cut_index = cut_index;
+  payload.head = boundary;
+  payload.decided_digest = decided_hasher_.digest();
+  // state_digest() drains: the engine has been fed exactly the commits with
+  // slot < boundary (the crossing fires before this pass's sub-DAG at or
+  // past it is enqueued), so this is the canonical digest at the cut.
+  payload.app_digest =
+      exec_engine_ != nullptr ? exec_engine_->state_digest() : Digest{};
+
+  if (certifying_) {
+    auto [it, inserted] =
+        pending_cuts_.try_emplace(cut_index, committee_.quorum_threshold());
+    PendingCut& pending = it->second;
+    pending.have_payload = true;
+    pending.payload = payload;
+    const CutShare own = sign_cut(payload, id(), key_);
+    const Bytes wire = encode_cut_share(own);
+    serde::Writer w(1 + wire.size());
+    w.u8(static_cast<std::uint8_t>(MessageType::kCertShare));
+    w.raw({wire.data(), wire.size()});
+    for (ValidatorId peer = 0; peer < committee_.size(); ++peer) {
+      if (peer != id()) send_to_peer(peer, {w.data().data(), w.data().size()});
+    }
+    collect_cut_share(cut_index, pending, own);
+    // Shares that arrived before we crossed: already signature-checked, now
+    // checkable against our own payload.
+    const std::vector<CutShare> early = std::move(pending.early);
+    pending.early.clear();
+    for (const CutShare& share : early) collect_cut_share(cut_index, pending, share);
+  }
+
+  if (checkpointing_ && !checkpoint_in_flight_ &&
+      (last_cut_data_ == nullptr || last_cut_data_->head < boundary)) {
+    // The head guard skips duplicate cuts when several cut indices map to
+    // one boundary slot (interval shorter than the wave stride) — shares
+    // are signed for each k, the cut lands once.
+    start_cut(cut_index, boundary, payload.app_digest, actions);
+  }
+}
+
+void NodeRuntime::start_cut(std::uint64_t cut_index, SlotId boundary,
+                            const Digest& app_digest, const Actions& actions) {
   // The consistent cut: captured here, on the loop thread, where the core is
   // quiescent — committed head, decided log, delivered marks, live DAG
-  // suffix. Rolling the segment at the same instant gives the retire
-  // boundary: every record of the cut is now in a sealed segment.
+  // suffix — then truncated back to the canonical boundary so the persisted
+  // cut matches the certified payload exactly.
   CheckpointData data = core_->capture_checkpoint();
-  if (exec_engine_ != nullptr) {
-    // The engine was fed exactly the commits of this cut; app_snapshot()
-    // drains, so the snapshot is the cut's replicated state (and catch-up
-    // receivers restore the state machine instead of replaying it).
-    data.app_state = exec_engine_->app_snapshot();
-    data.app_digest = exec_engine_->state_digest();
+  if (data.horizon > boundary.round) return;  // GC already pruned past it
+  std::vector<Digest> delivered_after;
+  for (const auto& sub_dag : actions.committed) {
+    if (sub_dag.slot < boundary) continue;
+    for (const auto& block : sub_dag.blocks) {
+      delivered_after.push_back(block->digest());
+    }
   }
+  truncate_checkpoint(data, boundary, delivered_after);
   data.sequence = ++checkpoint_seq_;
-  const std::uint64_t keep_from = seg_wal_ != nullptr ? seg_wal_->roll_segment() : 0;
+  data.app_digest = app_digest;
+
+  // Delta while the chain has room; re-base otherwise (or when the diff
+  // base does not extend — e.g. the previous cut was an installed peer
+  // snapshot with a different author).
+  bool is_base = true;
+  CheckpointDelta delta;
+  if (last_cut_data_ != nullptr && !chain_links_.empty() &&
+      config_.validator.checkpoint_max_deltas > 0 &&
+      data.sequence - chain_base_seq_ <= config_.validator.checkpoint_max_deltas) {
+    try {
+      Bytes app_delta =
+          exec_engine_ != nullptr ? exec_engine_->app_delta_snapshot() : Bytes{};
+      delta = make_checkpoint_delta(*last_cut_data_, data, chain_base_seq_,
+                                    std::move(app_delta));
+      is_base = false;
+    } catch (const std::invalid_argument&) {
+      is_base = true;
+    }
+  }
+  if (is_base && exec_engine_ != nullptr) {
+    // The full snapshot subsumes the touched-key window; restart it so the
+    // next delta carries exactly the keys touched after this base.
+    data.app_state = exec_engine_->app_snapshot();
+    exec_engine_->clear_app_delta_window();
+  }
+
+  // Rolling the segment at a base cut gives the retire boundary: every
+  // record of the whole previous chain is now in a sealed segment. Delta
+  // cuts do not roll — recovery replays the segment suffix from the chain
+  // base's boundary, and re-inserting blocks the deltas already cover is
+  // idempotent.
+  const std::uint64_t keep_from =
+      is_base && seg_wal_ != nullptr ? seg_wal_->roll_segment() : 0;
   checkpoint_in_flight_ = true;
-  auto task = [this, data = std::move(data), keep_from]() {
+  auto data_ptr = std::make_shared<const CheckpointData>(std::move(data));
+  auto task = [this, data_ptr, delta = std::move(delta), is_base, cut_index,
+               keep_from, epoch = chain_epoch_]() {
     // Worker side: serialization + the crash-atomic file write. The blocks
     // are immutable and the store touches only its own files.
-    auto encoded = std::make_shared<const Bytes>(encode_checkpoint(data));
-    if (checkpoint_store_ != nullptr) {
-      try {
-        checkpoint_store_->write(data.sequence, {encoded->data(), encoded->size()});
-      } catch (const std::exception& error) {
-        MM_LOG(kWarn) << "v" << id() << " checkpoint write failed: " << error.what();
-        loop_.post([this] { checkpoint_in_flight_ = false; });
-        return;  // keep the old horizon; segments stay until a write lands
+    std::shared_ptr<const Bytes> encoded;
+    try {
+      encoded = std::make_shared<const Bytes>(
+          is_base ? encode_checkpoint(*data_ptr) : encode_checkpoint_delta(delta));
+      if (checkpoint_store_ != nullptr) {
+        if (is_base) {
+          checkpoint_store_->write(data_ptr->sequence,
+                                   {encoded->data(), encoded->size()});
+        } else {
+          checkpoint_store_->write_delta(data_ptr->sequence,
+                                         {encoded->data(), encoded->size()});
+        }
       }
+    } catch (const std::exception& error) {
+      MM_LOG(kWarn) << "v" << id() << " checkpoint write failed: " << error.what();
+      loop_.post([this, epoch] {
+        if (epoch != chain_epoch_) return;
+        checkpoint_in_flight_ = false;
+        // The sequence numbering now has a gap the store's chain walk would
+        // stop at; dropping the diff base forces the next cut to re-base.
+        last_cut_data_.reset();
+      });
+      return;  // keep the old serving state; segments stay until a write lands
     }
-    loop_.post([this, horizon = data.horizon, keep_from, encoded] {
-      finish_checkpoint(horizon, keep_from, encoded);
+    loop_.post([this, epoch, cut_index, is_base, keep_from, encoded, data_ptr] {
+      finish_checkpoint(epoch, cut_index, is_base, data_ptr->horizon, keep_from,
+                        encoded, data_ptr);
     });
   };
   if (verify_pool_) {
@@ -1051,26 +1281,145 @@ void NodeRuntime::maybe_checkpoint() {
   }
 }
 
-void NodeRuntime::finish_checkpoint(Round horizon, std::uint64_t keep_from,
-                                    std::shared_ptr<const Bytes> encoded) {
+void NodeRuntime::finish_checkpoint(std::uint64_t epoch, std::uint64_t cut_index,
+                                    bool is_base, Round horizon,
+                                    std::uint64_t keep_from,
+                                    std::shared_ptr<const Bytes> encoded,
+                                    std::shared_ptr<const CheckpointData> data) {
+  if (epoch != chain_epoch_) return;  // a snapshot install replaced the chain
   checkpoint_in_flight_ = false;
-  // Monotonic: a peer snapshot installed while this cut's write was in
-  // flight may already have advanced the horizon past it — never serve or
-  // track an older cut than the current one.
-  if (horizon > last_checkpoint_horizon_) {
-    last_checkpoint_horizon_ = horizon;
-    latest_checkpoint_bytes_ = std::move(encoded);
-  }
+  if (horizon > last_checkpoint_horizon_) last_checkpoint_horizon_ = horizon;
   checkpoints_written_->add();
-  // Only now — with the checkpoint durable — can segments retire, and even
-  // then with one cut of lag: recovery may fall back past a corrupt newest
-  // checkpoint, which needs the segments from the PREVIOUS cut's boundary.
-  if (seg_wal_ != nullptr) seg_wal_->retire_segments_below(checkpoint_keep_from_);
-  checkpoint_keep_from_ = keep_from;
-  if (checkpoint_store_ != nullptr) checkpoint_store_->retire(2);
+  if (is_base) {
+    chain_links_.clear();
+    chain_base_seq_ = data->sequence;
+    latest_checkpoint_bytes_ = encoded;
+    // Only now — with the new base durable — can the chain before the
+    // PREVIOUS one retire, segments and checkpoint files alike: recovery may
+    // fall back past a torn newest chain, which needs the previous chain's
+    // records and the segments from its base boundary.
+    if (seg_wal_ != nullptr) seg_wal_->retire_segments_below(chain_keep_from_);
+    chain_keep_from_ = keep_from;
+    if (checkpoint_store_ != nullptr) checkpoint_store_->retire(2);
+  } else {
+    checkpoint_delta_cuts_->add();
+  }
+  ChainLinkRt link;
+  link.sequence = data->sequence;
+  link.cut_index = cut_index;
+  link.record = std::move(encoded);
+  chain_links_.push_back(std::move(link));
+  last_cut_data_ = std::move(data);
+  // A certificate that formed while the write was in flight attaches now.
+  const auto it = pending_cuts_.find(cut_index);
+  if (it != pending_cuts_.end() && it->second.cert != nullptr) {
+    attach_cert(cut_index, it->second.cert);
+  }
+}
+
+void NodeRuntime::on_cert_share(CutShare share) {
+  const std::uint64_t k = share.payload.cut_index;
+  // Window: boundaries long past cannot form a useful certificate anymore,
+  // and far-future indices would let a hostile peer grow pending_cuts_
+  // without bound.
+  if (k + kCertPastWindow < next_cut_index_ ||
+      k > next_cut_index_ + kCertFutureWindow) {
+    return;
+  }
+  if (!verify_cut_share(share, committee_)) {
+    cert_shares_rejected_->add();
+    return;
+  }
+  auto [it, inserted] =
+      pending_cuts_.try_emplace(k, committee_.quorum_threshold());
+  PendingCut& pending = it->second;
+  if (!pending.have_payload) {
+    // We have not crossed this boundary yet, so there is no own payload to
+    // check against. Buffer (bounded, per-author deduped) until we do.
+    for (const CutShare& buffered : pending.early) {
+      if (buffered.author == share.author) return;
+    }
+    if (pending.early.size() < committee_.size()) {
+      pending.early.push_back(std::move(share));
+    }
+    return;
+  }
+  collect_cut_share(k, pending, share);
+}
+
+void NodeRuntime::collect_cut_share(std::uint64_t cut_index, PendingCut& pending,
+                                    const CutShare& share) {
+  // Only shares over OUR OWN payload enter the collector: a forged payload
+  // can gather any number of signatures over itself without ever producing
+  // a certificate we would serve.
+  if (!(share.payload == pending.payload)) {
+    cert_shares_rejected_->add();
+    return;
+  }
+  if (!pending.collector.add(share.author, share.signature)) return;
+  CheckpointCertificate cert{pending.payload, pending.collector.certificate()};
+  pending.cert = std::make_shared<const Bytes>(encode_checkpoint_certificate(cert));
+  checkpoint_certs_->add();
+  attach_cert(cut_index, pending.cert);
+}
+
+void NodeRuntime::attach_cert(std::uint64_t cut_index,
+                              std::shared_ptr<const Bytes> cert) {
+  for (auto& link : chain_links_) {
+    if (link.cut_index != cut_index) continue;
+    link.cert = cert;
+    if (checkpoint_store_ != nullptr) {
+      auto task = [this, sequence = link.sequence, cert] {
+        try {
+          checkpoint_store_->write_cert(sequence, {cert->data(), cert->size()});
+        } catch (const std::exception& error) {
+          MM_LOG(kWarn) << "v" << id()
+                        << " certificate write failed: " << error.what();
+        }
+      };
+      if (verify_pool_) {
+        verify_pool_->submit(std::move(task));
+      } else {
+        task();
+      }
+    }
+    return;
+  }
 }
 
 void NodeRuntime::serve_checkpoint(ValidatorId peer) {
+  if (!chain_links_.empty()) {
+    // Prefer the certified trust root: serve the longest chain prefix whose
+    // every link carries an aggregated certificate, so the receiver installs
+    // without trusting this peer. Only when NOT EVEN THE BASE is certified
+    // yet (certification disabled, or its collection still in flight) does
+    // the whole chain go out uncertified via the legacy stuck-requester
+    // trust path — a slightly stale certified cut beats a fresher one the
+    // receiver has to take on faith, and live sync replays the gap anyway.
+    std::size_t certified_prefix = 0;
+    while (certified_prefix < chain_links_.size() &&
+           chain_links_[certified_prefix].cert != nullptr) {
+      ++certified_prefix;
+    }
+    const std::size_t count =
+        certified_prefix > 0 ? certified_prefix : chain_links_.size();
+    std::vector<std::pair<BytesView, BytesView>> links;
+    links.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto& link = chain_links_[i];
+      links.emplace_back(
+          BytesView{link.record->data(), link.record->size()},
+          link.cert != nullptr ? BytesView{link.cert->data(), link.cert->size()}
+                               : BytesView{});
+    }
+    const Bytes frame = encode_checkpoint_chain_frame(links);
+    serde::Writer w(1 + frame.size());
+    w.u8(static_cast<std::uint8_t>(MessageType::kCheckpointChain));
+    w.raw({frame.data(), frame.size()});
+    send_to_peer(peer, {w.data().data(), w.data().size()});
+    checkpoints_served_->add();
+    return;
+  }
   if (latest_checkpoint_bytes_ == nullptr) return;  // nothing to offer yet
   serde::Writer w(1 + latest_checkpoint_bytes_->size());
   w.u8(static_cast<std::uint8_t>(MessageType::kCheckpointResponse));
@@ -1092,7 +1441,8 @@ void NodeRuntime::verify_checkpoint_response(ValidatorId peer, Bytes payload) {
       return;
     }
     loop_.post([this, data = std::move(data)]() mutable {
-      install_peer_checkpoint(std::move(data));
+      // The single-record response carries no certificates: legacy trust.
+      install_peer_checkpoint(std::move(data), /*certified=*/false, nullptr);
     });
   } catch (const std::exception& error) {
     // std::exception, not just SerdeError: a hostile frame can also surface
@@ -1103,11 +1453,41 @@ void NodeRuntime::verify_checkpoint_response(ValidatorId peer, Bytes payload) {
   }
 }
 
-void NodeRuntime::install_peer_checkpoint(CheckpointData data) {
+void NodeRuntime::verify_chain_response(ValidatorId peer, Bytes payload) {
+  try {
+    const CheckpointChainFrame frame =
+        decode_checkpoint_chain_frame({payload.data(), payload.size()});
+    std::shared_ptr<const Bytes> final_cert;
+    if (!frame.links.empty() && !frame.links.back().cert.empty()) {
+      final_cert = std::make_shared<const Bytes>(frame.links.back().cert);
+    }
+    ChainVerifyResult result = verify_checkpoint_chain(
+        frame, committee_, config_.validator.committer,
+        config_.validator.checkpoint_interval, config_.validator.validation,
+        config_.validator.signature_cache.get());
+    if (!result.error.empty()) {
+      MM_LOG(kWarn) << "v" << id() << " rejected checkpoint chain from v" << peer
+                    << ": " << result.error;
+      return;
+    }
+    if (!result.certified) final_cert.reset();
+    loop_.post([this, data = std::move(result.data), certified = result.certified,
+                final_cert = std::move(final_cert)]() mutable {
+      install_peer_checkpoint(std::move(data), certified, std::move(final_cert));
+    });
+  } catch (const std::exception& error) {
+    MM_LOG(kWarn) << "v" << id() << " bad checkpoint chain frame from v" << peer
+                  << ": " << error.what();
+  }
+}
+
+void NodeRuntime::install_peer_checkpoint(CheckpointData data, bool certified,
+                                          std::shared_ptr<const Bytes> final_cert) {
   const SlotId before = core_->committer().next_pending_slot();
   Actions actions = core_->install_checkpoint(data, steady_now_micros());
   if (core_->committer().next_pending_slot() <= before) return;  // stale snapshot
   snapshot_catchups_->add();
+  (certified ? certified_installs_ : uncertified_installs_)->add();
   if (exec_engine_ != nullptr && !data.app_state.empty()) {
     // State jump: replace the replica's app state with the cut's snapshot.
     // Commits the install emits below resume execution from this point.
@@ -1121,18 +1501,62 @@ void NodeRuntime::install_peer_checkpoint(CheckpointData data) {
   // our local numbering.
   data.sequence = ++checkpoint_seq_;
   last_checkpoint_horizon_ = data.horizon;
+  // The installed cut replaces the local chain: in-flight cut completions
+  // for the old one are dropped by the epoch guard, and the writer is free
+  // again (its task may still land a stale file; retirement collects it).
+  ++chain_epoch_;
+  checkpoint_in_flight_ = false;
+  pending_cuts_.clear();
+  // The decided log was replaced wholesale; refold from its start at the
+  // next boundary crossing.
+  decided_hasher_ = DecidedLogHasher{};
+  decided_folded_ = 0;
   // Re-encoded rather than stored verbatim so the local sequence stamp keeps
   // our file numbering monotonic (rare path; the cost is one serialization).
   auto restamped = std::make_shared<const Bytes>(encode_checkpoint(data));
   latest_checkpoint_bytes_ = restamped;
+  chain_links_.clear();
+  chain_base_seq_ = data.sequence;
+  ChainLinkRt base_link;
+  base_link.sequence = data.sequence;
+  base_link.record = restamped;
+  if (final_cert != nullptr) {
+    // The payload a certificate signs is author- and sequence-independent,
+    // so the received chain's final certificate binds the restamped merged
+    // base just as well — a certified install stays a certified serve.
+    try {
+      base_link.cut_index =
+          decode_checkpoint_certificate({final_cert->data(), final_cert->size()})
+              .payload.cut_index;
+      base_link.cert = final_cert;
+    } catch (const serde::SerdeError&) {
+      base_link.cert = nullptr;
+    }
+  }
+  chain_links_.push_back(base_link);
   if (checkpoint_store_ != nullptr) {
     try {
       checkpoint_store_->write(data.sequence, {restamped->data(), restamped->size()});
+      if (base_link.cert != nullptr) {
+        checkpoint_store_->write_cert(
+            data.sequence, {base_link.cert->data(), base_link.cert->size()});
+      }
       checkpoint_store_->retire(2);
     } catch (const std::exception& error) {
       MM_LOG(kWarn) << "v" << id() << " failed to persist snapshot: " << error.what();
     }
   }
+  if (config_.validator.checkpoint_interval > 0) {
+    // Resume boundary crossing strictly past the installed head.
+    const Round interval = config_.validator.checkpoint_interval;
+    next_cut_index_ = first_cut_index_at_or_after(data.head, interval,
+                                                  config_.validator.committer);
+    while (!(data.head < cut_boundary_slot(next_cut_index_, interval,
+                                           config_.validator.committer))) {
+      ++next_cut_index_;
+    }
+  }
+  last_cut_data_ = std::make_shared<const CheckpointData>(std::move(data));
   // The scanner's replica predates the install; rebuild it before any
   // further scan. Then perform() logs the installed suffix to our WAL and
   // lets consensus resume.

@@ -41,18 +41,28 @@
 // Checkpointing (ValidatorConfig::checkpoint_interval, checkpoint/):
 //   * with persistence, the WAL runs the segmented layout (rolling
 //     seg-*.wal files + a checkpoint store in the same directory) instead of
-//     one monolithic file, and recovery prefers newest-valid-checkpoint +
+//     one monolithic file, and recovery prefers newest-valid-chain +
 //     segment-suffix replay;
-//   * every time the GC horizon advances past the interval, the loop thread
-//     captures the consistent cut and rolls the active segment; a worker
-//     serializes and lands the checkpoint file crash-atomically; completion
-//     posts back to the loop thread, which retires the sealed segments the
-//     checkpoint covers;
+//   * cuts happen at CANONICAL boundary slots (checkpoint/cert.h
+//     cut_boundary_slot): when the consumption head crosses boundary k, the
+//     loop thread captures the consistent cut and truncates it back to the
+//     boundary, so every honest validator's cut k has the identical decided
+//     log and app digest. Up to checkpoint_max_deltas cuts ride as delta
+//     links (checkpoint/delta.h) on the chain's base before a re-base; a
+//     worker serializes and lands each record crash-atomically, completion
+//     posts back to the loop thread, which retires sealed segments one whole
+//     CHAIN behind (recovery may fall back a full chain);
+//   * at every boundary crossing the validator signs the cut payload and
+//     broadcasts the share (kCertShare); 2f+1 matching shares aggregate into
+//     a CheckpointCertificate persisted as a cert-*.cert sidecar and served
+//     with the chain — a fully certified chain is a trust root
+//     (checkpoint/cert.h), an uncertified one installs under the legacy
+//     stuck-requester path with a counter recording the downgrade;
 //   * a peer that asks for ancestors below our GC horizon gets a kHorizon
 //     notice; when it is stuck below it, it sends kCheckpointRequest and we
-//     answer with the latest encoded checkpoint, which it verifies off-loop
-//     and installs — the only way a validator that fell behind every peer's
-//     horizon can ever catch up.
+//     answer with the base+delta chain (kCheckpointChain), which it verifies
+//     off-loop (verify_checkpoint_chain) and installs — the only way a
+//     validator that fell behind every peer's horizon can ever catch up.
 //
 // Message frames (first payload byte is the type):
 //   kHandshake:          u32 validator id + 32-byte committee epoch seed
@@ -60,7 +70,9 @@
 //   kFetch:              varint count + (round, author, digest) refs
 //   kHorizon:            varint GC horizon of the sender
 //   kCheckpointRequest:  empty (send me your latest checkpoint)
-//   kCheckpointResponse: one encode_checkpoint() record
+//   kCheckpointResponse: one encode_checkpoint() record (legacy serving)
+//   kCertShare:          encode_cut_share() — one cut-certificate share
+//   kCheckpointChain:    encode_checkpoint_chain_frame() — base+delta chain
 #pragma once
 
 #include <atomic>
@@ -71,6 +83,9 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
+#include "checkpoint/cert.h"
 #include "checkpoint/checkpoint.h"
 #include "checkpoint/segmented_wal.h"
 #include "core/commit_scanner.h"
@@ -259,6 +274,20 @@ class NodeRuntime {
   // Snapshot catch-ups completed: peer checkpoints verified and installed.
   std::uint64_t snapshot_catchups() const { return snapshot_catchups_->value(); }
   std::uint64_t checkpoints_served() const { return checkpoints_served_->value(); }
+  // Delta/cert subsystem introspection (thread-safe).
+  std::uint64_t checkpoint_delta_cuts() const { return checkpoint_delta_cuts_->value(); }
+  std::uint64_t checkpoint_certs() const { return checkpoint_certs_->value(); }
+  std::uint64_t checkpoint_cert_shares_rejected() const {
+    return cert_shares_rejected_->value();
+  }
+  // Catch-up installs split by trust root: a fully certified chain vs the
+  // legacy stuck-requester downgrade.
+  std::uint64_t certified_snapshot_installs() const {
+    return certified_installs_->value();
+  }
+  std::uint64_t uncertified_snapshot_installs() const {
+    return uncertified_installs_->value();
+  }
   // Batches this runtime's submit() path rejected (subset view of
   // mempool_stats(), attributable to local clients).
   std::uint64_t submit_rejected() const { return submit_rejected_->value(); }
@@ -293,6 +322,8 @@ class NodeRuntime {
     kHorizon = 4,
     kCheckpointRequest = 5,
     kCheckpointResponse = 6,
+    kCertShare = 7,
+    kCheckpointChain = 8,
   };
 
   struct RawFrame {
@@ -355,23 +386,54 @@ class NodeRuntime {
   // Queues one proposal re-check on the loop thread (collapses bursts).
   void nudge_proposal();
   // --- Checkpoint writer + snapshot catch-up (loop thread unless noted) ----
-  // Cuts a checkpoint when the GC horizon advanced past the interval: the
-  // consistent capture and the segment roll happen here; serialization and
-  // the crash-atomic file write go to a worker (one in flight at a time).
-  void maybe_checkpoint();
-  // Completion posted back by the writer task: records the new horizon,
-  // caches the encoded bytes for serving, retires covered segments and old
-  // checkpoint files.
-  void finish_checkpoint(Round horizon, std::uint64_t keep_from,
-                         std::shared_ptr<const Bytes> encoded);
-  // Answers kCheckpointRequest with the latest encoded checkpoint, if any.
+  // Crosses every canonical cut boundary B_k <= watermark: signs/broadcasts
+  // the cert share and starts the cut. Called per committed sub-DAG (before
+  // it is fed to execution) and once per commit pass with the consumption
+  // head, so skip-only boundary crossings still cut.
+  void handle_cut_boundaries(SlotId watermark, const Actions& actions);
+  // One boundary: fold the decided log up to it, form the payload, sign +
+  // broadcast + self-collect the share, start the cut when the writer is
+  // free. `actions` supplies this pass's sub-DAGs for delivered-truncation.
+  void cross_cut_boundary(std::uint64_t cut_index, SlotId boundary,
+                          const Actions& actions);
+  // Captures the consistent cut truncated back to `boundary`, decides
+  // base-vs-delta, and hands serialization + the crash-atomic file write to
+  // a worker (one in flight at a time).
+  void start_cut(std::uint64_t cut_index, SlotId boundary,
+                 const Digest& app_digest, const Actions& actions);
+  // Completion posted back by the writer task: appends the chain link,
+  // caches serving state, retires segments one whole chain behind.
+  void finish_checkpoint(std::uint64_t epoch, std::uint64_t cut_index,
+                         bool is_base, Round horizon, std::uint64_t keep_from,
+                         std::shared_ptr<const Bytes> encoded,
+                         std::shared_ptr<const CheckpointData> data);
+  // kCertShare ingress: window + signature + payload checks, then the
+  // threshold collector; forms and persists the certificate at 2f+1.
+  void on_cert_share(CutShare share);
+  struct PendingCut;
+  // Payload-checked admission into a boundary's collector; forms, records
+  // and attaches the certificate on the threshold-crossing share.
+  void collect_cut_share(std::uint64_t cut_index, PendingCut& pending,
+                         const CutShare& share);
+  // Attaches a freshly formed certificate to its chain link (when already
+  // written) and persists the sidecar via a worker.
+  void attach_cert(std::uint64_t cut_index, std::shared_ptr<const Bytes> cert);
+  // Answers kCheckpointRequest: the base+delta chain with per-link certs
+  // (kCheckpointChain) when links exist, else the legacy single-record
+  // kCheckpointResponse.
   void serve_checkpoint(ValidatorId peer);
   // Worker-side: decodes + verifies a received checkpoint, posts the install.
   void verify_checkpoint_response(ValidatorId peer, Bytes payload);
+  // Worker-side: decodes + verifies a received base+delta chain
+  // (verify_checkpoint_chain), posts the install with its trust class.
+  void verify_chain_response(ValidatorId peer, Bytes payload);
   // Installs a verified peer checkpoint into the core and persists it as our
   // own recovery point; rebuilds the commit scanner (its replica no longer
-  // matches the installed DAG).
-  void install_peer_checkpoint(CheckpointData data);
+  // matches the installed DAG). `certified` selects the trust-root counter;
+  // `final_cert` (may be null) is re-attached to the persisted base so the
+  // certificate survives the re-base.
+  void install_peer_checkpoint(CheckpointData data, bool certified,
+                               std::shared_ptr<const Bytes> final_cert);
   // Scanner rebuild handshake: runs on the loop thread once no scan drain
   // can be touching the old scanner (immediately when idle, else posted by
   // the draining worker when it observes the stale flag).
@@ -397,6 +459,9 @@ class NodeRuntime {
 
   const Committee& committee_;
   NodeRuntimeConfig config_;
+  // Own copy of the signing key: the core holds one for block signing; this
+  // one signs checkpoint-cut certificate shares (checkpoint/cert.h).
+  crypto::Ed25519PrivateKey key_;
   // Declared before every consumer: the tracer, watchdog, and all the metric
   // handles below point into it. Destroyed last among them (reverse order).
   obs::Registry registry_;
@@ -442,17 +507,66 @@ class NodeRuntime {
   bool checkpoint_in_flight_ = false;
   Round last_checkpoint_horizon_ = 0;
   std::uint64_t checkpoint_seq_ = 0;
-  // Segment boundary recorded at the PREVIOUS completed cut. Retirement lags
-  // one checkpoint: recovery can fall back past a corrupt newest checkpoint
-  // to the previous one only if the segments from the previous cut's
-  // boundary still exist (mirrors CheckpointStore's keep-2 policy).
-  std::uint64_t checkpoint_keep_from_ = 0;
-  // Latest encoded checkpoint, served to catching-up peers. shared_ptr so
-  // the in-flight writer task and a concurrent serve never copy the blob.
+  // Segment boundary recorded at the base cut of the PREVIOUS chain.
+  // Retirement lags one whole CHAIN: recovery can fall back past a torn
+  // newest chain to the previous one only if the segments from that chain's
+  // base boundary still exist (mirrors CheckpointStore's keep-2 policy,
+  // which is also chain-granular).
+  std::uint64_t chain_keep_from_ = 0;
+  // Latest encoded BASE checkpoint, served on the legacy single-record path.
+  // shared_ptr so the in-flight writer task and a concurrent serve never
+  // copy the blob.
   std::shared_ptr<const Bytes> latest_checkpoint_bytes_;
+
+  // --- Delta chain + threshold certification (loop-thread state) -----------
+  bool certifying_ = false;  // checkpointing_ && checkpoint_certify
+  // The current base+delta chain, oldest first; links[0] is the base. Cert
+  // is null until 2f+1 shares aggregate (or forever, for cuts whose window
+  // closed short).
+  struct ChainLinkRt {
+    std::uint64_t sequence = 0;
+    std::uint64_t cut_index = 0;
+    std::shared_ptr<const Bytes> record;
+    std::shared_ptr<const Bytes> cert;
+  };
+  std::vector<ChainLinkRt> chain_links_;
+  std::uint64_t chain_base_seq_ = 0;
+  // Previous cut's full data, kept as the delta diff base. Null until the
+  // first cut (or after an install, whose record becomes the new base).
+  std::shared_ptr<const CheckpointData> last_cut_data_;
+  // Next canonical boundary to cross (cut_boundary_slot(next_cut_index_)).
+  std::uint64_t next_cut_index_ = 1;
+  // Incremental fold of the decided log: entries [0, decided_folded_) of
+  // committer().decided_sequence() are already in the hasher. Reset (and
+  // refolded from the replayed log) on install/recovery.
+  DecidedLogHasher decided_hasher_;
+  std::size_t decided_folded_ = 0;
+  // Bumped by every snapshot install: in-flight cut writer tasks carry the
+  // epoch they started under, and their completions are dropped on mismatch
+  // (the chain they belonged to no longer exists).
+  std::uint64_t chain_epoch_ = 0;
+  // Per-boundary share collection. Only shares matching OUR OWN payload
+  // enter the collector, so a forged payload can never aggregate; shares
+  // arriving before we cross the boundary wait in `early` (bounded by
+  // committee size, per-author deduped).
+  struct PendingCut {
+    explicit PendingCut(std::uint32_t threshold) : collector(threshold) {}
+    bool have_payload = false;
+    CutPayload payload;
+    crypto::MultisigCollector collector;
+    std::vector<CutShare> early;
+    std::shared_ptr<const Bytes> cert;  // set once formed
+  };
+  std::map<std::uint64_t, PendingCut> pending_cuts_;
+
   obs::Counter* checkpoints_written_;
   obs::Counter* snapshot_catchups_;
   obs::Counter* checkpoints_served_;
+  obs::Counter* checkpoint_delta_cuts_;
+  obs::Counter* checkpoint_certs_;
+  obs::Counter* cert_shares_rejected_;
+  obs::Counter* certified_installs_;
+  obs::Counter* uncertified_installs_;
 
   EventLoop loop_;
   std::thread thread_;

@@ -5,7 +5,9 @@
 
 #include "baselines/cordial_miners.h"
 #include "baselines/tusk.h"
+#include "checkpoint/cert.h"
 #include "checkpoint/checkpoint.h"
+#include "checkpoint/delta.h"
 #include "checkpoint/segmented_wal.h"
 #include "client/kv_batches.h"
 #include "common/log.h"
@@ -392,73 +394,168 @@ struct SimHarness::Impl {
       return;
     }
     CheckpointData data = nodes[v]->capture_checkpoint();
+    Bytes app_delta;
     if (config.execute_app && execs[v] != nullptr) {
       // ExecutionEngine::drain() analogue: force pending waves through so the
-      // snapshot covers exactly the decided prefix captured above.
+      // snapshot covers exactly the decided prefix captured above. The
+      // touched-key window is consumed at every cut (a base subsumes it in
+      // the full snapshot, exactly like NodeRuntime::start_cut).
       drain_exec(v);
-      data.app_state = execs[v]->executor.snapshot_bytes();
       data.app_digest = execs[v]->executor.state_digest();
+      app_delta = execs[v]->executor.take_app_delta();
     }
     data.sequence = ++state.seq;
+
+    // Delta link while the chain is short enough and the new cut extends the
+    // previous one; otherwise (or on any linkage mismatch) re-base.
+    bool is_base = true;
+    Bytes record;
+    if (config.checkpoint_max_deltas > 0 && state.last_cut != nullptr &&
+        !state.chain.empty() &&
+        data.sequence - state.base_seq <= config.checkpoint_max_deltas) {
+      try {
+        record = encode_checkpoint_delta(make_checkpoint_delta(
+            *state.last_cut, data, state.base_seq, std::move(app_delta)));
+        is_base = false;
+      } catch (const std::invalid_argument&) {
+      }
+    }
+    if (is_base) {
+      if (config.execute_app && execs[v] != nullptr) {
+        data.app_state = execs[v]->executor.snapshot_bytes();
+      }
+      record = encode_checkpoint(data);
+    }
+
+    // Segments roll (and retire) only at base cuts: a delta keeps its whole
+    // chain's WAL suffix live, so retirement is chain-granular.
     const std::uint64_t keep_from =
-        seg_wals[v] != nullptr ? seg_wals[v]->roll_segment() : 0;
+        is_base && seg_wals[v] != nullptr ? seg_wals[v]->roll_segment() : 0;
     state.in_flight = true;
-    auto encoded = std::make_shared<const Bytes>(encode_checkpoint(data));
+    auto encoded = std::make_shared<const Bytes>(std::move(record));
+    auto cut = std::make_shared<const CheckpointData>(std::move(data));
     queue.schedule_after(
         config.checkpoint_write_delay,
-        [this, v, encoded, horizon, keep_from, seq = data.sequence,
+        [this, v, encoded, cut, is_base, horizon, keep_from,
          epoch = wal_stages[v].epoch] {
           if (wal_stages[v].epoch != epoch || !running(v)) return;  // crashed mid-write
           auto& done = ckpts[v];
           done.in_flight = false;
           done.last_horizon = horizon;
-          done.latest = encoded;
+          if (is_base) {
+            done.latest = encoded;
+            done.chain.clear();
+            done.base_seq = cut->sequence;
+          } else {
+            checkpoint_delta_cuts->add();
+          }
+          done.chain.push_back(encoded);
+          done.last_cut = cut;
           if (ckpt_stores[v] != nullptr) {
-            ckpt_stores[v]->write(seq, {encoded->data(), encoded->size()});
-            ckpt_stores[v]->retire(2);
+            if (is_base) {
+              ckpt_stores[v]->write(cut->sequence, {encoded->data(), encoded->size()});
+              ckpt_stores[v]->retire(2);
+            } else {
+              ckpt_stores[v]->write_delta(cut->sequence,
+                                          {encoded->data(), encoded->size()});
+            }
           }
-          // One cut of retirement lag (see NodeRuntime::finish_checkpoint).
-          if (seg_wals[v] != nullptr) {
+          // One chain of retirement lag (see NodeRuntime::finish_checkpoint):
+          // the previous chain's segments retire when the next base lands.
+          if (is_base && seg_wals[v] != nullptr) {
             seg_wals[v]->retire_segments_below(done.keep_from);
+            done.keep_from = keep_from;
           }
-          done.keep_from = keep_from;
           checkpoints_written->add();
+          schedule_cut_cert(v, cut);
         });
   }
 
-  // A catching-up validator asked `server` for its latest snapshot. The
-  // transfer pays sender-side bandwidth serialization on the snapshot bytes
-  // plus link latency, like a (large) block send.
+  // Certificate-formation model (SimConfig::cert_collect_delay): one
+  // endorsement event per completed cut, cert_collect_delay after the write
+  // lands. Every running validator outside cert_withholding signs the
+  // cutter's payload with its real key; a real MultisigCollector aggregates
+  // and the finished certificate must pass verify_checkpoint_certificate.
+  // Formation only: the sim's cuts are horizon-triggered rather than
+  // canonical boundary cuts, so certificates are never attached to served
+  // chains (the chain verifier would refuse the binding) and cut_index
+  // doubles as the cut's sequence number.
+  void schedule_cut_cert(ValidatorId v, std::shared_ptr<const CheckpointData> cut) {
+    if (config.cert_collect_delay == 0) return;
+    queue.schedule_after(
+        config.cert_collect_delay, [this, v, cut, epoch = wal_stages[v].epoch] {
+          if (wal_stages[v].epoch != epoch || !running(v)) return;
+          CutPayload payload;
+          payload.cut_index = cut->sequence;
+          payload.head = cut->head;
+          DecidedLogHasher hasher;
+          hasher.fold(cut->decided.begin(), cut->decided.end());
+          payload.decided_digest = hasher.digest();
+          payload.app_digest = cut->app_digest;
+          crypto::MultisigCollector collector(setup.committee.quorum_threshold());
+          bool formed = false;
+          for (ValidatorId signer = 0; signer < config.n && !formed; ++signer) {
+            if (!running(signer)) continue;
+            if (std::find(config.cert_withholding.begin(),
+                          config.cert_withholding.end(),
+                          signer) != config.cert_withholding.end()) {
+              continue;
+            }
+            const CutShare share =
+                sign_cut(payload, signer, setup.keypairs[signer].private_key);
+            if (!verify_cut_share(share, setup.committee)) continue;
+            formed = collector.add(share.author, share.signature);
+          }
+          if (!formed) return;  // withheld/crashed below 2f+1: no certificate
+          const CheckpointCertificate cert{payload, collector.certificate()};
+          if (!verify_checkpoint_certificate(cert, setup.committee).empty()) return;
+          checkpoint_certs->add();
+        });
+  }
+
+  // A catching-up validator asked `server` for its live base+delta chain.
+  // The transfer ships the whole chain as one kCheckpointChain-style frame
+  // and pays sender-side bandwidth serialization on the frame bytes plus
+  // link latency, like a (large) block send.
   void serve_checkpoint(ValidatorId server, ValidatorId client) {
-    const auto& blob = ckpts[server].latest;
-    if (blob == nullptr || !alive(client)) return;
+    const auto& chain = ckpts[server].chain;
+    if (chain.empty() || !alive(client)) return;
+    std::vector<std::pair<BytesView, BytesView>> links;
+    links.reserve(chain.size());
+    for (const auto& record : chain) {
+      links.emplace_back(BytesView{record->data(), record->size()}, BytesView{});
+    }
+    auto frame = std::make_shared<const Bytes>(encode_checkpoint_chain_frame(links));
     const TimeMicros start = std::max(queue.now(), egress_free[server]);
-    egress_free[server] = start + transmission_delay(blob->size());
+    egress_free[server] = start + transmission_delay(frame->size());
     const TimeMicros arrival =
         egress_free[server] + latency->sample(server, client, rng);
-    queue.schedule(arrival, [this, client, blob] {
+    queue.schedule(arrival, [this, client, frame] {
       if (!running(client)) return;
-      install_snapshot(client, *blob);
+      install_snapshot(client, *frame);
     });
   }
 
-  // The receiving side of snapshot catch-up: the real codec and verification
-  // over the wire bytes, then the core install and a scanner reseed (the
-  // replica predates the installed DAG).
+  // The receiving side of snapshot catch-up: the real chain codec and
+  // verification over the wire bytes (the newest cut reconstructed from base
+  // plus deltas), then the core install and a scanner reseed (the replica
+  // predates the installed DAG). Sim chains travel uncertified — the cuts
+  // are horizon-triggered, not canonical boundary cuts — so this always
+  // exercises the legacy-trust install path.
   void install_snapshot(ValidatorId client, const Bytes& encoded) {
-    CheckpointData data;
-    try {
-      data = decode_checkpoint({encoded.data(), encoded.size()});
-    } catch (const serde::SerdeError&) {
-      return;  // torn/corrupt snapshot: the requester retries elsewhere
-    }
     ValidationOptions validation;
     validation.verify_signature = config.verify_crypto;
     validation.verify_coin_share = config.verify_crypto;
-    if (!verify_checkpoint(data, setup.committee, options_for(config), validation,
-                           verifier_cache.get())
-             .empty()) {
-      return;
+    CheckpointData data;
+    try {
+      ChainVerifyResult result = verify_checkpoint_chain(
+          decode_checkpoint_chain_frame({encoded.data(), encoded.size()}),
+          setup.committee, options_for(config), config.checkpoint_interval,
+          validation, verifier_cache.get());
+      if (!result.error.empty()) return;  // refused: the requester retries
+      data = std::move(result.data);
+    } catch (const serde::SerdeError&) {
+      return;  // torn/corrupt frame: the requester retries elsewhere
     }
     const SlotId before = nodes[client]->committer().next_pending_slot();
     Actions actions = nodes[client]->install_checkpoint(data, queue.now());
@@ -725,13 +822,37 @@ struct SimHarness::Impl {
       std::optional<CheckpointData> recovered;
       if (ckpt_stores[v] != nullptr) {
         recovered = ckpt_stores[v]->load_newest_valid();
-      } else if (ckpts[v].latest != nullptr) {
-        recovered = decode_checkpoint({ckpts[v].latest->data(), ckpts[v].latest->size()});
+      } else if (!ckpts[v].chain.empty()) {
+        // In-memory chain recovery: base plus the longest cleanly-applying
+        // delta prefix, mirroring CheckpointStore::newest_valid_chain(). A
+        // link that fails to apply truncates the chain there — recovery
+        // degrades to more WAL replay, never to divergence.
+        try {
+          const auto& chain = ckpts[v].chain;
+          CheckpointData data =
+              decode_checkpoint({chain[0]->data(), chain[0]->size()});
+          recovered = data;
+          for (std::size_t i = 1; i < chain.size(); ++i) {
+            apply_checkpoint_delta(
+                data, decode_checkpoint_delta({chain[i]->data(), chain[i]->size()}));
+            recovered = data;
+          }
+        } catch (const std::exception&) {
+        }
       }
+      ckpts[v].last_cut.reset();  // the diff base dies with the process
       if (recovered.has_value()) {
         nodes[v]->install_checkpoint(*recovered, queue.now());
         ckpts[v].last_horizon = recovered->horizon;
         ckpts[v].seq = std::max(ckpts[v].seq, recovered->sequence);
+        if (ckpts[v].seq == recovered->sequence) {
+          // The recovered cut IS the newest bookkept one: the next cut may
+          // extend it as a delta. A sequence consumed by a cut that died
+          // in flight would leave a gap in the chain walk instead — the
+          // next cut then re-bases (last_cut stays null), like the
+          // runtime's write-failure path.
+          ckpts[v].last_cut = std::make_shared<const CheckpointData>(*recovered);
+        }
         if (config.execute_app && !recovered->app_state.empty()) {
           // The cut's app snapshot stands in for every sub-horizon commit;
           // the log-suffix replay below lands the rest on top. The serial
@@ -865,6 +986,8 @@ struct SimHarness::Impl {
     result.checkpoints_written = checkpoints_written->value();
     result.snapshot_catchups = snapshot_catchups->value();
     result.checkpoint_requests = checkpoint_requests->value();
+    result.checkpoint_delta_cuts = checkpoint_delta_cuts->value();
+    result.checkpoint_certs_formed = checkpoint_certs->value();
     result.equivocation_cells = count_equivocation_cells();
     if (config.execute_app) {
       result.app_digests.assign(config.n, Digest{});
@@ -933,16 +1056,24 @@ struct SimHarness::Impl {
   std::vector<std::unique_ptr<FramedWal>> wals;
   std::vector<SegmentedWal*> seg_wals;
   std::vector<std::vector<BlockPtr>> mem_logs;    // in-memory WAL fallback
-  // Checkpoint model state. `latest` models the durable checkpoint store in
-  // in-memory runs (it survives crashes, like mem_logs); on-disk runs
-  // additionally persist through ckpt_stores.
+  // Checkpoint model state. `latest`/`chain` model the durable checkpoint
+  // store in in-memory runs (they survive crashes, like mem_logs); on-disk
+  // runs additionally persist through ckpt_stores.
   struct CkptState {
-    std::shared_ptr<const Bytes> latest;  // encoded, completed checkpoint
+    std::shared_ptr<const Bytes> latest;  // encoded, completed base checkpoint
+    // The live base+delta chain, base first: every completed cut's encoded
+    // record. Cleared at each re-base; served whole for catch-up.
+    std::vector<std::shared_ptr<const Bytes>> chain;
+    std::uint64_t base_seq = 0;  // sequence of chain[0]
+    // The previous completed cut: the diff base for the next delta attempt.
+    // Process state (unlike `chain`): reset across restarts unless the
+    // recovered cut is the newest bookkept one.
+    std::shared_ptr<const CheckpointData> last_cut;
     std::uint64_t seq = 0;
     Round last_horizon = 0;
     bool in_flight = false;
-    // Segment boundary of the previous completed cut: retirement lags one
-    // checkpoint so recovery can fall back past a corrupt newest file.
+    // Segment boundary of the previous completed chain: retirement lags one
+    // base cut so recovery can fall back past a corrupt newest chain.
     std::uint64_t keep_from = 0;
   };
   std::vector<CkptState> ckpts;
@@ -998,6 +1129,10 @@ struct SimHarness::Impl {
       &registry.counter("mm_snapshot_catchups_total", "Peer checkpoints installed");
   obs::Counter* checkpoint_requests =
       &registry.counter("mm_checkpoint_requests_total", "Catch-up requests sent");
+  obs::Counter* checkpoint_delta_cuts = &registry.counter(
+      "mm_checkpoint_delta_cuts_total", "Checkpoint cuts landed as delta links");
+  obs::Counter* checkpoint_certs = &registry.counter(
+      "mm_checkpoint_certs_total", "Cut certificates aggregated (2f+1 shares)");
   obs::Counter* wal_groups_flushed =
       &registry.counter("mm_wal_groups_flushed_total", "Non-empty group flushes");
   obs::Counter* wal_replayed_blocks =

@@ -91,6 +91,22 @@ struct SimConfig {
   // Segment-roll budget of the on-disk layout (wal_dir runs); the sim uses
   // smaller segments than the runtime default so tests exercise rolls.
   std::uint64_t wal_segment_bytes = 256 * 1024;
+  // Delta-chain length bound (ValidatorConfig::checkpoint_max_deltas): after
+  // a base cut, up to this many cuts land as incremental deltas
+  // (checkpoint/delta.h, real codec) before the model re-bases; catch-up
+  // serves and restarts reconstruct through the whole base+delta chain.
+  // 0 = every cut is a base (the historical model, trace-identical).
+  std::size_t checkpoint_max_deltas = 0;
+  // Threshold-certification model (checkpoint/cert.h): when nonzero, each
+  // completed cut schedules an endorsement event this long after completion;
+  // every running validator not in cert_withholding then signs the cutter's
+  // payload with its REAL key, and 2f+1 shares aggregate through the real
+  // MultisigCollector into a verified certificate (counted in
+  // checkpoint_certs_formed). 0 = no certificate modeling.
+  TimeMicros cert_collect_delay = 0;
+  // Validators that never endorse (model Byzantine share withholding): with
+  // more than f withheld, no certificate can reach 2f+1.
+  std::vector<std::uint32_t> cert_withholding;
 
   // Network. wan=false uses UniformLatency(uniform_latency).
   bool wan = true;
@@ -204,6 +220,8 @@ struct SimResult {
   std::uint64_t checkpoints_written = 0;  // completed checkpoint cuts, all validators
   std::uint64_t snapshot_catchups = 0;    // peer checkpoints installed
   std::uint64_t checkpoint_requests = 0;  // catch-up requests sent
+  std::uint64_t checkpoint_delta_cuts = 0;  // cuts landed as delta links
+  std::uint64_t checkpoint_certs_formed = 0;  // 2f+1 cut certificates aggregated
 
   // Max over surviving validators of (author, round) cells holding more
   // than one block — nonzero only if some author equivocated (configured

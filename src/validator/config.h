@@ -94,6 +94,17 @@ struct ValidatorConfig {
   // below everyone's horizon asks one peer at a time instead of fanning a
   // multi-megabyte download out to the whole committee.
   TimeMicros catchup_retry_delay = seconds(1);
+  // Delta-chain length bound: after a base cut, up to this many incremental
+  // delta cuts (checkpoint/delta.h) ride on it before the writer re-bases
+  // with a fresh full checkpoint. 0 = every cut is a base (the monolithic
+  // pre-delta behaviour). Bounds both catch-up transfer length and the
+  // recovery replay chain.
+  std::size_t checkpoint_max_deltas = 4;
+  // Threshold-certify canonical cuts (checkpoint/cert.h): sign and broadcast
+  // a share per boundary crossing, aggregate 2f+1 into certificates, and
+  // serve certified base+delta chains for catch-up. Off = cuts stay
+  // horizon-triggered and uncertified (legacy trust path only).
+  bool checkpoint_certify = true;
 
   // Off-loop commit evaluation. When set (and no committer_factory
   // overrides the default committer), input handlers stop running the

@@ -15,7 +15,9 @@
 
 #include "app/kv_command.h"
 #include "app/kv_store.h"
+#include "checkpoint/cert.h"
 #include "checkpoint/checkpoint.h"
+#include "checkpoint/delta.h"
 #include "checkpoint/segmented_wal.h"
 #include "common/env.h"
 #include "common/rng.h"
@@ -187,7 +189,110 @@ DriveResult recover_checkpointed(const Workload& load, const std::string& seg_di
   return out;
 }
 
-void expect_equivalent(const DriveResult& a, const DriveResult& b,
+// Like drive(), but cuts land as delta links while the base+delta chain is
+// short enough (mirroring NodeRuntime::start_cut): the app contributes its
+// touched-key window instead of a full snapshot, segments roll and retire
+// only at base cuts (chain-granular retirement, one chain of lag), and any
+// linkage mismatch falls back to a re-base. max_deltas == 0 reproduces
+// drive()'s monolithic every-cut-is-a-base layout through the same code.
+struct ChainDriveResult {
+  std::unique_ptr<ValidatorCore> core;
+  app::KvStore kv;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t delta_cuts = 0;
+};
+
+ChainDriveResult drive_chain(const Workload& load, std::size_t steps,
+                             const std::string& mono_path, const std::string& seg_dir,
+                             std::size_t max_deltas, std::size_t retire_keep = 2) {
+  ChainDriveResult out;
+  out.core = load.make_core(kGcDepth);
+  FileWal mono(mono_path);
+  SegmentedWalOptions seg_options;
+  seg_options.segment_bytes = 4096;
+  SegmentedWal seg(seg_dir, seg_options);
+  CheckpointStore store(seg_dir);
+  std::uint64_t sequence = 0;
+  std::uint64_t base_sequence = 0;
+  std::uint64_t keep_from_previous = 0;
+  std::optional<CheckpointData> last_cut;
+  Round last_horizon = 0;
+
+  for (std::size_t i = 0; i < steps && i < load.blocks.size(); ++i) {
+    const Round horizon = out.core->dag().pruned_below();
+    if (horizon > 0 && horizon >= last_horizon + kCkptInterval) {
+      CheckpointData data = out.core->capture_checkpoint();
+      data.sequence = ++sequence;
+      data.app_digest = out.kv.state_digest();
+      Bytes app_delta = out.kv.delta_bytes();
+      out.kv.clear_delta_window();
+
+      bool is_base = true;
+      Bytes record;
+      if (max_deltas > 0 && last_cut.has_value() &&
+          data.sequence - base_sequence <= max_deltas) {
+        try {
+          record = encode_checkpoint_delta(make_checkpoint_delta(
+              *last_cut, data, base_sequence, std::move(app_delta)));
+          is_base = false;
+          ++out.delta_cuts;
+        } catch (const std::invalid_argument&) {
+        }
+      }
+      if (is_base) {
+        data.app_state = out.kv.snapshot_bytes();
+        record = encode_checkpoint(data);
+        base_sequence = data.sequence;
+      }
+
+      if (is_base) {
+        store.write(data.sequence, {record.data(), record.size()});
+        if (retire_keep > 0) store.retire(retire_keep);
+        const std::uint64_t keep_from = seg.roll_segment();
+        seg.retire_segments_below(keep_from_previous);
+        keep_from_previous = keep_from;
+      } else {
+        store.write_delta(data.sequence, {record.data(), record.size()});
+      }
+      last_cut = std::move(data);
+      last_horizon = horizon;
+      ++out.checkpoints;
+    }
+    const BlockPtr& block = load.blocks[i];
+    Actions actions = out.core->on_block(block, block->author(), 0);
+    for (const BlockPtr& inserted : actions.inserted) {
+      mono.append_block(*inserted, false);
+      seg.append_block(*inserted, false);
+    }
+    mono.sync();
+    seg.sync();
+    apply_commits(out.kv, actions);
+  }
+  return out;
+}
+
+ChainDriveResult recover_chain(const Workload& load, const std::string& seg_dir) {
+  ChainDriveResult out;
+  out.core = load.make_core(kGcDepth);
+  CheckpointStore store(seg_dir);
+  if (auto data = store.load_newest_valid()) {
+    out.kv = app::KvStore::restore({data->app_state.data(), data->app_state.size()});
+    // The reconstructed base+delta state must hash to the digest the writer
+    // recorded at the newest link — the install is refused otherwise.
+    EXPECT_EQ(out.kv.state_digest(), data->app_digest);
+    out.core->install_checkpoint(*data, 0);
+    ++out.checkpoints;
+  }
+  FileWal::Visitor visitor;
+  visitor.on_block = [&](BlockPtr block, bool) {
+    apply_commits(out.kv, out.core->recover_block(std::move(block)));
+  };
+  SegmentedWal::replay(seg_dir, visitor);
+  return out;
+}
+
+template <typename ResultA, typename ResultB>
+void expect_equivalent(const ResultA& a, const ResultB& b,
                        const std::string& label) {
   EXPECT_EQ(a.core->committer().next_pending_slot(),
             b.core->committer().next_pending_slot())
@@ -665,6 +770,362 @@ TEST(CheckpointProperty, RandomKillPointsRecoverIdenticallyToFullReplay) {
     };
     EXPECT_EQ(continue_feed(full), continue_feed(fast)) << label;
   }
+}
+
+// --- The delta-chain crash/recovery property ---------------------------------
+//
+// For any kill point, any chain length bound 0..4, a torn delta tail and a
+// torn newest base, recovery from the base+delta chain + segment suffix is
+// byte-identical (decided log + app state digest) to BOTH full monolithic
+// replay AND recovery from the monolithic every-cut-is-a-base layout.
+TEST(CheckpointProperty, DeltaChainsRecoverIdenticallyToFullReplayAndMonolithic) {
+  Workload load(60);
+  Rng rng(20260808);
+  for (int trial = 0; trial < static_cast<int>(property_iters(8)); ++trial) {
+    const std::string tag = std::to_string(trial);
+    const std::string label = "trial " + tag;
+    const std::string mono_path =
+        (fs::path(fresh_dir("chain_mono_" + tag)) / "log.wal").string();
+    const std::string spare_path =
+        (fs::path(fresh_dir("chain_spare_" + tag)) / "log.wal").string();
+    const std::string chain_dir = fresh_dir("chain_seg_" + tag);
+    const std::string flat_dir = fresh_dir("chain_flat_" + tag);
+
+    const std::size_t max_deltas = static_cast<std::size_t>(rng.uniform(5));
+    const std::size_t steps =
+        8 + static_cast<std::size_t>(rng.uniform(load.blocks.size() - 8));
+    const ChainDriveResult chained =
+        drive_chain(load, steps, mono_path, chain_dir, max_deltas);
+    const ChainDriveResult flat = drive_chain(load, steps, spare_path, flat_dir, 0);
+    ASSERT_EQ(chained.checkpoints, flat.checkpoints) << label;
+    if (max_deltas > 0 && chained.checkpoints > 1) {
+      EXPECT_GT(chained.delta_cuts, 0u) << label;
+    }
+
+    // Torn final WAL write: both segmented layouts share the monolithic byte
+    // stream, so the same few trailing bytes tear off each active segment.
+    if (rng.uniform(2) == 0) {
+      const std::uint64_t cut_bytes = 1 + rng.uniform(12);
+      fs::resize_file(mono_path, fs::file_size(mono_path) - cut_bytes);
+      for (const std::string& dir : {chain_dir, flat_dir}) {
+        const auto indexes = SegmentedWal::list_segments(dir);
+        ASSERT_FALSE(indexes.empty()) << label;
+        const std::string active = SegmentedWal::segment_path(dir, indexes.back());
+        if (fs::file_size(active) >= cut_bytes) {
+          fs::resize_file(active, fs::file_size(active) - cut_bytes);
+        }
+      }
+    }
+
+    // Torn newest DELTA link: the chain truncates there and recovery falls
+    // back to a shorter chain plus more replay, never to divergence.
+    if (chained.delta_cuts > 0 && rng.uniform(2) == 0) {
+      std::uint64_t newest_delta = 0;
+      for (std::uint64_t seq = 1; seq <= chained.checkpoints; ++seq) {
+        if (fs::exists(CheckpointStore::delta_path(chain_dir, seq))) {
+          newest_delta = seq;
+        }
+      }
+      ASSERT_GT(newest_delta, 0u) << label;
+      const std::string path = CheckpointStore::delta_path(chain_dir, newest_delta);
+      fs::resize_file(path, fs::file_size(path) / 2);
+    }
+
+    // Torn newest BASE: recovery falls back to the previous chain, whose
+    // covering segments still exist (retirement lags one chain).
+    if (chained.checkpoints > 0 && rng.uniform(3) == 0) {
+      for (const std::string& dir : {chain_dir, flat_dir}) {
+        const auto bases = CheckpointStore::list(dir);
+        ASSERT_FALSE(bases.empty()) << label;
+        const std::string newest = CheckpointStore::checkpoint_path(dir, bases.back());
+        fs::resize_file(newest, fs::file_size(newest) / 2);
+      }
+    }
+
+    const DriveResult full = recover_monolithic(load, mono_path);
+    const ChainDriveResult from_chain = recover_chain(load, chain_dir);
+    const ChainDriveResult from_flat = recover_chain(load, flat_dir);
+    expect_equivalent(full, from_chain, label + " chain vs full replay");
+    expect_equivalent(from_flat, from_chain, label + " chain vs monolithic");
+
+    // And all three recoveries continue identically on live input.
+    const auto continue_feed = [&](ValidatorCore& core, app::KvStore kv) {
+      for (const BlockPtr& block : load.blocks) {
+        apply_commits(kv, core.on_block(block, block->author(), 0));
+      }
+      return kv.state_digest();
+    };
+    const Digest after_full = continue_feed(*full.core, full.kv);
+    EXPECT_EQ(after_full, continue_feed(*from_chain.core, from_chain.kv)) << label;
+    EXPECT_EQ(after_full, continue_feed(*from_flat.core, from_flat.kv)) << label;
+  }
+}
+
+// --- Chain-atomic retirement -------------------------------------------------
+
+TEST(Checkpoint, RetireDropsWholeChainsAndSurvivesMidRetireCrash) {
+  Workload load(60);
+  const std::string mono_path =
+      (fs::path(fresh_dir("retire_chain_mono")) / "log.wal").string();
+  const std::string dir = fresh_dir("retire_chain");
+  const ChainDriveResult writer = drive_chain(load, load.blocks.size(), mono_path,
+                                              dir, 2, /*retire_keep=*/0);
+  CheckpointStore store(dir);
+  const auto bases = CheckpointStore::list(dir);
+  ASSERT_GE(bases.size(), 2u) << "need several chains to retire";
+  ASSERT_GT(writer.delta_cuts, 0u);
+  const auto newest = store.load_newest_valid();
+  ASSERT_TRUE(newest.has_value());
+
+  // Crash-between-unlink-and-manifest model: replaying retire()'s unlink
+  // order (a retired chain's delta links strictly before its base, newest
+  // chain first) one file at a time, the newest surviving chain must stay
+  // loadable at EVERY intermediate crash point — a base whose delta tail is
+  // gone is a valid one-link chain, and no live delta ever outlives its base.
+  const std::uint64_t keep_from = bases[bases.size() - 2];
+  std::vector<std::string> unlink_order;
+  for (std::uint64_t seq = writer.checkpoints; seq >= 1; --seq) {
+    const std::string path = CheckpointStore::delta_path(dir, seq);
+    if (seq < keep_from && fs::exists(path)) unlink_order.push_back(path);
+  }
+  for (auto it = bases.rbegin(); it != bases.rend(); ++it) {
+    if (*it < keep_from) {
+      unlink_order.push_back(CheckpointStore::checkpoint_path(dir, *it));
+    }
+  }
+  ASSERT_FALSE(unlink_order.empty());
+  for (const std::string& path : unlink_order) {
+    fs::remove(path);
+    const auto loaded = store.load_newest_valid();
+    ASSERT_TRUE(loaded.has_value()) << path;
+    EXPECT_EQ(loaded->sequence, newest->sequence) << path;
+    EXPECT_EQ(loaded->app_digest, newest->app_digest) << path;
+  }
+
+  // The completed retirement keeps exactly the two newest chains: every
+  // surviving delta link rides a surviving base.
+  store.retire(2);
+  EXPECT_EQ(CheckpointStore::list(dir).size(), 2u);
+  const std::uint64_t oldest_kept = CheckpointStore::list(dir).front();
+  for (std::uint64_t seq = 1; seq <= writer.checkpoints; ++seq) {
+    if (fs::exists(CheckpointStore::delta_path(dir, seq))) {
+      EXPECT_GT(seq, oldest_kept) << "delta " << seq << " outlived its base";
+    }
+  }
+  EXPECT_EQ(store.load_newest_valid()->sequence, newest->sequence);
+}
+
+// --- Threshold-certified cuts ------------------------------------------------
+
+const CommitterOptions kShape = observer_config(kGcDepth).committer;
+
+// Mirrors the runtime's canonical-cut protocol (NodeRuntime::start_cut):
+// before handing each committed sub-DAG to the app, cut at every boundary
+// B_k = cut_boundary_slot(k, interval) the watermark crossed, truncating the
+// capture back to the boundary. Every validator reaching B_k then cuts the
+// SAME decided log and app state — what the certificate payload signs.
+struct CanonicalCutter {
+  struct Cut {
+    CheckpointData data;
+    std::uint64_t cut_index = 0;
+    Bytes app_delta;  // touched-key window since the previous cut
+  };
+
+  explicit CanonicalCutter(const Workload& load, Round interval)
+      : interval_(interval), core_(load.make_core(kGcDepth)) {}
+
+  SlotId boundary() const { return cut_boundary_slot(next_k_, interval_, kShape); }
+
+  void feed(const BlockPtr& block) {
+    Actions actions = core_->on_block(block, block->author(), 0);
+    for (const auto& sub : actions.committed) {
+      cross(sub.slot, actions);
+      for (const auto& b : sub.blocks) {
+        kv_.apply(app::KvCommand::put(b->digest().hex(), std::to_string(b->round())));
+      }
+    }
+    cross(core_->committer().next_pending_slot(), actions);
+  }
+
+  ValidatorCore& core() { return *core_; }
+  std::vector<Cut> cuts;
+
+ private:
+  void cross(SlotId watermark, const Actions& actions) {
+    while (!(watermark < boundary())) {
+      const SlotId b = boundary();
+      CheckpointData data = core_->capture_checkpoint();
+      if (data.horizon <= b.round) {
+        std::vector<Digest> delivered_after;
+        for (const auto& sub : actions.committed) {
+          if (sub.slot < b) continue;
+          for (const auto& blk : sub.blocks) delivered_after.push_back(blk->digest());
+        }
+        truncate_checkpoint(data, b, delivered_after);
+        data.sequence = ++sequence_;
+        data.app_state = kv_.snapshot_bytes();
+        data.app_digest = kv_.state_digest();
+        Bytes app_delta = kv_.delta_bytes();
+        kv_.clear_delta_window();
+        cuts.push_back({std::move(data), next_k_, std::move(app_delta)});
+      }
+      ++next_k_;
+    }
+  }
+
+  Round interval_;
+  std::unique_ptr<ValidatorCore> core_;
+  app::KvStore kv_;
+  std::uint64_t next_k_ = 1;
+  std::uint64_t sequence_ = 0;
+};
+
+CutPayload payload_for(const CanonicalCutter::Cut& cut) {
+  CutPayload payload;
+  payload.cut_index = cut.cut_index;
+  payload.head = cut.data.head;
+  DecidedLogHasher hasher;
+  hasher.fold(cut.data.decided.begin(), cut.data.decided.end());
+  payload.decided_digest = hasher.digest();
+  payload.app_digest = cut.data.app_digest;
+  return payload;
+}
+
+Bytes certify(const Workload& load, const CutPayload& payload,
+              std::initializer_list<ValidatorId> signers) {
+  crypto::MultisigCollector collector(load.setup.committee.quorum_threshold());
+  for (ValidatorId v : signers) {
+    const CutShare share = sign_cut(payload, v, load.setup.keypairs[v].private_key);
+    EXPECT_TRUE(verify_cut_share(share, load.setup.committee));
+    collector.add(share.author, share.signature);
+  }
+  EXPECT_TRUE(collector.complete());
+  return encode_checkpoint_certificate({payload, collector.certificate()});
+}
+
+TEST(CheckpointCert, ForgedAndDuplicatedSharesNeverAggregate) {
+  Workload load(40);
+  CanonicalCutter cutter(load, 6);
+  for (const BlockPtr& block : load.blocks) cutter.feed(block);
+  ASSERT_FALSE(cutter.cuts.empty());
+  const CutPayload payload = payload_for(cutter.cuts.front());
+
+  // A share signed with the wrong key — or a share whose payload was
+  // tampered after signing — is rejected by share verification.
+  const CutShare forged =
+      sign_cut(payload, /*author=*/0, load.setup.keypairs[1].private_key);
+  EXPECT_FALSE(verify_cut_share(forged, load.setup.committee));
+  CutShare tampered = sign_cut(payload, 0, load.setup.keypairs[0].private_key);
+  tampered.payload.app_digest.bytes[0] ^= 0x01;
+  EXPECT_FALSE(verify_cut_share(tampered, load.setup.committee));
+  CutShare out_of_range = sign_cut(payload, 9, load.setup.keypairs[0].private_key);
+  EXPECT_FALSE(verify_cut_share(out_of_range, load.setup.committee));
+
+  // Duplicated shares never double-count: the same signer adding twice makes
+  // no progress toward the 2f+1 threshold, and fewer than 2f+1 distinct
+  // signers never completes the collector.
+  crypto::MultisigCollector collector(load.setup.committee.quorum_threshold());
+  const CutShare s0 = sign_cut(payload, 0, load.setup.keypairs[0].private_key);
+  const CutShare s1 = sign_cut(payload, 1, load.setup.keypairs[1].private_key);
+  EXPECT_FALSE(collector.add(s0.author, s0.signature));
+  EXPECT_FALSE(collector.add(s0.author, s0.signature));  // duplicate: no progress
+  EXPECT_EQ(collector.count(), 1u);
+  EXPECT_FALSE(collector.add(s1.author, s1.signature));
+  EXPECT_EQ(collector.count(), 2u);
+  EXPECT_FALSE(collector.complete()) << "2 of 4 must stay below quorum";
+
+  // An under-quorum aggregate that claims to be a certificate is refused.
+  crypto::MultisigCollector under(2);
+  under.add(s0.author, s0.signature);
+  under.add(s1.author, s1.signature);
+  ASSERT_TRUE(under.complete());
+  EXPECT_NE(verify_checkpoint_certificate({payload, under.certificate()},
+                                          load.setup.committee),
+            "");
+
+  // The third distinct signer completes it and the aggregate verifies.
+  const CutShare s2 = sign_cut(payload, 2, load.setup.keypairs[2].private_key);
+  EXPECT_TRUE(collector.add(s2.author, s2.signature));
+  EXPECT_EQ(verify_checkpoint_certificate({payload, collector.certificate()},
+                                          load.setup.committee),
+            "");
+}
+
+TEST(CheckpointCert, CertifiedChainAcceptsAndMismatchedContentRefuses) {
+  Workload load(40);
+  constexpr Round kInterval = 6;
+  CanonicalCutter cutter(load, kInterval);
+  for (const BlockPtr& block : load.blocks) cutter.feed(block);
+  ASSERT_GE(cutter.cuts.size(), 2u) << "need a base and at least one delta cut";
+
+  // Base + delta chain over consecutive canonical cuts, every link certified
+  // by a 2f+1 quorum.
+  const auto& base = cutter.cuts[cutter.cuts.size() - 2];
+  const auto& tip = cutter.cuts[cutter.cuts.size() - 1];
+  const Bytes base_record = encode_checkpoint(base.data);
+  const Bytes delta_record = encode_checkpoint_delta(make_checkpoint_delta(
+      base.data, tip.data, base.data.sequence, tip.app_delta));
+  const Bytes base_cert = certify(load, payload_for(base), {0, 1, 2});
+  const Bytes tip_cert = certify(load, payload_for(tip), {1, 2, 3});
+
+  // Round-trips through the wire codec: what a kCheckpointChain frame carries.
+  const auto frame_of = [](const std::vector<std::pair<const Bytes*, const Bytes*>>&
+                               links) {
+    std::vector<std::pair<BytesView, BytesView>> views;
+    for (const auto& [record, cert] : links) {
+      views.emplace_back(BytesView{record->data(), record->size()},
+                         cert != nullptr ? BytesView{cert->data(), cert->size()}
+                                         : BytesView{});
+    }
+    const Bytes encoded = encode_checkpoint_chain_frame(views);
+    return decode_checkpoint_chain_frame({encoded.data(), encoded.size()});
+  };
+
+  ValidationOptions validation;
+  validation.verify_signature = false;
+  validation.verify_coin_share = false;
+
+  const ChainVerifyResult good = verify_checkpoint_chain(
+      frame_of({{&base_record, &base_cert}, {&delta_record, &tip_cert}}),
+      load.setup.committee, kShape, kInterval, validation);
+  EXPECT_EQ(good.error, "");
+  EXPECT_TRUE(good.certified);
+  EXPECT_EQ(good.links, 2u);
+  EXPECT_EQ(good.data.head, tip.data.head);
+  EXPECT_EQ(good.data.app_digest, tip.data.app_digest);
+  EXPECT_EQ(app::KvStore::restore({good.data.app_state.data(),
+                                   good.data.app_state.size()})
+                .state_digest(),
+            tip.data.app_digest)
+      << "base + delta replay must reconstruct the tip's app state";
+
+  // A link without a certificate is accepted but the chain degrades to the
+  // legacy (uncertified) trust path.
+  const ChainVerifyResult legacy = verify_checkpoint_chain(
+      frame_of({{&base_record, &base_cert}, {&delta_record, nullptr}}),
+      load.setup.committee, kShape, kInterval, validation);
+  EXPECT_EQ(legacy.error, "");
+  EXPECT_FALSE(legacy.certified);
+
+  // A certificate that is VALID crypto over content that does not match its
+  // link refuses the whole chain — never a downgrade to uncertified.
+  CutPayload lying = payload_for(tip);
+  lying.app_digest.bytes[0] ^= 0x01;
+  const Bytes lying_cert = certify(load, lying, {0, 1, 3});
+  const ChainVerifyResult mismatched = verify_checkpoint_chain(
+      frame_of({{&base_record, &base_cert}, {&delta_record, &lying_cert}}),
+      load.setup.committee, kShape, kInterval, validation);
+  EXPECT_NE(mismatched.error, "");
+  EXPECT_FALSE(mismatched.certified);
+
+  // So does a certificate claiming the wrong boundary index for its head.
+  CutPayload wrong_index = payload_for(tip);
+  wrong_index.cut_index += 1;
+  const Bytes wrong_index_cert = certify(load, wrong_index, {0, 1, 2});
+  const ChainVerifyResult misindexed = verify_checkpoint_chain(
+      frame_of({{&base_record, &base_cert}, {&delta_record, &wrong_index_cert}}),
+      load.setup.committee, kShape, kInterval, validation);
+  EXPECT_NE(misindexed.error, "");
 }
 
 }  // namespace

@@ -677,8 +677,9 @@ TEST_F(TcpClusterTest, CheckpointClusterLateJoinerCatchesUpViaSnapshot) {
   // the checkpoint writer's cross-thread handoffs): three nodes run with GC
   // + checkpointing until their horizons are far past genesis, then the
   // fourth starts from nothing. Its ancestry walk dead-ends below everyone's
-  // horizon; the kHorizon / kCheckpointRequest / kCheckpointResponse
-  // handshake installs a verified snapshot and it rejoins consensus.
+  // horizon; the kHorizon / kCheckpointRequest / kCheckpointChain handshake
+  // ships a threshold-certified base+delta chain, the joiner installs it as
+  // a trust root and rejoins consensus.
   gc_depth_ = 20;
   checkpoint_interval_ = 5;
   min_round_delay_ = millis(10);
@@ -707,8 +708,9 @@ TEST_F(TcpClusterTest, CheckpointClusterLateJoinerCatchesUpViaSnapshot) {
   ASSERT_TRUE(wait_for([&] {
     feed();
     return nodes[0]->highest_round() > 2 * gc_depth_ + 10 &&
-           nodes[0]->checkpoints_written() > 0;
-  })) << "cluster never built a checkpointable history; round "
+           nodes[0]->checkpoints_written() > 0 &&
+           nodes[0]->checkpoint_certs() > 0;
+  })) << "cluster never built a certified checkpointable history; round "
       << nodes[0]->highest_round();
   ASSERT_TRUE(nodes[0]->segmented_wal_active());
 
@@ -718,6 +720,13 @@ TEST_F(TcpClusterTest, CheckpointClusterLateJoinerCatchesUpViaSnapshot) {
     feed();
     return nodes[3]->snapshot_catchups() >= 1;
   })) << "the snapshot handshake never completed";
+
+  // The catch-up traveled as a threshold-certified base+delta chain: the
+  // serving side prefers its certified chain prefix, so the joiner's install
+  // must be a trust-root (certified) one, never the legacy faith path.
+  EXPECT_GE(nodes[3]->certified_snapshot_installs(), 1u)
+      << "install fell back to the uncertified legacy path ("
+      << nodes[3]->uncertified_snapshot_installs() << " uncertified)";
 
   // Installed state turns into live participation: the joiner tracks the
   // cluster's rounds and delivers commits.
@@ -729,11 +738,17 @@ TEST_F(TcpClusterTest, CheckpointClusterLateJoinerCatchesUpViaSnapshot) {
       << nodes[3]->highest_round() << " vs " << nodes[0]->highest_round();
 
   // Someone served the snapshot, and the joiner persisted it as its own
-  // recovery point.
+  // recovery point (base record + certificate sidecar).
   std::uint64_t served = 0;
   for (ValidatorId v = 0; v < 3; ++v) served += nodes[v]->checkpoints_served();
   EXPECT_GE(served, 1u);
   EXPECT_FALSE(CheckpointStore::list(wal_dirs[3]).empty());
+
+  // The servers ran the incremental layout: with interval 5 and the default
+  // delta bound, most cuts land as delta links rather than full snapshots.
+  std::uint64_t delta_cuts = 0;
+  for (ValidatorId v = 0; v < 3; ++v) delta_cuts += nodes[v]->checkpoint_delta_cuts();
+  EXPECT_GT(delta_cuts, 0u);
 
   for (auto& node : nodes) node->stop();
   for (const auto& path : wal_dirs) std::filesystem::remove_all(path);

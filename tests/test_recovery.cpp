@@ -342,6 +342,63 @@ TEST(Recovery, CrashDuringCheckpointFallsBackWithoutDivergence) {
   expect_suffix_consistent(result, 1, 0, "crash during checkpoint");
 }
 
+TEST(Recovery, DeltaChainCatchUpFormsCertsAndStaysDeterministic) {
+  // Incremental-checkpoint model on: after each base, up to max_deltas cuts
+  // land as delta links (real checkpoint/delta.h codec), catch-up ships the
+  // whole base+delta chain, and every completed cut collects a 2f+1
+  // certificate through the real multisig path. The run must still be
+  // bit-deterministic under a fixed seed — the delta/cert machinery adds
+  // events but no nondeterminism.
+  SimConfig config = gc_config();
+  config.checkpoint_interval = 5;
+  config.checkpoint_max_deltas = 4;
+  config.cert_collect_delay = millis(2);
+  config.restarts.push_back({.id = 2, .crash_at = millis(1), .restart_at = seconds(8)});
+
+  const SimResult result = run_simulation(config);
+
+  EXPECT_GT(result.checkpoints_written, 0u);
+  EXPECT_GT(result.checkpoint_delta_cuts, 0u) << "no cut ever landed as a delta";
+  EXPECT_GT(result.checkpoint_certs_formed, 0u) << "no certificate aggregated";
+  EXPECT_GE(result.snapshot_catchups, 1u) << "chain catch-up must have fired";
+  EXPECT_EQ(result.equivocation_cells, 0u);
+  EXPECT_GT(result.committed_tps, config.load_tps * 0.5);
+  ASSERT_EQ(result.sequences.size(), 4u);
+  expect_suffix_consistent(result, 2, 0, "delta-chain catch-up");
+
+  const SimResult again = run_simulation(config);
+  EXPECT_EQ(result.committed_tps, again.committed_tps);
+  EXPECT_EQ(result.checkpoints_written, again.checkpoints_written);
+  EXPECT_EQ(result.checkpoint_delta_cuts, again.checkpoint_delta_cuts);
+  EXPECT_EQ(result.checkpoint_certs_formed, again.checkpoint_certs_formed);
+  EXPECT_EQ(result.snapshot_catchups, again.snapshot_catchups);
+  EXPECT_EQ(result.sequences, again.sequences);
+}
+
+TEST(Recovery, CertShareWithholdingBeyondFBlocksEveryCertificate) {
+  // Byzantine share withholding: with two of four validators never
+  // endorsing, at most 2 shares exist per cut — below the 2f+1 = 3
+  // threshold — so no certificate ever forms. Checkpointing itself (and
+  // uncertified catch-up, the legacy trust path) must keep working.
+  SimConfig config = gc_config();
+  config.checkpoint_interval = 5;
+  config.checkpoint_max_deltas = 4;
+  config.cert_collect_delay = millis(2);
+  config.cert_withholding = {0, 1};
+  config.restarts.push_back({.id = 2, .crash_at = millis(1), .restart_at = seconds(8)});
+
+  const SimResult result = run_simulation(config);
+
+  EXPECT_GT(result.checkpoints_written, 0u);
+  EXPECT_EQ(result.checkpoint_certs_formed, 0u)
+      << "a certificate aggregated despite a blocked quorum";
+  EXPECT_GE(result.snapshot_catchups, 1u);
+  EXPECT_EQ(result.equivocation_cells, 0u);
+  EXPECT_GT(result.committed_tps, config.load_tps * 0.5);
+  ASSERT_EQ(result.sequences.size(), 4u);
+  expect_suffix_consistent(result, 2, 0, "withheld-cert catch-up");
+}
+
 TEST(Recovery, WalFilesArePerValidatorAndNonEmpty) {
   SimConfig config = recovery_config();
   config.duration = seconds(6);

@@ -68,6 +68,35 @@ TEST(SimIntegration, DeterministicGivenSeed) {
   EXPECT_EQ(a.sequences, b.sequences);
 }
 
+TEST(SimIntegration, DeterministicWithIncrementalCheckpointsAndCerts) {
+  // The incremental-checkpoint machinery (delta cuts, cert-share collection
+  // events, withholding filters) adds scheduled events but must add zero
+  // nondeterminism: two identical seeded runs produce identical metrics,
+  // sequences included. The checkpoint model needs GC on (committer
+  // override with a gc_depth) and a cut interval.
+  auto config = base_config(Protocol::kMahiMahi5, 4);
+  CommitterOptions options = mahi_mahi_5(2);
+  options.gc_depth = 10;
+  config.committer_override = options;
+  config.checkpoint_interval = 5;
+  config.checkpoint_max_deltas = 3;
+  config.cert_collect_delay = millis(2);
+  config.cert_withholding = {3};  // one withheld signer: quorum still forms
+
+  const SimResult a = run_simulation(config);
+  const SimResult b = run_simulation(config);
+  EXPECT_GT(a.checkpoints_written, 0u);
+  EXPECT_GT(a.checkpoint_delta_cuts, 0u);
+  EXPECT_GT(a.checkpoint_certs_formed, 0u);
+  EXPECT_EQ(a.committed_tps, b.committed_tps);
+  EXPECT_EQ(a.avg_latency_s, b.avg_latency_s);
+  EXPECT_EQ(a.max_round, b.max_round);
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+  EXPECT_EQ(a.checkpoint_delta_cuts, b.checkpoint_delta_cuts);
+  EXPECT_EQ(a.checkpoint_certs_formed, b.checkpoint_certs_formed);
+  EXPECT_EQ(a.sequences, b.sequences);
+}
+
 TEST(SimIntegration, ParallelCommitMatchesSerialRun) {
   // Off-loop commit evaluation must be invisible to consensus: with zero
   // scan delay the commit sequences, throughput and latencies are
