@@ -8,7 +8,8 @@
 //
 //     check_bench.py bench_obs.json --max-ns BM_ObsCounterAdd 50 \
 //                                   --max-ns BM_ObsHistogramRecord 50 \
-//                                   --max-ns BM_ObsSpanStamp 50
+//                                   --max-ns BM_ObsSpanStamp 50 \
+//                                   --max-ns BM_FlightRecorderEvent 50
 //
 // A registry change that puts a lock, a hash lookup, or a shared cache line
 // on the record path fails the push.
@@ -16,6 +17,7 @@
 // Machine-readable output: pass --benchmark_format=json (CI does).
 #include <benchmark/benchmark.h>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -76,6 +78,33 @@ void BM_ObsSpanStamp(benchmark::State& state) {
   benchmark::DoNotOptimize(tracer.nonmonotonic());
 }
 BENCHMARK(BM_ObsSpanStamp);
+
+// A flight-recorder event stamp: one relaxed fetch_add on the thread's own
+// ring head, three relaxed stores, one release store. The recorder is always
+// on — every frame, block, and commit pays this — so CI gates it at 50 ns
+// like the other hot-path stamps. Uses the caller-timestamp overload (the
+// pipeline's: handoffs already hold a stamp); the steady-clock read in
+// record_now is the driver's cost, not the recorder's.
+obs::FlightRecorder* g_recorder = nullptr;
+
+void BM_FlightRecorderEvent(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    g_recorder = new obs::FlightRecorder();
+  }
+  TimeMicros at = 0;
+  std::uint64_t a = static_cast<std::uint64_t>(state.thread_index());
+  for (auto _ : state) {
+    g_recorder->record(obs::FlightEventType::kBlockInsert, at, a, at);
+    ++at;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    benchmark::DoNotOptimize(g_recorder->ring_count());
+    delete g_recorder;
+    g_recorder = nullptr;
+  }
+}
+BENCHMARK(BM_FlightRecorderEvent)->Threads(1)->Threads(8)->UseRealTime();
 
 // Scrape cost for context (not gated): a dump of a registry sized like a
 // real validator's (~40 metrics incl. per-stage histograms). Scrapes run

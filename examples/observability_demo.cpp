@@ -13,10 +13,26 @@
 // summary read back through the registry dump — the same numbers a scraper
 // would see.
 //
+// At exit the demo scrapes validator 0's /trace/commits and prints a
+// straggler-attribution table: which validator's block closed each committed
+// wave, and by how much it trailed the wave's first arrival.
+//
+// Env knobs (for the CI flight-recorder smoke):
+//   MM_DEMO_STALL_BUDGET_US  loop stall budget in micros (default 250000)
+//   MM_DEMO_FLIGHTREC_DIR    directory for watchdog stall dumps (default off)
+//
 // Build & run:  ./build/examples/observability_demo
 // While it runs: curl -s http://127.0.0.1:$PORT/metrics
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "net/node_runtime.h"
@@ -24,6 +40,88 @@
 using namespace mahimahi;
 using namespace mahimahi::net;
 using namespace std::chrono_literals;
+
+namespace {
+
+// Minimal loopback HTTP GET (the demo is its own scraper at exit).
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buffer[4096];
+  std::size_t body_needed = std::string::npos;
+  for (;;) {
+    if (body_needed == std::string::npos) {
+      const auto header_end = response.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        std::size_t content_length = 0;
+        const auto field = response.find("Content-Length: ");
+        if (field != std::string::npos && field < header_end)
+          content_length = std::stoul(response.substr(field + 16));
+        body_needed = header_end + 4 + content_length;
+      }
+    }
+    if (body_needed != std::string::npos && response.size() >= body_needed) break;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto header_end = response.find("\r\n\r\n");
+  return header_end == std::string::npos ? std::string{} : response.substr(header_end + 4);
+}
+
+// Prints the straggler-attribution table from a /trace/commits body: per
+// closing author, how many waves that author's block closed and how far its
+// arrival trailed the wave's first arrival. Field scanning only — the JSON
+// is machine-shaped (fixed field order, see commit_traces_json).
+void print_straggler_table(const std::string& traces_json) {
+  struct Row {
+    std::uint64_t waves = 0;
+    std::uint64_t offset_sum = 0;
+    std::uint64_t offset_max = 0;
+  };
+  std::array<Row, 16> rows{};
+  std::size_t total = 0;
+  std::size_t pos = 0;
+  const std::string key = "\"closing\":{\"author\":";
+  while ((pos = traces_json.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    const std::uint64_t author = std::strtoull(traces_json.c_str() + pos, nullptr, 10);
+    const auto offset_pos = traces_json.find("\"offset_micros\":", pos);
+    if (offset_pos == std::string::npos || author >= rows.size()) break;
+    const std::uint64_t offset =
+        std::strtoull(traces_json.c_str() + offset_pos + 16, nullptr, 10);
+    rows[author].waves += 1;
+    rows[author].offset_sum += offset;
+    rows[author].offset_max = std::max(rows[author].offset_max, offset);
+    ++total;
+  }
+  std::printf("straggler attribution (validator 0, last %zu committed waves):\n", total);
+  std::printf("  %-9s %-13s %-20s %s\n", "author", "waves_closed",
+              "avg_close_offset_us", "max_close_offset_us");
+  for (std::size_t author = 0; author < rows.size(); ++author) {
+    const Row& row = rows[author];
+    if (row.waves == 0) continue;
+    std::printf("  %-9zu %-13llu %-20llu %llu\n", author,
+                static_cast<unsigned long long>(row.waves),
+                static_cast<unsigned long long>(row.offset_sum / row.waves),
+                static_cast<unsigned long long>(row.offset_max));
+  }
+}
+
+}  // namespace
 
 int main() {
   auto setup = Committee::make_test(4);
@@ -46,8 +144,17 @@ int main() {
     config.validator.id = v;
     config.validator.committer = mahi_mahi_5(2);
     config.validator.min_round_delay = millis(20);
+    // Execution engine on, so one scrape also covers the mm_exec_* series
+    // (the CI smoke requires them).
+    config.validator.execute_app = true;
     config.peers = addresses;
     config.admin_port = 0;  // ephemeral; the chosen port prints below
+    if (const char* budget = std::getenv("MM_DEMO_STALL_BUDGET_US")) {
+      config.loop_stall_budget = std::strtoll(budget, nullptr, 10);
+    }
+    if (const char* dir = std::getenv("MM_DEMO_FLIGHTREC_DIR")) {
+      config.flightrec_dir = dir;
+    }
     nodes.push_back(std::make_unique<NodeRuntime>(setup.committee,
                                                   setup.keypairs[v].private_key, config));
   }
@@ -81,6 +188,11 @@ int main() {
               static_cast<unsigned long long>(finality.percentile(0.50)),
               static_cast<unsigned long long>(finality.percentile(0.99)),
               static_cast<unsigned long long>(finality.count()));
+
+  // Cross-validator commit forensics, read back the way an operator would:
+  // scrape /trace/commits and attribute each wave to the arrival that
+  // closed it.
+  print_straggler_table(http_get(nodes[0]->admin_port(), "/trace/commits"));
 
   const bool committed = nodes[0]->committed_transactions() > 0;
   for (auto& node : nodes) node->stop();

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Render a flight-recorder dump (flightrec-*.bin) as a chronological timeline.
+
+The dump is the FlightRecorder binary snapshot (magic "MMFR", version 1):
+per-thread rings of compact structured events stamped on the pipeline
+handoffs. This script merges the rings into one timeline — the "what was the
+node doing right before it stalled" view — with per-thread labels and
+decoded payloads:
+
+    $ scripts/render_flightrec.py flightrec-v0-1.bin
+    # flightrec-v0-1.bin: 3 rings, 1287 events, 1.92 s span
+          TIME(us)     +DELTA  THREAD        EVENT           DETAIL
+         123456789          0  loop          frame_rx        peer=2 bytes=4096
+         123456801        +12  worker        block_admit     author=2 round=17
+    ...
+
+Exit code 0 on a well-formed dump, 1 on a malformed or truncated one (CI
+treats a dump that fails to render as a failed stall-dump smoke test).
+"""
+
+import argparse
+import struct
+import sys
+
+MAGIC = b"MMFR"
+VERSION = 1
+
+EVENT_NAMES = {
+    0: "none",
+    1: "frame_rx",
+    2: "frame_tx",
+    3: "block_admit",
+    4: "block_insert",
+    5: "commit",
+    6: "wal_flush",
+    7: "checkpoint_cut",
+    8: "stall",
+    9: "snapshot",
+}
+
+BROADCAST = (1 << 64) - 1
+SNAPSHOT_REASONS = {0: "on-demand", 1: "stall", 2: "signal"}
+
+
+def detail(event_type, a, b):
+    """Decode the (a, b) payload per the conventions in flight_recorder.h."""
+    if event_type == 1:
+        return f"peer={a} bytes={b}"
+    if event_type == 2:
+        peer = "broadcast" if a == BROADCAST else str(a)
+        return f"peer={peer} bytes={b}"
+    if event_type in (3, 4):
+        return f"author={a} round={b}"
+    if event_type == 5:
+        return f"leader={a} round={b}"
+    if event_type == 6:
+        return f"records={a}" + (f" bytes={b}" if b else "")
+    if event_type == 7:
+        return f"round={a} cut={b}"
+    if event_type == 8:
+        return f"busy={a}us budget={b}us"
+    if event_type == 9:
+        return f"reason={SNAPSHOT_REASONS.get(a, a)}"
+    return f"a={a} b={b}"
+
+
+class MalformedDump(Exception):
+    pass
+
+
+class Reader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n):
+        if len(self.data) - self.pos < n:
+            raise MalformedDump("truncated dump")
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u32(self):
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self):
+        return struct.unpack("<Q", self.take(8))[0]
+
+
+def parse(data):
+    """Returns (rings, events); events are (time, seq, label, type, a, b)."""
+    reader = Reader(data)
+    if reader.take(4) != MAGIC:
+        raise MalformedDump("bad magic (not a flightrec dump)")
+    if reader.u32() != VERSION:
+        raise MalformedDump("unknown dump version")
+    ring_count = reader.u32()
+    rings = []
+    events = []
+    for _ in range(ring_count):
+        ring_index = reader.u32()
+        thread_tag = reader.u64()
+        raw_label = reader.take(16).split(b"\0", 1)[0].decode("ascii", "replace")
+        label = raw_label or f"tid:{thread_tag}"
+        count = reader.u32()
+        rings.append((ring_index, thread_tag, label, count))
+        for seq in range(count):
+            at = reader.u64()
+            event_type = reader.u64() & 0xFF
+            a = reader.u64()
+            b = reader.u64()
+            if event_type == 0:
+                continue  # kNone padding from the signal-safe writer
+            # (at, ring_index, seq) keys a stable chronological sort: same-
+            # stamp events keep per-ring claim order.
+            events.append((at, ring_index, seq, label, event_type, a, b))
+    if reader.pos != len(data):
+        raise MalformedDump("trailing bytes after last ring")
+    events.sort(key=lambda e: (e[0], e[1], e[2]))
+    return rings, events
+
+
+def render(rings, events, out, limit=0):
+    if limit and len(events) > limit:
+        out.write(f"# (showing last {limit} of {len(events)} events)\n")
+        events = events[-limit:]
+    out.write(f"{'TIME(us)':>14} {'+DELTA':>10}  {'THREAD':<14}{'EVENT':<16}DETAIL\n")
+    prev = None
+    for at, _ring, _seq, label, event_type, a, b in events:
+        delta = "" if prev is None else f"+{at - prev}"
+        name = EVENT_NAMES.get(event_type, f"type{event_type}")
+        out.write(f"{at:>14} {delta:>10}  {label:<14}{name:<16}{detail(event_type, a, b)}\n")
+        prev = at
+    return len(events)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump", help="flightrec-*.bin file to render")
+    parser.add_argument("--limit", type=int, default=0,
+                        help="show only the last N events (default: all)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.dump, "rb") as f:
+            data = f.read()
+        rings, events = parse(data)
+    except (OSError, MalformedDump) as error:
+        print(f"error: {args.dump}: {error}", file=sys.stderr)
+        return 1
+
+    span_s = (events[-1][0] - events[0][0]) / 1e6 if len(events) > 1 else 0.0
+    print(f"# {args.dump}: {len(rings)} rings, {len(events)} events, "
+          f"{span_s:.2f} s span")
+    render(rings, events, sys.stdout, limit=args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -110,7 +110,8 @@ BENCHES: List[Bench] = [
           gate=("--expect", "BM_ObsRegistryDump",
                 "--max-ns", "BM_ObsCounterAdd/real_time/threads:1", "50",
                 "--max-ns", "BM_ObsHistogramRecord", "50",
-                "--max-ns", "BM_ObsSpanStamp", "50")),
+                "--max-ns", "BM_ObsSpanStamp", "50",
+                "--max-ns", "BM_FlightRecorderEvent/real_time/threads:1", "50")),
 
     # Serial vs conflict-aware parallel apply across the conflict-rate
     # sweep. Parallel must beat serial on the fully disjoint workload; the

@@ -359,6 +359,7 @@ void ExecutionEngine::deliver(std::vector<Delivery> batches, bool complete,
   wave.subdag_complete = complete;
   wave.enqueued_at = pending.enqueued_at;
   wave.block_count = static_cast<std::uint32_t>(pending.subdag.blocks.size());
+  wave.slot = pending.subdag.slot;
   on_delivery_(wave);
 }
 

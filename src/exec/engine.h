@@ -81,6 +81,7 @@ struct WaveDelivery {
   bool subdag_complete = false;
   TimeMicros enqueued_at = 0;     // driver stamp passed to execute()
   std::uint32_t block_count = 0;  // kExecute span weight
+  SlotId slot;                    // the sub-DAG's committed leader slot
 };
 
 using DeliveryHandler = std::function<void(const WaveDelivery&)>;

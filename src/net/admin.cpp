@@ -59,7 +59,13 @@ void AdminServer::on_bytes(TcpConnection* key, BytesView bytes) {
   if (pending.responded) return;  // trailing bytes after the request: ignore
   pending.request.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
   if (pending.request.size() > kMaxRequestBytes) {
-    pending.connection->close();  // erases `pending` via the close handler
+    // Tell the client why instead of dropping the connection mid-request;
+    // Connection: close still ends the exchange.
+    const std::string response = http_response(
+        413, "Content Too Large", "text/plain", "request exceeds 8 KiB\n");
+    pending.responded = true;
+    pending.connection->send_raw(
+        make_shared_frame(Bytes(response.begin(), response.end())));
     return;
   }
   // A request is complete at the end of its header block.

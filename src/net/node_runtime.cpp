@@ -59,8 +59,15 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
       key_(key),
       registry_("validator=\"" + std::to_string(config_.validator.id) + "\""),
       tracer_(registry_),
-      watchdog_(registry_, obs::LoopWatchdogOptions{config_.loop_stall_budget},
+      recorder_(obs::FlightRecorder::Options{config_.flightrec_ring_capacity}),
+      watchdog_(registry_,
+                obs::LoopWatchdogOptions{
+                    .stall_budget = config_.loop_stall_budget,
+                    .on_stall = [this](TimeMicros busy,
+                                       TimeMicros now) { on_loop_stall(busy, now); }},
                 "v" + std::to_string(config_.validator.id)),
+      forensics_(CommitForensics::Options{
+          .trace_capacity = config_.commit_trace_capacity}),
       loop_(config_.io_backend) {
   if (config_.verify_threads == 0) {
     // Inline (serial) ingestion has no workers to host the commit scan.
@@ -124,6 +131,21 @@ NodeRuntime::NodeRuntime(const Committee& committee, crypto::Ed25519PrivateKey k
       &registry_.gauge("mm_ingest_core_verified", "Core ingest stats mirror: verified blocks");
   core_preverified_ = &registry_.gauge("mm_ingest_core_preverified",
                                        "Core ingest stats mirror: preverified blocks");
+  peer_rx_lag_ = &registry_.histogram(
+      "mm_peer_rx_lag_micros",
+      "Receive-side lag: author created_at to local receive stamp, clamped at 0");
+  peer_rx_lag_by_peer_.reserve(committee_.size());
+  for (ValidatorId author = 0; author < committee_.size(); ++author) {
+    peer_rx_lag_by_peer_.push_back(&registry_.histogram(
+        "mm_peer_rx_lag_micros_author" + std::to_string(author),
+        "Receive-side lag for blocks authored by v" + std::to_string(author)));
+  }
+  peer_rx_lag_clamped_ = &registry_.counter(
+      "mm_peer_rx_lag_clamped_total",
+      "Lag samples clamped to 0 (author clock ahead of the local clock)");
+  flightrec_stall_dumps_ = &registry_.counter(
+      "mm_flightrec_stall_dumps_total",
+      "Flight-recorder dump files written by the loop-stall watchdog");
   loop_.set_tick_observer(
       [this](TimeMicros busy, TimeMicros now) { watchdog_.observe_tick(busy, now); });
   core_ = std::make_unique<ValidatorCore>(committee_, key, config_.validator);
@@ -426,6 +448,7 @@ void NodeRuntime::stop() {
 
 void NodeRuntime::loop_main() {
   set_log_context("v" + std::to_string(id()));
+  recorder_.label_thread("loop");
   if (config_.admin_port >= 0) {
     // Before the consensus listener: start() spins on listen_port_, so the
     // admin port must already be published when that gate opens.
@@ -440,6 +463,23 @@ void NodeRuntime::loop_main() {
           if (path == "/metrics.json") {
             content_type = "application/json";
             return obs::render_json(registry_.dump());
+          }
+          if (path == "/status") {
+            content_type = "application/json";
+            return render_status_json();
+          }
+          if (path == "/trace/commits") {
+            // The renderer runs on the loop thread, where forensics_ lives —
+            // no lock needed.
+            content_type = "application/json";
+            return forensics_.to_json();
+          }
+          if (path == "/flightrec") {
+            content_type = "application/octet-stream";
+            recorder_.record_now(obs::FlightEventType::kSnapshot, /*reason=*/0);
+            const Bytes dump = recorder_.snapshot_binary();
+            return std::string(reinterpret_cast<const char*>(dump.data()),
+                               dump.size());
           }
           return std::nullopt;
         });
@@ -542,6 +582,7 @@ void NodeRuntime::on_unidentified_connection(TcpConnectionPtr connection) {
 }
 
 void NodeRuntime::on_peer_frame(ValidatorId peer, BytesView frame) {
+  recorder_.record_now(obs::FlightEventType::kFrameRx, peer, frame.size());
   try {
     serde::Reader r(frame);
     const auto type = static_cast<MessageType>(r.u8());
@@ -553,7 +594,11 @@ void NodeRuntime::on_peer_frame(ValidatorId peer, BytesView frame) {
           // loop thread only copies the frame out of the socket buffer.
           enqueue_block_frame(peer, Bytes(payload.begin(), payload.end()));
         } else {
+          const TimeMicros received_at = steady_now_micros();
           auto block = std::make_shared<const Block>(Block::deserialize(payload));
+          record_rx_lag(*block, received_at);
+          recorder_.record(obs::FlightEventType::kBlockAdmit, received_at,
+                           block->author(), block->round());
           perform(core_->on_block(std::move(block), peer, steady_now_micros()));
         }
         break;
@@ -655,6 +700,7 @@ void NodeRuntime::enqueue_block_frame(ValidatorId peer, Bytes payload) {
 }
 
 void NodeRuntime::verify_pending_frames() {
+  recorder_.label_thread("worker");
   // One drain loop at a time (verify_scheduled_ stays true until the queue
   // is empty): concurrent drains could post their batches to the loop out
   // of arrival order, parking children ahead of their in-flight parents and
@@ -733,6 +779,12 @@ std::size_t NodeRuntime::verify_frames(std::vector<RawFrame> frames) {
                      << to_string(structural);
       continue;
     }
+    // First sight of a structurally valid block: the receive-side lag stamp
+    // (author's created_at against the loop thread's receive stamp) and the
+    // admit event. Dedup above keeps re-deliveries from double-counting.
+    record_rx_lag(*block, frame.received_at);
+    recorder_.record(obs::FlightEventType::kBlockAdmit, frame.received_at,
+                     block->author(), block->round());
     blocks.push_back(std::move(block));
     senders.push_back(frame.peer);
   }
@@ -833,12 +885,15 @@ Bytes NodeRuntime::encode_block(const Block& block) const {
 
 void NodeRuntime::send_to_peer(ValidatorId peer, BytesView frame) {
   if (const auto& connection = outgoing_[peer]; connection && !connection->closed()) {
+    recorder_.record_now(obs::FlightEventType::kFrameTx, peer, frame.size());
     connection->send_frame(frame);
   }
 }
 
 void NodeRuntime::send_shared(ValidatorId target, const SharedFrame& frame) {
   if (target == kAllPeers) {
+    recorder_.record_now(obs::FlightEventType::kFrameTx, ~std::uint64_t{0},
+                         frame->size());
     for (ValidatorId peer = 0; peer < committee_.size(); ++peer) {
       if (peer == id()) continue;
       if (const auto& connection = outgoing_[peer]; connection && !connection->closed()) {
@@ -848,6 +903,7 @@ void NodeRuntime::send_shared(ValidatorId target, const SharedFrame& frame) {
     return;
   }
   if (const auto& connection = outgoing_[target]; connection && !connection->closed()) {
+    recorder_.record_now(obs::FlightEventType::kFrameTx, target, frame->size());
     connection->send_frame(frame);
   }
 }
@@ -883,6 +939,7 @@ void NodeRuntime::enqueue_egress(std::vector<EgressItem> items) {
 }
 
 void NodeRuntime::encode_pending_egress() {
+  recorder_.label_thread("worker");
   // One drain loop at a time (egress_scheduled_ stays true until the queue
   // is empty), so encoded frames post back — and therefore hit the sockets —
   // in enqueue order; a peer then never sees our round r+1 proposal before
@@ -920,6 +977,11 @@ void NodeRuntime::perform(Actions&& actions) {
     wal_->append_block(*block, block->author() == id());
     // Insert stamp: opens the commit-wait span closed by sub_dag_committed.
     tracer_.block_inserted(block->digest(), perform_now);
+    recorder_.record(obs::FlightEventType::kBlockInsert, perform_now,
+                     block->author(), block->round());
+    // Forensics arrival stamp: commit traces attribute wave closure to the
+    // latest of these per sub-DAG.
+    forensics_.block_arrived(block->digest(), perform_now);
   }
   if (!actions.inserted.empty()) {
     // Inline WAL: make the batch durable now, exactly as before. Group
@@ -932,6 +994,7 @@ void NodeRuntime::perform(Actions&& actions) {
       // sync duration.
       tracer_.record_stage(obs::Stage::kWalDurable, steady_now_micros() - perform_now,
                            actions.inserted.size());
+      recorder_.record_now(obs::FlightEventType::kWalFlush, actions.inserted.size());
     } else {
       // Group path: the span closes when the writer's durability ack posts
       // back to the loop thread.
@@ -939,6 +1002,7 @@ void NodeRuntime::perform(Actions&& actions) {
                         count = actions.inserted.size()] {
         tracer_.record_stage(obs::Stage::kWalDurable,
                              steady_now_micros() - appended_at, count);
+        recorder_.record_now(obs::FlightEventType::kWalFlush, count);
       });
     }
     // Parallel commit: the insertion stream feeds the worker-side replica;
@@ -1016,6 +1080,16 @@ void NodeRuntime::perform(Actions&& actions) {
     // retired wave (on_wave_delivered) and only the commit-wait spans close
     // here.
     const TimeMicros committed_at = steady_now_micros();
+    recorder_.record(obs::FlightEventType::kCommit, committed_at,
+                     sub_dag.leader != nullptr ? sub_dag.leader->author() : 0,
+                     sub_dag.slot.round);
+    // The commit trace: arrival offsets were stamped at insert time; the
+    // post-decision breakdown fills in below (apply inline, durable on the
+    // WAL ack, execute at delivery).
+    CommitTrace& trace = forensics_.on_committed(sub_dag, committed_at);
+    trace.scan_micros = last_scan_micros_.load(std::memory_order_relaxed);
+    trace.durable_pending = true;
+    trace.execute_pending = exec_engine_ != nullptr;
     tracer_.sub_dag_committed(sub_dag, committed_at,
                               /*record_finality=*/exec_engine_ == nullptr);
     if (commit_handler_) {
@@ -1024,14 +1098,26 @@ void NodeRuntime::perform(Actions&& actions) {
       if (exec_engine_ == nullptr) {
         // Without an engine the handler IS the execution stage; with one the
         // kExecute span is recorded at wave retirement instead.
-        tracer_.record_stage(obs::Stage::kExecute, steady_now_micros() - execute_start,
+        const TimeMicros handler_micros = steady_now_micros() - execute_start;
+        tracer_.record_stage(obs::Stage::kExecute, handler_micros,
                              sub_dag.blocks.size());
+        trace.execute_micros = handler_micros;
       }
     }
     if (exec_engine_ != nullptr) {
       // Single-drain handoff to the merge thread (inline apply when
       // execution_threads == 0); commit order is preserved by the queue.
       exec_engine_->execute(sub_dag, committed_at);
+    }
+    trace.apply_micros = steady_now_micros() - committed_at;
+  }
+  if (!actions.committed.empty()) {
+    // Durable breakdown: the next group flush covers every commit above (the
+    // decisions ride the same WAL); inline WALs are already durable here.
+    if (group_wal_ != nullptr) {
+      wal_->on_durable([this] { forensics_.durable_ack(steady_now_micros()); });
+    } else {
+      forensics_.durable_ack(steady_now_micros());
     }
   }
   highest_round_->set(static_cast<std::int64_t>(core_->dag().highest_round()));
@@ -1060,6 +1146,9 @@ void NodeRuntime::on_wave_delivered(const exec::WaveDelivery& wave) {
   if (wave.subdag_complete) {
     tracer_.record_stage(obs::Stage::kExecute, now - wave.enqueued_at,
                          std::max<std::uint32_t>(wave.block_count, 1));
+    // Resolve the commit trace's execute breakdown on the loop thread, where
+    // forensics_ lives (this callback may be on the merge thread).
+    loop_.post([this, slot = wave.slot, now] { forensics_.execute_done(slot, now); });
   }
 }
 
@@ -1078,6 +1167,7 @@ void NodeRuntime::enqueue_commit_blocks(const std::vector<BlockPtr>& blocks) {
 }
 
 void NodeRuntime::scan_pending_commits() {
+  recorder_.label_thread("worker");
   // One drain loop at a time (commit_scan_scheduled_ stays true until the
   // queue is empty): the replica and its scanner are single-threaded state,
   // and decision batches must reach the loop thread in scan order — the
@@ -1103,7 +1193,11 @@ void NodeRuntime::scan_pending_commits() {
     const TimeMicros scan_start = steady_now_micros();
     commit_scanner_->ingest(blocks);
     std::vector<SlotDecision> decisions = commit_scanner_->scan();
-    tracer_.record_stage(obs::Stage::kCommitScan, steady_now_micros() - scan_start);
+    const TimeMicros scan_elapsed = steady_now_micros() - scan_start;
+    tracer_.record_stage(obs::Stage::kCommitScan, scan_elapsed);
+    // Commit traces read the latest scan duration when they are built on the
+    // loop thread.
+    last_scan_micros_.store(scan_elapsed, std::memory_order_relaxed);
     commit_scans_->add();
     if (decisions.empty()) continue;
     loop_.post([this, decisions = std::move(decisions)] {
@@ -1290,6 +1384,8 @@ void NodeRuntime::finish_checkpoint(std::uint64_t epoch, std::uint64_t cut_index
   checkpoint_in_flight_ = false;
   if (horizon > last_checkpoint_horizon_) last_checkpoint_horizon_ = horizon;
   checkpoints_written_->add();
+  recorder_.record_now(obs::FlightEventType::kCheckpointCut, data->head.round,
+                       cut_index);
   if (is_base) {
     chain_links_.clear();
     chain_base_seq_ = data->sequence;
@@ -1685,6 +1781,101 @@ void NodeRuntime::admit_batches(std::vector<TxBatch> batches) {
                   << submitted << " submitted batches (backpressure)";
   }
   nudge_proposal();
+}
+
+void NodeRuntime::record_rx_lag(const Block& block, TimeMicros received_at) {
+  const TimeMicros created_at = block.created_at();
+  if (created_at == 0) return;  // unstamped (genesis, old tooling)
+  TimeMicros lag = received_at - created_at;
+  if (lag < 0) {
+    // Author's clock runs ahead of ours: clamp, like the tracer, and count
+    // the clamp so skewed clusters are visible.
+    lag = 0;
+    peer_rx_lag_clamped_->add();
+  }
+  peer_rx_lag_->record(lag);
+  if (block.author() < peer_rx_lag_by_peer_.size()) {
+    peer_rx_lag_by_peer_[block.author()]->record(lag);
+  }
+}
+
+void NodeRuntime::on_loop_stall(TimeMicros busy_micros, TimeMicros now) {
+  // Loop thread (the watchdog is fed by the loop's tick observer), rate-
+  // limited to one call per warn interval by the watchdog itself.
+  recorder_.record(obs::FlightEventType::kStall, now,
+                   static_cast<std::uint64_t>(busy_micros),
+                   static_cast<std::uint64_t>(config_.loop_stall_budget));
+  if (config_.flightrec_dir.empty()) return;
+  recorder_.record(obs::FlightEventType::kSnapshot, now, /*reason=*/1);
+  const std::string path = config_.flightrec_dir + "/flightrec-v" +
+                           std::to_string(id()) + "-" +
+                           std::to_string(flightrec_dump_seq_++) + ".bin";
+  if (recorder_.dump_to_file(path)) {
+    flightrec_stall_dumps_->add();
+    MM_LOG(kWarn) << "v" << id() << " flight recorder dumped to " << path;
+  } else {
+    MM_LOG(kWarn) << "v" << id() << " flight recorder dump failed: " << path;
+  }
+}
+
+std::string NodeRuntime::render_status_json() {
+  // Loop thread only: reads core/committer/chain state the loop owns.
+  const auto append_u64 = [](std::string& out, std::uint64_t v) {
+    out += std::to_string(v);
+  };
+  const SlotId head = core_->committer().next_pending_slot();
+  std::string out = "{\"validator\":";
+  append_u64(out, id());
+  out += ",\"ticking\":";
+  out += ticking_ ? "true" : "false";
+  out += ",\"highest_round\":";
+  append_u64(out, core_->dag().highest_round());
+  out += ",\"head\":{\"round\":";
+  append_u64(out, head.round);
+  out += ",\"leader_offset\":";
+  append_u64(out, head.leader_offset);
+  out += "},\"committed_blocks\":";
+  append_u64(out, committed_blocks_->value());
+  out += ",\"committed_transactions\":";
+  append_u64(out, committed_tx_->value());
+  out += ",\"peers\":[";
+  for (ValidatorId peer = 0; peer < committee_.size(); ++peer) {
+    if (peer > 0) out.push_back(',');
+    out += "{\"id\":";
+    append_u64(out, peer);
+    out += ",\"connected\":";
+    if (peer == id()) {
+      out += "true";  // ourselves
+    } else {
+      out += outgoing_[peer] != nullptr && !outgoing_[peer]->closed() ? "true"
+                                                                      : "false";
+    }
+    out += "}";
+  }
+  out += "],\"mempool\":{\"batches\":";
+  append_u64(out, mempool_->size());
+  out += ",\"bytes\":";
+  append_u64(out, mempool_->bytes());
+  out += "},\"checkpoint\":{\"active\":";
+  out += checkpointing_ ? "true" : "false";
+  out += ",\"sequence\":";
+  append_u64(out, checkpoint_seq_);
+  out += ",\"horizon\":";
+  append_u64(out, last_checkpoint_horizon_);
+  out += ",\"chain_links\":";
+  append_u64(out, chain_links_.size());
+  std::size_t certified = 0;
+  for (const auto& link : chain_links_) certified += link.cert != nullptr;
+  out += ",\"certified_links\":";
+  append_u64(out, certified);
+  out += "},\"flightrec\":{\"rings\":";
+  append_u64(out, recorder_.ring_count());
+  out += ",\"stall_dumps\":";
+  append_u64(out, flightrec_stall_dumps_->value());
+  out += "},\"commit_traces\":";
+  append_u64(out, forensics_.traces().size());
+  out += "}";
+  return out;
 }
 
 void NodeRuntime::nudge_proposal() {

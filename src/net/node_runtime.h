@@ -89,11 +89,13 @@
 #include "checkpoint/checkpoint.h"
 #include "checkpoint/segmented_wal.h"
 #include "core/commit_scanner.h"
+#include "core/commit_trace.h"
 #include "exec/engine.h"
 #include "net/admin.h"
 #include "net/event_loop.h"
 #include "net/tcp.h"
 #include "net/worker_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
@@ -164,6 +166,14 @@ struct NodeRuntimeConfig {
   // budget counts as a stall (mm_loop_stalls_total) and logs a rate-limited
   // warning. The tick histogram and max-stall gauge record regardless.
   TimeMicros loop_stall_budget = millis(250);
+  // Flight-recorder auto-dump directory: when non-empty, a watchdog stall
+  // writes flightrec-v<id>-<n>.bin there (rate-limited with the stall warn).
+  // The recorder itself is always on; empty only disables the stall dumps.
+  std::string flightrec_dir;
+  // Slots per flight-recorder thread ring (power of two; 32 bytes each).
+  std::size_t flightrec_ring_capacity = 4096;
+  // Recent commit traces kept for /trace/commits (core/commit_trace.h).
+  std::size_t commit_trace_capacity = 64;
 };
 
 class NodeRuntime {
@@ -205,6 +215,13 @@ class NodeRuntime {
   // The admin endpoint's bound port once start() returned (-1 when
   // config.admin_port was -1).
   int admin_port() const { return admin_port_.load(std::memory_order_relaxed); }
+
+  // The always-on flight recorder: per-thread event rings, snapshotted by
+  // the /flightrec admin endpoint and auto-dumped on watchdog stalls
+  // (config.flightrec_dir). Thread-safe.
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+  // Stall-triggered dump files written so far (mm_flightrec_stall_dumps_total).
+  std::uint64_t flightrec_stall_dumps() const { return flightrec_stall_dumps_->value(); }
 
   // Thread-safe counters — thin reads of the registry metrics.
   std::uint64_t committed_transactions() const { return committed_tx_->value(); }
@@ -450,6 +467,18 @@ class NodeRuntime {
   // registry_. Constructor tail, after those sources exist.
   void register_callback_metrics();
 
+  // Folds one block's receive-side lag (local receive stamp minus the
+  // author's created_at, clamped at 0) into the aggregate and per-peer
+  // histograms. Unstamped blocks (created_at == 0) are skipped. Any thread.
+  void record_rx_lag(const Block& block, TimeMicros received_at);
+  // /status body: loop-thread node state as JSON (head, peers, mempool,
+  // checkpoint chain tip). Loop thread only — it reads core state.
+  std::string render_status_json();
+  // Watchdog on_stall callback (loop thread, rate-limited with the warn):
+  // stamps a kStall event and, with config.flightrec_dir set, dumps the
+  // recorder to flightrec-v<id>-<n>.bin.
+  void on_loop_stall(TimeMicros busy_micros, TimeMicros now);
+
   // Execution-delivery callback: finality stamps per retired wave and the
   // kExecute span when the sub-DAG completes. Runs on the engine's merge
   // thread (execution_threads > 0) or inline on the loop thread — every
@@ -466,7 +495,12 @@ class NodeRuntime {
   // handles below point into it. Destroyed last among them (reverse order).
   obs::Registry registry_;
   obs::LifecycleTracer tracer_;
+  // Before the watchdog: its on_stall closure dumps the recorder.
+  obs::FlightRecorder recorder_;
   obs::LoopWatchdog watchdog_;
+  // Commit forensics (loop thread only): arrival stamps + recent commit
+  // traces, served as JSON on /trace/commits.
+  CommitForensics forensics_;
   // Shared with the core (ValidatorConfig::mempool_instance): submissions
   // are admitted on client/worker threads, drains happen on the loop thread.
   std::shared_ptr<ShardedMempool> mempool_;
@@ -584,6 +618,21 @@ class NodeRuntime {
   obs::Counter* committed_tx_;
   obs::Counter* committed_blocks_;
   obs::Gauge* highest_round_;
+
+  // Receive-side lag forensics: created_at (author clock) -> local receive,
+  // clamped at 0. One aggregate histogram plus one per peer; negative deltas
+  // (clock skew) clamp and count. Recorded on verify workers or the loop
+  // thread — histograms/counters are thread-safe.
+  obs::Histogram* peer_rx_lag_;
+  std::vector<obs::Histogram*> peer_rx_lag_by_peer_;  // index = author
+  obs::Counter* peer_rx_lag_clamped_;
+  obs::Counter* flightrec_stall_dumps_;
+  // Sequence for stall-dump file names (loop thread only).
+  std::uint64_t flightrec_dump_seq_ = 0;
+  // Duration of the most recent off-loop commit scan, read when a trace is
+  // built on the loop thread (0 in serial mode, where the scan is inside
+  // ValidatorCore::on_blocks).
+  std::atomic<TimeMicros> last_scan_micros_{0};
 
   // Off-loop verification pipeline.
   std::unique_ptr<WorkerPool> verify_pool_;

@@ -117,7 +117,14 @@ struct HistogramSnapshot {
     return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
   }
   // Upper bound of the bucket holding the p-th percentile (p in [0,1]); the
-  // true value is <= this. Returns 0 for an empty histogram.
+  // true value is <= this. Chosen semantics, pinned by test_obs:
+  //   * Empty histogram: 0 for every p (there is nothing to rank; callers
+  //     must check count() if they need to distinguish "empty" from "fast").
+  //   * Mass only in bucket 0 (all samples were 0, e.g. sub-microsecond
+  //     latencies): 0 for every p — bucket 0's upper bound is exactly 0.
+  //   * p <= 0 returns the first non-empty bucket's bound; p >= 1 returns
+  //     the last non-empty bucket's bound (p100 of a single-sample histogram
+  //     is that sample's bucket bound, never the histogram's max range).
   std::uint64_t percentile(double p) const;
 };
 

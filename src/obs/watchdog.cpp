@@ -24,6 +24,7 @@ void LoopWatchdog::observe_tick(TimeMicros busy_micros, TimeMicros now) {
   last_warn_ = now;
   MM_LOG(kWarn) << "loop stall: " << tag_ << " tick busy " << busy_micros << "us exceeds budget "
                 << options_.stall_budget << "us (" << stalls_->value() << " stalls total)";
+  if (options_.on_stall) options_.on_stall(busy_micros, now);
 }
 
 }  // namespace mahimahi::obs

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/time.h"
@@ -25,6 +26,10 @@ struct LoopWatchdogOptions {
   TimeMicros stall_budget = millis(250);
   // Minimum spacing between MM_LOG(kWarn) lines.
   TimeMicros warn_interval = seconds(1);
+  // Fired on a stall, rate-limited together with the warn line (at most one
+  // call per warn_interval) so a wedged loop triggers one forensic action —
+  // the runtime dumps its flight recorder here — not one per tick.
+  std::function<void(TimeMicros busy_micros, TimeMicros now)> on_stall;
 };
 
 class LoopWatchdog {

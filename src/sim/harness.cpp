@@ -260,6 +260,16 @@ struct SimHarness::Impl {
       inbox_scheduled[to] = 1;
       queue.schedule(queue.now(), [this, to] { drain_inbox(to); });
     }
+    // Validator 0's creation-to-arrival lag, the sim twin of the runtime's
+    // mm_peer_rx_lag_micros (virtual clocks share a basis, so no clamping).
+    if (to == 0) {
+      for (const auto& item : items) {
+        if (item.block->created_at() > 0) {
+          peer_rx_lag->record(
+              static_cast<std::int64_t>(queue.now() - item.block->created_at()));
+        }
+      }
+    }
     handle_actions(to, nodes[to]->on_blocks(std::move(items), queue.now()));
   }
 
@@ -317,6 +327,7 @@ struct SimHarness::Impl {
     if (v == 0) {
       for (const auto& block : actions.inserted) {
         tracer.block_inserted(block->digest(), queue.now());
+        forensics.block_arrived(block->digest(), queue.now());
       }
     }
 
@@ -603,6 +614,8 @@ struct SimHarness::Impl {
     }
     if (!stage.records.empty()) wal_groups_flushed->add();
     stage.records.clear();
+    // The covering flush makes every commit since the previous one durable.
+    if (v == 0) forensics.durable_ack(queue.now());
     const auto gated = std::move(stage.gated_broadcasts);
     stage.gated_broadcasts.clear();
     for (const auto& group : gated) dispatch_broadcast(v, group);
@@ -628,7 +641,15 @@ struct SimHarness::Impl {
     // weighted finality histogram, deterministic in virtual time. With the
     // execution model on, finality moves to wave-delivery time
     // (exec_run_wave) — only the commit-wait spans close here.
-    if (v == 0) tracer.sub_dag_committed(sub_dag, now, !config.execute_app);
+    if (v == 0) {
+      tracer.sub_dag_committed(sub_dag, now, !config.execute_app);
+      // Forensic trace in virtual time. Durable resolves at the covering
+      // group flush (inline WAL appends are synchronous in the sim: 0);
+      // execute resolves when the wave schedule retires the sub-DAG.
+      CommitTrace& trace = forensics.on_committed(sub_dag, now);
+      trace.durable_pending = group_commit_active(0);
+      trace.execute_pending = config.execute_app && execs[0] != nullptr;
+    }
     if (config.execute_app && execs[v] != nullptr) {
       execs[v]->log.push_back(sub_dag);
       execs[v]->pending.push_back(sub_dag);
@@ -701,6 +722,7 @@ struct SimHarness::Impl {
       if (delivery.early) ++exec_early_;
       if (v == 0) tracer.batch_delivered(delivery.submitted_at, delivery.count, now);
     }
+    if (last && v == 0) forensics.execute_done(ex.current.slot, now);
     if (last) ex.plan.reset();
     return last;
   }
@@ -1013,6 +1035,7 @@ struct SimHarness::Impl {
       result.exec_early_deliveries = exec_early_;
       result.exec_order_violations = exec_order_violations_;
     }
+    result.commit_traces = forensics.traces();
     result.metrics = registry.dump();
     if (config.record_sequences) {
       result.sequences = std::move(sequences);
@@ -1117,6 +1140,14 @@ struct SimHarness::Impl {
   // one table would cross-talk the commit-wait spans.
   obs::Registry registry{"sim=\"1\""};
   obs::LifecycleTracer tracer{registry};
+  // Validator 0's commit forensics, same reporter rule as the tracer: block
+  // digests are committee-global, so one validator's arrival table stays
+  // coherent. Every stamp is virtual time — traces (and their JSON) are a
+  // pure function of (config, seed). Capacity covers a full run; nothing
+  // ages out mid-experiment.
+  CommitForensics forensics{CommitForensics::Options{.trace_capacity = 1 << 16}};
+  obs::Histogram* peer_rx_lag = &registry.histogram(
+      "mm_peer_rx_lag_micros", "Peer block creation-to-arrival lag at validator 0");
   obs::Counter* committed_tx = &registry.counter(
       "mm_committed_transactions_total", "Origin-side committed transactions (in-window)");
   obs::Counter* submitted_tx = &registry.counter("mm_submitted_transactions_total",

@@ -15,11 +15,13 @@
 //     each block becomes referencable, and blocks carry certificate bytes).
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "client/metrics.h"
+#include "core/commit_trace.h"
 #include "core/options.h"
 #include "obs/metrics.h"
 #include "sim/adversary.h"
@@ -249,6 +251,12 @@ struct SimResult {
   // transaction-weighted finality histogram, stamped in virtual time — the
   // dump is deterministic for a fixed config and seed).
   obs::MetricsSnapshot metrics;
+
+  // Validator 0's commit forensics, one trace per committed wave with
+  // straggler attribution (arrival offsets, closing block, pipeline
+  // breakdown), all stamped in virtual time. commit_traces_json() of this
+  // deque is byte-identical across runs with the same config and seed.
+  std::deque<CommitTrace> commit_traces;
 
   // Per-validator delivered sequences (only if record_sequences was set).
   std::vector<std::vector<BlockRef>> sequences;

@@ -5,15 +5,17 @@
 namespace mahimahi {
 
 namespace {
-constexpr std::string_view kDigestDomain = "mahi-mahi/block/v1";
+// v2 added the author creation timestamp to the digested content.
+constexpr std::string_view kDigestDomain = "mahi-mahi/block/v2";
 }
 
 Block Block::make(ValidatorId author, Round round, std::vector<BlockRef> parents,
                   std::vector<TxBatch> batches, crypto::CoinShare coin_share,
-                  const crypto::Ed25519PrivateKey& key) {
+                  const crypto::Ed25519PrivateKey& key, TimeMicros created_at) {
   Block b;
   b.author_ = author;
   b.round_ = round;
+  b.created_at_ = created_at < 0 ? 0 : created_at;
   b.parents_ = std::move(parents);
   b.batches_ = std::move(batches);
   b.coin_share_ = coin_share;
@@ -39,8 +41,9 @@ std::uint64_t Block::transaction_count() const {
 }
 
 std::uint64_t Block::wire_bytes() const {
-  // Header approximation: author, round, parents, coin share, signature.
-  std::uint64_t total = 4 + 9 + parents_.size() * 44 + 32 + 64;
+  // Header approximation: author, round, timestamp, parents, coin share,
+  // signature.
+  std::uint64_t total = 4 + 9 + 9 + parents_.size() * 44 + 32 + 64;
   for (const auto& batch : batches_) total += 24 + batch.wire_bytes();
   return total;
 }
@@ -50,6 +53,7 @@ Bytes Block::content_bytes() const {
   w.raw(as_bytes_view(kDigestDomain));
   w.u32(author_);
   w.varint(round_);
+  w.varint(static_cast<std::uint64_t>(created_at_));
   w.varint(parents_.size());
   for (const auto& parent : parents_) {
     w.varint(parent.round);
@@ -85,6 +89,7 @@ Block Block::deserialize(BytesView data) {
   Block b;
   b.author_ = r.u32();
   b.round_ = r.varint();
+  b.created_at_ = static_cast<TimeMicros>(r.varint());
   const std::uint64_t parent_count = r.varint();
   if (parent_count > 1 << 20) throw serde::SerdeError("absurd parent count");
   b.parents_.reserve(parent_count);

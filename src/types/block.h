@@ -3,7 +3,10 @@
 // A block carries (1) author and signature, (2) round number, (3) a list of
 // transaction batches, (4) hash references to parent blocks — at least 2f+1
 // distinct authors from round R-1, by convention the author's own previous
-// block first — and (5) a share of the global perfect coin for round R.
+// block first — (5) a share of the global perfect coin for round R, and
+// (6) the author's creation timestamp, the anchor for receive-side lag
+// forensics (mm_peer_rx_lag_micros). The timestamp is advisory: it is in
+// the author's clock domain, consumers clamp, and consensus never reads it.
 //
 // The digest commits to everything except the signature; the signature signs
 // the digest. Blocks are immutable after construction.
@@ -12,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/time.h"
 #include "crypto/coin.h"
 #include "crypto/ed25519.h"
 #include "types/ids.h"
@@ -23,9 +27,11 @@ class Block {
  public:
   // Constructs and signs a block. `parents` must already satisfy the
   // structural rules (the proposer guarantees this; validation re-checks).
+  // `created_at` is the author-clock creation stamp (0 = unstamped; lag
+  // consumers skip unstamped blocks).
   static Block make(ValidatorId author, Round round, std::vector<BlockRef> parents,
                     std::vector<TxBatch> batches, crypto::CoinShare coin_share,
-                    const crypto::Ed25519PrivateKey& key);
+                    const crypto::Ed25519PrivateKey& key, TimeMicros created_at = 0);
 
   // The deterministic genesis block of `author` (round 0, no parents, no
   // transactions, zero signature). Never transmitted: every validator
@@ -39,6 +45,9 @@ class Block {
   const crypto::CoinShare& coin_share() const { return coin_share_; }
   const crypto::Ed25519Signature& signature() const { return signature_; }
   const Digest& digest() const { return digest_; }
+  // Author-clock creation stamp in micros; 0 when the author did not stamp
+  // (genesis, old tooling). Advisory only — never read by consensus rules.
+  TimeMicros created_at() const { return created_at_; }
 
   BlockRef ref() const { return BlockRef{round_, author_, digest_}; }
 
@@ -64,6 +73,7 @@ class Block {
 
   ValidatorId author_ = 0;
   Round round_ = 0;
+  TimeMicros created_at_ = 0;
   std::vector<BlockRef> parents_;
   std::vector<TxBatch> batches_;
   crypto::CoinShare coin_share_;

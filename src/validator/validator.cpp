@@ -518,7 +518,7 @@ void ValidatorCore::maybe_propose(TimeMicros now, Actions& actions) {
     marker.tx_bytes = 0;
     auto twin = std::make_shared<const Block>(
         Block::make(config_.id, target, own_last_block_->parents(), {marker},
-                    committee_.coin().share(config_.id, target), key_));
+                    committee_.coin().share(config_.id, target), key_, now));
     dag_.insert(twin);
     actions.broadcast.push_back(twin);
     actions.inserted.push_back(twin);
@@ -532,7 +532,6 @@ void ValidatorCore::maybe_propose(TimeMicros now, Actions& actions) {
 }
 
 BlockPtr ValidatorCore::build_own_block(Round round, TimeMicros now) {
-  (void)now;
   // Parents: own previous block first (§2.3), then one block per distinct
   // author of round-1, then any remaining unreferenced tips below `round`.
   std::vector<BlockRef> parents;
@@ -555,9 +554,11 @@ BlockPtr ValidatorCore::build_own_block(Round round, TimeMicros now) {
   std::vector<TxBatch> batches =
       mempool_->drain(config_.max_block_batches, config_.max_block_payload_bytes);
 
+  // `now` is the driver's clock (steady micros live, virtual in the sim):
+  // the created_at stamp peers fold into their rx-lag forensics.
   return std::make_shared<const Block>(
       Block::make(config_.id, round, std::move(parents), std::move(batches),
-                  committee_.coin().share(config_.id, round), key_));
+                  committee_.coin().share(config_.id, round), key_, now));
 }
 
 }  // namespace mahimahi

@@ -8,10 +8,13 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 
 #include "net/node_runtime.h"
+#include "obs/flight_recorder.h"
 
 namespace mahimahi::net {
 namespace {
@@ -54,6 +57,49 @@ std::string http_get(int port, const std::string& path) {
   std::string response;
   char buffer[4096];
   std::size_t body_needed = std::string::npos;  // headers + Content-Length body
+  for (;;) {
+    if (body_needed == std::string::npos) {
+      const auto header_end = response.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        std::size_t content_length = 0;
+        const auto field = response.find("Content-Length: ");
+        if (field != std::string::npos && field < header_end)
+          content_length = std::stoul(response.substr(field + 16));
+        body_needed = header_end + 4 + content_length;
+      }
+    }
+    if (body_needed != std::string::npos && response.size() >= body_needed) break;
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// Sends an arbitrary byte payload to the admin port and reads whatever comes
+// back until the server stops sending (bad-request paths: no Content-Length
+// contract to honor).
+std::string http_raw(int port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  std::size_t body_needed = std::string::npos;
   for (;;) {
     if (body_needed == std::string::npos) {
       const auto header_end = response.find("\r\n\r\n");
@@ -227,6 +273,8 @@ class TcpClusterTest : public ::testing::Test {
     config.validator.wal_group_commit = wal_group_commit_;
     config.validator.egress_offload = egress_offload_;
     config.admin_port = admin_port_;
+    config.loop_stall_budget = loop_stall_budget_;
+    config.flightrec_dir = flightrec_dir_;
     return std::make_unique<NodeRuntime>(setup_.committee,
                                          setup_.keypairs[v].private_key, config);
   }
@@ -246,6 +294,10 @@ class TcpClusterTest : public ::testing::Test {
   std::shared_ptr<VerifierCache> shared_cache_;
   // Admin/metrics endpoint; -1 = disabled, 0 = ephemeral port.
   int admin_port_ = -1;
+  // Flight-recorder knobs: a tiny budget makes every busy tick a "stall",
+  // and a dump directory arms the watchdog's auto-dump.
+  TimeMicros loop_stall_budget_ = millis(250);
+  std::string flightrec_dir_;
 
   // Builds a 4-node localhost cluster on ephemeral ports. The chosen
   // addresses stay in addresses_, so a node restarted later (make_node)
@@ -391,6 +443,151 @@ TEST_F(TcpClusterTest, AdminEndpointServesMetricsMidRun) {
     return true;
   }));
   for (auto& node : nodes) node->stop();
+}
+
+TEST_F(TcpClusterTest, AdminIntrospectionStatusTracesAndFlightrec) {
+  admin_port_ = 0;
+  auto nodes = make_cluster();
+  for (auto& node : nodes) node->start();
+  for (ValidatorId v = 0; v < 4; ++v) {
+    TxBatch batch;
+    batch.id = 7200 + v;
+    batch.count = 25;
+    batch.submitted_at = steady_now_micros();
+    nodes[v]->submit({batch});
+  }
+  ASSERT_TRUE(wait_for([&] {
+    for (const auto& node : nodes) {
+      if (node->committed_transactions() < 100) return false;
+    }
+    return true;
+  }));
+
+  // /status: live node state as JSON, including connectivity and the head.
+  const std::string status = http_get(nodes[0]->admin_port(), "/status");
+  ASSERT_NE(status.find("HTTP/1.1 200 OK"), std::string::npos) << status.substr(0, 200);
+  EXPECT_NE(status.find("application/json"), std::string::npos);
+  for (const char* needle : {
+           "\"validator\":0", "\"ticking\":true", "\"highest_round\":",
+           "\"head\":{\"round\":", "\"committed_transactions\":",
+           "\"peers\":[{\"id\":0,\"connected\":true}",
+           "\"mempool\":{\"batches\":", "\"checkpoint\":{\"active\":",
+           "\"flightrec\":{\"rings\":", "\"commit_traces\":",
+       }) {
+    EXPECT_NE(status.find(needle), std::string::npos) << "missing: " << needle;
+  }
+  // Every peer link is up on a healthy 4-node mesh.
+  EXPECT_EQ(status.find("\"connected\":false"), std::string::npos);
+
+  // /trace/commits: the forensics buffer, wave attribution included. The
+  // cluster has committed dozens of waves, so traces carry real arrivals.
+  const std::string traces = http_get(nodes[1]->admin_port(), "/trace/commits");
+  ASSERT_NE(traces.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(traces.find("application/json"), std::string::npos);
+  for (const char* needle : {
+           "{\"traces\":[", "\"slot\":{\"round\":", "\"closing\":{\"author\":",
+           "\"closed_wave\":true", "\"arrivals\":[", "\"durable_micros\":",
+       }) {
+    EXPECT_NE(traces.find(needle), std::string::npos) << "missing: " << needle;
+  }
+
+  // /flightrec: a binary snapshot of the recorder, decodable as-is, holding
+  // pipeline events from the loop and worker threads plus the on-demand
+  // snapshot marker the endpoint itself stamps.
+  const std::string dump = http_get(nodes[2]->admin_port(), "/flightrec");
+  ASSERT_NE(dump.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(dump.find("application/octet-stream"), std::string::npos);
+  const auto body_start = dump.find("\r\n\r\n") + 4;
+  const Bytes body(dump.begin() + static_cast<std::ptrdiff_t>(body_start), dump.end());
+  ASSERT_GE(body.size(), 12u);
+  const auto events = obs::FlightRecorder::decode({body.data(), body.size()});
+  ASSERT_FALSE(events.empty());
+  bool saw_commit = false, saw_snapshot = false, saw_loop_label = false;
+  for (const auto& event : events) {
+    saw_commit |= event.type == obs::FlightEventType::kCommit;
+    saw_snapshot |= event.type == obs::FlightEventType::kSnapshot;
+    saw_loop_label |= event.label == "loop";
+  }
+  EXPECT_TRUE(saw_commit);
+  EXPECT_TRUE(saw_snapshot);
+  EXPECT_TRUE(saw_loop_label);
+
+  for (auto& node : nodes) node->stop();
+}
+
+TEST_F(TcpClusterTest, AdminRejectsBadRequests) {
+  admin_port_ = 0;
+  auto nodes = make_cluster();
+  for (auto& node : nodes) node->start();
+  ASSERT_TRUE(wait_for([&] { return nodes[0]->admin_port() > 0; }));
+  const int port = nodes[0]->admin_port();
+
+  // Non-GET methods: 405, with the connection still answering cleanly.
+  const std::string post =
+      http_raw(port, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("405 Method Not Allowed"), std::string::npos);
+
+  // A malformed request line (not even HTTP) gets the same deterministic
+  // rejection instead of a hung or dropped connection.
+  const std::string garbage = http_raw(port, "\x01\x02garbage\r\n\r\n");
+  EXPECT_NE(garbage.find("405"), std::string::npos);
+
+  // An oversized request (no terminator, 10 KiB of header spill) draws a
+  // 413 once it crosses the 8 KiB cap — told why, not silently dropped.
+  const std::string oversized =
+      http_raw(port, "GET /metrics HTTP/1.1\r\n" + std::string(10 * 1024, 'x'));
+  EXPECT_NE(oversized.find("413 Content Too Large"), std::string::npos);
+
+  // The admin plane still serves real scrapes afterwards.
+  const std::string ok = http_get(port, "/status");
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+  for (auto& node : nodes) node->stop();
+}
+
+TEST_F(TcpClusterTest, WatchdogStallAutoDumpsFlightRecorder) {
+  // A 1 us budget makes the first busy tick a "stall"; the watchdog must
+  // leave a decodable flightrec-v<id>-<n>.bin in the configured directory.
+  loop_stall_budget_ = 1;
+  flightrec_dir_ = ::testing::TempDir() + "flightrec_stall_test";
+  std::filesystem::remove_all(flightrec_dir_);
+  std::filesystem::create_directories(flightrec_dir_);
+  auto nodes = make_cluster();
+  for (auto& node : nodes) node->start();
+  for (ValidatorId v = 0; v < 4; ++v) {
+    TxBatch batch;
+    batch.id = 7300 + v;
+    batch.count = 25;
+    batch.submitted_at = steady_now_micros();
+    nodes[v]->submit({batch});
+  }
+  ASSERT_TRUE(wait_for([&] { return nodes[0]->flightrec_stall_dumps() > 0; }));
+  for (auto& node : nodes) node->stop();
+
+  // The dump is on disk, carries the magic, and decodes into a timeline
+  // that includes the stall marker and the stall-triggered snapshot stamp.
+  std::vector<std::filesystem::path> dumps;
+  for (const auto& entry : std::filesystem::directory_iterator(flightrec_dir_)) {
+    if (entry.path().filename().string().rfind("flightrec-v0-", 0) == 0) {
+      dumps.push_back(entry.path());
+    }
+  }
+  ASSERT_FALSE(dumps.empty());
+  std::ifstream in(dumps.front(), std::ios::binary);
+  const Bytes data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  ASSERT_GE(data.size(), 12u);
+  EXPECT_EQ(std::memcmp(data.data(), "MMFR", 4), 0);
+  const auto events = obs::FlightRecorder::decode({data.data(), data.size()});
+  ASSERT_FALSE(events.empty());
+  bool saw_stall = false, saw_stall_snapshot = false;
+  for (const auto& event : events) {
+    saw_stall |= event.type == obs::FlightEventType::kStall;
+    saw_stall_snapshot |=
+        event.type == obs::FlightEventType::kSnapshot && event.a == 1;
+  }
+  EXPECT_TRUE(saw_stall);
+  EXPECT_TRUE(saw_stall_snapshot);
+  std::filesystem::remove_all(flightrec_dir_);
 }
 
 TEST_F(TcpClusterTest, SharedVerifierCacheSkipsRepeatVerification) {

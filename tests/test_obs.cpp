@@ -5,13 +5,18 @@
 // context, and deterministic sim-time spans end to end.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "client/metrics.h"
 #include "common/log.h"
+#include "core/commit_trace.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
@@ -71,6 +76,37 @@ TEST(ObsHistogram, PercentileWalksCumulative) {
   EXPECT_EQ(snap.percentile(0.95), 127u);
   EXPECT_EQ(snap.percentile(1.0), 127u);
   EXPECT_EQ(HistogramSnapshot{}.percentile(0.5), 0u);
+}
+
+TEST(ObsHistogram, PercentileEdgeCases) {
+  // The pinned semantics documented on HistogramSnapshot::percentile.
+  // Empty: 0 for every p, extremes included.
+  EXPECT_EQ(HistogramSnapshot{}.percentile(0.0), 0u);
+  EXPECT_EQ(HistogramSnapshot{}.percentile(1.0), 0u);
+  // All mass in bucket 0 (every sample was 0): 0 for every p — not the
+  // histogram's max range and not a sentinel.
+  Histogram zeros;
+  for (int i = 0; i < 100; ++i) zeros.record(0);
+  const HistogramSnapshot zero_snap = zeros.snapshot();
+  EXPECT_EQ(zero_snap.percentile(0.0), 0u);
+  EXPECT_EQ(zero_snap.percentile(0.5), 0u);
+  EXPECT_EQ(zero_snap.percentile(1.0), 0u);
+  // A single sample is every percentile; p100 is its bucket bound (1000 ->
+  // bucket 10, ub 1023), never the last populated bucket's theoretical max.
+  Histogram one;
+  one.record(1000);
+  const HistogramSnapshot one_snap = one.snapshot();
+  const std::uint64_t bound = bucket_upper_bound(Histogram::bucket_of(1000));
+  EXPECT_EQ(bound, 1023u);
+  EXPECT_EQ(one_snap.percentile(0.0), bound);
+  EXPECT_EQ(one_snap.percentile(0.5), bound);
+  EXPECT_EQ(one_snap.percentile(1.0), bound);
+  // Out-of-range p clamps to the extremes rather than reading garbage.
+  Histogram two;
+  two.record(1);
+  two.record(1000);
+  EXPECT_EQ(two.snapshot().percentile(-0.5), 1u);
+  EXPECT_EQ(two.snapshot().percentile(7.0), 1023u);
 }
 
 TEST(ObsHistogram, MergeIsElementwiseAddition) {
@@ -363,6 +399,268 @@ TEST(ObsSimSpans, MonotonicAndDeterministic) {
   // Same config, same seed: the whole dump is reproducible byte for byte.
   const sim::SimResult b = sim::run_simulation(config);
   EXPECT_EQ(obs::render_json(a.metrics), obs::render_json(b.metrics));
+}
+
+// ----- Flight recorder -------------------------------------------------------
+
+TEST(FlightRecorder, RecordSnapshotAndPayloads) {
+  obs::FlightRecorder recorder;
+  recorder.label_thread("loop");
+  recorder.record(obs::FlightEventType::kFrameRx, 100, /*a=*/3, /*b=*/4096);
+  recorder.record(obs::FlightEventType::kBlockInsert, 250, /*a=*/1, /*b=*/17);
+  recorder.record(obs::FlightEventType::kCommit, 900, /*a=*/2, /*b=*/20);
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, obs::FlightEventType::kFrameRx);
+  EXPECT_EQ(events[0].at, 100);
+  EXPECT_EQ(events[0].a, 3u);
+  EXPECT_EQ(events[0].b, 4096u);
+  EXPECT_EQ(events[0].label, "loop");
+  EXPECT_EQ(events[2].type, obs::FlightEventType::kCommit);
+  EXPECT_EQ(recorder.ring_count(), 1u);
+  EXPECT_EQ(obs::flight_event_name(events[2].type), "commit");
+}
+
+TEST(FlightRecorder, WrapKeepsTheNewestEvents) {
+  obs::FlightRecorder recorder(obs::FlightRecorder::Options{8});
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    recorder.record(obs::FlightEventType::kFrameTx, static_cast<TimeMicros>(i), i);
+  }
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The ring holds exactly the last capacity events; older ones are gone.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 12u + i);
+  }
+}
+
+TEST(FlightRecorder, BinaryRoundtripMatchesSnapshot) {
+  obs::FlightRecorder recorder;
+  recorder.label_thread("wal");
+  recorder.record(obs::FlightEventType::kWalFlush, 10, 5, 1024);
+  recorder.record(obs::FlightEventType::kCheckpointCut, 20, 40, 2);
+  const Bytes dump = recorder.snapshot_binary();
+  const auto decoded = obs::FlightRecorder::decode({dump.data(), dump.size()});
+  const auto live = recorder.snapshot();
+  ASSERT_EQ(decoded.size(), live.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].at, live[i].at);
+    EXPECT_EQ(decoded[i].type, live[i].type);
+    EXPECT_EQ(decoded[i].a, live[i].a);
+    EXPECT_EQ(decoded[i].b, live[i].b);
+    EXPECT_EQ(decoded[i].label, live[i].label);
+    EXPECT_EQ(decoded[i].thread_tag, live[i].thread_tag);
+  }
+  // Malformed input throws instead of misrendering.
+  const Bytes junk = {'N', 'O', 'P', 'E'};
+  EXPECT_THROW(obs::FlightRecorder::decode({junk.data(), junk.size()}),
+               std::runtime_error);
+  EXPECT_THROW(obs::FlightRecorder::decode({dump.data(), dump.size() - 3}),
+               std::runtime_error);
+}
+
+TEST(FlightRecorder, PerThreadRingsMergeChronologically) {
+  obs::FlightRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      recorder.label_thread("worker" + std::to_string(t));
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        recorder.record(obs::FlightEventType::kBlockAdmit,
+                        static_cast<TimeMicros>(i * kThreads + t),
+                        static_cast<std::uint64_t>(t), i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto events = recorder.snapshot();
+  EXPECT_EQ(events.size(), kThreads * kPerThread);
+  EXPECT_EQ(recorder.ring_count(), static_cast<std::size_t>(kThreads));
+  // Merged view is chronological across rings, and every ring kept its label.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+  }
+  for (const auto& event : events) {
+    EXPECT_EQ(event.label, "worker" + std::to_string(event.a));
+  }
+}
+
+TEST(FlightRecorder, DumpFileRendersWithScript) {
+  obs::FlightRecorder recorder;
+  recorder.label_thread("loop");
+  recorder.record(obs::FlightEventType::kFrameRx, 1000, 2, 512);
+  recorder.record(obs::FlightEventType::kCommit, 2000, 1, 30);
+  recorder.record(obs::FlightEventType::kStall, 3000, 9000, 500);
+  const std::string path = ::testing::TempDir() + "flightrec-test.bin";
+  ASSERT_TRUE(recorder.dump_to_file(path));
+  // The file round-trips through the in-process decoder...
+  std::ifstream in(path, std::ios::binary);
+  const Bytes data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(obs::FlightRecorder::decode({data.data(), data.size()}).size(), 3u);
+  // ...and through the renderer script, which must exit 0 on a good dump.
+  if (std::system("python3 --version > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available";
+  }
+  const std::filesystem::path script =
+      std::filesystem::path(__FILE__).parent_path().parent_path() / "scripts" /
+      "render_flightrec.py";
+  const std::string rendered = ::testing::TempDir() + "flightrec-test.txt";
+  const std::string command =
+      "python3 " + script.string() + " " + path + " > " + rendered + " 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+  std::ifstream text(rendered);
+  const std::string output((std::istreambuf_iterator<char>(text)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_NE(output.find("frame_rx"), std::string::npos);
+  EXPECT_NE(output.find("stall"), std::string::npos);
+  EXPECT_NE(output.find("loop"), std::string::npos);
+}
+
+// ----- Commit forensics ------------------------------------------------------
+
+using CommitForensicsTest = ObsTracerTest;
+
+TEST_F(CommitForensicsTest, ClosingArrivalAttribution) {
+  CommitForensics forensics;
+  BlockPtr early = make_block(0, 1);
+  BlockPtr late = make_block(1, 2);
+  BlockPtr leader = make_block(2, 3);
+  forensics.block_arrived(early->digest(), 1'000);
+  forensics.block_arrived(late->digest(), 5'000);
+  forensics.block_arrived(leader->digest(), 3'000);
+  // Re-delivery must not move the stamp: the first arrival is the real one.
+  forensics.block_arrived(late->digest(), 9'999);
+
+  const CommitTrace& trace =
+      forensics.on_committed(make_sub_dag({early, late, leader}), 6'000);
+  EXPECT_EQ(trace.slot.round, 1u);
+  EXPECT_EQ(trace.leader_author, 2u);
+  EXPECT_EQ(trace.blocks, 3u);
+  EXPECT_EQ(trace.first_arrival, 1'000);
+  ASSERT_EQ(trace.arrivals.size(), 3u);
+  EXPECT_EQ(trace.arrivals[0].offset_micros, 0);
+  EXPECT_EQ(trace.arrivals[1].offset_micros, 4'000);
+  EXPECT_EQ(trace.arrivals[2].offset_micros, 2'000);
+  // Straggler attribution: author 1's block arrived last and closed the wave.
+  EXPECT_EQ(trace.closing_author, 1u);
+  EXPECT_EQ(trace.closing_offset_micros, 4'000);
+  EXPECT_FALSE(trace.arrivals[0].closed_wave);
+  EXPECT_TRUE(trace.arrivals[1].closed_wave);
+  EXPECT_FALSE(trace.arrivals[2].closed_wave);
+}
+
+TEST_F(CommitForensicsTest, TiesResolveToTheCausallyLatestBlock) {
+  CommitForensics forensics;
+  BlockPtr first = make_block(0, 1);
+  BlockPtr leader = make_block(1, 2);
+  // Same batch, same stamp (one verify drain delivered both): the causally
+  // later block — the leader, last in the sub-DAG order — closed the wave.
+  forensics.block_arrived(first->digest(), 2'000);
+  forensics.block_arrived(leader->digest(), 2'000);
+  const CommitTrace& trace =
+      forensics.on_committed(make_sub_dag({first, leader}), 3'000);
+  EXPECT_EQ(trace.closing_author, 1u);
+  EXPECT_TRUE(trace.arrivals[1].closed_wave);
+}
+
+TEST_F(CommitForensicsTest, UnstampedBlocksAndAsyncResolution) {
+  CommitForensics forensics;
+  BlockPtr stamped = make_block(0, 1);
+  BlockPtr recovered = make_block(1, 2);  // e.g. WAL replay: never stamped
+  forensics.block_arrived(stamped->digest(), 4'000);
+  CommitTrace& trace =
+      forensics.on_committed(make_sub_dag({recovered, stamped}), 5'000);
+  EXPECT_FALSE(trace.arrivals[0].stamped);
+  EXPECT_TRUE(trace.arrivals[1].stamped);
+  EXPECT_EQ(trace.closing_author, 0u);  // only stamped arrivals attribute
+
+  trace.durable_pending = true;
+  trace.execute_pending = true;
+  forensics.durable_ack(5'400);
+  EXPECT_EQ(forensics.traces().back().durable_micros, 400);
+  EXPECT_FALSE(forensics.traces().back().durable_pending);
+  // execute_done matches on slot, resolves once.
+  forensics.execute_done(SlotId{9, 9}, 6'000);  // wrong slot: no effect
+  EXPECT_TRUE(forensics.traces().back().execute_pending);
+  forensics.execute_done(trace.slot, 6'500);
+  EXPECT_EQ(forensics.traces().back().execute_micros, 1'500);
+  EXPECT_FALSE(forensics.traces().back().execute_pending);
+}
+
+TEST_F(CommitForensicsTest, BoundedBuffersAndDeterministicJson) {
+  CommitForensics forensics(CommitForensics::Options{.trace_capacity = 2});
+  BlockPtr a = make_block(0, 1);
+  forensics.block_arrived(a->digest(), 100);
+  for (int i = 0; i < 3; ++i) {
+    forensics.on_committed(make_sub_dag({a}), 200 + i);
+  }
+  EXPECT_EQ(forensics.traces().size(), 2u);  // oldest aged out
+  EXPECT_EQ(forensics.traces().front().committed_at, 201);
+
+  // Identical inputs render identical JSON (the sim determinism contract),
+  // and the rendering carries the attribution fields.
+  CommitForensics x, y;
+  for (CommitForensics* f : {&x, &y}) {
+    f->block_arrived(a->digest(), 100);
+    f->on_committed(make_sub_dag({a}), 250);
+  }
+  EXPECT_EQ(x.to_json(), y.to_json());
+  EXPECT_NE(x.to_json().find("\"closing\""), std::string::npos);
+  EXPECT_NE(x.to_json().find("\"closed_wave\":true"), std::string::npos);
+  EXPECT_EQ(commit_traces_json({}), "{\"traces\":[]}");
+}
+
+// ----- Sim commit forensics (virtual time, deterministic) --------------------
+
+TEST(ObsSimForensics, TracesAreDeterministicAndAttributed) {
+  sim::SimConfig config;
+  config.n = 4;
+  config.wan = false;
+  config.load_tps = 500;
+  config.duration = seconds(6);
+  config.warmup = seconds(1);
+  config.seed = 21;
+  const sim::SimResult a = sim::run_simulation(config);
+  ASSERT_FALSE(a.commit_traces.empty());
+  std::size_t stamped_traces = 0;
+  for (const CommitTrace& trace : a.commit_traces) {
+    EXPECT_GT(trace.blocks, 0u);
+    ASSERT_EQ(trace.arrivals.size(), trace.blocks);
+    // Genesis blocks predate the run (never inserted via actions) and stay
+    // unstamped; among stamped arrivals exactly one closed the wave, at the
+    // largest offset, and the commit follows every arrival in virtual time.
+    std::size_t stamped = 0;
+    std::size_t closed = 0;
+    TimeMicros max_offset = 0;
+    for (const auto& arrival : trace.arrivals) {
+      if (!arrival.stamped) {
+        EXPECT_FALSE(arrival.closed_wave);
+        continue;
+      }
+      ++stamped;
+      if (arrival.closed_wave) ++closed;
+      max_offset = std::max(max_offset, arrival.offset_micros);
+    }
+    if (stamped > 0) {
+      ++stamped_traces;
+      EXPECT_EQ(closed, 1u);
+      EXPECT_EQ(trace.closing_offset_micros, max_offset);
+      EXPECT_GE(trace.committed_at, trace.first_arrival);
+    } else {
+      EXPECT_EQ(closed, 0u);
+    }
+  }
+  // The steady-state commits are all attributable.
+  EXPECT_GT(stamped_traces, a.commit_traces.size() / 2);
+  // Byte-identical across identical seeded runs: straggler attribution is a
+  // pure function of (config, seed).
+  const sim::SimResult b = sim::run_simulation(config);
+  EXPECT_EQ(commit_traces_json(a.commit_traces), commit_traces_json(b.commit_traces));
+  // And the sim twin of the runtime's rx-lag histogram is populated.
+  EXPECT_GT(a.metrics.histogram("mm_peer_rx_lag_micros").count(), 0u);
 }
 
 }  // namespace
